@@ -1,0 +1,57 @@
+"""§7.1.2 — response time is data-size independent at fixed |SL|.
+
+"For a query run on the DBLP dataset, the RT was found to be 2 ms for
+|SL| = 213.  Hence, RT depends on the query, i.e., depth d, n and SL
+(O(d·|SL|·log n)), and not on the size of the data being queried."
+
+The planted author pairs occur a *fixed* number of times regardless of
+the bulk `scale`, so the same query has (almost) the same |SL| on a 1×
+and a 4× corpus — response times must stay in the same band while the
+corpus grows fourfold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+from repro.eval.reporting import render_table
+from repro.eval.runner import timed_search
+
+QUERY = '"Dimitrios Georgakopoulos" "Marek Rusinkiewicz"'
+
+
+@pytest.mark.parametrize("scale", [1, 4])
+def test_fixed_query_speed_at_scale(scale, benchmark):
+    engine = GKSEngine(load_dataset("dblp", scale=scale))
+    query = engine.parse_query(QUERY, s=2)
+    from repro.core.search import search
+
+    response = benchmark(lambda: search(engine.index, query))
+    assert len(response) == 10  # planted count is scale-independent
+
+
+def test_data_independence_report(results_writer, benchmark):
+    def measure():
+        rows = []
+        for scale in (1, 2, 4):
+            engine = GKSEngine(load_dataset("dblp", scale=scale))
+            query = engine.parse_query(QUERY, s=2)
+            seconds, sl_size = timed_search(engine, query, repeats=5)
+            rows.append((scale, engine.index.stats.total_nodes, sl_size,
+                         seconds * 1000.0))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_writer("sec712_data_independence", render_table(
+        ["corpus scale", "total nodes", "|SL|", "RT (ms)"],
+        [(scale, nodes, sl, f"{ms:.3f}") for scale, nodes, sl, ms
+         in rows],
+        title="§7.1.2 — fixed-|SL| query vs corpus size"))
+
+    # |SL| is scale-independent (planted authors don't multiply) …
+    assert len({sl for _, _, sl, _ in rows}) == 1
+    # … and RT stays within a generous noise band while nodes grow 4×
+    times = [ms for _, _, _, ms in rows]
+    assert max(times) < max(10 * min(times), 5.0)

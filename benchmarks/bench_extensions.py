@@ -1,0 +1,116 @@
+"""E-EXT — extension benchmarks: schema categorization, top-k speedup,
+incremental maintenance, JSON ingestion.
+
+These are not paper tables; they quantify the future-work features the
+paper sketches (§2.2 schema-level categorization, §8 analytics) and the
+engineering extensions (top-k, append-only maintenance, JSON).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.search import search
+from repro.core.topk import search_top_k
+from repro.datasets.registry import load_dataset
+from repro.eval.reporting import render_table
+from repro.eval.runner import engine_for, frequency_ladder
+from repro.index.builder import build_index
+from repro.index.incremental import append_document
+from repro.schema import (build_schema_index, compare_with_instance_level,
+                          infer_schema)
+from repro.xmltree.json_adapter import json_to_document
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serialize import serialize_document
+
+
+def test_schema_inference_speed(benchmark):
+    repository = load_dataset("dblp")
+    schema = benchmark(infer_schema, repository)
+    assert len(schema) > 5
+
+
+def test_schema_smoothing_report(results_writer, benchmark):
+    def measure():
+        rows = []
+        for name in ("dblp", "sigmod", "interpro"):
+            repository = load_dataset(name)
+            counters = compare_with_instance_level(repository)
+            rows.append((name, counters["total"], counters["agree"],
+                         counters["promoted_to_entity"],
+                         counters["promoted_to_repeating"],
+                         counters["other_flips"]))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_writer("ext_schema_smoothing", render_table(
+        ["Data Set", "nodes", "agree", "→entity", "→repeating", "other"],
+        rows, title="EXT — schema-level vs instance-level categorization"))
+    by_name = {row[0]: row for row in rows}
+    assert by_name["dblp"][3] > 0   # single-author promotions exist
+
+
+@pytest.mark.parametrize("k", [1, 10])
+def test_topk_speed(k, benchmark):
+    engine = engine_for("interpro", scale=2)
+    query = Query.of(["kringl", "domain"], s=1)
+    response = benchmark(lambda: search_top_k(engine.index, query, k))
+    assert len(response) == k
+
+
+def test_full_ranking_speed(benchmark):
+    engine = engine_for("interpro", scale=2)
+    query = Query.of(["kringl", "domain"], s=1)
+    benchmark(lambda: search(engine.index, query))
+
+
+def test_topk_matches_and_reports(results_writer, benchmark):
+    def measure():
+        engine = engine_for("interpro", scale=2)
+        query = Query.of(["kringl", "domain"], s=1)
+        full = search(engine.index, query)
+        rows = []
+        for k in (1, 5, 20, 100):
+            top = search_top_k(engine.index, query, k)
+            rows.append((k, len(full),
+                         "yes" if top.deweys == full.deweys[:k] else "NO"))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_writer("ext_topk", render_table(
+        ["k", "|RQ(s)|", "top-k == head of full ranking"], rows,
+        title="EXT — top-k exactness"))
+    assert all(row[2] == "yes" for row in rows)
+
+
+def test_incremental_append_speed(benchmark):
+    """Appending one document must not re-index the corpus."""
+    base_repo = load_dataset("swissprot")
+    new_doc_text = serialize_document(load_dataset("figure2a")[0])
+
+    def append_once():
+        index = build_index(base_repo)
+        document = parse_document(new_doc_text,
+                                  doc_id=len(index.document_names))
+        return append_document(index, document)
+
+    index = benchmark.pedantic(append_once, rounds=3, iterations=1)
+    assert index.stats.documents == 2
+
+
+def test_json_ingestion_speed(benchmark):
+    """JSON record batch → tree → index, end to end."""
+    records = [{"title": f"record {i}", "year": 1990 + i % 20,
+                "authors": [f"author{i % 7}", f"author{(i + 1) % 7}"]}
+               for i in range(500)]
+
+    def ingest():
+        from repro.xmltree.repository import Repository
+
+        repository = Repository()
+        repository.add(json_to_document({"records": records}))
+        return build_index(repository)
+
+    index = benchmark(ingest)
+    assert index.postings("author1")

@@ -1,0 +1,55 @@
+"""E5 — Figure 10: response time for replicated datasets (×1, ×2, ×3).
+
+The paper replicates SwissProt to 112/225/336 MB and shows query
+processing time scaling *linearly* with data size (the number of LCE
+nodes scales linearly).  We replicate the synthetic SwissProt through the
+multi-document repository and check linearity of both |SL| and response
+time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.search import search
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+from repro.eval.reporting import render_table
+from repro.eval.runner import figure10_series, frequency_ladder
+
+
+@pytest.mark.parametrize("factor", [1, 2, 3])
+def test_search_speed_replicated(factor, benchmark):
+    base = load_dataset("swissprot")
+    engine = GKSEngine(base.extend_replicated(factor))
+    keywords = frequency_ladder(engine.index, count=6)
+    query = Query.of(keywords, s=3)
+    response = benchmark(lambda: search(engine.index, query))
+    assert len(response) > 0
+
+
+def test_figure10_series(results_writer, benchmark):
+    points = benchmark.pedantic(lambda: figure10_series(),
+                                rounds=1, iterations=1)
+    from repro.eval.figures import render_bar_chart
+
+    results_writer("figure10_scalability", render_table(
+        ["replication", "RT (ms)", "|SL|"],
+        [(factor, f"{ms:.2f}", sl) for factor, ms, sl in points],
+        title="Figure 10 — response time for replicated SwissProt")
+        + "\n\n" + render_bar_chart(
+            "RT by replication factor",
+            [(f"x{factor}", ms) for factor, ms, _ in points],
+            y_label=" ms"))
+
+    # |SL| must scale exactly linearly with the replication factor
+    base_sl = points[0][2]
+    for factor, _, sl in points:
+        assert sl == base_sl * factor
+
+    # and response time must not blow up super-linearly (generous 2×
+    # slack per step for timer noise on small absolute times)
+    base_ms = points[0][1]
+    for factor, ms, _ in points[1:]:
+        assert ms < base_ms * factor * 3

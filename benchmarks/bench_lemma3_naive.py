@@ -1,0 +1,50 @@
+"""Lemma 3 — the exponential search space of the naïve approach.
+
+The paper motivates the single-pass algorithm by showing that decomposing
+a GKS query into LCA sub-queries needs Σ C(n,i) ≥ 2^(n/2) subsets when
+s ≤ n/2.  This bench measures the blow-up empirically: naïve
+subset-enumeration time vs the GKS pipeline on the same query, and the
+subset counts for growing n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive_gks import naive_gks, subset_count
+from repro.core.query import Query
+from repro.core.search import search
+from repro.eval.reporting import render_table
+from repro.eval.runner import engine_for, frequency_ladder
+
+
+def _query(n: int) -> Query:
+    engine = engine_for("swissprot")
+    keywords = frequency_ladder(engine.index, count=n)
+    return Query.of(keywords, s=max(1, n // 2))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_gks_pipeline_speed(n, benchmark):
+    engine = engine_for("swissprot")
+    query = _query(n)
+    benchmark(lambda: search(engine.index, query))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_naive_subset_speed(n, benchmark):
+    engine = engine_for("swissprot")
+    query = _query(n)
+    benchmark(lambda: naive_gks(engine.index, query))
+
+
+def test_lemma3_counts(results_writer, benchmark):
+    rows = benchmark.pedantic(
+        lambda: [(n, n // 2, subset_count(n, n // 2), 2 ** (n // 2))
+                 for n in (4, 8, 12, 16, 20)],
+        rounds=1, iterations=1)
+    results_writer("lemma3_subsets", render_table(
+        ["n", "s=n/2", "subsets (naive sub-queries)", "2^(n/2) bound"],
+        rows, title="Lemma 3 — naïve search-space blow-up"))
+    for _, _, subsets, bound in rows:
+        assert subsets >= bound

@@ -1,0 +1,73 @@
+"""Robustness fuzz: hundreds of random queries per corpus.
+
+No single query may crash, hang, or break an invariant; latency must
+stay in a sane envelope.  This is the volume counterpart of the
+hand-crafted Table 6 workload — the kind of battering a production
+search endpoint takes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.search import search
+from repro.eval.querygen import WorkloadSpec, generate_queries
+from repro.eval.reporting import render_table
+from repro.eval.runner import engine_for
+
+CORPORA = ["dblp", "mondial", "swissprot", "interpro", "nasa"]
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    position = min(int(len(ordered) * fraction), len(ordered) - 1)
+    return ordered[position]
+
+
+@pytest.mark.parametrize("dataset", CORPORA)
+def test_random_workload_speed(dataset, benchmark):
+    engine = engine_for(dataset)
+    queries = generate_queries(
+        engine.index, WorkloadSpec(queries=20, seed=11))
+
+    def run_all():
+        return [search(engine.index, query) for query in queries]
+
+    responses = benchmark(run_all)
+    assert len(responses) == len(queries)
+
+
+def test_robustness_report(results_writer, benchmark):
+    def fuzz():
+        rows = []
+        for dataset in CORPORA:
+            engine = engine_for(dataset)
+            queries = generate_queries(
+                engine.index,
+                WorkloadSpec(queries=100, noise=0.15, seed=23))
+            latencies: list[float] = []
+            empty = 0
+            for query in queries:
+                started = time.perf_counter()
+                response = search(engine.index, query)
+                latencies.append((time.perf_counter() - started) * 1000)
+                if not response.nodes:
+                    empty += 1
+                for node in response:
+                    assert node.distinct_keywords >= \
+                        response.query.effective_s
+                    assert node.score > 0
+            rows.append((dataset, len(queries), empty,
+                         f"{_percentile(latencies, 0.50):.2f}",
+                         f"{_percentile(latencies, 0.95):.2f}",
+                         f"{max(latencies):.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(fuzz, rounds=1, iterations=1)
+    results_writer("robustness_fuzz", render_table(
+        ["corpus", "queries", "empty", "p50 ms", "p95 ms", "max ms"],
+        rows, title="Robustness fuzz — 100 random queries per corpus"))
+    for row in rows:
+        assert row[1] == 100

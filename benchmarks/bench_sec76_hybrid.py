@@ -1,0 +1,40 @@
+"""E11 — §7.6: hybrid queries over merged DBLP + SIGMOD Record.
+
+The paper merges the two corpora under a common root (with the SIGMOD
+side pushed two connecting nodes deeper) and runs
+{"Jean-Marc Meynadier" "Patrick Behm" "Lawrence A. Rowe"
+ "Michael Stonebraker"} with s=2.  Reported outcome: exactly 8 nodes —
+3 <inproceedings> (first pair, DBLP) + 5 <article> (second pair, SIGMOD)
+— with the SIGMOD articles ranked higher despite their greater depth,
+because entity rank depends only on keyword distribution, not on absolute
+depth.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import render_table
+from repro.eval.runner import (build_hybrid_repository, hybrid_experiment)
+from repro.eval.workload import HYBRID_QUERY
+from repro.core.engine import GKSEngine
+
+
+def test_hybrid_query_speed(benchmark):
+    engine = GKSEngine(build_hybrid_repository())
+    response = benchmark(lambda: engine.search(HYBRID_QUERY, s=2, use_cache=False))
+    assert len(response) > 0
+
+
+def test_hybrid_outcome(results_writer, benchmark):
+    outcome = benchmark.pedantic(hybrid_experiment, rounds=1, iterations=1)
+    results_writer("sec76_hybrid", render_table(
+        ["total results", "DBLP <inproceedings>", "SIGMOD <article>",
+         "SIGMOD ranked first"],
+        [(outcome.total_results, outcome.dblp_hits, outcome.sigmod_hits,
+          "yes" if outcome.sigmod_ranked_first else "no")],
+        title="§7.6 — hybrid query over merged DBLP+SIGMOD (paper: "
+              "8 = 3 + 5, SIGMOD first)"))
+
+    assert outcome.total_results == 8
+    assert outcome.dblp_hits == 3
+    assert outcome.sigmod_hits == 5
+    assert outcome.sigmod_ranked_first

@@ -1,0 +1,90 @@
+"""LCA algorithm race: three SLCA implementations plus two ELCAs
+(paper refs [7], [13] and [17]).
+
+The related work's progression of SLCA/ELCA algorithms is reproduced as
+interchangeable implementations; this bench races them on identical
+queries so their trade-offs (binary search vs linear merge vs hash
+probes vs stack sweep) are visible, and asserts each family agrees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.elca import elca
+from repro.baselines.elca_stack import elca_stack
+from repro.baselines.slca import slca_indexed_lookup_eager, slca_scan
+from repro.baselines.slca_intersect import slca_set_intersection
+from repro.core.query import Query
+from repro.eval.reporting import render_table
+from repro.eval.runner import engine_for, frequency_ladder
+
+ALGORITHMS = {
+    "indexed_lookup_eager": slca_indexed_lookup_eager,
+    "merge_scan": slca_scan,
+    "set_intersection": slca_set_intersection,
+}
+
+ELCA_ALGORITHMS = {
+    "closure": elca,
+    "dewey_stack": elca_stack,
+}
+
+
+def _query(n: int = 3) -> tuple:
+    engine = engine_for("swissprot", scale=2)
+    keywords = frequency_ladder(engine.index, count=n)
+    return engine, Query.of(keywords, s=n)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_slca_algorithm_speed(name, benchmark):
+    engine, query = _query()
+    algorithm = ALGORITHMS[name]
+    result = benchmark(lambda: algorithm(engine.index, query))
+    assert isinstance(result, list)
+
+
+def test_algorithms_agree_and_report(results_writer, benchmark):
+    def measure():
+        import time
+
+        engine, query = _query()
+        rows = []
+        reference = None
+        for name, algorithm in sorted(ALGORITHMS.items()):
+            started = time.perf_counter()
+            for _ in range(5):
+                result = algorithm(engine.index, query)
+            elapsed = (time.perf_counter() - started) / 5
+            if reference is None:
+                reference = result
+            assert result == reference, f"{name} disagrees"
+            rows.append((name, len(result), f"{elapsed * 1000:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_writer("slca_algorithms", render_table(
+        ["algorithm", "|SLCA|", "ms (mean of 5)"], rows,
+        title="SLCA algorithm race (swissprot, 3 frequent keywords)"))
+    counts = {row[1] for row in rows}
+    assert len(counts) == 1  # all three agree
+
+
+@pytest.mark.parametrize("name", sorted(ELCA_ALGORITHMS))
+def test_elca_algorithm_speed(name, benchmark):
+    engine, query = _query()
+    algorithm = ELCA_ALGORITHMS[name]
+    result = benchmark(lambda: algorithm(engine.index, query))
+    assert isinstance(result, list)
+
+
+def test_elca_algorithms_agree(benchmark):
+    engine, query = _query()
+
+    def both():
+        return {name: algorithm(engine.index, query)
+                for name, algorithm in ELCA_ALGORITHMS.items()}
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert results["closure"] == results["dewey_stack"]

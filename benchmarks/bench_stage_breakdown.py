@@ -1,0 +1,70 @@
+"""Stage-level cost decomposition of the search pipeline (§4.2).
+
+The complexity analysis says merge and LCP dominate and grow with
+``|SL|`` (O(d·|SL|·log n) and O(d·|SL|)), LCE adds the entity walk, and
+ranking grows with the *response* size.  This bench prints the measured
+split per query size so the claim is visible, and checks that the stage
+sum accounts for the total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.search import search
+from repro.eval.reporting import render_table
+from repro.eval.runner import engine_for, frequency_ladder
+
+
+def _queries():
+    engine = engine_for("swissprot", scale=2)
+    ladder = frequency_ladder(engine.index, count=16)
+    return engine, [
+        Query.of(ladder[:n], s=max(1, n // 2)) for n in (2, 4, 8, 16)
+        if len(ladder) >= n
+    ]
+
+
+@pytest.mark.parametrize("position", [0, 1, 2, 3])
+def test_stage_timing_overhead(position, benchmark):
+    """Timing instrumentation must not change results."""
+    engine, queries = _queries()
+    if position >= len(queries):
+        pytest.skip("vocabulary too small")
+    query = queries[position]
+    response = benchmark(lambda: search(engine.index, query))
+    assert response.profile.seconds >= 0
+
+
+def test_stage_breakdown_report(results_writer, benchmark):
+    def measure():
+        engine, queries = _queries()
+        rows = []
+        for query in queries:
+            # median-ish of three runs for stable splits
+            profiles = [search(engine.index, query).profile
+                        for _ in range(3)]
+            profile = sorted(profiles,
+                             key=lambda item: item.seconds)[1]
+            total = profile.seconds or 1e-9
+            stages = profile.stage_breakdown()
+            rows.append((len(query.keywords),
+                         profile.merged_list_size,
+                         f"{profile.seconds * 1000:.2f}",
+                         *(f"{stages[name] / total:.0%}"
+                           for name in ("merge", "lcp", "lce", "rank"))))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_writer("stage_breakdown", render_table(
+        ["n", "|SL|", "total ms", "merge", "lcp", "lce", "rank"], rows,
+        title="§4.2 — pipeline stage breakdown (swissprot)"))
+    assert rows
+
+
+def test_stage_sum_accounts_for_total():
+    engine, queries = _queries()
+    profile = search(engine.index, queries[-1]).profile
+    stage_sum = sum(profile.stage_breakdown().values())
+    assert stage_sum == pytest.approx(profile.seconds, rel=0.05)

@@ -1,0 +1,81 @@
+"""E1 — Table 1: GKS vs ELCA vs SLCA on the Fig. 1 toy tree.
+
+Paper-reported rows:
+    Q1, s=|Q1|: GKS {x2}            ELCA {x1, x2}   SLCA {x2}
+    Q2, s=2  : GKS {x2}, {x3}       ELCA NULL       SLCA NULL
+    Q3, s=2  : GKS {x2},{x3},{x4}   ELCA {r}        SLCA {r}
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.elca import elca
+from repro.baselines.slca import slca_indexed_lookup_eager
+from repro.core.query import Query
+from repro.core.search import search
+from repro.datasets.registry import load_dataset
+from repro.eval.reporting import render_table
+from repro.index.builder import build_index
+from repro.xmltree.dewey import format_dewey
+
+NAMES = {(0,): "r", (0, 0): "x1", (0, 0, 3): "x2", (0, 1): "x3",
+         (0, 2): "x4", (0, 1, 2): "y"}
+
+QUERIES = [
+    ("Q1", ["a", "b", "c"], 3),
+    ("Q2", ["a", "b", "e"], 2),
+    ("Q3", ["a", "b", "c", "d"], 2),
+]
+
+
+def _label(deweys):
+    if not deweys:
+        return "NULL"
+    return ", ".join(NAMES.get(dewey, format_dewey(dewey))
+                     for dewey in deweys)
+
+
+@pytest.fixture(scope="module")
+def figure1_index():
+    return build_index(load_dataset("figure1"))
+
+
+def test_table1_semantics(figure1_index, benchmark, results_writer):
+    def run_all():
+        rows = []
+        for qid, keywords, s in QUERIES:
+            gks = search(figure1_index, Query.of(keywords, s=s)).deweys
+            full = Query.of(keywords, s=len(keywords))
+            rows.append((f"{qid}, s={s}", _label(gks),
+                         _label(elca(figure1_index, full)),
+                         _label(slca_indexed_lookup_eager(figure1_index,
+                                                          full))))
+        return rows
+
+    rows = benchmark(run_all)
+    results_writer("table1_semantics", render_table(
+        ["Query", "GKS (ranked)", "ELCA", "SLCA"], rows,
+        title="Table 1 — nodes returned per algorithm (Fig. 1 tree)"))
+
+    by_query = {row[0]: row for row in rows}
+    assert by_query["Q1, s=3"][1] == "x2"
+    assert by_query["Q1, s=3"][2] == "x1, x2"
+    assert by_query["Q2, s=2"][1] == "x2, x3"
+    assert by_query["Q2, s=2"][2] == "NULL"
+    assert by_query["Q3, s=2"][1] == "x2, x3, x4"
+    assert by_query["Q3, s=2"][3] == "r"
+
+
+def test_example5_ranks(figure1_index, benchmark, results_writer):
+    query = Query.of(["a", "b", "c", "d"], s=2)
+    response = benchmark(lambda: search(figure1_index, query))
+    rows = [(NAMES.get(node.dewey, node.dewey_text), node.score)
+            for node in response]
+    results_writer("example5_ranks", render_table(
+        ["node", "potential-flow rank"], rows,
+        title="Example 5 — ranks for Q3 (paper: x2=3, x3=2.5, x4=2)"))
+    scores = dict(rows)
+    assert scores["x2"] == pytest.approx(3.0)
+    assert scores["x3"] == pytest.approx(2.5)
+    assert scores["x4"] == pytest.approx(2.0)

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures and result persistence.
+
+Every benchmark prints its reproduced table/figure and also writes it to
+``benchmarks/results/<name>.txt`` so the paper-vs-measured record in
+EXPERIMENTS.md can be refreshed from the files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def results_writer():
+    return write_result

@@ -1,0 +1,85 @@
+"""Beyond the paper's evaluation: the future-work features.
+
+* analytics over raw XML (§8 future work): facets, aggregates and
+  histograms over a GKS response;
+* schema inference + schema-level categorization (§2.2 future work):
+  single-author articles regain their entity-hood;
+* keyword search over JSON (the format the paper's intro puts next to
+  XML);
+* top-k search with early-terminated ranking.
+
+Run:  python examples/analytics_and_schema.py
+"""
+
+from repro import GKSEngine, Repository, load_dataset
+from repro.schema import (compare_with_instance_level, infer_schema)
+
+
+def analytics_demo() -> None:
+    print("== analytics over a GKS response ==")
+    engine = GKSEngine(load_dataset("dblp"))
+    response = engine.search('"Prithviraj Banerjee"', s=1)
+    print(f"{len(response)} result(s) for Banerjee")
+
+    venues = engine.facets(response, "booktitle", top=3)
+    for bucket in venues:
+        print(f"  booktitle={bucket.value!r}: {bucket.count} article(s), "
+              f"weight {bucket.weight:.2f}")
+
+    years = engine.aggregate(response, "year")
+    print(f"  years: min={years.minimum:.0f} max={years.maximum:.0f} "
+          f"mean={years.mean:.1f} over {years.count} article(s)\n")
+
+
+def schema_demo() -> None:
+    print("== schema inference & categorization smoothing ==")
+    repository = load_dataset("dblp")
+    schema = infer_schema(repository)
+    article_type = schema.type_of(("dblp", "article"))
+    print(f"inferred {len(schema)} element types; dblp/article -> "
+          f"{article_type.content_model()}")
+
+    counters = compare_with_instance_level(repository)
+    print(f"instance vs schema categorization: "
+          f"{counters['agree']}/{counters['total']} agree; "
+          f"{counters['promoted_to_entity']} node(s) promoted to entity "
+          f"(single-author articles regaining entity-hood)\n")
+
+
+def json_demo() -> None:
+    print("== keyword search over JSON ==")
+    repository = Repository()
+    repository.parse_json("""
+    {
+      "catalog": [
+        {"name": "Data Mining", "students": ["Karen", "Mike", "John"]},
+        {"name": "Algorithms", "students": ["Karen", "Julie"]}
+      ]
+    }
+    """, name="courses.json")
+    engine = GKSEngine(repository)
+    response = engine.search("karen mike", s=2)
+    print(f"'karen mike' (s=2): {len(response)} JSON record(s); top:")
+    print(engine.snippet(response[0]))
+
+
+def topk_demo() -> None:
+    print("== top-k search ==")
+    engine = GKSEngine(load_dataset("interpro"))
+    full = engine.search("kringle domain", s=1)
+    top = engine.search_top_k("kringle domain", k=3, s=1)
+    print(f"full response: {len(full)} node(s); top-3 equals the head: "
+          f"{top.deweys == full.deweys[:3]}")
+    for node in top:
+        print(" ", engine.describe(node))
+
+
+def main() -> None:
+    analytics_demo()
+    schema_demo()
+    json_demo()
+    topk_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Exploring an unfamiliar corpus with element-name keywords and
+recursive DI (the Mondial workload, QM1/QM2).
+
+The user knows nothing about the schema.  They search a mix of element
+names ('country', 'name') and data keywords ('Muslim', 'Laos'); GKS
+returns entity nodes whose attribute context explains each hit, and
+recursive DI walks them deeper into the data.
+
+Run:  python examples/geographic_exploration.py
+"""
+
+from repro import GKSEngine, load_dataset
+
+
+def main() -> None:
+    print("generating synthetic Mondial corpus ...")
+    engine = GKSEngine(load_dataset("mondial"))
+
+    # QM1: a tag name plus a data keyword
+    response = engine.search("country Muslim", s=2)
+    print(f"\nQM1 'country Muslim' (s=2): {len(response)} node(s)")
+    for node in response.top(3):
+        element = engine.node_at(node.dewey)
+        name = element.find_first("name")
+        print(f"  <{element.tag}> name="
+              f"{name.text if name is not None else '?'}  "
+              f"score={node.score:.3f}")
+
+    # QM2: mostly element names — tag indexing at work
+    response = engine.search("Laos country name", s=3)
+    print(f"\nQM2 'Laos country name' (s=3): {len(response)} node(s)")
+    print("top result chunk (trimmed):")
+    print(engine.snippet(response[0], max_depth=1))
+
+    # browse outward with recursive DI: round 0 explains the response,
+    # round 1 re-queries the top insight keywords
+    print("recursive DI rounds:")
+    reports = engine.recursive_insights(response, rounds=2, top=4,
+                                        seed_keywords=3)
+    for round_no, report in enumerate(reports):
+        rendered = ", ".join(insight.render() for insight in report)
+        print(f"  round {round_no}: {rendered or '(none)'}")
+
+    # QM3-style multi-topic query: subsets show how keywords cluster
+    response = engine.search(
+        "Polish Spanish German Luxembourg Bruges Catholic", s=2)
+    print(f"\nQM3 (s=2): {len(response)} node(s); suggested sub-queries:")
+    insights = engine.insights(response, top=5)
+    for refinement in engine.refine(response, insights, top=4):
+        print(f"  [{refinement.kind.value}] "
+              f"{' '.join(refinement.keywords)}")
+
+
+if __name__ == "__main__":
+    main()

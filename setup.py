@@ -1,0 +1,18 @@
+"""Setuptools entry point (legacy path; see pyproject.toml for why)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Generic Keyword Search over XML data (GKS) — reproduction "
+                 "of Agarwal, Ramamritham & Agarwal, EDBT 2016"),
+    author="GKS reproduction project",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    entry_points={"console_scripts": ["gks = repro.cli:main"]},
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,50 @@
+"""Generic Keyword Search over XML data (GKS).
+
+A from-scratch reproduction of *"Generic Keyword Search over XML Data"*
+(Agarwal, Ramamritham & Agarwal, EDBT 2016).  GKS answers a keyword query
+``Q`` with every XML node whose subtree contains at least ``min(s, |Q|)``
+distinct query keywords, ranks results with a potential-flow model, and
+mines Deeper analytical Insights (DI) for query refinement.
+
+Quickstart::
+
+    from repro import GKSEngine
+
+    engine = GKSEngine.from_texts([xml_text])
+    response = engine.search("karen mike data mining", s=2)
+    for node in response.top(5):
+        print(engine.describe(node))
+    for insight in engine.insights(response):
+        print(insight.render())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analytics import aggregate, facets, histogram
+from repro.baselines import (elca, naive_gks, slca_indexed_lookup_eager,
+                             slca_scan)
+from repro.core import (GKSEngine, GKSResponse, Insight, InsightReport,
+                        Query, RankedNode, Refinement, search,
+                        search_top_k)
+from repro.datasets import load_dataset
+from repro.index import (GKSIndex, IndexBuilder, NodeCategory,
+                         append_document, build_index, categorize_tree,
+                         load_index, remove_last_document, save_index)
+from repro.schema import build_schema_index, infer_schema
+from repro.text import Analyzer
+from repro.xmltree import (Repository, XMLDocument, XMLNode,
+                           parse_document, parse_json_document)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer", "GKSEngine", "GKSIndex", "GKSResponse", "IndexBuilder",
+    "Insight", "InsightReport", "NodeCategory", "Query", "RankedNode",
+    "Refinement", "Repository", "XMLDocument", "XMLNode", "aggregate",
+    "append_document", "build_index", "build_schema_index",
+    "categorize_tree", "elca", "facets", "histogram", "infer_schema",
+    "load_dataset", "load_index", "naive_gks", "parse_document",
+    "parse_json_document", "remove_last_document", "save_index", "search",
+    "search_top_k", "slca_indexed_lookup_eager", "slca_scan",
+]

@@ -1,0 +1,11 @@
+"""Analytics over GKS responses (the paper's stated future direction)."""
+
+from repro.analytics.aggregate import (AggregateReport, FacetBucket,
+                                       FacetReport, HistogramBin,
+                                       aggregate, facets, group_rank,
+                                       histogram)
+
+__all__ = [
+    "AggregateReport", "FacetBucket", "FacetReport", "HistogramBin",
+    "aggregate", "facets", "group_rank", "histogram",
+]

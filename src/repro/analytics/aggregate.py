@@ -1,0 +1,189 @@
+"""Analytics over raw XML via GKS responses (paper §8 future work).
+
+"One of our future research directions is to extend GKS to enable
+analytics over raw XML data."  This module provides that layer: given a
+GKS response, it treats the LCE result nodes as *records* and their
+context attributes as *columns*, supporting faceted counts, numeric
+aggregation and histograms — all schema-free, driven by the same node
+categorization that powers DI.
+
+A "column" is addressed by an attribute tag (``"year"``) or a tag path
+suffix (``("date", "year")``): the first matching context node of each
+record supplies the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.insights import attribute_nodes_of
+from repro.core.results import GKSResponse, RankedNode
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+
+
+@dataclass(frozen=True)
+class FacetBucket:
+    """One facet value with its support."""
+
+    value: str
+    count: int
+    weight: float           # summed rank of the records in the bucket
+
+
+@dataclass(frozen=True)
+class FacetReport:
+    column: str
+    buckets: tuple[FacetBucket, ...]
+    missing: int            # records without the column
+
+    def __iter__(self):
+        return iter(self.buckets)
+
+    def top(self, count: int) -> tuple[FacetBucket, ...]:
+        return self.buckets[:count]
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    column: str
+    count: int
+    total: float | None
+    minimum: float | None
+    maximum: float | None
+    mean: float | None
+    missing: int            # records without a numeric value
+
+
+@dataclass(frozen=True)
+class HistogramBin:
+    low: float
+    high: float
+    count: int
+
+
+def _column_matches(attribute: XMLNode, column: str | Sequence[str]) -> bool:
+    if isinstance(column, str):
+        return attribute.tag == column
+    tags = attribute.tag_path()
+    suffix = list(column)
+    return tags[-len(suffix):] == suffix
+
+
+def _record_value(repository: Repository, node: RankedNode,
+                  column: str | Sequence[str]) -> str | None:
+    element = repository.node_at(node.dewey)
+    if element is None:
+        return None
+    for attribute in attribute_nodes_of(element, mode="context"):
+        if _column_matches(attribute, column):
+            assert attribute.text is not None
+            return attribute.text.strip()
+    return None
+
+
+def _records(response: GKSResponse) -> tuple[RankedNode, ...]:
+    """The analytics records: LCE nodes, falling back to all results."""
+    records = response.lce_nodes
+    return records if records else response.nodes
+
+
+def facets(repository: Repository, response: GKSResponse,
+           column: str | Sequence[str], top: int | None = None
+           ) -> FacetReport:
+    """Group the response records by a context attribute's value."""
+    counts: dict[str, int] = {}
+    weights: dict[str, float] = {}
+    missing = 0
+    for node in _records(response):
+        value = _record_value(repository, node, column)
+        if value is None:
+            missing += 1
+            continue
+        counts[value] = counts.get(value, 0) + 1
+        weights[value] = weights.get(value, 0.0) + node.score
+
+    buckets = [FacetBucket(value=value, count=counts[value],
+                           weight=weights[value])
+               for value in counts]
+    buckets.sort(key=lambda bucket: (-bucket.weight, -bucket.count,
+                                     bucket.value))
+    if top is not None:
+        buckets = buckets[:top]
+    column_name = column if isinstance(column, str) else "/".join(column)
+    return FacetReport(column=column_name, buckets=tuple(buckets),
+                       missing=missing)
+
+
+def _to_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def aggregate(repository: Repository, response: GKSResponse,
+              column: str | Sequence[str]) -> AggregateReport:
+    """Numeric summary (count/sum/min/max/mean) of a context attribute."""
+    values: list[float] = []
+    missing = 0
+    for node in _records(response):
+        text = _record_value(repository, node, column)
+        number = _to_number(text) if text is not None else None
+        if number is None:
+            missing += 1
+        else:
+            values.append(number)
+
+    column_name = column if isinstance(column, str) else "/".join(column)
+    if not values:
+        return AggregateReport(column=column_name, count=0, total=None,
+                               minimum=None, maximum=None, mean=None,
+                               missing=missing)
+    return AggregateReport(
+        column=column_name, count=len(values), total=sum(values),
+        minimum=min(values), maximum=max(values),
+        mean=sum(values) / len(values), missing=missing)
+
+
+def histogram(repository: Repository, response: GKSResponse,
+              column: str | Sequence[str], bins: int = 5
+              ) -> list[HistogramBin]:
+    """Equal-width histogram of a numeric context attribute."""
+    if bins < 1:
+        raise ValueError(f"bins must be positive: {bins}")
+    values = []
+    for node in _records(response):
+        text = _record_value(repository, node, column)
+        if text is not None:
+            number = _to_number(text)
+            if number is not None:
+                values.append(number)
+    if not values:
+        return []
+
+    low, high = min(values), max(values)
+    if low == high:
+        return [HistogramBin(low=low, high=high, count=len(values))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        position = min(int((value - low) / width), bins - 1)
+        counts[position] += 1
+    return [HistogramBin(low=low + index * width,
+                         high=low + (index + 1) * width,
+                         count=counts[index])
+            for index in range(bins)]
+
+
+def group_rank(repository: Repository, response: GKSResponse,
+               column: str | Sequence[str],
+               key: Callable[[FacetBucket], float] = lambda b: b.weight
+               ) -> list[str]:
+    """Facet values ordered by a scoring key — a one-liner for 'which
+    year/venue/author dominates this result set?'"""
+    report = facets(repository, response, column)
+    return [bucket.value
+            for bucket in sorted(report.buckets,
+                                 key=lambda bucket: -key(bucket))]

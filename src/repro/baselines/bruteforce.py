@@ -1,0 +1,113 @@
+"""Brute-force oracles: straight-from-the-tree reference semantics.
+
+These walk the materialised trees and apply the definitions literally.
+They are deliberately slow and simple — their only job is to catch bugs in
+the efficient index-based algorithms, which the test suite cross-validates
+against them on both crafted and randomized documents.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+
+
+def node_keywords(node: XMLNode, analyzer: Analyzer = DEFAULT_ANALYZER,
+                  include_tags: bool = True) -> set[str]:
+    """Keywords directly contained by one element (its text + its tag)."""
+    keywords: set[str] = set()
+    if node.has_text:
+        assert node.text is not None
+        keywords.update(analyzer.analyze(node.text))
+    if include_tags:
+        keywords.update(analyzer.analyze_tag(node.tag))
+    return keywords
+
+
+def subtree_keyword_map(repository: Repository,
+                        analyzer: Analyzer = DEFAULT_ANALYZER,
+                        include_tags: bool = True
+                        ) -> dict[Dewey, set[str]]:
+    """Dewey → set of keywords anywhere in that node's subtree."""
+    mapping: dict[Dewey, set[str]] = {}
+    for document in repository:
+        _fill(document.root, mapping, analyzer, include_tags)
+    return mapping
+
+
+def _fill(node: XMLNode, mapping: dict[Dewey, set[str]],
+          analyzer: Analyzer, include_tags: bool) -> set[str]:
+    keywords = node_keywords(node, analyzer, include_tags)
+    for child in node.children:
+        keywords |= _fill(child, mapping, analyzer, include_tags)
+    mapping[node.dewey] = keywords
+    return keywords
+
+
+def brute_candidates(repository: Repository, query: Query,
+                     analyzer: Analyzer = DEFAULT_ANALYZER) -> list[Dewey]:
+    """All nodes whose subtree holds ≥ ``min(s, |Q|)`` distinct keywords.
+
+    This is the *reference search space* of GKS (paper §1.1); the efficient
+    pipeline returns its SLCA-style frontier, so tests check containment
+    and coverage rather than equality.
+    """
+    wanted = set(query.keywords)
+    threshold = query.effective_s
+    mapping = subtree_keyword_map(repository, analyzer)
+    return sorted(dewey for dewey, keywords in mapping.items()
+                  if len(keywords & wanted) >= threshold)
+
+
+def brute_slca(repository: Repository, query: Query,
+               analyzer: Analyzer = DEFAULT_ANALYZER) -> list[Dewey]:
+    """SLCA by definition: deepest nodes containing every keyword."""
+    wanted = set(query.keywords)
+    mapping = subtree_keyword_map(repository, analyzer)
+    full = {dewey for dewey, keywords in mapping.items()
+            if wanted <= keywords}
+    return sorted(
+        dewey for dewey in full
+        if not any(other != dewey and other[:len(dewey)] == dewey
+                   for other in full))
+
+
+def brute_elca(repository: Repository, query: Query,
+               analyzer: Analyzer = DEFAULT_ANALYZER) -> list[Dewey]:
+    """ELCA by definition, via per-node exclusive-witness counting."""
+    wanted = set(query.keywords)
+    mapping = subtree_keyword_map(repository, analyzer)
+    full = {dewey for dewey, keywords in mapping.items()
+            if wanted <= keywords}
+
+    results: list[Dewey] = []
+    for document in repository:
+        for node in document.root.iter_subtree():
+            if node.dewey not in full:
+                continue
+            if _exclusive_witnesses(node, wanted, full, analyzer):
+                results.append(node.dewey)
+    return sorted(results)
+
+
+def _exclusive_witnesses(node: XMLNode, wanted: set[str],
+                         full: set[Dewey], analyzer: Analyzer) -> bool:
+    remaining = set(wanted)
+    _discount(node, remaining, full, analyzer, is_root=True)
+    return not remaining
+
+
+def _discount(node: XMLNode, remaining: set[str], full: set[Dewey],
+              analyzer: Analyzer, is_root: bool) -> None:
+    if not is_root and node.dewey in full:
+        return  # occurrences below an all-keyword descendant do not count
+    remaining -= node_keywords(node, analyzer)
+    if not remaining:
+        return
+    for child in node.children:
+        _discount(child, remaining, full, analyzer, is_root=False)
+        if not remaining:
+            return

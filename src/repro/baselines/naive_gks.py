@@ -1,0 +1,48 @@
+"""The naïve GKS baseline the paper argues against (§4, Lemma 3).
+
+"A naïve approach would be to create all the keyword subsets (of size ≥ s)
+for query Q, and for each of these keyword subsets, identify the LCA
+nodes."  That is an exponential number of SLCA sub-queries — Lemma 3 shows
+``U ≥ 2^(n/2)`` subsets when ``s ≤ n/2``.  We implement it anyway: it is
+the semantic yardstick for the efficient pipeline (every GKS response node
+must cover at least one subset's SLCA region) and the subject of the
+Lemma-3 benchmark that shows the blow-up empirically.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.baselines.slca import slca_indexed_lookup_eager
+from repro.core.query import Query
+from repro.index.builder import GKSIndex
+from repro.xmltree.dewey import Dewey
+
+
+def keyword_subsets(query: Query) -> list[tuple[str, ...]]:
+    """All keyword subsets of size ≥ ``min(s, |Q|)`` (Lemma 3's ``U``)."""
+    threshold = query.effective_s
+    subsets: list[tuple[str, ...]] = []
+    for size in range(threshold, len(query.keywords) + 1):
+        subsets.extend(combinations(query.keywords, size))
+    return subsets
+
+
+def subset_count(n: int, s: int) -> int:
+    """Closed form of Lemma 3's count without enumerating anything."""
+    from math import comb
+
+    return sum(comb(n, size) for size in range(min(s, n), n + 1))
+
+
+def naive_gks(index: GKSIndex, query: Query) -> list[Dewey]:
+    """Union of SLCA answers over every keyword subset of size ≥ s.
+
+    Returns the deduplicated node set in document order.  Runtime is
+    exponential in ``|Q|`` by construction — use only on small queries.
+    """
+    results: set[Dewey] = set()
+    for subset in keyword_subsets(query):
+        sub_query = Query.of(list(subset), s=len(subset))
+        results.update(slca_indexed_lookup_eager(index, sub_query))
+    return sorted(results)

@@ -1,0 +1,79 @@
+"""Alternative ranking models from the related work (paper §3, §5).
+
+The paper argues existing XML ranking methods are insufficient for GKS
+because every ranked node there contains a *fixed* set of all query
+keywords, whereas GKS nodes cover varying subsets.  To quantify that
+argument (ablation bench A2+), two classic models are reproduced in a
+GKS-compatible form — both are drop-in :data:`repro.core.search.Ranker`
+callables:
+
+* :func:`xrank_ranker` — XRank [7]-style decay ranking: each keyword's
+  highest occurrence contributes ``λ^(distance from the result node)``;
+  proximity to the result node matters, structure (fan-out) does not.
+* :func:`xsearch_ranker` — XSEarch [8]-style TF·IDF: term frequency in
+  the result subtree times corpus-level inverse document frequency;
+  purely statistical, blind to structure.
+
+Both share the terminal-point bookkeeping with the potential-flow ranker
+so responses remain comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+
+from repro.core.query import Query
+from repro.core.ranking import (RankBreakdown, keyword_occurrences,
+                                terminal_points)
+from repro.index.builder import GKSIndex
+from repro.xmltree.dewey import Dewey
+
+
+def xrank_ranker(index: GKSIndex, query: Query, dewey: Dewey,
+                 decay: float = 0.85) -> RankBreakdown:
+    """XRank-style rank: decay per edge between node and occurrence."""
+    terminals: dict[str, tuple[Dewey, ...]] = {}
+    score = 0.0
+    for keyword in query.keywords:
+        points = terminal_points(keyword_occurrences(index, keyword,
+                                                     dewey))
+        if not points:
+            continue
+        terminals[keyword] = points
+        distance = len(points[0]) - len(dewey)
+        score += decay ** distance
+    return RankBreakdown(dewey=dewey, score=score,
+                         initial_potential=len(terminals),
+                         terminals=terminals)
+
+
+def make_xrank_ranker(decay: float):
+    """An XRank ranker with a custom decay factor."""
+    return partial(xrank_ranker, decay=decay)
+
+
+def xsearch_ranker(index: GKSIndex, query: Query,
+                   dewey: Dewey) -> RankBreakdown:
+    """XSEarch-style TF·IDF rank over the result subtree.
+
+    ``tf`` is the occurrence count of the keyword inside the subtree,
+    log-damped; ``idf`` uses the keyword's corpus posting count against
+    the total element count.
+    """
+    total_nodes = max(index.stats.total_nodes, 1)
+    terminals: dict[str, tuple[Dewey, ...]] = {}
+    score = 0.0
+    for keyword in query.keywords:
+        occurrences = keyword_occurrences(index, keyword, dewey)
+        if not occurrences:
+            continue
+        terminals[keyword] = terminal_points(occurrences)
+        tf = 1.0 + math.log(len(occurrences))
+        # len(postings) handles phrase keywords too
+        df = max(len(index.postings(keyword)), 1)
+        idf = math.log(1 + total_nodes / df)
+        score += tf * idf
+    return RankBreakdown(dewey=dewey, score=score,
+                         initial_potential=len(terminals),
+                         terminals=terminals)

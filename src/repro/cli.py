@@ -1,0 +1,294 @@
+"""Command-line interface: ``gks`` (or ``python -m repro``).
+
+Subcommands mirror the system's three engines (Fig. 3):
+
+* ``gks index FILE...  -o INDEX``     build and persist an index
+* ``gks search FILE... -q QUERY -s N``  run a query, print ranked results
+* ``gks topk FILE... -q QUERY -k K``    top-k with early termination
+* ``gks di FILE... -q QUERY``          print the DI for a query
+* ``gks categorize FILE...``           print the Table 5 category counts
+* ``gks schema FILE...``               print the inferred schema
+* ``gks facet FILE... -q QUERY -c COL``  facet a response by a column
+* ``gks xpath FILE... -p PATH``        evaluate an XPath-lite expression
+* ``gks dataset NAME -o DIR``          emit a synthetic corpus as XML
+
+``FILE`` arguments ending in ``.json`` are ingested through the JSON
+adapter; everything else is parsed as XML.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.eval.reporting import render_table
+from repro.index.builder import IndexBuilder
+from repro.index.storage import save_index
+from repro.xmltree.repository import Repository
+from repro.xmltree.serialize import serialize_document
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gks",
+        description="Generic Keyword Search over XML data (EDBT 2016 "
+                    "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    index_cmd = commands.add_parser("index", help="build a persistent index")
+    index_cmd.add_argument("files", nargs="+", help="XML files to index")
+    index_cmd.add_argument("-o", "--output", required=True,
+                           help="index output path (gzip JSON)")
+
+    search_cmd = commands.add_parser("search", help="run a keyword query")
+    search_cmd.add_argument("files", nargs="+", help="XML files to search")
+    search_cmd.add_argument("-q", "--query", required=True,
+                            help='query text; quote phrases: \'"P Q" r\'')
+    search_cmd.add_argument("-s", type=int, default=1,
+                            help="minimum distinct query keywords "
+                                 "(default 1)")
+    search_cmd.add_argument("-k", "--top", type=int, default=10,
+                            help="results to print (default 10)")
+    search_cmd.add_argument("--snippets", action="store_true",
+                            help="print the XML chunk of each result")
+    search_cmd.add_argument("--explain", action="store_true",
+                            help="print the potential-flow account of "
+                                 "each result's rank")
+
+    topk_cmd = commands.add_parser(
+        "topk", help="top-k search with early-terminated ranking")
+    topk_cmd.add_argument("files", nargs="+")
+    topk_cmd.add_argument("-q", "--query", required=True)
+    topk_cmd.add_argument("-s", type=int, default=1)
+    topk_cmd.add_argument("-k", type=int, default=5)
+
+    di_cmd = commands.add_parser("di", help="deeper analytical insights")
+    di_cmd.add_argument("files", nargs="+")
+    di_cmd.add_argument("-q", "--query", required=True)
+    di_cmd.add_argument("-s", type=int, default=1)
+    di_cmd.add_argument("-m", "--top", type=int, default=10,
+                        help="insights to print (default 10)")
+
+    cat_cmd = commands.add_parser("categorize",
+                                  help="node-category statistics (Table 5)")
+    cat_cmd.add_argument("files", nargs="+")
+
+    schema_cmd = commands.add_parser("schema",
+                                     help="print the inferred schema")
+    schema_cmd.add_argument("files", nargs="+")
+
+    facet_cmd = commands.add_parser(
+        "facet", help="facet a query response by a context attribute")
+    facet_cmd.add_argument("files", nargs="+")
+    facet_cmd.add_argument("-q", "--query", required=True)
+    facet_cmd.add_argument("-s", type=int, default=1)
+    facet_cmd.add_argument("-c", "--column", required=True,
+                           help="attribute tag to facet by (e.g. year)")
+    facet_cmd.add_argument("--top", type=int, default=10)
+
+    xpath_cmd = commands.add_parser(
+        "xpath", help="evaluate an XPath-lite expression")
+    xpath_cmd.add_argument("files", nargs="+")
+    xpath_cmd.add_argument("-p", "--path", required=True)
+
+    shell_cmd = commands.add_parser(
+        "shell", help="interactive exploration REPL")
+    shell_cmd.add_argument("files", nargs="+")
+
+    validate_cmd = commands.add_parser(
+        "validate", help="check a persisted index's integrity")
+    validate_cmd.add_argument("index", help="index file to validate")
+    validate_cmd.add_argument("--against", nargs="*", default=[],
+                              help="data files to diff the index "
+                                   "against (slow, authoritative)")
+
+    data_cmd = commands.add_parser("dataset",
+                                   help="emit a synthetic corpus as XML")
+    data_cmd.add_argument("name", choices=dataset_names())
+    data_cmd.add_argument("-o", "--output", required=True,
+                          help="output directory")
+    data_cmd.add_argument("--scale", type=int, default=1)
+    data_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    handlers = {
+        "index": _cmd_index,
+        "search": _cmd_search,
+        "topk": _cmd_topk,
+        "di": _cmd_di,
+        "categorize": _cmd_categorize,
+        "schema": _cmd_schema,
+        "facet": _cmd_facet,
+        "xpath": _cmd_xpath,
+        "shell": _cmd_shell,
+        "validate": _cmd_validate,
+        "dataset": _cmd_dataset,
+    }
+    return handlers[args.command](args)
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import run_shell
+
+    engine = _engine(args.files)
+    run_shell(engine, sys.stdin, print)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.index.storage import load_index
+    from repro.index.validate import (validate_against_repository,
+                                      validate_index)
+
+    index = load_index(args.index)
+    if args.against:
+        problems = validate_against_repository(
+            index, _load_repository(args.against))
+    else:
+        problems = validate_index(index)
+    if not problems:
+        print("index OK")
+        return 0
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def _load_repository(files: list[str]) -> Repository:
+    """Build a repository; ``.json`` files go through the JSON adapter."""
+    from pathlib import Path as _Path
+
+    repository = Repository()
+    for file in files:
+        path = _Path(file)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix.lower() == ".json":
+            repository.parse_json(text, name=path.name)
+        else:
+            repository.parse(text, name=path.name)
+    return repository
+
+
+def _engine(files: list[str]) -> GKSEngine:
+    return GKSEngine(_load_repository(files))
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    repository = Repository.from_paths(args.files)
+    builder = IndexBuilder()
+    builder.add_repository(repository)
+    index = builder.build()
+    path = save_index(index, args.output)
+    stats = index.stats
+    print(f"indexed {stats.total_nodes} nodes "
+          f"({stats.entity_nodes} entities) from {stats.documents} "
+          f"document(s) in {stats.build_seconds:.2f}s -> {path}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    engine = _engine(args.files)
+    response = engine.search(args.query, s=args.s)
+    profile = response.profile
+    print(f"{len(response)} node(s) for {response.query}  "
+          f"[|SL|={profile.merged_list_size}, "
+          f"{profile.seconds * 1000:.1f} ms]")
+    for node in response.top(args.top):
+        print(" ", engine.describe(node))
+        if args.snippets:
+            print(engine.snippet(node))
+        if args.explain:
+            print(engine.explain(node))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    engine = _engine(args.files)
+    response = engine.search_top_k(args.query, k=args.k, s=args.s)
+    print(f"top {args.k} of RQ(s) for {response.query}")
+    for node in response:
+        print(" ", engine.describe(node))
+    return 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from repro.schema import infer_schema
+
+    repository = _load_repository(args.files)
+    schema = infer_schema(repository)
+    print(schema.render())
+    return 0
+
+
+def _cmd_facet(args: argparse.Namespace) -> int:
+    engine = _engine(args.files)
+    response = engine.search(args.query, s=args.s)
+    report = engine.facets(response, args.column, top=args.top)
+    if not report.buckets:
+        print(f"no values for column {args.column!r} "
+              f"({report.missing} record(s) lack it)")
+        return 0
+    for bucket in report:
+        print(f"{bucket.value}\t{bucket.count}\t{bucket.weight:.3f}")
+    return 0
+
+
+def _cmd_xpath(args: argparse.Namespace) -> int:
+    from repro.xmltree.serialize import serialize_node
+    from repro.xmltree.xpath import select
+
+    repository = _load_repository(args.files)
+    total = 0
+    for document in repository:
+        for node in select(document.root, args.path):
+            total += 1
+            print(serialize_node(node))
+    print(f"-- {total} node(s)")
+    return 0
+
+
+def _cmd_di(args: argparse.Namespace) -> int:
+    engine = _engine(args.files)
+    response = engine.search(args.query, s=args.s)
+    report = engine.insights(response, top=args.top)
+    if not report.insights:
+        print("no insights (no LCE nodes in the response)")
+        return 0
+    for insight in report:
+        print(f"{insight.render()}  weight={insight.weight:.3f}  "
+              f"nodes={insight.supporting_nodes}")
+    return 0
+
+
+def _cmd_categorize(args: argparse.Namespace) -> int:
+    repository = Repository.from_paths(args.files)
+    builder = IndexBuilder()
+    builder.add_repository(repository)
+    stats = builder.build().stats
+    row = stats.category_row()
+    print(render_table(
+        ["AN", "EN", "RN", "CN", "total nodes"],
+        [(row["AN"], row["EN"], row["RN"], row["CN"], row["total"])]))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    repository = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for document in repository:
+        path = out_dir / f"{args.name}_{document.doc_id}.xml"
+        path.write_text(serialize_document(document, indent=2),
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""GKS core: search pipeline, ranking, insights, refinement, engine."""
+
+from repro.core.chunks import chunk_keep_set, response_chunk
+from repro.core.engine import GKSEngine
+from repro.core.explain import RankExplanation, explain_rank
+from repro.core.export import (insights_to_dict, node_to_dict,
+                               response_to_dict, session_to_dict)
+from repro.core.highlight import highlight_snippet, highlight_text
+from repro.core.threshold import SProfile, s_profile, suggest_s
+from repro.core.grouping import ResultGroup, dominant_group, group_by_tag
+from repro.core.session import ExplorationSession, SessionStep
+from repro.core.insights import (Insight, InsightReport, attribute_nodes_of,
+                                 discover_insights, discover_recursive)
+from repro.core.lce import LCEInfo, LCEResult, discover_lce
+from repro.core.lcp import LCPEntry, LCPList, compute_lcp_list, sliding_blocks
+from repro.core.merge import merged_list
+from repro.core.query import Query, split_phrases
+from repro.core.ranking import (RankBreakdown, rank_by_keyword_count,
+                                rank_node, received_potential,
+                                terminal_points)
+from repro.core.refinement import (Refinement, RefinementKind, suggest,
+                                   suggest_expansions, suggest_subsets)
+from repro.core.results import GKSResponse, RankedNode, SearchProfile
+from repro.core.search import search
+from repro.core.topk import distinct_keyword_count, search_top_k
+
+__all__ = [
+    "ExplorationSession", "GKSEngine", "GKSResponse", "Insight",
+    "InsightReport", "LCEInfo", "RankExplanation", "ResultGroup",
+    "SProfile", "SessionStep", "chunk_keep_set", "dominant_group",
+    "explain_rank", "group_by_tag", "highlight_snippet",
+    "highlight_text", "insights_to_dict", "node_to_dict",
+    "response_chunk", "response_to_dict", "s_profile", "session_to_dict",
+    "suggest_s",
+    "LCEResult", "LCPEntry", "LCPList", "Query", "RankBreakdown",
+    "RankedNode", "Refinement", "RefinementKind", "SearchProfile",
+    "attribute_nodes_of", "compute_lcp_list", "discover_insights",
+    "discover_lce", "discover_recursive", "merged_list",
+    "distinct_keyword_count", "rank_by_keyword_count", "rank_node",
+    "received_potential", "search", "search_top_k", "sliding_blocks",
+    "split_phrases", "suggest", "suggest_expansions", "suggest_subsets",
+    "terminal_points",
+]

@@ -1,0 +1,237 @@
+"""The GKS system facade (paper Fig. 3).
+
+One :class:`GKSEngine` owns the three modules of the architecture diagram —
+Indexing Engine, Search Engine, Search Analysis Engine — behind a small
+API::
+
+    engine = GKSEngine.from_texts([xml_text])
+    response = engine.search('"Peter Buneman" "Wenfei Fan"', s=1)
+    for node in response.top(5):
+        print(node.score, engine.snippet(node.dewey))
+    for insight in engine.insights(response):
+        print(insight.render())
+    for refinement in engine.refine(response):
+        print(refinement.keywords)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.insights import (InsightReport, discover_insights,
+                                 discover_recursive)
+from repro.core.query import Query
+from repro.core.refinement import Refinement, suggest
+from repro.core.ranking import rank_node
+from repro.core.results import GKSResponse, RankedNode
+from repro.core.search import Ranker, search
+from repro.index.builder import GKSIndex, IndexBuilder
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.dewey import Dewey, format_dewey
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+from repro.xmltree.serialize import serialize_node
+
+
+class GKSEngine:
+    """Generic Keyword Search over one XML repository."""
+
+    def __init__(self, repository: Repository,
+                 analyzer: Analyzer = DEFAULT_ANALYZER,
+                 index: GKSIndex | None = None,
+                 index_tags: bool = True,
+                 cache_size: int = 64) -> None:
+        self.repository = repository
+        self.analyzer = analyzer
+        if index is None:
+            builder = IndexBuilder(analyzer=analyzer, index_tags=index_tags)
+            builder.add_repository(repository)
+            index = builder.build()
+        self.index = index
+        # LRU response cache; keyed by (keywords, s, ranker); responses
+        # are immutable so sharing them is safe.  Invalidated whenever
+        # the corpus changes (add_document).
+        self._cache_size = max(0, cache_size)
+        self._response_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(cls, texts: Iterable[str],
+                   analyzer: Analyzer = DEFAULT_ANALYZER,
+                   index_tags: bool = True) -> "GKSEngine":
+        return cls(Repository.from_texts(texts), analyzer=analyzer,
+                   index_tags=index_tags)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str | Path],
+                   analyzer: Analyzer = DEFAULT_ANALYZER,
+                   index_tags: bool = True) -> "GKSEngine":
+        return cls(Repository.from_paths(paths), analyzer=analyzer,
+                   index_tags=index_tags)
+
+    # ------------------------------------------------------------------
+    # Search Engine
+    # ------------------------------------------------------------------
+    def parse_query(self, raw: str, s: int = 1) -> Query:
+        return Query.parse(raw, s=s, analyzer=self.analyzer)
+
+    def search(self, query: str | Query, s: int | None = None,
+               ranker: Ranker = rank_node,
+               use_cache: bool = True) -> GKSResponse:
+        """Run a keyword query; ``s`` defaults to 1 (any-keyword search).
+
+        Responses are LRU-cached per (keywords, s, ranker); pass
+        ``use_cache=False`` to force a fresh run (timing harnesses do).
+        """
+        if isinstance(query, str):
+            query = self.parse_query(query, s=s if s is not None else 1)
+        elif s is not None:
+            query = query.with_s(s)
+
+        cache_key = (query.keywords, query.effective_s, id(ranker))
+        if use_cache:
+            cached = self._response_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        response = search(self.index, query, ranker=ranker)
+        if use_cache and self._cache_size:
+            if len(self._response_cache) >= self._cache_size:
+                # drop the oldest entry (dict preserves insertion order)
+                oldest = next(iter(self._response_cache))
+                del self._response_cache[oldest]
+            self._response_cache[cache_key] = response
+        return response
+
+    def search_top_k(self, query: str | Query, k: int,
+                     s: int | None = None) -> GKSResponse:
+        """The ``k`` best nodes only, with early-terminated ranking."""
+        from repro.core.topk import search_top_k
+
+        if isinstance(query, str):
+            query = self.parse_query(query, s=s if s is not None else 1)
+        elif s is not None:
+            query = query.with_s(s)
+        return search_top_k(self.index, query, k)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, text: str, name: str | None = None) -> None:
+        """Append one XML document to the repository and the index."""
+        from repro.index.incremental import append_document
+
+        document = self.repository.parse(text, name=name)
+        self.index = append_document(self.index, document)
+        self._response_cache.clear()  # cached responses are now stale
+
+    # ------------------------------------------------------------------
+    # Analytics (paper §8 future work)
+    # ------------------------------------------------------------------
+    def facets(self, response: GKSResponse, column, top: int | None = None):
+        """Facet the response records by a context attribute."""
+        from repro.analytics.aggregate import facets
+
+        return facets(self.repository, response, column, top=top)
+
+    def aggregate(self, response: GKSResponse, column):
+        """Numeric summary of a context attribute over the response."""
+        from repro.analytics.aggregate import aggregate
+
+        return aggregate(self.repository, response, column)
+
+    # ------------------------------------------------------------------
+    # Search Analysis Engine
+    # ------------------------------------------------------------------
+    def insights(self, response: GKSResponse, top: int = 10) -> InsightReport:
+        """DI of a response (Def 2.3.1, §6.2)."""
+        return discover_insights(self.repository, response, top=top,
+                                 analyzer=self.analyzer)
+
+    def recursive_insights(self, response: GKSResponse, rounds: int = 1,
+                           top: int = 10,
+                           seed_keywords: int = 5) -> list[InsightReport]:
+        """Recursive DI (§2.3): one report per recursion round."""
+        return discover_recursive(self.repository, self.index, response,
+                                  rounds=rounds, top=top,
+                                  seed_keywords=seed_keywords,
+                                  analyzer=self.analyzer)
+
+    def refine(self, response: GKSResponse,
+               insights: InsightReport | None = None,
+               top: int = 5) -> list[Refinement]:
+        """Query-refinement suggestions (§6.1); computes DI when needed."""
+        if insights is None:
+            insights = self.insights(response, top=top)
+        return suggest(response, insights, top=top)
+
+    # ------------------------------------------------------------------
+    # Result rendering
+    # ------------------------------------------------------------------
+    def node_at(self, dewey: Dewey) -> XMLNode | None:
+        return self.repository.node_at(dewey)
+
+    def snippet(self, node: Dewey | RankedNode, indent: int = 2,
+                max_depth: int | None = None) -> str:
+        """The "well-constructed XML chunk" for one result (§1.2)."""
+        dewey = node.dewey if isinstance(node, RankedNode) else node
+        element = self.repository.node_at(dewey)
+        if element is None:
+            return f"<!-- missing node {format_dewey(dewey)} -->"
+        if max_depth is None:
+            return serialize_node(element, indent=indent)
+        base = len(dewey)
+        return serialize_node(
+            element, indent=indent,
+            keep=lambda child: len(child.dewey) - base <= max_depth)
+
+    def suggest_s(self, query: str | Query, min_results: int = 1) -> int:
+        """Data-driven threshold: the strictest ``s`` that still answers."""
+        from repro.core.threshold import suggest_s
+
+        if isinstance(query, str):
+            query = self.parse_query(query)
+        return suggest_s(self.index, query, min_results=min_results)
+
+    def highlighted_snippet(self, node: Dewey | RankedNode,
+                            query: Query, indent: int = 2,
+                            marker: str = "**") -> str:
+        """Snippet with the query keywords marked in text values."""
+        from repro.core.highlight import highlight_snippet
+
+        dewey = node.dewey if isinstance(node, RankedNode) else node
+        element = self.repository.node_at(dewey)
+        if element is None:
+            return f"<!-- missing node {format_dewey(dewey)} -->"
+        return highlight_snippet(element, query, analyzer=self.analyzer,
+                                 indent=indent, marker=marker)
+
+    def response_chunk(self, node: RankedNode, indent: int = 2) -> str:
+        """The Fig. 2(b)-style pruned chunk: context attributes plus the
+        paths to the matched keyword occurrences only."""
+        from repro.core.chunks import response_chunk
+
+        query = Query.of(list(node.matched_keywords) or ["?"])
+        return response_chunk(self.repository, self.index, query, node,
+                              indent=indent)
+
+    def explain(self, node: RankedNode) -> str:
+        """Render the potential-flow account behind a node's rank (§5)."""
+        from repro.core.explain import explain_rank
+
+        breakdown = node.breakdown
+        if breakdown is None:
+            breakdown = rank_node(self.index, Query.of(
+                list(node.matched_keywords) or ["?"]), node.dewey)
+        return explain_rank(self.index, breakdown,
+                            repository=self.repository).render()
+
+    def describe(self, node: RankedNode) -> str:
+        """One-line human summary of a result row."""
+        element = self.repository.node_at(node.dewey)
+        tag = element.tag if element is not None else "?"
+        keywords = ", ".join(node.matched_keywords)
+        return (f"<{tag}> {node.dewey_text}  score={node.score:.3f}  "
+                f"keywords[{node.distinct_keywords}]={{{keywords}}}")

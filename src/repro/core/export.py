@@ -1,0 +1,99 @@
+"""Exporting responses and reports as JSON-ready dictionaries.
+
+Library clients (web frontends, notebooks) want plain data, not
+dataclasses.  ``response_to_dict`` captures the ranked nodes with their
+evidence; ``insights_to_dict`` the DI; ``session_to_dict`` a whole
+exploration transcript.  Everything nests only JSON types, so
+``json.dumps`` works directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.insights import InsightReport
+from repro.core.results import GKSResponse, RankedNode
+from repro.core.session import ExplorationSession
+from repro.xmltree.dewey import format_dewey
+from repro.xmltree.repository import Repository
+
+
+def node_to_dict(node: RankedNode,
+                 repository: Repository | None = None) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "dewey": format_dewey(node.dewey),
+        "score": node.score,
+        "distinct_keywords": node.distinct_keywords,
+        "matched_keywords": list(node.matched_keywords),
+        "is_lce": node.is_lce,
+        "estimated_keywords": node.estimated_keywords,
+    }
+    if repository is not None:
+        element = repository.node_at(node.dewey)
+        if element is not None:
+            payload["tag"] = element.tag
+            payload["tag_path"] = element.tag_path()
+    return payload
+
+
+def response_to_dict(response: GKSResponse,
+                     repository: Repository | None = None
+                     ) -> dict[str, Any]:
+    profile = response.profile
+    return {
+        "query": {
+            "keywords": list(response.query.keywords),
+            "s": response.query.s,
+            "raw": response.query.raw,
+        },
+        "profile": {
+            "merged_list_size": profile.merged_list_size,
+            "lcp_entries": profile.lcp_entries,
+            "lce_nodes": profile.lce_nodes,
+            "seconds": profile.seconds,
+            "stages": profile.stage_breakdown(),
+        },
+        "nodes": [node_to_dict(node, repository) for node in response],
+    }
+
+
+def insights_to_dict(report: InsightReport) -> dict[str, Any]:
+    return {
+        "insights": [
+            {
+                "render": insight.render(),
+                "keyword": insight.keyword,
+                "phrase_keyword": insight.phrase_keyword,
+                "value": insight.value,
+                "path": list(insight.path),
+                "weight": insight.weight,
+                "supporting_nodes": insight.supporting_nodes,
+            }
+            for insight in report
+        ],
+        "weighted_keywords": dict(report.weighted_keywords),
+    }
+
+
+def session_to_dict(session: ExplorationSession,
+                    repository: Repository | None = None
+                    ) -> dict[str, Any]:
+    return {
+        "steps": [
+            {
+                "note": step.note,
+                "response": response_to_dict(step.response, repository),
+                "insights": insights_to_dict(step.insights),
+                "refinements": [
+                    {
+                        "kind": refinement.kind.value,
+                        "keywords": list(refinement.keywords),
+                        "support": refinement.support,
+                        "node_count": refinement.node_count,
+                    }
+                    for refinement in step.refinements
+                ],
+            }
+            for step in session.steps
+        ]
+    }

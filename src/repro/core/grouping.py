@@ -1,0 +1,74 @@
+"""Grouping GKS responses by result type.
+
+A GKS response can mix differently-typed nodes — the §7.6 hybrid query
+returns ``<article>`` and ``<inproceedings>`` results side by side.
+Grouping by element tag (or full tag path) turns the flat ranked list
+into the per-type presentation a UI would show, while preserving the
+global rank order inside each group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import GKSResponse, RankedNode
+from repro.xmltree.repository import Repository
+
+
+@dataclass(frozen=True)
+class ResultGroup:
+    """Results of one element type, best first."""
+
+    label: str
+    nodes: tuple[RankedNode, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    @property
+    def best_score(self) -> float:
+        return self.nodes[0].score if self.nodes else 0.0
+
+    @property
+    def total_score(self) -> float:
+        return sum(node.score for node in self.nodes)
+
+
+def group_by_tag(repository: Repository, response: GKSResponse,
+                 full_path: bool = False) -> list[ResultGroup]:
+    """Partition a response by the result elements' tag (or tag path).
+
+    Groups are ordered by their best-ranked member, matching how the
+    flat ranking would interleave them.
+    """
+    buckets: dict[str, list[RankedNode]] = {}
+    for node in response:
+        element = repository.node_at(node.dewey)
+        if element is None:
+            label = "?"
+        elif full_path:
+            label = "/".join(element.tag_path())
+        else:
+            label = element.tag
+        buckets.setdefault(label, []).append(node)
+
+    groups = [ResultGroup(label=label, nodes=tuple(nodes))
+              for label, nodes in buckets.items()]
+    groups.sort(key=lambda group: (-group.best_score, group.label))
+    return groups
+
+
+def dominant_group(repository: Repository,
+                   response: GKSResponse) -> ResultGroup | None:
+    """The group carrying the most total rank — the de-facto result type.
+
+    This is the empirical counterpart of target-type deduction: for the
+    Example 2 query it returns the ``<inproceedings>`` group.
+    """
+    groups = group_by_tag(repository, response)
+    if not groups:
+        return None
+    return max(groups, key=lambda group: group.total_score)

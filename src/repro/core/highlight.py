@@ -1,0 +1,83 @@
+"""Keyword highlighting inside result snippets.
+
+The engine's snippets are plain XML; a terminal/UI wants the matched
+query keywords marked.  The highlighter re-analyses each text value with
+the engine's analyzer and wraps the *original* word whenever its
+analysed form is a query keyword (or a word of a phrase keyword) — so
+``Publications`` lights up for the query keyword ``public``.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.node import XMLNode
+from repro.xmltree.serialize import escape_text
+
+
+def highlight_text(text: str, query: Query,
+                   analyzer: Analyzer = DEFAULT_ANALYZER,
+                   marker: str = "**") -> str:
+    """Wrap each query-matching word of *text* in *marker*s."""
+    wanted = query.word_set()
+    pieces: list[str] = []
+    cursor = 0
+    for start, end, token in _token_spans(text):
+        analysed = analyzer.analyze(token)
+        hit = bool(analysed) and analysed[0] in wanted
+        pieces.append(text[cursor:start])
+        if hit:
+            pieces.append(f"{marker}{text[start:end]}{marker}")
+        else:
+            pieces.append(text[start:end])
+        cursor = end
+    pieces.append(text[cursor:])
+    return "".join(pieces)
+
+
+def _token_spans(text: str):
+    """(start, end, token) runs of alphanumerics, like the tokenizer."""
+    start = -1
+    for index, char in enumerate(text):
+        if char.isalnum():
+            if start < 0:
+                start = index
+        elif start >= 0:
+            yield start, index, text[start:index]
+            start = -1
+    if start >= 0:
+        yield start, len(text), text[start:]
+
+
+def highlight_snippet(element: XMLNode, query: Query,
+                      analyzer: Analyzer = DEFAULT_ANALYZER,
+                      indent: int = 2, marker: str = "**") -> str:
+    """Serialize *element* with query keywords marked in text values.
+
+    Tags are never marked (a tag hit is visible from the query anyway);
+    XML escaping applies to the text, not to the markers.
+    """
+    lines: list[str] = []
+    _render(element, query, analyzer, indent, marker, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(node: XMLNode, query: Query, analyzer: Analyzer,
+            indent: int, marker: str, level: int,
+            lines: list[str]) -> None:
+    pad = " " * (indent * level)
+    if node.is_leaf and node.has_text:
+        value = highlight_text(escape_text(node.text.strip()), query,
+                               analyzer, marker)
+        lines.append(f"{pad}<{node.tag}>{value}</{node.tag}>")
+        return
+    if node.is_leaf:
+        lines.append(f"{pad}<{node.tag}/>")
+        return
+    lines.append(f"{pad}<{node.tag}>")
+    if node.has_text:
+        lines.append(pad + " " * indent + highlight_text(
+            escape_text(node.text.strip()), query, analyzer, marker))
+    for child in node.children:
+        _render(child, query, analyzer, indent, marker, level + 1, lines)
+    lines.append(f"{pad}</{node.tag}>")

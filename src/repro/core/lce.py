@@ -1,0 +1,224 @@
+"""Least Common Entity (LCE) node discovery (paper §4.1–4.2, Def 2.2.1).
+
+An entity node ``e`` is an LCE node for query ``Q`` when at least one query
+keyword in its subtree is contained in no deeper entity node — such a
+keyword is ``e``'s *independent witness*.  The discovery walks the LCP list
+in creation order:
+
+* an LCP entry that is an entity node, or has an entity ancestor, maps to
+  that (nearest) entity — its LCE candidate;
+* when an entity is first added, its independent witness is located at the
+  block boundaries ``p1``/``p2`` (Lemma 4); we additionally fall back to a
+  block scan for robustness, and record the witness Dewey id;
+* when a *descendant* entity is added later and swallows an ancestor's
+  witness, the ancestor is evicted (Lemma 5's maintenance) — it may return
+  if a later block supplies a fresh independent witness;
+* ancestors that keep their witness get their statistics updated ("Update
+  LCE node (e)" in Fig. 6).
+
+The result keeps, for every LCP entry, its mapping to an LCE node (or none:
+"there may exist some nodes in LCP list such that no corresponding entity
+node is found for them").  The GKS response is the surviving LCE nodes plus
+the unmapped LCP nodes (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lcp import LCPList
+from repro.index.builder import GKSIndex
+from repro.index.postings import MergedEntry
+from repro.xmltree.dewey import (Dewey, ancestors_of, is_ancestor_or_self,
+                                 parent_of)
+
+
+@dataclass
+class LCEInfo:
+    """Bookkeeping for one (candidate) LCE node."""
+
+    dewey: Dewey
+    witness: Dewey | None          # smallest independent witness position
+    estimated_keywords: int        # the running s+counter−1 style estimate
+    blocks: int = 1                # LCP entries mapped here so far
+    #: the (lifted) LCP candidates that mapped to this entity — the
+    #: fallback response nodes should the entity fail Def 2.2.1.
+    candidates: list[Dewey] = field(default_factory=list)
+
+
+@dataclass
+class LCEResult:
+    """Outcome of LCE discovery over one LCP list."""
+
+    lce: dict[Dewey, LCEInfo] = field(default_factory=dict)
+    #: Entity candidates that turned out not to be LCE nodes (no
+    #: independent witness was ever found, or a descendant swallowed it) —
+    #: their *mapped LCP candidates* fall back into the response pool:
+    #: §4.2 treats them as LCP nodes "for which no corresponding LCE node
+    #: exists".
+    rejected: dict[Dewey, LCEInfo] = field(default_factory=dict)
+    #: LCP entry → LCE node it mapped to (absent key: no entity ancestor).
+    mapping: dict[Dewey, Dewey] = field(default_factory=dict)
+    #: LCP entries with no entity ancestor-or-self at all (deduplicated,
+    #: in creation order; values are the estimated keyword counts).
+    unmapped: dict[Dewey, int] = field(default_factory=dict)
+
+    def fallback_candidates(self) -> dict[Dewey, int]:
+        """Unmapped LCP nodes plus the candidates of rejected entities.
+
+        Maps each fallback node to its keyword-count estimate.
+        """
+        pool = dict(self.unmapped)
+        confirmed = set(self.lce)
+        for info in self.rejected.values():
+            for candidate in info.candidates:
+                if candidate not in confirmed:
+                    pool.setdefault(candidate, info.estimated_keywords)
+        return pool
+
+    def response_deweys(self) -> list[Dewey]:
+        """The GKS response node set ``RQ(s)`` (§4.2).
+
+        Surviving LCE nodes plus the LCP nodes that have no corresponding
+        LCE node.  "The nodes in GKS response set follow the semantics of
+        SLCA" (§1.1): for entity nodes the independent-witness rule already
+        enforces this (an ancestor entity survives only with its own
+        witness — Example 4 keeps both did.0.1 and did.0.1.1.0); for the
+        remaining non-entity candidates we drop any node that has another
+        candidate strictly inside its subtree, which is what makes Table 1
+        return {x2} rather than {x1, x2, r} for Q1.
+        """
+        survivors = list(self.lce)
+        filtered = set(self.fallback_candidates())
+        ordered = sorted(set(survivors) | filtered)
+        # In Dewey (document) order every tuple strictly between a node and
+        # its subtree end is a descendant, so a candidate has a candidate
+        # descendant iff its immediate successor is one: one sorted pass.
+        for position, dewey in enumerate(ordered):
+            if dewey not in filtered or dewey in self.lce:
+                continue
+            has_descendant = (position + 1 < len(ordered)
+                              and is_ancestor_or_self(
+                                  dewey, ordered[position + 1]))
+            if not has_descendant:
+                survivors.append(dewey)
+        return survivors
+
+
+def _lift_attribute(dewey: Dewey, index: GKSIndex) -> Dewey:
+    """Lift an LCP candidate off an attribute node (Def 2.1.1).
+
+    "The parent node of an attribute node is considered the lowest ancestor
+    for keyword(s) in its value."  An element in neither hash table is an
+    AN; ANs are leaves, so a single lift suffices.
+    """
+    if len(dewey) > 1 and index.hashes.is_attribute(dewey):
+        return parent_of(dewey)
+    return dewey
+
+
+def _independent_witness(candidate: Dewey, left: int, right: int,
+                         sl: list[MergedEntry],
+                         index: GKSIndex) -> Dewey | None:
+    """Smallest-Dewey independent witness for *candidate* in block [l, r].
+
+    A keyword occurrence is an independent witness when its nearest entity
+    ancestor-or-self is *candidate* itself (no deeper entity contains it).
+    Lemma 4 says checking the block boundaries suffices; we scan from the
+    left boundary so the smallest qualifying Dewey id is returned, which is
+    also what the eviction rule needs.
+    """
+    for position in range(left, right + 1):
+        occurrence = sl[position].dewey
+        if not is_ancestor_or_self(candidate, occurrence):
+            continue
+        anchor = _lift_attribute(occurrence, index)
+        if index.hashes.nearest_entity(anchor) == candidate:
+            return occurrence
+    return None
+
+
+def discover_lce(lcp: LCPList, sl: list[MergedEntry],
+                 index: GKSIndex) -> LCEResult:
+    """Map LCP entries to LCE nodes with witness maintenance."""
+    result = LCEResult()
+
+    for dewey, entry in lcp.entries.items():
+        candidate = _lift_attribute(dewey, index)
+        entity = index.hashes.nearest_entity(candidate)
+        if entity is None:
+            estimate = lcp.s - 1 + entry.counter
+            previous = result.unmapped.get(candidate)
+            result.unmapped[candidate] = (estimate if previous is None
+                                          else previous + entry.counter)
+            continue
+        result.mapping[dewey] = entity
+
+        info = result.lce.get(entity)
+        if info is None:
+            info = result.rejected.pop(entity, None)
+            if info is not None:
+                # the entity lost its witness earlier; a new block can
+                # re-establish it ("e can come back in LCE list", §4.2)
+                info.witness = _independent_witness(
+                    entity, entry.first_left, entry.first_right, sl, index)
+                info.blocks += 1
+                info.estimated_keywords += entry.counter
+                info.candidates.append(candidate)
+                if info.witness is not None:
+                    result.lce[entity] = info
+                else:
+                    result.rejected[entity] = info
+                    continue
+            else:
+                # First block for this entity: s + counter − 1 keywords
+                # (Example 4: did.0.1 enters with 2, did.0.1.1.0 with 3).
+                witness = _independent_witness(
+                    entity, entry.first_left, entry.first_right, sl, index)
+                info = LCEInfo(dewey=entity, witness=witness,
+                               estimated_keywords=lcp.s - 1 + entry.counter,
+                               candidates=[candidate])
+                result.lce[entity] = info
+        else:
+            # Another LCP entry mapped to the same entity: its blocks each
+            # contribute one further keyword occurrence to the estimate.
+            info.blocks += 1
+            info.estimated_keywords += entry.counter
+            info.candidates.append(candidate)
+        _maintain_ancestors(entity, entry, sl, index, result)
+
+    # Entities that never obtained an independent witness are not LCE
+    # nodes by Def 2.2.1: their mapped LCP candidates fall back into the
+    # response pool (handled by fallback_candidates / response_deweys).
+    for dewey in [dewey for dewey, info in result.lce.items()
+                  if info.witness is None]:
+        result.rejected[dewey] = result.lce.pop(dewey)
+    return result
+
+
+def _maintain_ancestors(entity: Dewey, entry, sl: list[MergedEntry],
+                        index: GKSIndex, result: LCEResult) -> None:
+    """Witness eviction + statistics update for entity ancestors (Fig. 6).
+
+    When *entity* enters (or grows), every entity ancestor already in the
+    LCE list either (a) loses its recorded witness because the new entity's
+    subtree swallowed it — then we try to re-witness it from the current
+    block, evicting it when that fails — or (b) keeps its witness and gets
+    its keyword estimate refreshed: the current entry's blocks also fall in
+    the ancestor's subtree (Example 4: did.0.1 grows to 4 as did.0.1.1.0's
+    two blocks are filed).
+    """
+    for ancestor in ancestors_of(entity):
+        info = result.lce.get(ancestor)
+        if info is None:
+            continue
+        if info.witness is not None and is_ancestor_or_self(
+                entity, info.witness):
+            replacement = _independent_witness(
+                ancestor, entry.first_left, entry.first_right, sl, index)
+            if replacement is None:
+                result.rejected[ancestor] = result.lce.pop(ancestor)
+                continue
+            info.witness = replacement
+        # the ancestor survives: its subtree also covers this entry's blocks
+        info.estimated_keywords += entry.counter

@@ -1,0 +1,108 @@
+"""Longest-Common-Prefix (LCP) list generation (paper §4.1, Figs 4–6).
+
+The merged list ``SL`` is swept once with a sliding window ``[l, r]``:
+
+* ``r`` grows until the window holds ``s`` *unique* query keywords — the
+  paper's ``sU(l, r, s)`` test (Fig. 5);
+* the longest common prefix of the block is, by Lemma 6, the common prefix
+  of its first and last Dewey ids — the Dewey id of the lowest common
+  ancestor of the whole block;
+* the prefix is filed into the LCP list; a repeated prefix increments its
+  counter ("if a prefix exists in the LCP list, its counter is increased
+  by 1"), so a node's estimated keyword count is ``s + counter − 1``;
+* then ``l`` advances by one.  Because dropping the leftmost entry can only
+  lose uniqueness, the minimal ``r`` is monotone in ``l`` and the sweep is
+  O(|SL|) window operations, O(d·|SL|) total.
+
+Blocks whose entries span two documents have no common ancestor and are
+skipped (their common prefix is empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.postings import MergedEntry
+from repro.xmltree.dewey import Dewey, common_prefix
+
+
+@dataclass
+class LCPEntry:
+    """One candidate GKS node: an LCP-list row plus its first block."""
+
+    dewey: Dewey
+    counter: int = 1
+    first_left: int = 0    # SL position of l when the entry was created
+    first_right: int = 0   # SL position of r when the entry was created
+
+
+@dataclass
+class LCPList:
+    """Ordered LCP list: entries in first-creation order, with counters."""
+
+    s: int
+    entries: dict[Dewey, LCPEntry] = field(default_factory=dict)
+
+    def file(self, dewey: Dewey, left: int, right: int) -> tuple[LCPEntry,
+                                                                 bool]:
+        """Record one block prefix; returns ``(entry, created)``."""
+        entry = self.entries.get(dewey)
+        if entry is None:
+            entry = LCPEntry(dewey=dewey, counter=1, first_left=left,
+                             first_right=right)
+            self.entries[dewey] = entry
+            return entry, True
+        entry.counter += 1
+        return entry, False
+
+    def estimated_keyword_count(self, dewey: Dewey) -> int:
+        """``s + counter − 1`` for one entry (paper §4.1)."""
+        return self.s + self.entries[dewey].counter - 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, dewey: Dewey) -> bool:
+        return dewey in self.entries
+
+    def deweys(self) -> list[Dewey]:
+        """Entry ids in first-creation order."""
+        return list(self.entries)
+
+
+def sliding_blocks(sl: list[MergedEntry],
+                   s: int) -> list[tuple[int, int, Dewey]]:
+    """All minimal ``s``-unique blocks as ``(l, r, prefix)`` triples.
+
+    Exposed separately so tests can check the window invariants; cross-
+    document blocks are reported with an empty prefix.
+    """
+    blocks: list[tuple[int, int, Dewey]] = []
+    counts: dict[int, int] = {}
+    unique = 0
+    right = -1
+    for left in range(len(sl)):
+        while unique < s and right + 1 < len(sl):
+            right += 1
+            keyword = sl[right].keyword
+            counts[keyword] = counts.get(keyword, 0) + 1
+            if counts[keyword] == 1:
+                unique += 1
+        if unique < s:
+            break  # no block with s unique keywords starts at or after left
+        blocks.append((left, right,
+                       common_prefix(sl[left].dewey, sl[right].dewey)))
+        keyword = sl[left].keyword
+        counts[keyword] -= 1
+        if counts[keyword] == 0:
+            unique -= 1
+    return blocks
+
+
+def compute_lcp_list(sl: list[MergedEntry], s: int) -> LCPList:
+    """Sweep ``SL`` and build the LCP list (the candidate GKS nodes)."""
+    lcp = LCPList(s=s)
+    for left, right, prefix in sliding_blocks(sl, s):
+        if prefix:  # same-document block only
+            lcp.file(prefix, left, right)
+    return lcp

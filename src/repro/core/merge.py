@@ -1,0 +1,26 @@
+"""Building the merged Dewey-id list ``SL`` for a query (paper §4.1).
+
+"For the query keywords ki ∈ Q, we first merge their respective inverted
+index lists such that in the merged list, keywords follow their arrival
+order in the XML document."  Dewey order is document order, so the k-way
+merge of the sorted posting lists yields exactly that ordering.
+"""
+
+from __future__ import annotations
+
+from repro.index.builder import GKSIndex
+from repro.index.postings import MergedEntry, merge_posting_lists
+from repro.core.query import Query
+
+
+def merged_list(index: GKSIndex, query: Query) -> list[MergedEntry]:
+    """The sorted merged list ``SL`` of all query-keyword postings.
+
+    Entry *i* carries ``keyword`` = the index of its keyword in
+    ``query.keywords``.  Keywords absent from the corpus simply contribute
+    empty lists; ``|SL| <= Σ|Si|`` with equality unless an element holds
+    two query keywords at the same Dewey id under the same keyword
+    (impossible — posting lists are deduplicated per keyword).
+    """
+    return merge_posting_lists(
+        index.postings(keyword) for keyword in query.keywords)

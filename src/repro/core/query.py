@@ -1,0 +1,135 @@
+"""Keyword queries.
+
+A GKS query is a set of keywords ``Q = {k1, …, kn}`` plus the threshold
+``s``: a node qualifies when its subtree contains at least ``min(s, |Q|)``
+distinct query keywords (paper §1.1).  Keywords can be text keywords or
+element names, and the paper writes queries with quoted phrases
+(``"Peter Buneman" "Wenfei Fan"``); a phrase is sugar — it contributes each
+of its tokens as a keyword, analysed with the same pipeline as the index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+
+
+def split_phrases(raw: str) -> list[str]:
+    """Split a raw query string on double quotes into phrase/word chunks.
+
+    ``'"Peter Buneman" database 2001'`` →
+    ``['Peter Buneman', 'database', '2001']``.  Unbalanced quotes are
+    forgiven: the trailing fragment counts as one phrase.
+    """
+    chunks: list[str] = []
+    parts = raw.split('"')
+    for offset, part in enumerate(parts):
+        part = part.strip()
+        if not part:
+            continue
+        if offset % 2 == 1:  # inside quotes
+            chunks.append(part)
+        else:
+            chunks.extend(part.split())
+    return chunks
+
+
+@dataclass(frozen=True)
+class Query:
+    """An analysed keyword query.
+
+    Attributes
+    ----------
+    keywords:
+        Distinct analysed keywords, in first-appearance order.
+    s:
+        Requested threshold; :attr:`effective_s` clamps it to ``|Q|``.
+    raw:
+        The original query text, for display.
+    """
+
+    keywords: tuple[str, ...]
+    s: int = 1
+    raw: str = ""
+    phrases: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise QueryError(
+                f"query {self.raw!r} has no keywords after analysis")
+        if self.s < 1:
+            raise QueryError(f"threshold s must be >= 1, got {self.s}")
+        if len(set(self.keywords)) != len(self.keywords):
+            raise QueryError(f"duplicate keywords in {self.keywords}")
+
+    @classmethod
+    def parse(cls, raw: str, s: int = 1,
+              analyzer: Analyzer = DEFAULT_ANALYZER,
+              phrases_as_keywords: bool = True) -> "Query":
+        """Analyse a raw query string.
+
+        A quoted phrase is one keyword (``"Peter Buneman"`` → the phrase
+        keyword ``"peter buneman"``), matching the paper's query sizes
+        (|QD2| = 4) — set ``phrases_as_keywords=False`` to flatten phrases
+        into their word tokens instead.
+
+        ``s`` follows the paper's experiments: ``1`` returns every node
+        containing any query keyword; ``len(query)`` reproduces the
+        AND-semantics of LCA techniques.
+        """
+        phrases = split_phrases(raw)
+        seen: set[str] = set()
+        keywords: list[str] = []
+        for phrase in phrases:
+            analyzed = analyzer.analyze(phrase)
+            if phrases_as_keywords:
+                candidates = [" ".join(analyzed)] if analyzed else []
+            else:
+                candidates = analyzed
+            for keyword in candidates:
+                if keyword and keyword not in seen:
+                    seen.add(keyword)
+                    keywords.append(keyword)
+        return cls(keywords=tuple(keywords), s=s, raw=raw,
+                   phrases=tuple(phrases))
+
+    @classmethod
+    def of(cls, keywords: list[str] | tuple[str, ...], s: int = 1) -> "Query":
+        """Build a query from already-analysed keywords (tests, recursion)."""
+        return cls(keywords=tuple(dict.fromkeys(keywords)), s=s,
+                   raw=" ".join(keywords))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    @property
+    def effective_s(self) -> int:
+        """The paper's ``min(s, |Q|)``."""
+        return min(self.s, len(self.keywords))
+
+    def with_s(self, s: int) -> "Query":
+        """The same keywords under a different threshold."""
+        return Query(keywords=self.keywords, s=s, raw=self.raw,
+                     phrases=self.phrases)
+
+    def keyword_index(self) -> dict[str, int]:
+        """Keyword → position map (positions tag merged-list entries)."""
+        return {keyword: index for index, keyword
+                in enumerate(self.keywords)}
+
+    def word_set(self) -> frozenset[str]:
+        """Every individual word of every keyword (phrases split open).
+
+        DI exclusion works at the word level: an attribute keyword that is
+        part of any query phrase does not enter ``Sw_Q``.
+        """
+        words: set[str] = set()
+        for keyword in self.keywords:
+            words.update(keyword.split())
+        return frozenset(words)
+
+    def __str__(self) -> str:
+        return f"Q={{{', '.join(self.keywords)}}} s={self.s}"

@@ -1,0 +1,105 @@
+"""Query refinement (paper §6.1).
+
+GKS helps a user repair an 'imperfect' query in two ways:
+
+* **Partition/shrink** — the response itself shows how the query keywords
+  are distributed: grouping response nodes by the keyword subset they match
+  suggests sub-queries such as Q3 → {a, b, c} and {a, b, d} (Example 1).
+* **Grow** — DI supplies highly relevant keywords absent from the query;
+  adding one yields queries such as QD1 + "Marek Rusinkiewicz" (§7.4),
+  which surfaced ten joint articles where the original found one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.insights import InsightReport
+from repro.core.query import Query
+from repro.core.results import GKSResponse
+
+
+class RefinementKind(str, Enum):
+    SUBSET = "subset"       # drop keywords: match an observed distribution
+    EXPANSION = "expansion"  # add a DI keyword
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """One suggested refined query."""
+
+    kind: RefinementKind
+    keywords: tuple[str, ...]
+    support: float           # summed rank of the nodes backing it
+    node_count: int          # how many response nodes match this subset
+
+    def as_query(self, s: int | None = None) -> Query:
+        return Query.of(list(self.keywords),
+                        s=s if s is not None else len(self.keywords))
+
+
+def suggest_subsets(response: GKSResponse, top: int = 5,
+                    min_size: int = 2) -> list[Refinement]:
+    """Sub-queries from the observed keyword distribution (§6.1).
+
+    Groups response nodes by their matched keyword set; a group's support
+    is the summed rank of its nodes.  Subsets equal to the whole query are
+    skipped (they are not refinements), as are singletons below
+    *min_size*.
+    """
+    groups: dict[tuple[str, ...], list[float]] = {}
+    full = set(response.query.keywords)
+    for node in response.nodes:
+        matched = tuple(sorted(node.matched_keywords))
+        if len(matched) < min_size or set(matched) == full:
+            continue
+        groups.setdefault(matched, []).append(node.score)
+
+    refinements = [
+        Refinement(kind=RefinementKind.SUBSET,
+                   keywords=_in_query_order(matched, response.query),
+                   support=sum(scores), node_count=len(scores))
+        for matched, scores in groups.items()
+    ]
+    refinements.sort(key=lambda r: (-r.support, -len(r.keywords),
+                                    r.keywords))
+    return refinements[:top]
+
+
+def suggest_expansions(response: GKSResponse, insights: InsightReport,
+                       top: int = 5) -> list[Refinement]:
+    """Grown queries: original keywords plus one top DI keyword (§7.4)."""
+    refinements: list[Refinement] = []
+    seen: set[str] = set()
+    for insight in insights:
+        # grow by the whole attribute value (a phrase keyword) so the
+        # refined query reads like the paper's §7.4 example —
+        # QD1 + "Marek Rusinkiewicz"
+        addition = insight.phrase_keyword or insight.keyword
+        if addition in seen or addition in response.query.keywords:
+            continue
+        seen.add(addition)
+        refinements.append(Refinement(
+            kind=RefinementKind.EXPANSION,
+            keywords=response.query.keywords + (addition,),
+            support=insight.weight,
+            node_count=insight.supporting_nodes))
+        if len(refinements) >= top:
+            break
+    return refinements
+
+
+def suggest(response: GKSResponse, insights: InsightReport | None = None,
+            top: int = 5) -> list[Refinement]:
+    """Combined suggestion list: subsets first, then expansions."""
+    suggestions = suggest_subsets(response, top=top)
+    if insights is not None:
+        suggestions.extend(suggest_expansions(response, insights, top=top))
+    return suggestions
+
+
+def _in_query_order(keywords: tuple[str, ...],
+                    query: Query) -> tuple[str, ...]:
+    order = query.keyword_index()
+    return tuple(sorted(keywords, key=lambda keyword: order[keyword]))

@@ -1,0 +1,104 @@
+"""Result types returned by the GKS search engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import Query
+from repro.core.ranking import RankBreakdown
+from repro.xmltree.dewey import Dewey, format_dewey
+
+
+@dataclass(frozen=True)
+class RankedNode:
+    """One node of the GKS response ``RQ(s)``, ranked."""
+
+    dewey: Dewey
+    score: float
+    distinct_keywords: int
+    matched_keywords: tuple[str, ...]
+    is_lce: bool
+    estimated_keywords: int
+    breakdown: RankBreakdown = field(repr=False, compare=False, default=None)
+
+    @property
+    def dewey_text(self) -> str:
+        return format_dewey(self.dewey)
+
+    def sort_key(self) -> tuple:
+        """Descending score, then coverage, then document order."""
+        return (-self.score, -self.distinct_keywords, self.dewey)
+
+
+@dataclass(frozen=True)
+class SearchProfile:
+    """Instrumentation for the performance experiments (Figs 8–10).
+
+    The stage timings decompose the total: merge (building ``SL``), LCP
+    (the sliding window), LCE (entity mapping + witnesses), and ranking.
+    They support the §4.2 complexity discussion — merge and LCP dominate
+    and grow with ``|SL|``; ranking grows with the response size.
+    """
+
+    merged_list_size: int
+    lcp_entries: int
+    lce_nodes: int
+    seconds: float
+    merge_seconds: float = 0.0
+    lcp_seconds: float = 0.0
+    lce_seconds: float = 0.0
+    rank_seconds: float = 0.0
+
+    def stage_breakdown(self) -> dict[str, float]:
+        return {
+            "merge": self.merge_seconds,
+            "lcp": self.lcp_seconds,
+            "lce": self.lce_seconds,
+            "rank": self.rank_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class GKSResponse:
+    """Ranked GKS response for one query.
+
+    ``nodes`` is the full ranked list ``RQ(s)``; ``lce_nodes`` is the
+    subset ``EQ`` of entity (LCE) nodes the DI analysis runs on.
+    """
+
+    query: Query
+    nodes: tuple[RankedNode, ...]
+    profile: SearchProfile
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, position: int) -> RankedNode:
+        return self.nodes[position]
+
+    @property
+    def lce_nodes(self) -> tuple[RankedNode, ...]:
+        """``EQ ⊆ RQ(s)``: the LCE nodes in the response (Def 2.3.1)."""
+        return tuple(node for node in self.nodes if node.is_lce)
+
+    @property
+    def deweys(self) -> list[Dewey]:
+        return [node.dewey for node in self.nodes]
+
+    def top(self, count: int) -> tuple[RankedNode, ...]:
+        return self.nodes[:count]
+
+    def max_distinct_keywords(self) -> int:
+        """Table 7's "Max keywords in a GKS node" column."""
+        if not self.nodes:
+            return 0
+        return max(node.distinct_keywords for node in self.nodes)
+
+    def nodes_with_max_keywords(self) -> tuple[RankedNode, ...]:
+        """The "true XML nodes" of the §7.3 rank-score metric."""
+        best = self.max_distinct_keywords()
+        return tuple(node for node in self.nodes
+                     if node.distinct_keywords == best)

@@ -1,0 +1,129 @@
+"""Interactive exploration sessions (paper §6, Examples 1–2).
+
+The paper's user story is iterative: run an imperfect query, read the
+ranked response and its DI, take a refinement, repeat — "user queries
+can be refined progressively".  :class:`ExplorationSession` packages
+that loop with full history, so programmatic clients (and the examples)
+can drive a multi-step exploration and audit how they got somewhere.
+
+Every step records the query, the response, its insights and the
+refinements that were offered; :meth:`back` rewinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import GKSEngine
+from repro.core.insights import InsightReport
+from repro.core.query import Query
+from repro.core.refinement import Refinement
+from repro.core.results import GKSResponse
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """One query/response/insight round."""
+
+    query: Query
+    response: GKSResponse
+    insights: InsightReport
+    refinements: tuple[Refinement, ...]
+    note: str = ""
+
+    @property
+    def result_count(self) -> int:
+        return len(self.response)
+
+
+@dataclass
+class ExplorationSession:
+    """A stateful refine-and-requery loop over one engine."""
+
+    engine: GKSEngine
+    steps: list[SessionStep] = field(default_factory=list)
+    insight_top: int = 10
+    refinement_top: int = 5
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> SessionStep:
+        if not self.steps:
+            raise QueryError("session has no steps yet; call run()")
+        return self.steps[-1]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # ------------------------------------------------------------------
+    def run(self, query: str | Query, s: int | None = None,
+            note: str = "") -> SessionStep:
+        """Execute a query and push the step onto the history."""
+        response = self.engine.search(query, s=s)
+        insights = self.engine.insights(response, top=self.insight_top)
+        refinements = tuple(self.engine.refine(
+            response, insights, top=self.refinement_top))
+        step = SessionStep(query=response.query, response=response,
+                           insights=insights, refinements=refinements,
+                           note=note)
+        self.steps.append(step)
+        return step
+
+    def refine(self, choice: int = 0, s: int | None = None) -> SessionStep:
+        """Apply the *choice*-th refinement of the current step.
+
+        Default threshold: a *subset* refinement runs with AND semantics
+        (it names exactly the keywords one result group matched); an
+        *expansion* keeps the current step's ``s`` plus one — the added
+        keyword must pay off, but the query stays as forgiving as before
+        (the §7.4 walk: QD1 at s=1 refines to s=2 and surfaces the ten
+        joint articles).
+        """
+        from repro.core.refinement import RefinementKind
+
+        refinements = self.current.refinements
+        if not refinements:
+            raise QueryError("current step offers no refinements")
+        if not 0 <= choice < len(refinements):
+            raise QueryError(
+                f"refinement {choice} out of range "
+                f"(0..{len(refinements) - 1})")
+        refinement = refinements[choice]
+        if s is None and refinement.kind is RefinementKind.EXPANSION:
+            s = min(self.current.query.s + 1, len(refinement.keywords))
+        query = refinement.as_query(s=s)
+        return self.run(query,
+                        note=f"refined[{refinement.kind.value}] from "
+                             f"step {len(self.steps)}")
+
+    def drill_down(self, s: int | None = None) -> SessionStep:
+        """Re-query with the top recursive-DI keywords (§2.3 recursion)."""
+        seeds = self.current.insights.top_keywords(self.refinement_top)
+        if not seeds:
+            raise QueryError("current step has no insight keywords")
+        return self.run(Query.of(seeds, s=s if s is not None else 1),
+                        note=f"DI drill-down from step {len(self.steps)}")
+
+    def back(self) -> SessionStep:
+        """Drop the latest step and return to the previous one."""
+        if len(self.steps) <= 1:
+            raise QueryError("nothing to go back to")
+        self.steps.pop()
+        return self.current
+
+    # ------------------------------------------------------------------
+    def transcript(self) -> str:
+        """The whole session as readable text."""
+        lines: list[str] = []
+        for number, step in enumerate(self.steps, start=1):
+            lines.append(f"step {number}: {step.query}  "
+                         f"-> {step.result_count} node(s)"
+                         + (f"  [{step.note}]" if step.note else ""))
+            for insight in list(step.insights)[:3]:
+                lines.append(f"    DI {insight.render()}")
+            for refinement in step.refinements[:3]:
+                lines.append(
+                    f"    refine[{refinement.kind.value}] "
+                    f"{' '.join(refinement.keywords)}")
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Choosing the threshold ``s`` automatically.
+
+The paper leaves ``s`` to the user (its experiments run s=1 and
+s=|Q|/2).  In practice a good default is data-dependent: |RQ(s)| is
+non-increasing in ``s`` (Lemma 2), usually with a sharp cliff where the
+query's coherent core stops co-occurring.  ``s_profile`` measures the
+whole curve with *one* search — the s=1 response's per-node distinct
+counts determine every |RQ(s)| upper envelope — and ``suggest_s`` picks
+the largest ``s`` before the cliff (the knee), so the query is as strict
+as the data supports without going empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import Query
+from repro.core.search import search
+from repro.index.builder import GKSIndex
+
+
+@dataclass(frozen=True)
+class SProfile:
+    """|RQ(s)|-style counts per s, derived from the s=1 response."""
+
+    query: Query
+    #: counts[s] = number of s=1 response nodes with ≥ s distinct
+    #: keywords (an upper envelope of |RQ(s)| — deeper re-grouping at
+    #: higher s can only merge nodes).
+    counts: dict[int, int]
+
+    def best_coverage(self) -> int:
+        return max((s for s, count in self.counts.items() if count > 0),
+                   default=0)
+
+
+def s_profile(index: GKSIndex, query: Query) -> SProfile:
+    """Measure the response-size envelope across all thresholds."""
+    response = search(index, query.with_s(1))
+    counts = {
+        s: sum(1 for node in response if node.distinct_keywords >= s)
+        for s in range(1, len(query.keywords) + 1)
+    }
+    return SProfile(query=query, counts=counts)
+
+
+def suggest_s(index: GKSIndex, query: Query,
+              min_results: int = 1) -> int:
+    """The strictest ``s`` that still leaves ≥ *min_results* nodes.
+
+    Falls back to 1 when even single keywords barely match.  This is the
+    'as precise as the data allows' default: for Example 2's query it
+    returns 3 (the trio's co-authorship), for a fully coherent query it
+    returns |Q| (AND semantics), for scattershot keywords it returns 1.
+    """
+    if min_results < 1:
+        raise ValueError(f"min_results must be positive: {min_results}")
+    profile = s_profile(index, query)
+    for s in range(len(query.keywords), 0, -1):
+        if profile.counts.get(s, 0) >= min_results:
+            return s
+    return 1

@@ -1,0 +1,22 @@
+"""Synthetic corpora mirroring the paper's evaluation datasets."""
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.interpro import generate_interpro
+from repro.datasets.mondial import generate_mondial
+from repro.datasets.nasa import generate_nasa
+from repro.datasets.plays import generate_play, generate_plays
+from repro.datasets.registry import DATASETS, dataset_names, load_dataset
+from repro.datasets.sigmod import generate_sigmod
+from repro.datasets.swissprot import (generate_protein_sequence,
+                                      generate_swissprot)
+from repro.datasets.synthesis import Synth
+from repro.datasets.toy import figure1, figure2a
+from repro.datasets.treebank import generate_treebank
+
+__all__ = [
+    "DATASETS", "Synth", "dataset_names", "figure1", "figure2a",
+    "generate_dblp", "generate_interpro", "generate_mondial",
+    "generate_nasa", "generate_play", "generate_plays",
+    "generate_protein_sequence", "generate_sigmod", "generate_swissprot",
+    "generate_treebank", "load_dataset",
+]

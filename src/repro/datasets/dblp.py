@@ -1,0 +1,172 @@
+"""Synthetic DBLP corpus (paper §7 workloads QD1–QD4, §7.4, §7.6).
+
+Shape of the real DBLP: a flat root with millions of bibliographic entries
+(``<article>``/``<inproceedings>``), each carrying repeating ``<author>``
+elements plus attribute children (``title``, ``year``, ``journal`` or
+``booktitle``, ``pages``).  Entries with two or more authors are entity
+nodes; single-author entries are connecting nodes (§7.2's observation).
+
+Planted structure, mirroring what the paper reports on the real data:
+
+* QD2 (Example 2): Buneman, Fan and Weinstein co-author five entries —
+  four with just the three of them (year 2001, journal *SIGMOD Record*)
+  and one with many co-authors (ranked lower by potential flow), among
+  them *Alok N. Choudhary*.  *Prithviraj Banerjee* publishes prolifically
+  in booktitle *ICPP* and never with the other three — DI should surface
+  ``<year: 2001>``/``<journal: SIGMOD Record>``/``<booktitle: ICPP>``.
+* QD1/§7.4: Georgakopoulos and Morrison share exactly one article, while
+  Georgakopoulos and *Marek Rusinkiewicz* share ten — the DI-driven
+  refinement case.
+* QD3/QD4: each author pool gets a few joint entries (ICCD 1999,
+  JACM/IBM Research Report 2001) so the queries return non-trivial
+  overlaps.
+* §7.6: Meynadier and Behm co-author exactly three ``<inproceedings>``,
+  used by the hybrid-query experiment.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+
+def generate_dblp(scale: int = 1, seed: int = 0) -> XMLNode:
+    """Build the synthetic DBLP tree; ~(420·scale + 60) entries."""
+    synth = Synth(seed ^ 0xD31B)
+    root = XMLNode("dblp", (0,))
+    pool = names.synthetic_authors()
+
+    _plant_qd2(root, synth)
+    _plant_banerjee(root, synth, pool)
+    _plant_qd1_refinement(root, synth, pool)
+    _plant_qd3(root, synth, pool)
+    _plant_qd4(root, synth, pool)
+    _plant_hybrid(root, synth)
+    _bulk_entries(root, synth, pool, count=420 * scale)
+    return root
+
+
+# ----------------------------------------------------------------------
+# Entry construction
+# ----------------------------------------------------------------------
+def add_entry(root: XMLNode, synth: Synth, authors: list[str],
+              kind: str = "article", title: str | None = None,
+              year: str | None = None, venue: str | None = None) -> XMLNode:
+    """Append one bibliographic entry in DBLP's element order."""
+    entry = root.add_child(kind)
+    entry.add_child("key", text=synth.code("conf/" if kind != "article"
+                                           else "journals/"))
+    for author in authors:
+        entry.add_child("author", text=author)
+    entry.add_child("title", text=title or synth.title())
+    start, end = synth.pages()
+    entry.add_child("pages", text=f"{start}-{end}")
+    entry.add_child("year", text=year or synth.year())
+    if kind == "article":
+        entry.add_child("journal", text=venue or synth.pick(names.JOURNALS))
+        entry.add_child("volume", text=str(synth.int_between(1, 40)))
+        entry.add_child("number", text=str(synth.int_between(1, 6)))
+    else:
+        entry.add_child("booktitle",
+                        text=venue or synth.pick(names.BOOKTITLES))
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Planted workloads
+# ----------------------------------------------------------------------
+def _plant_qd2(root: XMLNode, synth: Synth) -> None:
+    trio = names.QD2_AUTHORS[:3]  # Buneman, Fan, Weinstein
+    for _ in range(4):
+        add_entry(root, synth, list(trio), kind="inproceedings",
+                  year="2001", venue="SIGMOD")
+        # a matching journal version feeds the <journal: SIGMOD Record> DI
+        add_entry(root, synth, list(trio), kind="article", year="2001",
+                  venue="SIGMOD Record")
+    crowd = [names.DI_COAUTHOR, "Maria Rossi", "Wei Zhang", "Jonas Weber",
+             "Olga Petrov", "Pedro Vargas"]
+    add_entry(root, synth, list(trio) + crowd, kind="inproceedings",
+              year="2001", venue="SIGMOD")
+
+
+def _plant_banerjee(root: XMLNode, synth: Synth,
+                    pool: list[str]) -> None:
+    banerjee = names.QD2_AUTHORS[3]  # Prithviraj Banerjee
+    for index in range(24):
+        coauthors = [banerjee]
+        if index % 3 == 0:
+            coauthors.append(names.DI_COAUTHOR)
+        if index % 4 == 0:
+            coauthors.append(synth.pick(pool))
+        add_entry(root, synth, coauthors, kind="inproceedings",
+                  venue="ICPP")
+
+
+def _plant_qd1_refinement(root: XMLNode, synth: Synth,
+                          pool: list[str]) -> None:
+    georgakopoulos, morrison = names.QD1_AUTHORS
+    add_entry(root, synth, [georgakopoulos, morrison], kind="article",
+              year="2000", venue="TCS")
+    for _ in range(10):  # §7.4: ten joint articles after refinement
+        add_entry(root, synth, [georgakopoulos,
+                                names.REFINEMENT_COAUTHOR],
+                  kind="article", venue="TCS")
+    for _ in range(6):
+        add_entry(root, synth, [morrison, synth.pick(pool)],
+                  kind="article")
+
+
+def _plant_qd3(root: XMLNode, synth: Synth, pool: list[str]) -> None:
+    authors = names.QD3_AUTHORS
+    add_entry(root, synth, authors[:5], kind="inproceedings", year="1999",
+              venue="ICCD")  # Table 7: QD3's max keywords is 5
+    for first, second in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+        add_entry(root, synth, [authors[first], authors[second]],
+                  kind="inproceedings", year="1999", venue="ICCD")
+    # never pair authors[4] (Georgakopoulos) with authors[5] (Morrison):
+    # QD1 must keep exactly one joint article for that pair
+    for triple in ([0, 1, 2], [1, 2, 3], [2, 3, 5]):
+        add_entry(root, synth, [authors[i] for i in triple],
+                  kind="inproceedings", year="1999", venue="ICCD")
+    for author in authors:
+        add_entry(root, synth, [author], kind="article", year="2001",
+                  venue="TCS")
+
+
+def _plant_qd4(root: XMLNode, synth: Synth, pool: list[str]) -> None:
+    authors = names.QD4_AUTHORS
+    add_entry(root, synth, authors[:6], kind="article", year="2001",
+              venue="JACM", title="A relational model retrospective")
+    for subset in (authors[:4], authors[2:6], authors[4:8]):
+        add_entry(root, synth, list(subset), kind="article", year="2001",
+                  venue="IBM Research Report")  # QD4 at s=4 stays non-empty
+    for first, second in [(0, 2), (2, 4), (4, 6), (6, 7), (1, 3)]:
+        add_entry(root, synth, [authors[first], authors[second]],
+                  kind="article", year="2001", venue="IBM Research Report")
+    for author in authors[4:]:
+        add_entry(root, synth, [author, synth.pick(pool)], kind="article")
+
+
+def _plant_hybrid(root: XMLNode, synth: Synth) -> None:
+    pair = names.HYBRID_DBLP_AUTHORS
+    pool = names.synthetic_authors()
+    for _ in range(3):  # §7.6: exactly three joint <inproceedings>
+        # "articles by first 2 authors had multiple other authors" — the
+        # co-author crowd is what makes the SIGMOD pair rank above them.
+        crowd = synth.sample(pool, synth.int_between(2, 4))
+        add_entry(root, synth, list(pair) + crowd, kind="inproceedings",
+                  venue="EDBT")
+
+
+def _bulk_entries(root: XMLNode, synth: Synth, pool: list[str],
+                  count: int) -> None:
+    for _ in range(count):
+        author_count = synth.int_between(1, 6)
+        authors = []
+        while len(authors) < author_count:
+            author = pool[synth.skewed_index(len(pool))]
+            if author not in authors:
+                authors.append(author)
+        kind = "inproceedings" if synth.chance(0.55) else "article"
+        add_entry(root, synth, authors, kind=kind)

@@ -1,0 +1,69 @@
+"""Synthetic InterPro corpus (paper workloads QI1–QI2, Table 5).
+
+The real InterPro release notes hold protein-signature entries: names with
+domain words (QI1 = {Kringle, Domain}), repeating publications with year
+and journal (QI2 = {Publication, 2002, Science} — note ``publication`` is
+an element *name*), taxonomy distributions and member-database signatures.
+QI1 returns thousands of nodes at s=1 in the paper (8170), so the entry
+count here is the largest of the synthetic corpora and domain words are
+reused across entries.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+_TAXA = ["Eukaryota", "Bacteria", "Archaea", "Viruses", "Metazoa",
+         "Fungi", "Viridiplantae"]
+
+
+def generate_interpro(scale: int = 1, seed: int = 0) -> XMLNode:
+    """Build the synthetic InterPro tree (~200·scale entries)."""
+    synth = Synth(seed ^ 0x1472)
+    root = XMLNode("interprodb", (0,))
+    pool = names.synthetic_authors()
+    for number in range(200 * scale):
+        _add_entry(root, synth, pool, number)
+    return root
+
+
+def _add_entry(root: XMLNode, synth: Synth, pool: list[str],
+               number: int) -> None:
+    entry = root.add_child("interpro")
+    entry.add_child("id", text=f"IPR{number:06d}")
+    domain = synth.pick(names.PROTEIN_DOMAINS)
+    entry.add_child("name", text=f"{domain} domain")
+    entry.add_child("short_name", text=domain.lower().replace(" ", "_"))
+    entry.add_child("type", text=synth.pick(["Domain", "Family", "Repeat"]))
+    entry.add_child("proteins_count",
+                    text=str(1 + synth.skewed_index(4000)))
+
+    publications = entry.add_child("pub_list")
+    for _ in range(synth.int_between(1, 3)):
+        publication = publications.add_child("publication")
+        author_list = publication.add_child("author_list")
+        # ≥2 authors: publications are then entity nodes (repeating
+        # author group + journal/year attributes), matching real InterPro.
+        for _ in range(synth.int_between(2, 4)):
+            author = pool[synth.skewed_index(len(pool))]
+            author_list.add_child("author",
+                                  text=f"{author.split()[-1]} "
+                                       f"{author.split()[0][0]}")
+        publication.add_child("journal", text=synth.pick(names.JOURNALS))
+        publication.add_child("year", text=synth.year(1995, 2005))
+
+    taxonomy = entry.add_child("taxonomy_distribution")
+    for taxon in synth.sample(_TAXA, synth.int_between(1, 3)):
+        taxon_data = taxonomy.add_child("taxon_data")
+        taxon_data.add_child("name", text=taxon)
+        taxon_data.add_child("proteins_count",
+                             text=str(1 + synth.skewed_index(900)))
+
+    member_list = entry.add_child("member_list")
+    for _ in range(synth.int_between(1, 3)):
+        member = member_list.add_child("db_xref")
+        member.add_child("db", text=synth.pick(["PFAM", "PROSITE",
+                                                "SMART", "PRINTS"]))
+        member.add_child("dbkey", text=synth.code("PF", 5))

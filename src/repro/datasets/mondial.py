@@ -1,0 +1,132 @@
+"""Synthetic Mondial corpus (paper §7 workloads QM1–QM4).
+
+The real Mondial 3.0 is geographic: countries with name/population
+attributes, repeating religion/language/ethnicgroup percentages, provinces
+and cities.  Most data lives in XML attributes in the original; with the
+library's attributes-as-children convention the same information appears
+as attribute nodes, which is what the QM queries search (``country`` and
+``name`` are *element names* in QM2, so tag indexing matters here).
+
+Planted structure:
+
+* every country element is named ``country`` (QM1/QM2 search the tag);
+* religions include *Muslim*, *Catholic*, … with percentage values —
+  QM1 = {country, Muslim} must hit many countries (the paper reports 230
+  GKS nodes vs 98 SLCA);
+* *Laos* and *Zimbabwe* exist with full name/population_growth data (the
+  QM2 DI reported in Table 8 exposes ``<Name: Zimbabwe>``);
+* languages include Polish/Spanish/German and a city *Bruges* near
+  *Luxembourg* for QM3.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+
+def generate_mondial(scale: int = 1, seed: int = 0) -> XMLNode:
+    """Build the synthetic Mondial tree (~30·scale countries)."""
+    synth = Synth(seed ^ 0x30D1A1)
+    root = XMLNode("mondial", (0,))
+
+    country_names = list(names.COUNTRIES)
+    for _ in range(max(0, 30 * scale - len(country_names))):
+        country_names.append(synth.code("Terra", 3))
+
+    for position, name in enumerate(country_names):
+        _add_country(root, synth, name, position)
+
+    organizations = root.add_child("organizations")
+    for org in ("UN", "EU", "ASEAN", "OAS"):
+        node = organizations.add_child("organization")
+        node.add_child("name", text=org)
+        node.add_child("abbrev", text=org)
+        members = node.add_child("members")
+        for member in synth.sample(country_names, 5):
+            members.add_child("member", text=member)
+    return root
+
+
+def _add_country(root: XMLNode, synth: Synth, name: str,
+                 position: int) -> None:
+    country = root.add_child("country")
+    country.add_child("id", text=f"f0_{300 + position * 7}")
+    country.add_child("name", text=name)
+    country.add_child("population", text=str(synth.int_between(10 ** 5,
+                                                               10 ** 8)))
+    country.add_child("population_growth",
+                      text=f"{synth.int_between(0, 400) / 100:.2f}")
+    country.add_child("infant_mortality",
+                      text=f"{synth.int_between(2, 90)}.{position % 10}")
+    country.add_child("gdp_total", text=str(synth.int_between(10 ** 3,
+                                                              10 ** 6)))
+    country.add_child("indep_date",
+                      text=f"19{synth.int_between(10, 90)}-0"
+                           f"{synth.int_between(1, 9)}-01")
+
+    _add_percentages(country, synth, "religions", names.RELIGIONS,
+                     low=2, high=4, planted=_planted_religions(name))
+    _add_percentages(country, synth, "languages", names.LANGUAGES,
+                     low=1, high=3, planted=_planted_languages(name))
+    _add_percentages(country, synth, "ethnicgroups",
+                     ["Bantu", "Han", "Slavic", "Nordic", "Malay", "Quechua"],
+                     low=1, high=2, planted=[])
+
+    provinces = synth.int_between(2, 4)
+    for province_no in range(provinces):
+        province = country.add_child("province")
+        province.add_child("name",
+                           text=f"{name} Province {province_no + 1}")
+        province.add_child("area", text=str(synth.int_between(100, 90000)))
+        cities = synth.int_between(1, 3)
+        for _ in range(cities):
+            city = province.add_child("city")
+            city.add_child("name", text=_city_name(synth, name))
+            city.add_child("population",
+                           text=str(synth.int_between(10 ** 4, 10 ** 7)))
+
+
+def _planted_religions(country: str) -> list[str]:
+    if country in ("Laos", "Thailand", "China"):
+        return ["Buddhism"]
+    if country in ("Zimbabwe", "Jordan", "Tunisia", "Oman", "Qatar",
+                   "Senegal", "Albania", "Brunei"):
+        return ["Muslim"]
+    if country in ("Luxembourg", "Belgium", "Spain", "Poland"):
+        return ["Catholic"]
+    return []
+
+
+def _planted_languages(country: str) -> list[str]:
+    mapping = {"Poland": ["Polish"], "Spain": ["Spanish"],
+               "Germany": ["German"], "Luxembourg": ["German", "French"],
+               "Belgium": ["Dutch", "French"], "Laos": ["Lao"],
+               "Thailand": ["Thai"], "China": ["Chinese"]}
+    return mapping.get(country, [])
+
+
+def _city_name(synth: Synth, country: str) -> str:
+    if country == "Belgium":
+        return "Bruges"  # QM3's planted city
+    return synth.pick(names.CITIES)
+
+
+def _add_percentages(country: XMLNode, synth: Synth, holder_tag: str,
+                     pool: list[str], low: int, high: int,
+                     planted: list[str]) -> None:
+    """Repeating percentage entries (religion/language/ethnicgroup)."""
+    holder = country.add_child(holder_tag)
+    chosen = list(planted)
+    for candidate in synth.sample(pool, synth.int_between(low, high)):
+        if candidate not in chosen:
+            chosen.append(candidate)
+    total = 100
+    for position, value in enumerate(chosen):
+        entry = holder.add_child(holder_tag.rstrip("s"))
+        share = total if position == len(chosen) - 1 \
+            else synth.int_between(5, max(6, total // 2))
+        total = max(0, total - share)
+        entry.add_child("name", text=value)
+        entry.add_child("percentage", text=str(share))

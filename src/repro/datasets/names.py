@@ -1,0 +1,100 @@
+"""Name pools for the bibliographic generators.
+
+The pools mix synthetic names with the exact author names appearing in the
+paper's Table 6 query workload, so the reproduction can run the same
+queries (QS1–QS4, QD1–QD4) against planted co-authorship structure that
+mirrors what the paper reports (e.g. QD2's Example 2: three of the four
+authors share articles, the fourth never co-occurs with them).
+"""
+
+from __future__ import annotations
+
+# Authors of the SIGMOD Record queries QS1–QS4 (paper Table 6).
+QS1_AUTHORS = ["Anthony I. Wasserman", "Lawrence A. Rowe"]
+QS2_AUTHORS = ["S. Jerrold Kaplan", "Robert P. Trueblood",
+               "David J. DeWitt", "Randy H. Katz"]
+QS3_AUTHORS = ["Sakti P. Ghosh", "C. C. Lin", "Timos K. Sellis",
+               "David A. Patterson", "Garth A. Gibson", "Randy H. Katz"]
+QS4_AUTHORS = ["Barbara T. Blaustein", "Umeshwar Dayal",
+               "Alejandro P. Buchmann", "Upen S. Chakravarthy", "M. Hsu",
+               "R. Ledin", "Dennis R. McCarthy", "Arnon Rosenthal"]
+
+# Authors of the DBLP queries QD1–QD4 plus the §7.4 refinement case and the
+# §7.6 hybrid query.
+QD1_AUTHORS = ["Dimitrios Georgakopoulos", "Joe D. Morrison"]
+QD2_AUTHORS = ["Peter Buneman", "Wenfei Fan", "Scott Weinstein",
+               "Prithviraj Banerjee"]
+QD3_AUTHORS = ["E. F. Codd", "Mark F. Hornick", "Frank Manola",
+               "Alejandro P. Buchmann", "Dimitrios Georgakopoulos",
+               "Joe D. Morrison"]
+QD4_AUTHORS = ["E. F. Codd", "Kenneth L. Deckert", "Irving L. Traiger",
+               "Vera Watson", "Jim Gray", "Chin-Liang Chang",
+               "Nick Roussopoulos", "Jean-Marc Cadiou"]
+REFINEMENT_COAUTHOR = "Marek Rusinkiewicz"          # §7.4: 10 joint articles
+HYBRID_DBLP_AUTHORS = ["Jean-Marc Meynadier", "Patrick Behm"]      # §7.6
+HYBRID_SIGMOD_AUTHORS = ["Lawrence A. Rowe", "Michael Stonebraker"]  # §7.6
+DI_COAUTHOR = "Alok N. Choudhary"  # surfaces in Example 2's DI
+
+_FIRST = [
+    "Alice", "Benjamin", "Carla", "Daniel", "Elena", "Farid", "Grace",
+    "Hiro", "Ingrid", "Jonas", "Katya", "Liang", "Maria", "Nikhil",
+    "Olga", "Pedro", "Qing", "Rosa", "Stefan", "Tanvi", "Ulrich",
+    "Valeria", "Wei", "Ximena", "Yusuf", "Zofia",
+]
+
+_LAST = [
+    "Abbott", "Bergström", "Castillo", "Dimitrov", "Endo", "Fischer",
+    "Gupta", "Haddad", "Iversen", "Jansen", "Kowalski", "Lindqvist",
+    "Moreau", "Nakamura", "Okafor", "Petrov", "Quintero", "Rossi",
+    "Schneider", "Takahashi", "Urbina", "Vargas", "Weber", "Xu",
+    "Yamamoto", "Zhang",
+]
+
+
+def synthetic_authors() -> list[str]:
+    """The full synthetic author pool (|first| × |last| combinations)."""
+    return [f"{first} {last}" for first in _FIRST for last in _LAST]
+
+
+SPEAKERS = [
+    "HAMLET", "OPHELIA", "CLAUDIUS", "GERTRUDE", "POLONIUS", "HORATIO",
+    "LAERTES", "ROSENCRANTZ", "GUILDENSTERN", "FORTINBRAS", "MACBETH",
+    "LADY MACBETH", "BANQUO", "DUNCAN", "PROSPERO", "MIRANDA", "ARIEL",
+    "CALIBAN", "OTHELLO", "IAGO", "DESDEMONA", "BRUTUS", "CASSIUS",
+]
+
+COUNTRIES = [
+    "Laos", "Zimbabwe", "Luxembourg", "Belgium", "Poland", "Spain",
+    "Germany", "Thailand", "China", "India", "Brunei", "Albania",
+    "Mongolia", "Iceland", "Uruguay", "Senegal", "Jordan", "Nepal",
+    "Fiji", "Malta", "Cyprus", "Estonia", "Bolivia", "Ghana", "Oman",
+    "Panama", "Qatar", "Rwanda", "Slovenia", "Tunisia",
+]
+
+CITIES = [
+    "Bruges", "Vientiane", "Harare", "Warsaw", "Madrid", "Berlin",
+    "Bangkok", "Beijing", "Mumbai", "Reykjavik", "Montevideo", "Dakar",
+    "Amman", "Kathmandu", "Suva", "Valletta", "Nicosia", "Tallinn",
+    "La Paz", "Accra", "Muscat", "Havana", "Doha", "Kigali", "Ljubljana",
+]
+
+RELIGIONS = ["Muslim", "Buddhism", "Christianity", "Hinduism", "Orthodox",
+             "Catholic", "Protestant", "Jewish", "Sikh", "Taoist"]
+
+LANGUAGES = ["Polish", "Spanish", "German", "Chinese", "Thai", "French",
+             "English", "Hindi", "Arabic", "Portuguese", "Lao", "Dutch"]
+
+ORGANISM_GENERA = ["Homo", "Mus", "Rattus", "Danio", "Drosophila",
+                   "Saccharomyces", "Escherichia", "Bacillus", "Arabidopsis",
+                   "Caenorhabditis"]
+
+PROTEIN_DOMAINS = ["Kringle", "Zinc finger", "Homeobox", "Kinase",
+                   "Immunoglobulin", "Lectin", "Helicase", "Protease",
+                   "Transferase", "Dehydrogenase"]
+
+JOURNALS = ["SIGMOD Record", "TCS", "JACM", "VLDB Journal", "TODS",
+            "Science", "Nature", "Bioinformatics", "IBM Research Report",
+            "Astronomy Letters"]
+
+BOOKTITLES = ["ICPP", "ICCD", "SIGMOD", "VLDB", "ICDE", "EDBT", "PODS",
+              "CIKM", "WWW", "KDD"]

@@ -1,0 +1,69 @@
+"""Synthetic NASA astronomy corpus (paper §7.1.2 response-time workload).
+
+The real nasa.xml (ADC repository, ~24 MB) stores astronomical dataset
+descriptions: title, alternate names, authors inside ``<reference>``
+blocks, journal/date metadata and table/field definitions.  The paper
+reports an average keyword depth of 6.7–6.9 here — noticeably deeper than
+SwissProt's 3.1–3.5 — so this generator nests authors and dates inside
+``reference/source/other`` chains to land keywords deep in the tree.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+_OBJECTS = ["quasar", "pulsar", "nebula", "cluster", "galaxy", "supernova",
+            "binary", "cepheid", "asteroid", "comet"]
+_SURVEYS = ["photometric", "spectroscopic", "astrometric", "radial",
+            "infrared", "ultraviolet", "radio", "xray"]
+
+
+def generate_nasa(scale: int = 1, seed: int = 0) -> XMLNode:
+    """Build the synthetic NASA tree (~150·scale datasets)."""
+    synth = Synth(seed ^ 0x9A5A)
+    root = XMLNode("datasets", (0,))
+    pool = names.synthetic_authors()
+    for _ in range(150 * scale):
+        _add_dataset(root, synth, pool)
+    return root
+
+
+def _add_dataset(root: XMLNode, synth: Synth, pool: list[str]) -> None:
+    dataset = root.add_child("dataset")
+    dataset.add_child("subject", text=synth.pick(_OBJECTS))
+    dataset.add_child(
+        "title",
+        text=f"{synth.pick(_SURVEYS)} catalog of "
+             f"{synth.pick(_OBJECTS)} sources")
+    dataset.add_child("altname", text=synth.code("ADC", 4))
+
+    reference = dataset.add_child("reference")
+    source = reference.add_child("source")
+    other = source.add_child("other")
+    other.add_child("title", text=synth.title())
+    author_holder = other.add_child("author")
+    for _ in range(synth.int_between(1, 3)):
+        author = pool[synth.skewed_index(len(pool))]
+        person = author_holder.add_child("initial")
+        first, last = author.split(" ", 1)
+        person.add_child("first", text=first)
+        person.add_child("lastName", text=last)
+    other.add_child("name", text=synth.pick(names.JOURNALS))
+    date = other.add_child("date")
+    date.add_child("year", text=synth.year(1950, 2000))
+
+    tableHead = dataset.add_child("tableHead")
+    for _ in range(synth.int_between(2, 5)):
+        field = tableHead.add_child("field")
+        field.add_child("name", text=synth.pick(
+            ["ra", "dec", "magnitude", "flux", "parallax", "epoch"]))
+        field.add_child("units", text=synth.pick(
+            ["deg", "mag", "jansky", "mas", "year"]))
+
+    history = dataset.add_child("history")
+    ingest = history.add_child("ingest")
+    ingest.add_child("creator", text=pool[synth.skewed_index(len(pool))])
+    ingest_date = ingest.add_child("date")
+    ingest_date.add_child("year", text=synth.year(1990, 2005))

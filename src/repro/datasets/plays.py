@@ -1,0 +1,64 @@
+"""Synthetic Shakespeare-plays corpus (paper Table 4 "Plays").
+
+The real corpus is a set of files, one per play — the paper notes
+"Shakespeare's plays are distributed over multiple files", which exercises
+the multi-document Dewey space.  Each play: TITLE, PERSONAE, ACTs with
+SCENEs, SPEECHes with a SPEAKER and repeating LINEs.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+_PLAY_TITLES = [
+    "The Tragedy of Hamlet", "Macbeth", "The Tempest", "Othello",
+    "Julius Caesar", "A Midsummer Night's Dream", "King Lear",
+    "Twelfth Night", "The Winter's Tale", "Much Ado About Nothing",
+]
+
+_LINE_WORDS = [
+    "night", "crown", "blood", "ghost", "sword", "throne", "storm",
+    "witch", "dream", "honor", "grave", "heart", "stars", "mercy",
+    "poison", "letter", "castle", "forest", "daughter", "king",
+]
+
+
+def generate_play(synth: Synth, title: str, doc_id: int = 0) -> XMLNode:
+    """One play as its own document tree."""
+    play = XMLNode("PLAY", (doc_id,))
+    play.add_child("TITLE", text=title)
+    personae = play.add_child("PERSONAE")
+    cast = synth.sample(names.SPEAKERS, synth.int_between(6, 10))
+    for person in cast:
+        personae.add_child("PERSONA", text=person)
+
+    for act_no in range(1, synth.int_between(3, 5) + 1):
+        act = play.add_child("ACT")
+        act.add_child("ACTTITLE", text=f"ACT {act_no}")
+        for scene_no in range(1, synth.int_between(2, 4) + 1):
+            scene = act.add_child("SCENE")
+            scene.add_child("SCENETITLE",
+                            text=f"SCENE {scene_no}. A room.")
+            for _ in range(synth.int_between(3, 8)):
+                speech = scene.add_child("SPEECH")
+                speech.add_child("SPEAKER", text=synth.pick(cast))
+                for _ in range(synth.int_between(1, 4)):
+                    speech.add_child(
+                        "LINE",
+                        text=_verse(synth))
+    return play
+
+
+def generate_plays(scale: int = 1, seed: int = 0) -> list[XMLNode]:
+    """A list of plays — one root per file, multi-document corpus."""
+    synth = Synth(seed ^ 0x914A5)
+    count = min(len(_PLAY_TITLES), max(2, 3 * scale))
+    return [generate_play(synth, _PLAY_TITLES[position], doc_id=position)
+            for position in range(count)]
+
+
+def _verse(synth: Synth) -> str:
+    words = [synth.pick(_LINE_WORDS) for _ in range(synth.int_between(5, 9))]
+    return ("O " + " ".join(words)).capitalize()

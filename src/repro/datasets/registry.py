@@ -1,0 +1,77 @@
+"""Dataset registry: one place to materialise any synthetic corpus.
+
+Every corpus of the paper's Table 4 maps to a named builder returning a
+ready :class:`Repository`; experiments and benchmarks look datasets up by
+the names the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.interpro import generate_interpro
+from repro.datasets.mondial import generate_mondial
+from repro.datasets.nasa import generate_nasa
+from repro.datasets.plays import generate_plays
+from repro.datasets.sigmod import generate_sigmod
+from repro.datasets.swissprot import (generate_protein_sequence,
+                                      generate_swissprot)
+from repro.datasets.treebank import generate_treebank
+from repro.datasets.toy import figure1, figure2a
+from repro.errors import DatasetError
+from repro.xmltree.repository import Repository
+
+
+def _single(builder: Callable) -> Callable[[int, int], Repository]:
+    def make(scale: int = 1, seed: int = 0) -> Repository:
+        repository = Repository()
+        repository.add_root(builder(scale=scale, seed=seed))
+        return repository
+    return make
+
+
+def _toy(builder: Callable) -> Callable[[int, int], Repository]:
+    def make(scale: int = 1, seed: int = 0) -> Repository:
+        repository = Repository()
+        repository.add_root(builder())
+        return repository
+    return make
+
+
+def _plays(scale: int = 1, seed: int = 0) -> Repository:
+    repository = Repository()
+    for play in generate_plays(scale=scale, seed=seed):
+        repository.add_root(play)
+    return repository
+
+
+#: name → builder(scale, seed) → Repository
+DATASETS: dict[str, Callable[..., Repository]] = {
+    "figure1": _toy(figure1),
+    "figure2a": _toy(figure2a),
+    "sigmod": _single(generate_sigmod),
+    "dblp": _single(generate_dblp),
+    "mondial": _single(generate_mondial),
+    "plays": _plays,
+    "treebank": _single(generate_treebank),
+    "swissprot": _single(generate_swissprot),
+    "protein": _single(generate_protein_sequence),
+    "interpro": _single(generate_interpro),
+    "nasa": _single(generate_nasa),
+}
+
+
+def load_dataset(name: str, scale: int = 1, seed: int = 0) -> Repository:
+    """Materialise a synthetic corpus by its paper name."""
+    try:
+        builder = DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") \
+            from None
+    return builder(scale=scale, seed=seed)
+
+
+def dataset_names() -> list[str]:
+    return sorted(DATASETS)

@@ -1,0 +1,113 @@
+"""Synthetic SIGMOD Record corpus (paper §7 workloads QS1–QS4, §7.2, §7.6).
+
+Shape of the real SigmodRecord.xml: issues containing articles; each
+article has ``title``, ``initPage``/``endPage`` attributes and a repeating
+``<author>`` list under ``<authors>``.  Articles with a single author make
+``<authors>``/``<article>`` connecting nodes — the §7.2 ground-truth
+discussion (447 of the 1504+67 connecting nodes came from single-author
+articles).
+
+Planted structure for the Table 6 queries:
+
+* QS1: Wasserman and Rowe share two articles.
+* QS2–QS4: each pool gets joint articles with pairwise overlaps so that
+  ``s=|Q|/2`` responses are small but non-empty, matching Table 7's shape.
+* §7.6: Rowe and Stonebraker co-author five articles (and appear in no
+  DBLP entry), the hybrid query's SIGMOD side.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import names
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+
+def generate_sigmod(scale: int = 1, seed: int = 0) -> XMLNode:
+    """Build the synthetic SigmodRecord tree (~60·scale articles)."""
+    synth = Synth(seed ^ 0x5164)
+    root = XMLNode("SigmodRecord", (0,))
+    issues = root.add_child("issues")
+    pool = names.synthetic_authors()
+
+    planted = _planted_articles(synth, pool, scale)
+    # One planted article per issue at most: high-level <issue> entities
+    # must not aggregate several planted author sets, otherwise they would
+    # outcount the articles themselves (the paper's real corpus is sparse
+    # enough that this never happens).
+    issue_count = max(len(planted), 2 * scale + 2)
+    volume = 11
+    for issue_no in range(issue_count):
+        issue = issues.add_child("issue")
+        issue.add_child("volume", text=str(volume + issue_no // 4))
+        issue.add_child("number", text=str(issue_no % 4 + 1))
+        articles = issue.add_child("articles")
+        for author_lists in _articles_for_issue(synth, pool, planted,
+                                                issue_no, issue_count):
+            _add_article(articles, synth, author_lists)
+    return root
+
+
+def _planted_articles(synth: Synth, pool: list[str],
+                      scale: int) -> list[list[str]]:
+    planted: list[list[str]] = []
+    # QS1's authors never co-author (Table 7: SLCA = 0, max keywords = 1);
+    # each gets solo and mixed-crowd articles instead.
+    wasserman, rowe = names.QS1_AUTHORS
+    planted.append([wasserman])
+    planted.append([wasserman, synth.pick(pool)])
+    planted.append([rowe, synth.pick(pool)])
+
+    qs2 = names.QS2_AUTHORS
+    planted.append([qs2[0], qs2[1]])
+    planted.append([qs2[2], qs2[3]])
+    planted.append([qs2[1], qs2[2]])
+
+    qs3 = names.QS3_AUTHORS
+    planted.append([qs3[0], qs3[1], qs3[2]])
+    planted.append([qs3[3], qs3[4], qs3[5]])
+
+    qs4 = names.QS4_AUTHORS
+    planted.append(list(qs4))  # the 8-author article behind QS4's max=8
+    planted.append(qs4[:4])    # a 4-subset article: QS4 at s=4 returns 2
+    planted.append([qs4[0], qs4[1]])
+    planted.append([qs4[2], qs4[3], qs4[4]])
+
+    for author in qs2 + qs3:
+        planted.append([author])  # single-author CN articles (§7.2)
+
+    hybrid = names.HYBRID_SIGMOD_AUTHORS
+    for _ in range(5):  # §7.6: five joint articles by Rowe & Stonebraker
+        planted.append(list(hybrid))
+    return planted
+
+
+def _articles_for_issue(synth: Synth, pool: list[str],
+                        planted: list[list[str]], issue_no: int,
+                        issue_count: int) -> list[list[str]]:
+    """Distribute planted articles across issues, pad with random ones."""
+    share = [planted[position]
+             for position in range(issue_no, len(planted), issue_count)]
+    padding = synth.int_between(4, 8)
+    for _ in range(padding):
+        author_count = synth.int_between(1, 4)
+        authors: list[str] = []
+        while len(authors) < author_count:
+            author = pool[synth.skewed_index(len(pool))]
+            if author not in authors:
+                authors.append(author)
+        share.append(authors)
+    return share
+
+
+def _add_article(articles: XMLNode, synth: Synth,
+                 authors: list[str]) -> XMLNode:
+    article = articles.add_child("article")
+    article.add_child("title", text=synth.title())
+    start, end = synth.pages()
+    article.add_child("initPage", text=start)
+    article.add_child("endPage", text=end)
+    holder = article.add_child("authors")
+    for author in authors:
+        holder.add_child("author", text=author)
+    return article

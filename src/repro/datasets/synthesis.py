@@ -1,0 +1,107 @@
+"""Shared machinery for the synthetic corpus generators.
+
+The paper evaluates on real repositories from the UW XML collection [21]
+(DBLP, SIGMOD Record, Mondial, Shakespeare's plays, TreeBank, SwissProt,
+InterPro, Protein Sequence, NASA).  Those files are not available offline,
+so each generator in this package rebuilds the corpus *shape*: the same
+element hierarchy, the same node-category mix, similar fan-outs and depth,
+and a keyword distribution with planted structure for the paper's queries
+(Table 6).  All generation is deterministic given ``(scale, seed)``.
+
+Conventions shared by every generator:
+
+* ``scale`` linearly multiplies the number of top-level entities
+  (articles, countries, proteins, …); ``scale=1`` is a laptop-size corpus.
+* ``seed`` drives a private :class:`random.Random`; two calls with equal
+  arguments produce byte-identical documents.
+* Generators return an :class:`XMLNode` root; callers wrap it into a
+  :class:`Repository` (see :mod:`repro.datasets.registry`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+_TITLE_HEAD = [
+    "efficient", "scalable", "adaptive", "incremental", "distributed",
+    "parallel", "robust", "generic", "semantic", "probabilistic",
+    "approximate", "declarative", "streaming", "secure", "optimal",
+]
+
+_TITLE_CORE = [
+    "keyword", "search", "query", "index", "join", "ranking", "schema",
+    "transaction", "storage", "cache", "graph", "stream", "cluster",
+    "partition", "sampling", "recovery", "replication", "compression",
+    "optimization", "integration",
+]
+
+_TITLE_TAIL = [
+    "databases", "systems", "networks", "repositories", "collections",
+    "documents", "workloads", "architectures", "engines", "services",
+]
+
+_PROSE_WORDS = [
+    "data", "node", "tree", "query", "result", "user", "model", "method",
+    "cost", "time", "space", "value", "label", "path", "level", "rank",
+    "set", "list", "table", "field", "term", "token", "match", "score",
+    "graph", "edge", "index", "scan", "merge", "sort", "hash", "page",
+]
+
+
+class Synth:
+    """A seeded pocket of randomness with corpus-building helpers."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Primitive draws
+    # ------------------------------------------------------------------
+    def pick(self, pool: Sequence[str]) -> str:
+        return self.rng.choice(pool)
+
+    def sample(self, pool: Sequence[str], count: int) -> list[str]:
+        count = min(count, len(pool))
+        return self.rng.sample(list(pool), count)
+
+    def int_between(self, low: int, high: int) -> int:
+        return self.rng.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def skewed_index(self, size: int, alpha: float = 1.3) -> int:
+        """Zipf-ish index into a pool: small indexes far more likely.
+
+        Keyword frequencies in the real corpora are heavily skewed; this
+        keeps merged-list sizes realistic without a true Zipf sampler.
+        """
+        u = self.rng.random()
+        position = int(size * (u ** alpha))
+        return min(position, size - 1)
+
+    # ------------------------------------------------------------------
+    # Text fabrication
+    # ------------------------------------------------------------------
+    def title(self) -> str:
+        """A plausible article/dataset title, 3–6 words."""
+        words = [self.pick(_TITLE_HEAD), self.pick(_TITLE_CORE)]
+        if self.chance(0.6):
+            words.append(self.pick(_TITLE_CORE))
+        words.extend(["for" if self.chance(0.5) else "over",
+                      self.pick(_TITLE_TAIL)])
+        return " ".join(words).capitalize()
+
+    def sentence(self, words: int) -> str:
+        return " ".join(self.pick(_PROSE_WORDS) for _ in range(words))
+
+    def year(self, low: int = 1975, high: int = 2014) -> str:
+        return str(self.int_between(low, high))
+
+    def pages(self) -> tuple[str, str]:
+        start = self.int_between(1, 500)
+        return str(start), str(start + self.int_between(4, 30))
+
+    def code(self, prefix: str, width: int = 5) -> str:
+        return f"{prefix}{self.rng.randrange(10 ** width):0{width}d}"

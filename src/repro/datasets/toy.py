@@ -1,0 +1,93 @@
+"""The paper's two worked-example documents.
+
+* :func:`figure1` — the abstract labeled tree of Fig. 1 behind Table 1
+  (queries Q1–Q3) and Example 5's rank computation.  The published figure
+  is ambiguous about where ``x4`` hangs; this layout is the unique one we
+  found that reproduces *every* reported result simultaneously:
+
+  - GKS(Q1, s=3) = {x2};  SLCA(Q1) = {x2};  ELCA(Q1) = {x1, x2}
+  - GKS(Q2, s=2) = {x2, x3};  SLCA = ELCA = ∅
+  - GKS(Q3, s=2) = {x2, x3, x4} with ranks 3, 2.5, 2;  SLCA = ELCA = {r}
+
+* :func:`figure2a` — the university document of Fig. 2(a) behind the node
+  categorization examples, Table 3's postings, Example 3 (query Q4) and
+  the DI discussion (Q5 → "Data Mining").
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.node import XMLNode, build_tree
+
+
+def figure1() -> XMLNode:
+    """The Fig. 1 toy tree; keywords a–d are both tags and text values."""
+    return build_tree(("r", [
+        ("x1", [
+            ("a", "a"),
+            ("b", "b"),
+            ("c", "c"),
+            ("x2", [("a", "a"), ("b", "b"), ("c", "c")]),
+        ]),
+        ("x3", [
+            ("a", "a"),
+            ("b", "b"),
+            ("y", [("d", "d"), ("f", "f")]),
+        ]),
+        ("x4", [("a", "a"), ("d", "d")]),
+    ]))
+
+
+def figure2a() -> XMLNode:
+    """The Fig. 2(a) university document (Dept → Area → Course →
+    Student)."""
+    return build_tree(("Dept", [
+        ("Dept_Name", "CS"),
+        ("Area", [
+            ("Name", "Databases"),
+            ("Courses", [
+                ("Course", [
+                    ("Name", "Data Mining"),
+                    ("Students", [
+                        ("Student", "Karen"),
+                        ("Student", "Mike"),
+                        ("Student", "John"),
+                    ]),
+                ]),
+                ("Course", [
+                    ("Name", "Algorithms"),
+                    ("Students", [
+                        ("Student", "Karen"),
+                        ("Student", "Julie"),
+                    ]),
+                ]),
+                ("Course", [
+                    ("Name", "AI"),
+                    ("Students", [
+                        ("Student", "Karen"),
+                        ("Student", "Mike"),
+                        ("Student", "Serena"),
+                        ("Student", "Peter"),
+                    ]),
+                ]),
+            ]),
+        ]),
+        ("Area", [
+            ("Name", "Systems"),
+            ("Courses", [
+                ("Course", [
+                    ("Name", "Operating Systems"),
+                    ("Students", [
+                        ("Student", "Harry"),
+                        ("Student", "Zoe"),
+                    ]),
+                ]),
+                ("Course", [
+                    ("Name", "Networks"),
+                    ("Students", [
+                        ("Student", "Mike"),
+                        ("Student", "Ann"),
+                    ]),
+                ]),
+            ]),
+        ]),
+    ]))

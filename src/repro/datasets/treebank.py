@@ -1,0 +1,65 @@
+"""Synthetic TreeBank corpus (paper Table 4: depth 36).
+
+The real TreeBank is Wall Street Journal text under deeply nested,
+partially encrypted parse trees — by far the deepest corpus in Table 4
+(depth 36 vs 5–8 elsewhere).  The generator grows random constituency
+trees whose depth is driven to ``target_depth`` so the response-time
+model's dependence on ``d`` (O(d·|SL|·log n)) can be exercised.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+
+_PHRASE_TAGS = ["NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "WHNP", "PRT"]
+_WORDS = [
+    "market", "shares", "company", "profit", "quarter", "analyst",
+    "trading", "index", "bank", "merger", "stock", "bond", "price",
+    "growth", "revenue", "investor", "board", "chief", "report", "deal",
+]
+
+
+def generate_treebank(scale: int = 1, seed: int = 0,
+                      target_depth: int = 36) -> XMLNode:
+    """Build the synthetic TreeBank (~80·scale sentences)."""
+    synth = Synth(seed ^ 0x72EE)
+    root = XMLNode("treebank", (0,))
+    for sentence_no in range(80 * scale):
+        sentence = root.add_child("S")
+        # Every ~10th sentence carries one deliberately deep spine so the
+        # corpus reaches the target depth; the rest stay shallow like
+        # ordinary parses.
+        if sentence_no % 10 == 0:
+            _grow_spine(sentence, synth, target_depth - 2)
+        else:
+            _grow(sentence, synth, depth=1,
+                  budget=synth.int_between(4, 10))
+    return root
+
+
+def _grow_spine(node: XMLNode, synth: Synth, remaining: int) -> None:
+    current = node
+    while remaining > 0:
+        current = current.add_child(synth.pick(_PHRASE_TAGS))
+        if synth.chance(0.3):
+            current.add_child("W", text=synth.pick(_WORDS))
+        remaining -= 1
+    current.add_child("W", text=synth.pick(_WORDS))
+
+
+def _grow(node: XMLNode, synth: Synth, depth: int, budget: int) -> int:
+    """Grow a bushy parse subtree; returns the remaining node budget."""
+    children = synth.int_between(1, 3)
+    for _ in range(children):
+        if budget <= 0:
+            break
+        budget -= 1
+        if depth >= 6 or synth.chance(0.35):
+            node.add_child("W", text=synth.pick(_WORDS))
+        else:
+            child = node.add_child(synth.pick(_PHRASE_TAGS))
+            budget = _grow(child, synth, depth + 1, budget)
+            if child.is_leaf:  # never leave an empty phrase node
+                child.add_child("W", text=synth.pick(_WORDS))
+    return budget

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the GKS reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`GKSError`, so callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish parse problems from index or query problems.
+"""
+
+from __future__ import annotations
+
+
+class GKSError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class XMLSyntaxError(GKSError):
+    """Raised by the streaming parser on malformed XML input.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DeweyError(GKSError):
+    """Raised for invalid Dewey identifiers or Dewey operations."""
+
+
+class IndexError_(GKSError):
+    """Raised for inconsistent or unusable index state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class StorageError(GKSError):
+    """Raised when a persisted index cannot be written or read back."""
+
+
+class QueryError(GKSError):
+    """Raised for malformed keyword queries (e.g. empty after analysis)."""
+
+
+class DatasetError(GKSError):
+    """Raised by synthetic dataset generators for invalid parameters."""

@@ -1,0 +1,18 @@
+"""Evaluation harness: metrics, workloads, feedback, experiment runners."""
+
+from repro.eval.feedback import (FeedbackTable, QueryComparison,
+                                 simulate_feedback)
+from repro.eval.metrics import (precision_at, rank_score,
+                                rank_score_from_positions, recall,
+                                reciprocal_rank, response_rank_score)
+from repro.eval.reporting import render_series, render_table
+from repro.eval.workload import (HYBRID_QUERY, TABLE6, WorkloadQuery, by_id,
+                                 for_dataset)
+
+__all__ = [
+    "FeedbackTable", "HYBRID_QUERY", "QueryComparison", "TABLE6",
+    "WorkloadQuery", "by_id", "for_dataset", "precision_at", "rank_score",
+    "rank_score_from_positions", "recall", "reciprocal_rank",
+    "render_series", "render_table", "response_rank_score",
+    "simulate_feedback",
+]

@@ -1,0 +1,90 @@
+"""Comparing rankings and result sets quantitatively.
+
+Used by the ranking ablations to say *how different* two rankers are,
+not just which one wins the rank-score metric:
+
+* :func:`jaccard` — overlap of two result sets;
+* :func:`kendall_tau` — rank correlation of two orderings over their
+  common items (τ ∈ [−1, 1]; 1 = identical order, −1 = reversed);
+* :func:`overlap_at` — fraction of shared items in the top-k heads;
+* :func:`compare_responses` — the bundle, straight from two
+  :class:`GKSResponse` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.results import GKSResponse
+
+
+def jaccard(left: Sequence[Hashable], right: Sequence[Hashable]) -> float:
+    """|L ∩ R| / |L ∪ R| (1.0 for two empty sets)."""
+    left_set, right_set = set(left), set(right)
+    union = left_set | right_set
+    if not union:
+        return 1.0
+    return len(left_set & right_set) / len(union)
+
+
+def kendall_tau(left: Sequence[Hashable],
+                right: Sequence[Hashable]) -> float:
+    """Kendall's τ-a over the items present in *both* rankings.
+
+    Fewer than two common items yield 1.0 (there is nothing to
+    disagree about).  O(c²) over the common items — fine at response
+    scale.
+    """
+    left_rank = {item: position for position, item in enumerate(left)}
+    right_rank = {item: position for position, item in enumerate(right)}
+    common = [item for item in left if item in right_rank]
+    if len(common) < 2:
+        return 1.0
+
+    concordant = discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            a, b = common[i], common[j]
+            left_order = left_rank[a] - left_rank[b]
+            right_order = right_rank[a] - right_rank[b]
+            product = left_order * right_order
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    pairs = len(common) * (len(common) - 1) / 2
+    return (concordant - discordant) / pairs
+
+
+def overlap_at(left: Sequence[Hashable], right: Sequence[Hashable],
+               k: int) -> float:
+    """|top-k(L) ∩ top-k(R)| / k."""
+    if k < 1:
+        raise ValueError(f"k must be positive: {k}")
+    head_left = set(list(left)[:k])
+    head_right = set(list(right)[:k])
+    return len(head_left & head_right) / k
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    jaccard: float
+    kendall_tau: float
+    overlap_at_5: float
+    left_size: int
+    right_size: int
+
+
+def compare_responses(left: GKSResponse,
+                      right: GKSResponse) -> RankingComparison:
+    """Set and order agreement between two responses."""
+    left_ids = left.deweys
+    right_ids = right.deweys
+    return RankingComparison(
+        jaccard=jaccard(left_ids, right_ids),
+        kendall_tau=kendall_tau(left_ids, right_ids),
+        overlap_at_5=overlap_at(left_ids, right_ids, 5)
+        if left_ids and right_ids else 0.0,
+        left_size=len(left_ids),
+        right_size=len(right_ids))

@@ -1,0 +1,57 @@
+"""ASCII rendering of the figure series (Figs 8–10).
+
+The paper's figures are scatter/line plots; the benchmark harness is
+text-only, so each figure is rendered as a horizontal bar chart — good
+enough to eyeball linearity and crossovers in ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_bar_chart(title: str, points: Sequence[tuple[object, float]],
+                     width: int = 50, y_label: str = "") -> str:
+    """One bar per (label, value) pair, scaled to *width* characters."""
+    if width < 1:
+        raise ValueError(f"width must be positive: {width}")
+    lines = [title]
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    peak = max(value for _, value in points)
+    label_width = max(len(str(label)) for label, _ in points)
+    for label, value in points:
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{str(label).rjust(label_width)} | "
+                     f"{bar} {value:.2f}{y_label}")
+    return "\n".join(lines)
+
+
+def render_scatter(title: str, points: Sequence[tuple[float, float]],
+                   width: int = 60, height: int = 12,
+                   x_label: str = "x", y_label: str = "y") -> str:
+    """A coarse dot plot on a character grid (for Fig. 8's cloud)."""
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = min(int((x - x_low) / x_span * (width - 1)), width - 1)
+        row = min(int((y - y_low) / y_span * (height - 1)), height - 1)
+        grid[height - 1 - row][column] = "*"
+
+    lines = [title]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_low:g} .. {x_high:g}   "
+                 f"{y_label}: {y_low:g} .. {y_high:g}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Seeded random query workloads.
+
+The Table 6 workload is hand-crafted; robustness and latency
+distributions need *volume*.  The generator draws keywords from an
+index's actual vocabulary with controllable selectivity (how frequent
+the chosen keywords are), mixes in phrase keywords built from adjacent
+posting content, and produces deterministic workloads given a seed —
+the `bench_robustness` fuzz harness runs hundreds of them per corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.query import Query
+from repro.index.builder import GKSIndex
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs for one generated workload."""
+
+    queries: int = 50
+    min_keywords: int = 1
+    max_keywords: int = 6
+    #: 0.0 = only the rarest vocabulary, 1.0 = only the most frequent
+    selectivity: float = 0.5
+    #: probability that a keyword is dropped for a nonsense token
+    noise: float = 0.1
+    seed: int = 0
+
+
+def vocabulary_by_frequency(index: GKSIndex) -> list[str]:
+    """Vocabulary sorted rare → frequent (ties broken alphabetically)."""
+    return [keyword for _, keyword in sorted(
+        (index.inverted.document_frequency(keyword), keyword)
+        for keyword in index.inverted.vocabulary)]
+
+
+def generate_queries(index: GKSIndex,
+                     spec: WorkloadSpec = WorkloadSpec()) -> list[Query]:
+    """A deterministic batch of queries against *index*'s vocabulary."""
+    if spec.min_keywords < 1 or spec.max_keywords < spec.min_keywords:
+        raise ValueError(f"bad keyword bounds in {spec}")
+    if not 0.0 <= spec.selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1]: {spec}")
+
+    vocabulary = vocabulary_by_frequency(index)
+    if not vocabulary:
+        return []
+    rng = random.Random(spec.seed)
+    queries: list[Query] = []
+    for _ in range(spec.queries):
+        count = rng.randint(spec.min_keywords, spec.max_keywords)
+        keywords: list[str] = []
+        attempts = 0
+        while len(keywords) < count and attempts < count * 10:
+            attempts += 1
+            if rng.random() < spec.noise:
+                keyword = f"zz{rng.randrange(10 ** 6)}"
+            else:
+                keyword = vocabulary[_biased_index(rng, len(vocabulary),
+                                                   spec.selectivity)]
+            if keyword not in keywords:
+                keywords.append(keyword)
+        if not keywords:
+            continue
+        s = rng.randint(1, len(keywords))
+        queries.append(Query.of(keywords, s=s))
+    return queries
+
+
+def _biased_index(rng: random.Random, size: int,
+                  selectivity: float) -> int:
+    """Draw an index biased toward the frequent end by *selectivity*."""
+    u = rng.random()
+    # selectivity 1 → u^0.25 clusters near 1 (frequent end);
+    # selectivity 0 → u^4 clusters near 0 (rare end)
+    exponent = 4.0 ** (1.0 - 2.0 * selectivity)
+    position = int((u ** exponent) * size)
+    return min(position, size - 1)

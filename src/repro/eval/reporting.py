@@ -1,0 +1,44 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+Every benchmark prints its table in the same fixed-width style so the
+paper-vs-measured comparison in EXPERIMENTS.md is easy to eyeball.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule; floats get 3 decimals."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[column])
+                           for column, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[column])
+                               for column, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple[object, object]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A figure as a two-column series (x, y) — one line per point."""
+    rows = [(x, y) for x, y in points]
+    return render_table([x_label, y_label], rows, title=name)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

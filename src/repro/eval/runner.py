@@ -1,0 +1,301 @@
+"""Experiment runners shared by the benchmark suite.
+
+Each paper experiment (DESIGN.md §3) has a function here that computes its
+rows/series; the ``benchmarks/`` modules wrap them in pytest-benchmark
+timers and print the rendered tables.  Keeping the logic importable means
+tests can assert on experiment *content* without paying benchmark runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.baselines.slca import slca_indexed_lookup_eager
+from repro.core.engine import GKSEngine
+from repro.core.query import Query
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.registry import load_dataset
+from repro.datasets.sigmod import generate_sigmod
+from repro.eval.feedback import (FeedbackTable, QueryComparison,
+                                 simulate_feedback)
+from repro.eval.metrics import response_rank_score
+from repro.eval.workload import TABLE6, HYBRID_QUERY, WorkloadQuery
+from repro.index.builder import GKSIndex
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+
+
+@lru_cache(maxsize=None)
+def engine_for(dataset: str, scale: int = 1, seed: int = 0) -> GKSEngine:
+    """A cached, fully indexed engine per (dataset, scale, seed)."""
+    return GKSEngine(load_dataset(dataset, scale=scale, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Tables 6+7: result counts and ranking quality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QualityRow:
+    qid: str
+    gks_s1: int
+    gks_half: int
+    slca: int
+    max_keywords: int
+    rank_score: float
+
+
+def table7_rows(scale: int = 1, seed: int = 0) -> list[QualityRow]:
+    """One row per Table 6 query: Table 7's columns on synthetic data."""
+    rows = []
+    for workload in TABLE6:
+        engine = engine_for(workload.dataset, scale, seed)
+        response_s1 = engine.search(workload.text, s=1)
+        response_half = engine.search(workload.text, s=workload.half_s())
+        query_all = engine.parse_query(workload.text,
+                                       s=len(workload.text))
+        slca_nodes = slca_indexed_lookup_eager(engine.index, query_all)
+        rows.append(QualityRow(
+            qid=workload.qid,
+            gks_s1=len(response_s1),
+            gks_half=len(response_half),
+            slca=len(slca_nodes),
+            max_keywords=response_s1.max_distinct_keywords(),
+            rank_score=response_rank_score(response_s1)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 8: DI per query
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DIRow:
+    qid: str
+    di_s1: tuple[str, ...]
+    di_half: tuple[str, ...]
+
+
+def table8_rows(scale: int = 1, seed: int = 0, top: int = 2) -> list[DIRow]:
+    rows = []
+    for workload in TABLE6:
+        engine = engine_for(workload.dataset, scale, seed)
+        rows.append(DIRow(
+            qid=workload.qid,
+            di_s1=_top_di(engine, workload, s=1, top=top),
+            di_half=_top_di(engine, workload, s=workload.half_s(),
+                            top=top)))
+    return rows
+
+
+def _top_di(engine: GKSEngine, workload: WorkloadQuery, s: int,
+            top: int) -> tuple[str, ...]:
+    response = engine.search(workload.text, s=s)
+    report = engine.insights(response, top=top)
+    return tuple(insight.render() for insight in report)
+
+
+# ----------------------------------------------------------------------
+# §7.4 refinement case study (QD1 + DI co-author)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RefinementCase:
+    original_results: int
+    di_coauthor_found: bool
+    refined_results: int
+    refined_text: str
+
+
+def refinement_case(scale: int = 1, seed: int = 0) -> RefinementCase:
+    """QD1 → DI exposes Rusinkiewicz → refined query finds 10 articles."""
+    engine = engine_for("dblp", scale, seed)
+    qd1 = '"Dimitrios Georgakopoulos" "Joe D. Morrison"'
+    response = engine.search(qd1, s=1)
+    report = engine.insights(response, top=10)
+    rendered = " ".join(insight.render().lower() for insight in report)
+    found = "rusinkiewicz" in rendered
+
+    refined_query = engine.parse_query(
+        '"Dimitrios Georgakopoulos" "Marek Rusinkiewicz"')
+    full = engine.search(refined_query.with_s(len(refined_query)))
+    return RefinementCase(original_results=len(response),
+                          di_coauthor_found=found,
+                          refined_results=len(full),
+                          refined_text="Georgakopoulos + Rusinkiewicz")
+
+
+# ----------------------------------------------------------------------
+# Figures 8/9: response time vs |SL| and vs n
+# ----------------------------------------------------------------------
+def frequency_ladder(index: GKSIndex, count: int,
+                     minimum_df: int = 2) -> list[str]:
+    """Vocabulary sorted by document frequency (most frequent first)."""
+    frequencies = sorted(
+        ((index.inverted.document_frequency(keyword), keyword)
+         for keyword in index.inverted.vocabulary
+         if index.inverted.document_frequency(keyword) >= minimum_df),
+        reverse=True)
+    return [keyword for _, keyword in frequencies[:count]]
+
+
+def queries_for_figure8(index: GKSIndex, n: int = 8,
+                        buckets: int = 6) -> list[Query]:
+    """Fixed-``n`` queries whose merged-list sizes span a wide range.
+
+    Bucket *b* draws its keywords from a progressively rarer region of the
+    frequency ladder, so |SL| falls across queries, as in Fig. 8.
+    """
+    ladder = frequency_ladder(index, count=max(4 * n * buckets, 64))
+    queries = []
+    for bucket in range(buckets):
+        start = bucket * len(ladder) // buckets
+        chunk = ladder[start:start + n]
+        if len(chunk) == n:
+            queries.append(Query.of(chunk, s=max(1, n // 2)))
+    return queries
+
+
+def timed_search(engine: GKSEngine, query: Query,
+                 repeats: int = 3) -> tuple[float, int]:
+    """Best-of-*repeats* wall time (seconds) and merged-list size.
+
+    Bypasses the engine's response cache — every repeat pays full cost.
+    """
+    best = float("inf")
+    sl_size = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        response = engine.search(query, use_cache=False)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        sl_size = response.profile.merged_list_size
+    return best, sl_size
+
+
+def figure8_series(dataset: str, scale: int = 1, seed: int = 0,
+                   n: int = 8) -> list[tuple[int, float]]:
+    """(|SL|, response-time ms) points, sorted by |SL|."""
+    engine = engine_for(dataset, scale, seed)
+    points = []
+    for query in queries_for_figure8(engine.index, n=n):
+        seconds, sl_size = timed_search(engine, query)
+        points.append((sl_size, seconds * 1000.0))
+    points.sort()
+    return points
+
+
+def figure9_series(dataset: str, scale: int = 1, seed: int = 0,
+                   sizes: tuple[int, ...] = (2, 4, 8, 16)
+                   ) -> list[tuple[int, float]]:
+    """(n, response-time ms) for growing query sizes (Fig. 9)."""
+    engine = engine_for(dataset, scale, seed)
+    ladder = frequency_ladder(engine.index, count=max(sizes) * 4)
+    points = []
+    for n in sizes:
+        keywords = ladder[:n]
+        if len(keywords) < n:
+            break
+        query = Query.of(keywords, s=max(1, n // 2))
+        seconds, _ = timed_search(engine, query)
+        points.append((n, seconds * 1000.0))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 10: scalability via replication
+# ----------------------------------------------------------------------
+def figure10_series(dataset: str = "swissprot", factors: tuple[int, ...] =
+                    (1, 2, 3), scale: int = 1, seed: int = 0,
+                    n: int = 6) -> list[tuple[int, float, int]]:
+    """(factor, response-time ms, |SL|) for replicated corpora."""
+    base = load_dataset(dataset, scale=scale, seed=seed)
+    points = []
+    query_keywords: list[str] | None = None
+    for factor in factors:
+        replicated = base.extend_replicated(factor)
+        engine = GKSEngine(replicated)
+        if query_keywords is None:
+            query_keywords = frequency_ladder(engine.index, count=n)
+        query = Query.of(query_keywords, s=max(1, n // 2))
+        seconds, sl_size = timed_search(engine, query)
+        points.append((factor, seconds * 1000.0, sl_size))
+    return points
+
+
+# ----------------------------------------------------------------------
+# §7.5 simulated feedback
+# ----------------------------------------------------------------------
+def feedback_table(scale: int = 1, seed: int = 0,
+                   users: int = 40) -> FeedbackTable:
+    comparisons = []
+    for workload in TABLE6[:12]:  # the paper's §7.5 table covers QS/QD/QM
+        engine = engine_for(workload.dataset, scale, seed)
+        response = engine.search(workload.text, s=1)
+        query_all = engine.parse_query(workload.text, s=10 ** 6)
+        slca_nodes = slca_indexed_lookup_eager(engine.index, query_all)
+        comparisons.append(QueryComparison.from_results(
+            workload.qid, response, slca_nodes))
+    return simulate_feedback(comparisons, users=users, seed=seed + 7)
+
+
+# ----------------------------------------------------------------------
+# §7.6 hybrid queries
+# ----------------------------------------------------------------------
+def build_hybrid_repository(scale: int = 1, seed: int = 0) -> Repository:
+    """DBLP and SIGMOD Record under one common root, with the SIGMOD side
+    pushed two connecting nodes deeper (the paper's §7.6 setup)."""
+    root = XMLNode("collection", (0,))
+    _graft(root, generate_dblp(scale=scale, seed=seed))
+    wrapper = root.add_child("archive")
+    inner = wrapper.add_child("records")
+    _graft(inner, generate_sigmod(scale=scale, seed=seed))
+    repository = Repository()
+    repository.add_root(root)
+    return repository
+
+
+def _graft(parent: XMLNode, source: XMLNode) -> None:
+    """Deep-copy *source* (with fresh Dewey ids) under *parent*."""
+    copy = parent.add_child(source.tag, text=source.text,
+                            xml_attributes=dict(source.xml_attributes))
+    stack = [(source, copy)]
+    while stack:
+        old, new = stack.pop()
+        for child in old.children:
+            replica = new.add_child(child.tag, text=child.text,
+                                    xml_attributes=dict(
+                                        child.xml_attributes))
+            stack.append((child, replica))
+
+
+@dataclass(frozen=True)
+class HybridOutcome:
+    total_results: int
+    dblp_hits: int          # <inproceedings> by Meynadier & Behm
+    sigmod_hits: int        # <article> by Rowe & Stonebraker
+    sigmod_ranked_first: bool
+
+
+def hybrid_experiment(scale: int = 1, seed: int = 0) -> HybridOutcome:
+    repository = build_hybrid_repository(scale=scale, seed=seed)
+    engine = GKSEngine(repository)
+    response = engine.search(HYBRID_QUERY, s=2)
+
+    dblp_hits = 0
+    sigmod_hits = 0
+    kinds: list[str] = []
+    for node in response:
+        element = repository.node_at(node.dewey)
+        tag = element.tag if element is not None else "?"
+        kinds.append(tag)
+        pair_text = element.subtree_text() if element is not None else ""
+        if tag == "inproceedings" and "Meynadier" in pair_text \
+                and "Behm" in pair_text:
+            dblp_hits += 1
+        elif tag == "article" and "Rowe" in pair_text \
+                and "Stonebraker" in pair_text:
+            sigmod_hits += 1
+    return HybridOutcome(total_results=len(response),
+                         dblp_hits=dblp_hits, sigmod_hits=sigmod_hits,
+                         sigmod_ranked_first=bool(kinds)
+                         and kinds[0] == "article")

@@ -1,0 +1,65 @@
+"""The Table 6 query workload, targeting the synthetic corpora.
+
+Each :class:`WorkloadQuery` pairs a query id from the paper (QS1–QS4,
+QD1–QD4, QM1–QM4, QI1–QI2) with its query text and its dataset.  ``size``
+records the paper's |Q| (the number of *query terms*; after tokenisation a
+quoted author name contributes one keyword per token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import names
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    qid: str
+    dataset: str
+    text: str
+    size: int  # the paper's |Q| (quoted phrases count as one term)
+
+    def half_s(self) -> int:
+        """The paper's ``s = |Q|/2`` setting."""
+        return max(1, self.size // 2)
+
+
+def _quoted(authors: list[str]) -> str:
+    return " ".join(f'"{author}"' for author in authors)
+
+
+TABLE6: list[WorkloadQuery] = [
+    WorkloadQuery("QS1", "sigmod", _quoted(names.QS1_AUTHORS), 2),
+    WorkloadQuery("QS2", "sigmod", _quoted(names.QS2_AUTHORS), 4),
+    WorkloadQuery("QS3", "sigmod", _quoted(names.QS3_AUTHORS), 6),
+    WorkloadQuery("QS4", "sigmod", _quoted(names.QS4_AUTHORS), 8),
+    WorkloadQuery("QD1", "dblp", _quoted(names.QD1_AUTHORS), 2),
+    WorkloadQuery("QD2", "dblp", _quoted(names.QD2_AUTHORS), 4),
+    WorkloadQuery("QD3", "dblp", _quoted(names.QD3_AUTHORS), 6),
+    WorkloadQuery("QD4", "dblp", _quoted(names.QD4_AUTHORS), 8),
+    WorkloadQuery("QM1", "mondial", "country Muslim", 2),
+    WorkloadQuery("QM2", "mondial", "Laos country name", 3),
+    WorkloadQuery("QM3", "mondial",
+                  "Polish Spanish German Luxembourg Bruges Catholic", 6),
+    WorkloadQuery("QM4", "mondial",
+                  "Chinese Thai Muslim Buddhism Christianity Hinduism "
+                  "Orthodox Catholic", 8),
+    WorkloadQuery("QI1", "interpro", "Kringle Domain", 2),
+    WorkloadQuery("QI2", "interpro", "Publication 2002 Science", 3),
+]
+
+#: The §7.6 hybrid query over the merged DBLP + SIGMOD repository.
+HYBRID_QUERY = _quoted(names.HYBRID_DBLP_AUTHORS
+                       + names.HYBRID_SIGMOD_AUTHORS)
+
+
+def by_id(qid: str) -> WorkloadQuery:
+    for query in TABLE6:
+        if query.qid == qid:
+            return query
+    raise KeyError(f"unknown workload query {qid!r}")
+
+
+def for_dataset(dataset: str) -> list[WorkloadQuery]:
+    return [query for query in TABLE6 if query.dataset == dataset]

@@ -1,0 +1,22 @@
+"""Indexing engine: node categorization, inverted index, hash tables."""
+
+from repro.index.builder import GKSIndex, IndexBuilder, build_index
+from repro.index.categorize import (CategoryRecord, NodeCategory,
+                                    StreamingCategorizer, categorize_tree,
+                                    iter_categories)
+from repro.index.hashtables import NodeHashes
+from repro.index.incremental import append_document, remove_last_document
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import (MergedEntry, count_in_subtree,
+                                  merge_posting_lists, subtree_range)
+from repro.index.statistics import IndexStats
+from repro.index.storage import (index_size_bytes, load_index, save_index)
+
+__all__ = [
+    "CategoryRecord", "GKSIndex", "IndexBuilder", "IndexStats",
+    "InvertedIndex", "MergedEntry", "NodeCategory", "NodeHashes",
+    "StreamingCategorizer", "append_document", "build_index",
+    "categorize_tree", "count_in_subtree", "index_size_bytes",
+    "iter_categories", "load_index", "merge_posting_lists",
+    "remove_last_document", "save_index", "subtree_range",
+]

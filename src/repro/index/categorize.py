@@ -1,0 +1,214 @@
+"""GKS node categorization model (paper §2.2, Defs 2.1.1–2.1.4).
+
+Every element node is placed in one of four categories based purely on the
+structure of its own subtree (instance level — no schema needed):
+
+* **Attribute node (AN)** — the element's only content is its text value and
+  it has no same-label sibling.  "The parent node of an attribute node is
+  considered the lowest ancestor for keyword(s) in its value."
+* **Repeating node (RN)** — the element has at least one sibling with the
+  same label (``u*``).  An element that directly contains its value *and*
+  has same-label siblings is an RN, not an AN (the ``<Student>`` rule).
+* **Entity node (EN)** — the lowest common ancestor of a set of attribute
+  nodes and multiple instances of a repeating node, where the attribute
+  nodes do not occur inside any of those repeating nodes.
+* **Connecting node (CN)** — everything else.
+
+A node can be both EN and RN (``<Course>`` in Fig. 2(a)); the category field
+carries the *primary* category and :attr:`CategoryRecord.is_repeating`
+preserves the RN flag, mirroring the paper's "its entry is present in both
+the hash tables".
+
+Entity-node rule, operationally (see DESIGN.md §2): ``v`` is an EN iff it has
+
+1. a *qualifying attribute* — an AN descendant reachable from ``v`` without
+   crossing a repeating node, and
+2. a repeating group whose LCA ``w`` (the parent of the group) satisfies
+   ``LCA(attribute, w) == v``: either ``w == v`` (the group are ``v``'s own
+   children) or the attribute and the group live under different children
+   of ``v``.
+
+This reproduces all of the paper's examples: ``<Area>`` (attr ``Name``,
+groups under connecting ``<Courses>``) is EN; ``<Courses>`` is CN (no
+attribute); a single-author DBLP ``<article>`` is CN (§7.2).
+
+The classifier runs in a single pass in document order (XML arrives
+pre-order).  A subtlety: a node's RN status depends on *later* same-label
+siblings, so a node's record is only emitted once its parent closes — still
+one pass, with O(depth · fan-out) buffered state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+
+
+class NodeCategory(str, Enum):
+    """Primary category of an XML element (Defs 2.1.1–2.1.4)."""
+
+    ATTRIBUTE = "AN"
+    REPEATING = "RN"
+    ENTITY = "EN"
+    CONNECTING = "CN"
+
+
+@dataclass(frozen=True)
+class CategoryRecord:
+    """Categorization result for one element node."""
+
+    dewey: Dewey
+    tag: str
+    category: NodeCategory
+    is_repeating: bool
+    child_count: int
+
+    @property
+    def is_entity(self) -> bool:
+        return self.category is NodeCategory.ENTITY
+
+
+@dataclass(frozen=True)
+class _Partial:
+    """Category info of a closed element, pending its RN resolution."""
+
+    dewey: Dewey
+    tag: str
+    is_entity: bool
+    is_attribute_shape: bool
+    has_qualifying_attr: bool
+    has_group: bool
+    child_count: int
+
+    def finalize(self, repeated: bool) -> CategoryRecord:
+        if self.is_entity:
+            category = NodeCategory.ENTITY
+        elif repeated:
+            category = NodeCategory.REPEATING
+        elif self.is_attribute_shape:
+            category = NodeCategory.ATTRIBUTE
+        else:
+            category = NodeCategory.CONNECTING
+        return CategoryRecord(dewey=self.dewey, tag=self.tag,
+                              category=category, is_repeating=repeated,
+                              child_count=self.child_count)
+
+
+class _Frame:
+    """Per-open-element state while streaming in document order."""
+
+    __slots__ = ("dewey", "tag", "child_tags", "has_text", "pending")
+
+    def __init__(self, dewey: Dewey, tag: str) -> None:
+        self.dewey = dewey
+        self.tag = tag
+        self.child_tags: dict[str, int] = {}
+        self.has_text = False
+        self.pending: list[_Partial] = []
+
+
+class StreamingCategorizer:
+    """Single-pass categorizer fed with start/text/end callbacks.
+
+    Call :meth:`start` when an element opens, :meth:`text` for character
+    data, :meth:`end` when it closes.  :meth:`end` returns the records it
+    could finalize: the closed element's *children* (their sibling counts
+    are now complete), plus — when the root closes — the root itself.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[_Frame] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def start(self, dewey: Dewey, tag: str) -> None:
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_tags[tag] = parent.child_tags.get(tag, 0) + 1
+        self._stack.append(_Frame(dewey, tag))
+
+    def text(self, content: str) -> None:
+        if self._stack and content.strip():
+            self._stack[-1].has_text = True
+
+    def end(self) -> list[CategoryRecord]:
+        frame = self._stack.pop()
+        records, partial = _close_frame(frame)
+        if self._stack:
+            self._stack[-1].pending.append(partial)
+        else:
+            records.append(partial.finalize(repeated=False))
+        return records
+
+
+def _close_frame(frame: _Frame) -> tuple[list[CategoryRecord], _Partial]:
+    """Finalize the closed frame's children; summarise the frame itself."""
+    own_group = any(count >= 2 for count in frame.child_tags.values())
+    qual_attr_children: set[int] = set()
+    group_children: set[int] = set()
+    records: list[CategoryRecord] = []
+
+    for ordinal, child in enumerate(frame.pending):
+        repeated = frame.child_tags[child.tag] >= 2
+        records.append(child.finalize(repeated))
+        if repeated:
+            group_children.add(ordinal)
+        elif child.is_attribute_shape or child.has_qualifying_attr:
+            # Attributes propagate upward through non-repeating children
+            # only: an AN inside a repeating node describes that repetition,
+            # not the ancestor's context.
+            qual_attr_children.add(ordinal)
+        if child.has_group:
+            group_children.add(ordinal)
+
+    is_attribute_shape = not frame.pending and frame.has_text
+    is_entity = bool(qual_attr_children) and (
+        own_group or any(g != a for g in group_children
+                         for a in qual_attr_children))
+
+    partial = _Partial(
+        dewey=frame.dewey, tag=frame.tag, is_entity=is_entity,
+        is_attribute_shape=is_attribute_shape,
+        has_qualifying_attr=bool(qual_attr_children) or is_attribute_shape,
+        has_group=own_group or bool(group_children),
+        child_count=len(frame.pending))
+    return records, partial
+
+
+def categorize_tree(root: XMLNode) -> dict[Dewey, CategoryRecord]:
+    """Categorize every element of a materialised tree.
+
+    Drives the same :class:`StreamingCategorizer` over the tree, so there
+    is exactly one categorization semantics in the library.  Uses an
+    explicit stack — document depth is not limited by Python's recursion
+    limit.
+    """
+    categorizer = StreamingCategorizer()
+    records: dict[Dewey, CategoryRecord] = {}
+    stack: list[tuple[XMLNode, bool]] = [(root, False)]
+    while stack:
+        node, closing = stack.pop()
+        if closing:
+            for record in categorizer.end():
+                records[record.dewey] = record
+            continue
+        categorizer.start(node.dewey, node.tag)
+        if node.has_text:
+            assert node.text is not None
+            categorizer.text(node.text)
+        stack.append((node, True))
+        stack.extend((child, False) for child in reversed(node.children))
+    return records
+
+
+def iter_categories(root: XMLNode) -> Iterator[CategoryRecord]:
+    """Yield category records for a tree in document order."""
+    records = categorize_tree(root)
+    for node in root.iter_subtree():
+        yield records[node.dewey]

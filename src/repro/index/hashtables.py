@@ -1,0 +1,119 @@
+"""The two node hash tables of the GKS index (paper §2.4).
+
+* ``entityHash`` keeps the Dewey ids of entity nodes,
+* ``elementHash`` keeps the Dewey ids of repeating and connecting nodes.
+
+"Both hash tables also store the number of direct children each node has.
+This information is used while computing the rank of a node."  An element
+that is both an entity node and a repeating node appears in both tables.
+
+The two lookup functions of the paper are provided verbatim: ``isEntity``
+and ``isElement`` return the direct-child count when the node is present and
+``None`` otherwise.  An element found in *neither* table is an attribute
+node — the search engine uses this to lift LCP candidates off attribute
+nodes (Def 2.1.1), and the ranker uses the child counts to split potential.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.index.categorize import CategoryRecord, NodeCategory
+from repro.xmltree.dewey import Dewey, ancestors_of
+
+
+class NodeHashes:
+    """``entityHash`` + ``elementHash`` with direct-child counts."""
+
+    def __init__(self) -> None:
+        self._entity: dict[Dewey, int] = {}
+        self._element: dict[Dewey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_record(self, record: CategoryRecord) -> None:
+        """File one categorization record into the right table(s)."""
+        if record.category is NodeCategory.ENTITY:
+            self._entity[record.dewey] = record.child_count
+            if record.is_repeating:
+                self._element[record.dewey] = record.child_count
+        elif record.category in (NodeCategory.REPEATING,
+                                 NodeCategory.CONNECTING):
+            self._element[record.dewey] = record.child_count
+        # attribute nodes are deliberately kept out of both tables
+
+    @classmethod
+    def from_mappings(cls, entity: dict[Dewey, int],
+                      element: dict[Dewey, int]) -> "NodeHashes":
+        hashes = cls()
+        hashes._entity = dict(entity)
+        hashes._element = dict(element)
+        return hashes
+
+    # ------------------------------------------------------------------
+    # The paper's two functions
+    # ------------------------------------------------------------------
+    def is_entity(self, dewey: Dewey) -> int | None:
+        """Direct-child count when *dewey* is an entity node, else None."""
+        return self._entity.get(dewey)
+
+    def is_element(self, dewey: Dewey) -> int | None:
+        """Direct-child count when *dewey* is a repeating/connecting node."""
+        return self._element.get(dewey)
+
+    # ------------------------------------------------------------------
+    # Derived lookups used by search and ranking
+    # ------------------------------------------------------------------
+    def child_count(self, dewey: Dewey) -> int | None:
+        """Direct-child count for any indexed (non-attribute) element."""
+        count = self._entity.get(dewey)
+        if count is None:
+            count = self._element.get(dewey)
+        return count
+
+    def is_attribute(self, dewey: Dewey) -> bool:
+        """True when the element is in neither table (i.e. it is an AN).
+
+        Only meaningful for ids that belong to real elements: unknown ids
+        also return True.
+        """
+        return dewey not in self._entity and dewey not in self._element
+
+    def nearest_entity(self, dewey: Dewey) -> Dewey | None:
+        """Nearest entity ancestor-or-self of *dewey* (LCE candidate)."""
+        if dewey in self._entity:
+            return dewey
+        for ancestor in ancestors_of(dewey):
+            if ancestor in self._entity:
+                return ancestor
+        return None
+
+    def entity_ancestors(self, dewey: Dewey) -> Iterator[Dewey]:
+        """All entity ancestors-or-self, nearest first."""
+        if dewey in self._entity:
+            yield dewey
+        for ancestor in ancestors_of(dewey):
+            if ancestor in self._entity:
+                yield ancestor
+
+    # ------------------------------------------------------------------
+    @property
+    def entity_count(self) -> int:
+        return len(self._entity)
+
+    @property
+    def element_count(self) -> int:
+        return len(self._element)
+
+    @property
+    def entity_table(self) -> dict[Dewey, int]:
+        return dict(self._entity)
+
+    @property
+    def element_table(self) -> dict[Dewey, int]:
+        return dict(self._element)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NodeHashes entities={len(self._entity)} "
+                f"elements={len(self._element)}>")

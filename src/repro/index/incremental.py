@@ -1,0 +1,82 @@
+"""Incremental index maintenance: append documents to a live index.
+
+The paper treats indexing as "a onetime activity" (§2.4), but a real
+deployment receives new documents.  Because the Dewey space is
+partitioned by document number — every posting and hash entry of document
+``d`` starts with ``d`` — *appending* a document never touches existing
+entries: new postings extend each keyword's sorted list at the tail and
+the hash tables gain disjoint keys.  Removal of the **last** document is
+equally cheap (truncate tails / drop keys); arbitrary-document removal
+would renumber the Dewey space and is out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexError_
+from repro.index.builder import GKSIndex, IndexBuilder
+from repro.xmltree.dewey import document_of
+from repro.xmltree.tree import XMLDocument
+
+
+def append_document(index: GKSIndex, document: XMLDocument) -> GKSIndex:
+    """Return a new :class:`GKSIndex` covering the old corpus plus
+    *document*.
+
+    *document*'s doc id must be the next free document number.  Cost is
+    proportional to the new document only: the underlying structures are
+    extended **in place** and shared with the returned index — treat the
+    input index as consumed (its phrase cache in particular would be
+    stale).
+    """
+    expected = len(index.document_names)
+    if document.doc_id != expected:
+        raise IndexError_(
+            f"document {document.name!r} has doc id {document.doc_id}, "
+            f"expected {expected} (append-only maintenance)")
+
+    builder = IndexBuilder(analyzer=index.analyzer)
+    builder._names.extend(index.document_names)  # align numbering
+    builder._stats = index.stats                  # continue the counters
+    builder._inverted = index.inverted
+    builder._hashes = index.hashes
+    builder.add_document(document)
+    return builder.build()
+
+
+def remove_last_document(index: GKSIndex) -> GKSIndex:
+    """Return a new index without the most recently appended document.
+
+    Pure truncation: postings of the last document sit at the tail of
+    every posting list, and its hash keys are exactly those whose first
+    Dewey component equals its doc id.
+    """
+    if not index.document_names:
+        raise IndexError_("index is empty; nothing to remove")
+    last = len(index.document_names) - 1
+
+    from repro.index.hashtables import NodeHashes
+    from repro.index.inverted import InvertedIndex
+    from repro.index.statistics import IndexStats
+
+    surviving = {
+        keyword: [dewey for dewey in postings
+                  if document_of(dewey) != last]
+        for keyword, postings in index.inverted.items()}
+    inverted = InvertedIndex.from_mapping(
+        {keyword: postings for keyword, postings in surviving.items()
+         if postings})
+
+    hashes = NodeHashes.from_mappings(
+        entity={dewey: count
+                for dewey, count in index.hashes.entity_table.items()
+                if document_of(dewey) != last},
+        element={dewey: count
+                 for dewey, count in index.hashes.element_table.items()
+                 if document_of(dewey) != last})
+
+    # recompute the cheap counters from what survived
+    stats = IndexStats.from_dict(index.stats.to_dict())
+    stats.documents = last
+    return GKSIndex(inverted=inverted, hashes=hashes, stats=stats,
+                    analyzer=index.analyzer,
+                    document_names=index.document_names[:-1])

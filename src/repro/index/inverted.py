@@ -1,0 +1,88 @@
+"""Inverted index for text keywords and element names (paper §2.4).
+
+For each unique keyword appearing in the repository — after stop-word
+removal and stemming — the index keeps a sorted list of the Dewey ids of
+the elements that directly contain it (Table 3).  Element tag names are
+indexed the same way (queries such as QM2 search for the tags ``country``
+and ``name``), flagged separately so statistics can tell them apart.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Iterator, Mapping
+
+from repro.index.postings import PostingList, verify_sorted
+from repro.xmltree.dewey import Dewey
+
+
+class InvertedIndex:
+    """Keyword → sorted Dewey posting list."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, PostingList] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, keyword: str, dewey: Dewey) -> None:
+        """Post *keyword* at *dewey*.
+
+        The builder emits postings in document order, so appends dominate;
+        the rare out-of-order posting (mixed content whose trailing text is
+        seen after the element's children) is insorted, and duplicates
+        (same keyword twice in one element) collapse to a single entry.
+        """
+        posting_list = self._postings.setdefault(keyword, [])
+        if not posting_list or posting_list[-1] < dewey:
+            posting_list.append(dewey)
+            return
+        if posting_list[-1] == dewey:
+            return
+        position = bisect_left(posting_list, dewey)
+        if position >= len(posting_list) or posting_list[position] != dewey:
+            posting_list.insert(position, dewey)
+
+    def add_all(self, keywords: Iterable[str], dewey: Dewey) -> None:
+        for keyword in keywords:
+            self.add(keyword, dewey)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Iterable[Dewey]]
+                     ) -> "InvertedIndex":
+        """Rebuild an index from stored data (posting lists re-sorted)."""
+        index = cls()
+        for keyword, deweys in mapping.items():
+            index._postings[keyword] = sorted(set(map(tuple, deweys)))
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> PostingList:
+        """The sorted posting list ``S_i`` for *keyword* (empty if absent)."""
+        return self._postings.get(keyword, [])
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)
+
+    def document_frequency(self, keyword: str) -> int:
+        return len(self._postings.get(keyword, ()))
+
+    @property
+    def total_postings(self) -> int:
+        return sum(len(lst) for lst in self._postings.values())
+
+    def items(self) -> Iterator[tuple[str, PostingList]]:
+        yield from self._postings.items()
+
+    def check_integrity(self) -> bool:
+        """True when every posting list is strictly sorted (tests/storage)."""
+        return all(verify_sorted(lst) for lst in self._postings.values())

@@ -1,0 +1,98 @@
+"""Index persistence (paper §2.4: "Creating the index is a onetime
+activity").
+
+An index is written as a single gzip-compressed JSON file.  Dewey ids are
+stored in the paper's dotted notation; posting lists stay sorted on disk so
+loading needs no re-sort (a checksum of sortedness is verified on load).
+The format is versioned; loading an unknown version fails loudly rather
+than guessing.
+
+Table 4's "Index Size" column is measured with :func:`index_size_bytes`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.index.builder import GKSIndex
+from repro.index.hashtables import NodeHashes
+from repro.index.inverted import InvertedIndex
+from repro.index.statistics import IndexStats
+from repro.text.analyzer import Analyzer
+from repro.xmltree.dewey import format_dewey, parse_dewey
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: GKSIndex, path: str | Path) -> Path:
+    """Write *index* to *path* (gzip JSON).  Returns the path written."""
+    path = Path(path)
+    payload = {
+        "version": FORMAT_VERSION,
+        "analyzer": {
+            "use_stopwords": index.analyzer.use_stopwords,
+            "use_stemming": index.analyzer.use_stemming,
+        },
+        "document_names": list(index.document_names),
+        "stats": index.stats.to_dict(),
+        "entity_hash": {format_dewey(dewey): count
+                        for dewey, count in index.hashes.entity_table.items()},
+        "element_hash": {format_dewey(dewey): count
+                         for dewey, count
+                         in index.hashes.element_table.items()},
+        "postings": {keyword: [format_dewey(dewey) for dewey in posting_list]
+                     for keyword, posting_list in index.inverted.items()},
+    }
+    try:
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+    except OSError as exc:
+        raise StorageError(f"cannot write index to {path}: {exc}") from exc
+    return path
+
+
+def load_index(path: str | Path) -> GKSIndex:
+    """Read an index previously written by :func:`save_index`."""
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, EOFError, json.JSONDecodeError) as exc:
+        # EOFError: truncated gzip stream
+        raise StorageError(f"cannot read index from {path}: {exc}") from exc
+
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported index format version {version!r} in {path}")
+
+    inverted = InvertedIndex.from_mapping({
+        keyword: [parse_dewey(text) for text in posting_list]
+        for keyword, posting_list in payload["postings"].items()})
+    if not inverted.check_integrity():
+        raise StorageError(f"corrupt posting lists in {path}")
+
+    hashes = NodeHashes.from_mappings(
+        entity={parse_dewey(text): count
+                for text, count in payload["entity_hash"].items()},
+        element={parse_dewey(text): count
+                 for text, count in payload["element_hash"].items()})
+
+    analyzer_config = payload.get("analyzer", {})
+    analyzer = Analyzer(
+        use_stopwords=analyzer_config.get("use_stopwords", True),
+        use_stemming=analyzer_config.get("use_stemming", True))
+
+    return GKSIndex(
+        inverted=inverted, hashes=hashes,
+        stats=IndexStats.from_dict(payload.get("stats", {})),
+        analyzer=analyzer,
+        document_names=tuple(payload.get("document_names", ())))
+
+
+def index_size_bytes(path: str | Path) -> int:
+    """On-disk size of a saved index (Table 4's "Index Size" column)."""
+    return Path(path).stat().st_size

@@ -1,0 +1,100 @@
+"""Index integrity validation.
+
+A persisted index can rot (partial writes, manual edits, version skew
+that slipped past the loader) or drift from the data files it was built
+from.  ``validate_index`` checks the self-consistency of an index alone;
+``validate_against_repository`` re-derives categorization and postings
+from the data and diffs them — the authoritative (slow) check.
+
+Both return a list of human-readable problems; empty means healthy.
+"""
+
+from __future__ import annotations
+
+from repro.index.builder import GKSIndex, IndexBuilder
+from repro.index.postings import verify_sorted
+from repro.xmltree.dewey import format_dewey
+from repro.xmltree.repository import Repository
+
+
+def validate_index(index: GKSIndex) -> list[str]:
+    """Self-consistency checks; no data access needed."""
+    problems: list[str] = []
+
+    for keyword, postings in index.inverted.items():
+        if not postings:
+            problems.append(f"empty posting list for {keyword!r}")
+        elif not verify_sorted(postings):
+            problems.append(f"unsorted posting list for {keyword!r}")
+
+    documents = len(index.document_names)
+    for keyword, postings in index.inverted.items():
+        for dewey in postings:
+            if dewey[0] >= documents:
+                problems.append(
+                    f"posting {format_dewey(dewey)} of {keyword!r} "
+                    f"references unknown document {dewey[0]}")
+                break
+
+    entity = index.hashes.entity_table
+    element = index.hashes.element_table
+    for table_name, table in (("entityHash", entity),
+                              ("elementHash", element)):
+        for dewey, child_count in table.items():
+            if child_count < 0:
+                problems.append(
+                    f"{table_name}[{format_dewey(dewey)}] has negative "
+                    f"child count {child_count}")
+            if dewey[0] >= documents:
+                problems.append(
+                    f"{table_name} references unknown document "
+                    f"{dewey[0]}")
+
+    # an entity node's ancestors must exist in some table (they are
+    # element nodes of the same tree) — spot-check structural sanity
+    known = set(entity) | set(element)
+    for dewey in entity:
+        parent = dewey[:-1]
+        if len(parent) >= 1 and parent not in known:
+            problems.append(
+                f"entity {format_dewey(dewey)} has an unindexed parent")
+
+    stats = index.stats
+    if stats.documents != documents:
+        problems.append(
+            f"stats.documents={stats.documents} but "
+            f"{documents} document name(s) recorded")
+    category_sum = (stats.attribute_nodes + stats.entity_nodes
+                    + stats.connecting_nodes)
+    if stats.total_nodes and category_sum > 2 * stats.total_nodes:
+        problems.append("category counters exceed plausible bounds")
+    return problems
+
+
+def validate_against_repository(index: GKSIndex,
+                                repository: Repository) -> list[str]:
+    """Rebuild from *repository* and diff — the authoritative check."""
+    problems = validate_index(index)
+
+    builder = IndexBuilder(analyzer=index.analyzer)
+    builder.add_repository(repository)
+    rebuilt = builder.build()
+
+    ours = dict(index.inverted.items())
+    theirs = dict(rebuilt.inverted.items())
+    missing = set(theirs) - set(ours)
+    extra = set(ours) - set(theirs)
+    for keyword in sorted(missing)[:5]:
+        problems.append(f"keyword {keyword!r} missing from the index")
+    for keyword in sorted(extra)[:5]:
+        problems.append(f"keyword {keyword!r} not derivable from data")
+    for keyword in set(ours) & set(theirs):
+        if ours[keyword] != theirs[keyword]:
+            problems.append(
+                f"posting list for {keyword!r} differs from data")
+
+    if index.hashes.entity_table != rebuilt.hashes.entity_table:
+        problems.append("entityHash differs from data-derived hash")
+    if index.hashes.element_table != rebuilt.hashes.element_table:
+        problems.append("elementHash differs from data-derived hash")
+    return problems

@@ -1,0 +1,14 @@
+"""Schema inference and schema-level categorization (§2.2 future work)."""
+
+from repro.schema.categorize import (TypeCategory, categorize_by_schema,
+                                     categorize_schema,
+                                     compare_with_instance_level)
+from repro.schema.indexing import build_schema_index
+from repro.schema.inference import (ElementType, Schema, TagPath,
+                                    infer_schema)
+
+__all__ = [
+    "ElementType", "Schema", "TagPath", "TypeCategory",
+    "build_schema_index", "categorize_by_schema", "categorize_schema",
+    "compare_with_instance_level", "infer_schema",
+]

@@ -1,0 +1,168 @@
+"""Schema-level node categorization (the paper's §2.2 future-work note).
+
+Instance-level categorization (``repro.index.categorize``) classifies
+every element by its own subtree; a single-author DBLP ``<article>``
+therefore lands in *connecting* while its siblings are *entities* — the
+anomaly the paper points out for SIGMOD Record's 447 extra CNs (§7.2).
+
+Schema-level categorization classifies element *types* instead, using
+the inferred schema's multiplicities:
+
+* **AN type** — may carry text, never has element children, and never
+  repeats under its parent type;
+* **RN type** — repeats under its parent type somewhere in the corpus;
+* **EN type** — has a qualifying AN-type descendant (reachable without
+  crossing an RN type) and a repeating group whose LCA relates as in
+  Def 2.1.3;
+* **CN type** — everything else.
+
+Every instance then inherits its type's category, which smooths the
+missing-element anomaly: the single-author article counts as an entity
+because articles *as a type* have repeating authors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.categorize import NodeCategory
+from repro.schema.inference import ElementType, Schema, TagPath
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+from repro.xmltree.dewey import Dewey
+
+
+@dataclass(frozen=True)
+class TypeCategory:
+    """Categorization of one element type."""
+
+    path: TagPath
+    category: NodeCategory
+    is_repeating: bool
+
+
+def categorize_schema(schema: Schema) -> dict[TagPath, TypeCategory]:
+    """Assign a category to every element type of *schema*."""
+    # Pass 1: repeatability of each type under its parent type.
+    repeatable: dict[TagPath, bool] = {}
+    for element_type in schema:
+        path = element_type.path
+        if len(path) == 1:
+            repeatable[path] = False
+            continue
+        parent = schema.type_of(path[:-1])
+        repeatable[path] = bool(parent
+                                and parent.is_repeatable_child(path[-1]))
+
+    # Pass 2: attribute shape per type.
+    def is_attribute_type(element_type: ElementType) -> bool:
+        return (element_type.has_text
+                and not element_type.child_multiplicity
+                and not repeatable[element_type.path])
+
+    # Pass 3: qualifying attribute / repeating group reachability, bottom
+    # up over the path forest.
+    has_qual_attr: dict[TagPath, bool] = {}
+    has_group: dict[TagPath, bool] = {}
+    is_entity: dict[TagPath, bool] = {}
+
+    for path in sorted(schema.types, key=len, reverse=True):
+        element_type = schema.types[path]
+        qual_children: set[str] = set()
+        group_children: set[str] = set()
+        own_group = False
+        for tag in element_type.child_types():
+            child_path = path + (tag,)
+            child_type = schema.type_of(child_path)
+            if child_type is None:
+                continue
+            child_repeats = element_type.is_repeatable_child(tag)
+            if child_repeats:
+                own_group = True
+                group_children.add(tag)
+            elif (is_attribute_type(child_type)
+                  or has_qual_attr.get(child_path, False)):
+                qual_children.add(tag)
+            if has_group.get(child_path, False):
+                group_children.add(tag)
+        has_qual_attr[path] = bool(qual_children)
+        has_group[path] = own_group or bool(group_children)
+        is_entity[path] = bool(qual_children) and (
+            own_group or any(g != a for g in group_children
+                             for a in qual_children))
+
+    # Final categories.
+    categories: dict[TagPath, TypeCategory] = {}
+    for element_type in schema:
+        path = element_type.path
+        if is_entity[path]:
+            category = NodeCategory.ENTITY
+        elif repeatable[path]:
+            category = NodeCategory.REPEATING
+        elif is_attribute_type(element_type):
+            category = NodeCategory.ATTRIBUTE
+        else:
+            category = NodeCategory.CONNECTING
+        categories[path] = TypeCategory(path=path, category=category,
+                                        is_repeating=repeatable[path])
+    return categories
+
+
+def categorize_by_schema(repository: Repository,
+                         schema: Schema | None = None
+                         ) -> dict[Dewey, TypeCategory]:
+    """Instance map Dewey → category inherited from the element's type."""
+    from repro.schema.inference import infer_schema
+
+    if schema is None:
+        schema = infer_schema(repository)
+    type_categories = categorize_schema(schema)
+
+    result: dict[Dewey, TypeCategory] = {}
+    for document in repository:
+        _assign(document.root, (document.root.tag,), type_categories,
+                result)
+    return result
+
+
+def _assign(node: XMLNode, path: TagPath,
+            type_categories: dict[TagPath, TypeCategory],
+            result: dict[Dewey, TypeCategory]) -> None:
+    category = type_categories.get(path)
+    if category is not None:
+        result[node.dewey] = category
+    for child in node.children:
+        _assign(child, path + (child.tag,), type_categories, result)
+
+
+def compare_with_instance_level(repository: Repository
+                                ) -> dict[str, int]:
+    """How often schema- and instance-level categorization disagree.
+
+    Returns counters: total nodes, agreements, and per-kind flips (the
+    interesting one being CN→EN — the missing-element smoothing).
+    """
+    from repro.index.categorize import categorize_tree
+
+    schema_map = categorize_by_schema(repository)
+    counters = {"total": 0, "agree": 0, "promoted_to_entity": 0,
+                "promoted_to_repeating": 0, "other_flips": 0}
+    for document in repository:
+        instance_map = categorize_tree(document.root)
+        for dewey, record in instance_map.items():
+            by_schema = schema_map.get(dewey)
+            if by_schema is None:
+                continue
+            counters["total"] += 1
+            if by_schema.category is record.category:
+                counters["agree"] += 1
+            elif by_schema.category is NodeCategory.ENTITY:
+                # the missing-element smoothing: e.g. a single-author
+                # article inherits the entity-hood of its type
+                counters["promoted_to_entity"] += 1
+            elif by_schema.category is NodeCategory.REPEATING:
+                # an only-child of a repeatable type (lone <author>)
+                counters["promoted_to_repeating"] += 1
+            else:
+                counters["other_flips"] += 1
+    return counters

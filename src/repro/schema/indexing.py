@@ -1,0 +1,62 @@
+"""Schema-aware index construction.
+
+Builds a :class:`GKSIndex` whose hash tables file every element under its
+*type's* category rather than its instance category.  Search, ranking and
+DI run unchanged on top; the observable difference is that instances of
+entity types with missing elements (single-author articles) behave as
+entities: they become LCE nodes instead of dissolving into their
+ancestors — the fix the paper sketches for the MESSIAH-style missing
+element problem (§1.1, §2.2).
+"""
+
+from __future__ import annotations
+
+from repro.index.builder import GKSIndex, IndexBuilder
+from repro.index.categorize import NodeCategory
+from repro.index.hashtables import NodeHashes
+from repro.schema.categorize import categorize_by_schema
+from repro.schema.inference import Schema, infer_schema
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.repository import Repository
+
+
+def build_schema_index(repository: Repository,
+                       analyzer: Analyzer = DEFAULT_ANALYZER,
+                       index_tags: bool = True,
+                       schema: Schema | None = None) -> GKSIndex:
+    """Index *repository* with schema-level node categories."""
+    builder = IndexBuilder(analyzer=analyzer, index_tags=index_tags)
+    builder.add_repository(repository)
+    base = builder.build()
+
+    if schema is None:
+        schema = infer_schema(repository)
+    type_map = categorize_by_schema(repository, schema)
+
+    hashes = NodeHashes()
+    entity_count = 0
+    for document in repository:
+        for node in document.root.iter_subtree():
+            assignment = type_map.get(node.dewey)
+            if assignment is None:
+                continue
+            category = assignment.category
+            if category is NodeCategory.ENTITY:
+                entity_count += 1
+            _file(hashes, node.dewey, node.child_count, category,
+                  assignment.is_repeating)
+
+    stats = base.stats
+    stats.entity_nodes = entity_count
+    return GKSIndex(inverted=base.inverted, hashes=hashes, stats=stats,
+                    analyzer=base.analyzer,
+                    document_names=base.document_names)
+
+
+def _file(hashes: NodeHashes, dewey, child_count: int,
+          category: NodeCategory, is_repeating: bool) -> None:
+    from repro.index.categorize import CategoryRecord
+
+    hashes.add_record(CategoryRecord(
+        dewey=dewey, tag="", category=category,
+        is_repeating=is_repeating, child_count=child_count))

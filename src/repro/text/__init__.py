@@ -1,0 +1,11 @@
+"""Text analysis substrate: tokenizer, stop words, Porter stemmer."""
+
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.tokenizer import iter_tokens, tokenize
+
+__all__ = [
+    "Analyzer", "DEFAULT_ANALYZER", "DEFAULT_STOPWORDS", "is_stopword",
+    "iter_tokens", "porter_stem", "tokenize",
+]

@@ -1,0 +1,83 @@
+"""Analysis pipeline: tokenize → stop-word filter → stem (paper §2.4).
+
+One :class:`Analyzer` instance is shared by the indexing engine and the
+query parser so that query keywords and indexed keywords always normalise
+identically.  Each stage can be switched off — the indexing ablation bench
+(A3 in DESIGN.md) compares stemming on/off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokenizer import iter_tokens
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """Deterministic text-normalisation pipeline.
+
+    Parameters
+    ----------
+    use_stopwords:
+        Drop English stop words (default on, as in the paper).
+    use_stemming:
+        Apply the Porter stemmer (default on, as in the paper).
+    stopwords:
+        The stop-word set; override for non-English corpora.
+    """
+
+    use_stopwords: bool = True
+    use_stemming: bool = True
+    stopwords: frozenset[str] = field(default=DEFAULT_STOPWORDS)
+
+    def analyze(self, text: str) -> list[str]:
+        """Normalise *text* into the list of index/query keywords.
+
+        Order and multiplicity are preserved: the inverted index posts one
+        entry per keyword occurrence.
+        """
+        keywords = []
+        for token in iter_tokens(text):
+            if self.use_stopwords and token in self.stopwords:
+                continue
+            if self.use_stemming:
+                token = porter_stem(token)
+            if token:
+                keywords.append(token)
+        return keywords
+
+    def analyze_unique(self, text: str) -> list[str]:
+        """Like :meth:`analyze` but de-duplicated, first occurrence wins.
+
+        Queries use this form: a query keyword counts once no matter how
+        often the user typed it.
+        """
+        seen: set[str] = set()
+        unique: list[str] = []
+        for keyword in self.analyze(text):
+            if keyword not in seen:
+                seen.add(keyword)
+                unique.append(keyword)
+        return unique
+
+    def analyze_tag(self, tag: str) -> list[str]:
+        """Normalise an element label for tag-name indexing.
+
+        Tags are tokenized like text (``Dept_Name`` → ``dept``, ``name``)
+        but never stop-word filtered: a tag called ``<for>`` must stay
+        searchable.
+        """
+        keywords = []
+        for token in iter_tokens(tag):
+            if self.use_stemming:
+                token = porter_stem(token)
+            if token:
+                keywords.append(token)
+        return keywords
+
+
+#: Default pipeline shared across the library.
+DEFAULT_ANALYZER = Analyzer()

@@ -1,0 +1,32 @@
+"""English stop-word list used before indexing (paper §2.4).
+
+The list is the classic Van Rijsbergen / SMART-style core set of English
+function words.  It is intentionally conservative: domain words that look
+like stop words in other corpora ("can", "may" as modal verbs) are included,
+but short content words ("year", "name") are not, because the paper's
+queries search for element names such as ``name`` and ``country`` (QM2).
+"""
+
+from __future__ import annotations
+
+DEFAULT_STOPWORDS: frozenset[str] = frozenset("""
+a about above after again against all am an and any are aren't as at be
+because been before being below between both but by can cannot could
+couldn't did didn't do does doesn't doing don't down during each few for
+from further had hadn't has hasn't have haven't having he he'd he'll he's
+her here here's hers herself him himself his how how's i i'd i'll i'm i've
+if in into is isn't it it's its itself let's me more most mustn't my myself
+no nor not of off on once only or other ought our ours ourselves out over
+own same shan't she she'd she'll she's should shouldn't so some such than
+that that's the their theirs them themselves then there there's these they
+they'd they'll they're they've this those through to too under until up
+very was wasn't we we'd we'll we're we've were weren't what what's when
+when's where where's which while who who's whom why why's with won't would
+wouldn't you you'd you'll you're you've your yours yourself yourselves
+""".split())
+
+
+def is_stopword(token: str,
+                stopwords: frozenset[str] = DEFAULT_STOPWORDS) -> bool:
+    """True when the (already lower-cased) token is a stop word."""
+    return token in stopwords

@@ -1,0 +1,38 @@
+"""Keyword tokenizer (paper §2.4).
+
+"If text appearing under a 'text node' comprises multiple keywords, a
+separate index entry is created for each of the keywords after stop words
+removal and stemming."  The tokenizer is deliberately simple and fully
+deterministic: it lower-cases, splits on non-alphanumeric boundaries, and
+keeps embedded apostrophes/digits so author names, years and accession
+numbers survive intact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def tokenize(text: str) -> list[str]:
+    """Split *text* into lower-cased word tokens.
+
+    A token is a maximal run of alphanumeric characters; apostrophes and
+    hyphens *inside* a word are treated as separators (``Jean-Marc`` →
+    ``jean``, ``marc``), matching how inverted indexes for the paper's
+    bibliographic queries must behave ("Jean-Marc Cadiou" is two keywords).
+    """
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Generator form of :func:`tokenize`."""
+    word_start = -1
+    for index, char in enumerate(text):
+        if char.isalnum():
+            if word_start < 0:
+                word_start = index
+        elif word_start >= 0:
+            yield text[word_start:index].lower()
+            word_start = -1
+    if word_start >= 0:
+        yield text[word_start:].lower()

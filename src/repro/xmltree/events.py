@@ -1,0 +1,51 @@
+"""Streaming (SAX-style) parse events emitted by the from-scratch parser.
+
+The indexing engine consumes these events directly so an index is built in a
+single pass over the data without materialising the tree (paper §2.4: "the
+hash tables and the inverted index are created in a single pass over XML
+data" thanks to pre-order arrival of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """Opening tag: ``<tag attr="...">`` (also emitted for ``<tag/>``)."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """Closing tag: ``</tag>`` (also emitted right after ``<tag/>``)."""
+
+    tag: str
+
+
+@dataclass(frozen=True)
+class Text:
+    """Character data between tags (entity references already resolved)."""
+
+    content: str
+
+
+@dataclass(frozen=True)
+class Comment:
+    """``<!-- ... -->`` — preserved for round-tripping, ignored by indexing."""
+
+    content: str
+
+
+@dataclass(frozen=True)
+class ProcessingInstruction:
+    """``<?target data?>`` — preserved, ignored by indexing."""
+
+    target: str
+    data: str
+
+
+ParseEvent = StartElement | EndElement | Text | Comment | ProcessingInstruction

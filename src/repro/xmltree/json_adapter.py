@@ -1,0 +1,93 @@
+"""JSON → labeled-tree adapter.
+
+The paper opens with "XML and JSON have become the default formats to
+exchange information"; the GKS model itself is format-agnostic — it only
+needs a labeled ordered tree with Dewey ids.  This adapter maps JSON
+values onto :class:`XMLNode` trees so the whole pipeline (categorization,
+indexing, search, ranking, DI) runs on JSON documents unchanged.
+
+Mapping rules (chosen so the node-categorization model sees the same
+structure a normalized XML design would produce):
+
+* an **object** becomes an element whose keys are child elements;
+* an **array** under key ``k`` becomes repeated ``k`` elements — exactly
+  the repeating-node pattern of §2.2 (``"authors": ["a", "b"]`` ↔
+  ``<authors>a</authors><authors>b</authors>``);
+* a **scalar** becomes the text value of its element (attribute node);
+* array-of-arrays and array-of-objects nest accordingly; a top-level
+  array is wrapped in ``item`` elements;
+* ``null`` becomes an empty element; booleans/numbers are rendered with
+  JSON spelling (``true``, ``3.14``).
+
+Tag names are sanitised to XML-name-like tokens (keyword search analyses
+them anyway, so fidelity of punctuation is irrelevant).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLDocument
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def sanitize_tag(key: str) -> str:
+    """Make a JSON object key usable as an element label."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "_-." else "_"
+                      for ch in str(key))
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"f_{cleaned}" if cleaned else "field"
+    return cleaned
+
+
+def _scalar_text(value: Any) -> str | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def json_to_document(data: Any, doc_id: int = 0, root_tag: str = "root",
+                     name: str | None = None) -> XMLDocument:
+    """Convert a parsed JSON value into an :class:`XMLDocument`."""
+    root = XMLNode(root_tag, (doc_id,))
+    _attach(root, data, item_tag="item")
+    if isinstance(data, _JSON_SCALARS):
+        root.text = _scalar_text(data)
+    return XMLDocument(root, name=name)
+
+
+def parse_json_document(text: str, doc_id: int = 0, root_tag: str = "root",
+                        name: str | None = None) -> XMLDocument:
+    """Parse JSON text into an :class:`XMLDocument`."""
+    return json_to_document(json.loads(text), doc_id=doc_id,
+                            root_tag=root_tag, name=name)
+
+
+def _attach(parent: XMLNode, value: Any, item_tag: str) -> None:
+    """Attach a non-scalar JSON value's content under *parent*."""
+    if isinstance(value, dict):
+        for key, child_value in value.items():
+            _attach_field(parent, sanitize_tag(key), child_value)
+    elif isinstance(value, list):
+        for element in value:
+            _attach_field(parent, item_tag, element)
+
+
+def _attach_field(parent: XMLNode, tag: str, value: Any) -> None:
+    if isinstance(value, list):
+        # arrays repeat their key: the §2.2 repeating-node pattern
+        for element in value:
+            _attach_field(parent, tag, element)
+        return
+    if isinstance(value, dict):
+        child = parent.add_child(tag)
+        _attach(child, value, item_tag="item")
+        return
+    parent.add_child(tag, text=_scalar_text(value))

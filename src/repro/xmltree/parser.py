@@ -1,0 +1,381 @@
+"""A from-scratch streaming XML parser.
+
+The paper's system ingests raw XML repositories; rather than leaning on a
+third-party parser we implement the substrate ourselves: a tokenizer that
+turns a character stream into :mod:`repro.xmltree.events` parse events, and a
+tree builder that assigns Dewey ids on the fly.
+
+Supported XML subset (ample for the corpora the paper evaluates on):
+
+* elements with attributes, self-closing tags,
+* character data with the five predefined entities plus decimal/hex
+  character references,
+* CDATA sections, comments, processing instructions and the XML declaration,
+* a permissive DOCTYPE skipper (internal subsets are skipped, not parsed).
+
+Design notes
+------------
+``iter_events`` is a generator, so indexing large inputs never materialises
+the document; ``parse_document`` builds an :class:`XMLDocument` for callers
+that want the tree.  Malformed input raises :class:`XMLSyntaxError` with a
+1-based line/column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.events import (Comment, EndElement, ParseEvent,
+                                  ProcessingInstruction, StartElement, Text)
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLDocument
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character cursor with line/column tracking for error messages."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= self.length:
+            return ""
+        return self.text[index]
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def take_until(self, token: str, description: str) -> str:
+        """Consume text up to *token*, consume the token, return the text."""
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {description}")
+        chunk = self.text[self.pos:end]
+        self.pos = end + len(token)
+        return chunk
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self, description: str) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.text[self.pos]):
+            raise self.error(f"expected {description}")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def error(self, message: str) -> XMLSyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_newline = self.text.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        return XMLSyntaxError(message, line=line, column=column)
+
+
+def decode_entities(raw: str, scanner: _Scanner | None = None) -> str:
+    """Resolve entity and character references inside character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise _entity_error(f"unterminated entity reference", scanner)
+        name = raw[i + 1:end]
+        out.append(_resolve_entity(name, scanner))
+        i = end + 1
+    return "".join(out)
+
+
+def _resolve_entity(name: str, scanner: _Scanner | None) -> str:
+    if name in _PREDEFINED_ENTITIES:
+        return _PREDEFINED_ENTITIES[name]
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except ValueError:
+            raise _entity_error(f"bad character reference &{name};", scanner)
+    if name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except ValueError:
+            raise _entity_error(f"bad character reference &{name};", scanner)
+    raise _entity_error(f"unknown entity &{name};", scanner)
+
+
+def _entity_error(message: str, scanner: _Scanner | None) -> XMLSyntaxError:
+    if scanner is not None:
+        return scanner.error(message)
+    return XMLSyntaxError(message)
+
+
+def iter_events(text: str) -> Iterator[ParseEvent]:
+    """Tokenize *text* into a stream of parse events.
+
+    The generator validates well-formedness incrementally: tags must nest
+    properly, exactly one root element must exist, and nothing but
+    whitespace/comments/PIs may surround it.
+    """
+    if text.startswith("﻿"):
+        text = text[1:]  # strip a UTF-8 BOM
+    scanner = _Scanner(text)
+    open_tags: list[str] = []
+    roots_seen = 0
+
+    while not scanner.at_end():
+        if scanner.peek() == "<":
+            at_top_level = not open_tags
+            for event in _scan_markup(scanner, open_tags):
+                if isinstance(event, StartElement) and at_top_level:
+                    roots_seen += 1
+                    if roots_seen > 1:
+                        raise scanner.error("multiple root elements")
+                yield event
+            continue
+        chunk = _scan_text(scanner)
+        if chunk:
+            if not open_tags and chunk.strip():
+                raise scanner.error("character data outside the root element")
+            if open_tags:
+                yield Text(chunk)
+
+    if open_tags:
+        raise scanner.error(f"unclosed element <{open_tags[-1]}>")
+    if roots_seen == 0:
+        raise scanner.error("document has no root element")
+
+
+def _scan_text(scanner: _Scanner) -> str:
+    start = scanner.pos
+    end = scanner.text.find("<", start)
+    if end < 0:
+        end = scanner.length
+    raw = scanner.text[start:end]
+    scanner.pos = end
+    return decode_entities(raw, scanner)
+
+
+def _scan_markup(scanner: _Scanner,
+                 open_tags: list[str]) -> list[ParseEvent]:
+    """Dispatch on the markup starting at ``<``.
+
+    Returns the events it produced — usually one, two for a self-closing
+    element, zero for markup with no event (XML declaration, DOCTYPE).
+    """
+    if scanner.startswith("<!--"):
+        scanner.advance(4)
+        return [Comment(scanner.take_until("-->", "comment"))]
+    if scanner.startswith("<![CDATA["):
+        scanner.advance(9)
+        content = scanner.take_until("]]>", "CDATA section")
+        if open_tags:
+            return [Text(content)]
+        if content.strip():
+            raise scanner.error("character data outside the root element")
+        return []
+    if scanner.startswith("<?"):
+        scanner.advance(2)
+        body = scanner.take_until("?>", "processing instruction")
+        target, _, data = body.partition(" ")
+        if target.lower() == "xml":
+            return []  # the XML declaration carries no content
+        return [ProcessingInstruction(target, data.strip())]
+    if scanner.startswith("<!DOCTYPE") or scanner.startswith("<!doctype"):
+        _skip_doctype(scanner)
+        return []
+    if scanner.startswith("</"):
+        return [_scan_end_tag(scanner, open_tags)]
+    return _scan_start_tag(scanner, open_tags)
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, tolerating an internal subset."""
+    depth = 0
+    scanner.advance(1)  # consume '<'
+    while not scanner.at_end():
+        ch = scanner.peek()
+        scanner.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+    raise scanner.error("unterminated DOCTYPE declaration")
+
+
+def _scan_end_tag(scanner: _Scanner, open_tags: list[str]) -> EndElement:
+    scanner.advance(2)
+    tag = scanner.read_name("element name in closing tag")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    if not open_tags:
+        raise scanner.error(f"closing tag </{tag}> without opening tag")
+    expected = open_tags.pop()
+    if expected != tag:
+        raise scanner.error(
+            f"mismatched closing tag </{tag}>, expected </{expected}>")
+    return EndElement(tag)
+
+
+def _scan_start_tag(scanner: _Scanner,
+                    open_tags: list[str]) -> list[ParseEvent]:
+    scanner.advance(1)
+    tag = scanner.read_name("element name")
+    attributes = _scan_attributes(scanner)
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return [StartElement(tag, attributes), EndElement(tag)]
+    scanner.expect(">")
+    open_tags.append(tag)
+    return [StartElement(tag, attributes)]
+
+
+def _scan_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or scanner.at_end():
+            return attributes
+        name = scanner.read_name("attribute name")
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance(1)
+        value = scanner.take_until(quote, "attribute value")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = decode_entities(value, scanner)
+
+
+class TreeBuilder:
+    """Assemble an :class:`XMLDocument` from a stream of parse events.
+
+    Parameters
+    ----------
+    doc_id:
+        Document number used as the Dewey prefix.
+    attributes_as_children:
+        When true (the default), each XML attribute ``k="v"`` becomes a child
+        element ``<k>v</k>`` — the representation keyword search operates on
+        (the paper's model has no separate attribute axis, and corpora such
+        as Mondial carry their data in XML attributes).
+    name:
+        Optional document name, e.g. a file name.
+    """
+
+    def __init__(self, doc_id: int = 0, attributes_as_children: bool = True,
+                 name: str | None = None) -> None:
+        self.doc_id = doc_id
+        self.attributes_as_children = attributes_as_children
+        self.name = name
+        self._root: XMLNode | None = None
+        self._stack: list[XMLNode] = []
+        self._text_parts: list[list[str]] = []
+
+    def feed(self, event: ParseEvent) -> None:
+        """Consume one parse event."""
+        if isinstance(event, StartElement):
+            self._start(event)
+        elif isinstance(event, EndElement):
+            self._end()
+        elif isinstance(event, Text):
+            if self._stack:
+                self._text_parts[-1].append(event.content)
+        # comments and PIs carry no searchable content
+
+    def _start(self, event: StartElement) -> None:
+        if self._stack:
+            node = self._stack[-1].add_child(event.tag)
+        else:
+            node = XMLNode(event.tag, (self.doc_id,))
+            self._root = node
+        if self.attributes_as_children:
+            for key, value in event.attributes.items():
+                node.add_child(key, text=value)
+        else:
+            node.xml_attributes = dict(event.attributes)
+        self._stack.append(node)
+        self._text_parts.append([])
+
+    def _end(self) -> None:
+        node = self._stack.pop()
+        parts = self._text_parts.pop()
+        text = "".join(parts).strip()
+        if text:
+            node.text = text
+
+    def document(self) -> XMLDocument:
+        """Return the finished document (after all events were fed)."""
+        if self._root is None or self._stack:
+            raise XMLSyntaxError("document incomplete: unbalanced events")
+        return XMLDocument(self._root, name=self.name)
+
+
+def parse_document(text: str, doc_id: int = 0,
+                   attributes_as_children: bool = True,
+                   name: str | None = None) -> XMLDocument:
+    """Parse an XML string into an :class:`XMLDocument` with Dewey ids."""
+    builder = TreeBuilder(doc_id=doc_id,
+                          attributes_as_children=attributes_as_children,
+                          name=name)
+    for event in iter_events(text):
+        builder.feed(event)
+    return builder.document()
+
+
+def parse_documents(texts: Iterable[str], first_doc_id: int = 0,
+                    attributes_as_children: bool = True) -> list[XMLDocument]:
+    """Parse several XML strings into consecutively numbered documents."""
+    return [
+        parse_document(text, doc_id=first_doc_id + offset,
+                       attributes_as_children=attributes_as_children)
+        for offset, text in enumerate(texts)
+    ]

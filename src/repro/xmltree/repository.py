@@ -1,0 +1,162 @@
+"""Multi-document XML repository (paper §2.4).
+
+"The XML data could be spread over multiple files. … GKS search is
+seamlessly expanded over multiple documents by prefixing Dewey ids with
+corresponding document id."  A :class:`Repository` owns a list of documents
+with consecutive document numbers and resolves any Dewey id back to its
+node.  It is the unit the indexing engine and all experiments operate on;
+the hybrid-query experiment (§7.6) merges two corpora into one repository,
+and the scalability experiment (Fig. 10) replicates a corpus inside one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.xmltree import dewey as dw
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+from repro.xmltree.parser import parse_document
+from repro.xmltree.tree import XMLDocument
+
+
+class Repository:
+    """An ordered collection of XML documents sharing one Dewey id space."""
+
+    def __init__(self, documents: Iterable[XMLDocument] = ()) -> None:
+        self._documents: list[XMLDocument] = []
+        for document in documents:
+            self.add(document)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, document: XMLDocument) -> XMLDocument:
+        """Add *document*; its doc number must equal its position."""
+        expected = len(self._documents)
+        if document.doc_id != expected:
+            raise ValueError(
+                f"document {document.name!r} has doc id {document.doc_id}, "
+                f"expected {expected}; use add_root()/parse to renumber")
+        self._documents.append(document)
+        return document
+
+    def add_root(self, root: XMLNode, name: str | None = None) -> XMLDocument:
+        """Wrap *root* (renumbered if needed) as the next document."""
+        doc_id = len(self._documents)
+        if root.dewey != (doc_id,):
+            document = XMLDocument(root, name=name).renumber(doc_id, name=name)
+        else:
+            document = XMLDocument(root, name=name)
+        self._documents.append(document)
+        return document
+
+    def parse(self, text: str, name: str | None = None,
+              attributes_as_children: bool = True) -> XMLDocument:
+        """Parse *text* as the next document of the repository."""
+        document = parse_document(
+            text, doc_id=len(self._documents),
+            attributes_as_children=attributes_as_children, name=name)
+        self._documents.append(document)
+        return document
+
+    def parse_json(self, text: str, name: str | None = None,
+                   root_tag: str = "root") -> XMLDocument:
+        """Parse JSON text as the next document (see
+        :mod:`repro.xmltree.json_adapter`)."""
+        from repro.xmltree.json_adapter import parse_json_document
+
+        document = parse_json_document(text, doc_id=len(self._documents),
+                                       root_tag=root_tag, name=name)
+        self._documents.append(document)
+        return document
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str]) -> "Repository":
+        """Build a repository by parsing several XML strings."""
+        repository = cls()
+        for text in texts:
+            repository.parse(text)
+        return repository
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str | Path],
+                   encoding: str = "utf-8") -> "Repository":
+        """Build a repository from XML files on disk (one doc per file)."""
+        repository = cls()
+        for path in paths:
+            path = Path(path)
+            repository.parse(path.read_text(encoding=encoding),
+                             name=path.name)
+        return repository
+
+    def extend_replicated(self, times: int) -> "Repository":
+        """Return a new repository with every document replicated *times*.
+
+        ``times=1`` copies the repository as-is; ``times=3`` yields a corpus
+        three times the size — the Fig. 10 scalability workload.
+        """
+        if times < 1:
+            raise ValueError(f"replication factor must be >= 1: {times}")
+        replicated = Repository()
+        for round_no in range(times):
+            for document in self._documents:
+                doc_id = len(replicated._documents)
+                replicated._documents.append(
+                    document.renumber(doc_id,
+                                      name=f"{document.name}#{round_no}"))
+        return replicated
+
+    @staticmethod
+    def merged(*repositories: "Repository") -> "Repository":
+        """Concatenate repositories into one shared Dewey space (§7.6)."""
+        merged = Repository()
+        for repository in repositories:
+            for document in repository:
+                doc_id = len(merged._documents)
+                merged._documents.append(
+                    document.renumber(doc_id, name=document.name))
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[XMLDocument]:
+        return iter(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __getitem__(self, doc_id: int) -> XMLDocument:
+        return self._documents[doc_id]
+
+    @property
+    def documents(self) -> list[XMLDocument]:
+        return list(self._documents)
+
+    def node_at(self, dewey: Dewey) -> XMLNode | None:
+        """Resolve a repository-wide Dewey id to its node."""
+        doc_id = dw.document_of(dewey)
+        if doc_id >= len(self._documents):
+            return None
+        return self._documents[doc_id].node_at(dewey)
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """All element nodes of all documents, in global document order."""
+        for document in self._documents:
+            yield from document.root.iter_subtree()
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(len(document) for document in self._documents)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth over all documents (the ``d`` of §4.2)."""
+        if not self._documents:
+            return 0
+        return max(document.depth for document in self._documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Repository docs={len(self._documents)}>"

@@ -1,0 +1,100 @@
+"""Serialize :class:`XMLNode` trees back to XML text.
+
+Used by the dataset generators (to emit corpora onto disk), by the
+benchmarks (to measure index-build time from raw text like the paper's
+Table 4), and to render the "well-constructed XML chunk" result snippets the
+GKS system returns (paper §1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLDocument
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, entity in _TEXT_ESCAPES:
+        value = value.replace(raw, entity)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, entity in _ATTR_ESCAPES:
+        value = value.replace(raw, entity)
+    return value
+
+
+def serialize_node(node: XMLNode, indent: int | None = None,
+                   keep: Callable[[XMLNode], bool] | None = None) -> str:
+    """Serialize a subtree to XML text.
+
+    Parameters
+    ----------
+    node:
+        Root of the subtree to serialize.
+    indent:
+        When given, pretty-print with this many spaces per level; when
+        ``None``, emit compact single-line XML.
+    keep:
+        Optional predicate; descendants for which it returns false are
+        pruned.  The result-snippet renderer uses this to show only the
+        attribute nodes and matched paths of an LCE node.
+    """
+    parts: list[str] = []
+    _write(node, parts, 0, indent, keep)
+    return "".join(parts)
+
+
+def serialize_document(document: XMLDocument, indent: int | None = None,
+                       declaration: bool = True) -> str:
+    """Serialize a whole document, optionally with an XML declaration."""
+    body = serialize_node(document.root, indent=indent)
+    if not declaration:
+        return body
+    newline = "\n" if indent is not None else ""
+    return f'<?xml version="1.0" encoding="UTF-8"?>{newline}{body}'
+
+
+def _write(root: XMLNode, parts: list[str], level: int,
+           indent: int | None, keep: Callable[[XMLNode], bool] | None) -> None:
+    """Emit *root*'s subtree; explicit stack, safe for any depth."""
+    newline = "" if indent is None else "\n"
+    # stack items: ("open", node, level) or ("close", text)
+    stack: list[tuple] = [("open", root, level)]
+    while stack:
+        action, payload, *rest = stack.pop()
+        if action == "close":
+            parts.append(payload)
+            continue
+        node, node_level = payload, rest[0]
+        pad = "" if indent is None else " " * (indent * node_level)
+        attributes = "".join(
+            f' {key}="{escape_attribute(value)}"'
+            for key, value in node.xml_attributes.items())
+        children = [child for child in node.children
+                    if keep is None or keep(child)]
+        has_text = node.has_text
+
+        if not children and not has_text:
+            parts.append(f"{pad}<{node.tag}{attributes}/>{newline}")
+            continue
+
+        parts.append(f"{pad}<{node.tag}{attributes}>")
+        if has_text:
+            assert node.text is not None
+            parts.append(escape_text(node.text.strip()))
+        if children:
+            parts.append(newline)
+            stack.append(("close",
+                          f"{pad}</{node.tag}>{newline}"))
+            stack.extend(("open", child, node_level + 1)
+                         for child in reversed(children))
+        else:
+            parts.append(f"</{node.tag}>{newline}")

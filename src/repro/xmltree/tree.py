@@ -1,0 +1,78 @@
+"""XML document wrapper: a rooted tree plus document-level metadata."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmltree import dewey as dw
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+
+
+class XMLDocument:
+    """One XML document: a rooted labeled tree with a document number.
+
+    The document number is the first component of every Dewey id in the tree
+    (paper §2.4: "Dewey id for each node has been appended with the document
+    id"), which is what lets a single index span a multi-file repository.
+    """
+
+    def __init__(self, root: XMLNode, name: str | None = None) -> None:
+        if len(root.dewey) != 1:
+            raise ValueError(
+                f"document root must have a one-component Dewey id, got "
+                f"{dw.format_dewey(root.dewey)}")
+        self.root = root
+        self.name = name or f"doc{root.dewey[0]}"
+
+    @property
+    def doc_id(self) -> int:
+        """The document number shared by every Dewey id in this tree."""
+        return self.root.dewey[0]
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[XMLNode]:
+        return self.root.iter_subtree()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.iter_subtree())
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root to the deepest element (§4.1)."""
+        return max(node.depth for node in self.root.iter_subtree())
+
+    def node_at(self, dewey: Dewey) -> XMLNode | None:
+        """Resolve a Dewey id to its node, or ``None`` when out of range.
+
+        Resolution walks child ordinals, so it is O(depth).
+        """
+        if not dewey or dewey[0] != self.doc_id:
+            return None
+        node = self.root
+        for ordinal in dewey[1:]:
+            if ordinal >= len(node.children):
+                return None
+            node = node.children[ordinal]
+        return node
+
+    def renumber(self, doc_id: int, name: str | None = None) -> "XMLDocument":
+        """Return a structural copy of this document under a new doc number.
+
+        Used by the scalability experiment (Fig. 10), which replicates a
+        corpus: replicas share structure and content but occupy disjoint
+        Dewey ranges.
+        """
+        new_root = XMLNode(self.root.tag, (doc_id,), text=self.root.text,
+                           xml_attributes=dict(self.root.xml_attributes))
+        stack = [(self.root, new_root)]
+        while stack:
+            old, new = stack.pop()
+            for child in old.children:
+                copy = new.add_child(child.tag, text=child.text,
+                                     xml_attributes=dict(child.xml_attributes))
+                stack.append((child, copy))
+        return XMLDocument(new_root, name=name or f"{self.name}*")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XMLDocument {self.name!r} doc={self.doc_id}>"

@@ -1,0 +1,216 @@
+"""A small XPath-like path language over :class:`XMLNode` trees.
+
+The GKS system's whole point is freeing users from path queries, but a
+reproduction still needs them: tests and examples express ground truth
+("all /dblp/article[author='X']/year values") far more crisply in a path
+language than in hand-rolled loops, and the paper's motivation contrasts
+keyword search against exactly this kind of navigation.
+
+Supported grammar (a practical XPath 1.0 subset)::
+
+    path      := ('/' | '//')? step (('/' | '//') step)*
+    step      := (name | '*') predicate*
+    predicate := '[' pred ']'
+    pred      := digits                      positional (1-based)
+              | 'text()' '=' literal        own-text equality
+              | '@'? name                   child existence
+              | '@'? name '=' literal       child text equality
+              | name '<' number | name '>' number
+    literal   := "'" chars "'" | '"' chars '"'
+
+``//`` selects descendants-or-self.  Because the attributes-as-children
+convention stores XML attributes as child elements, ``@name`` and
+``name`` are equivalent here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import GKSError
+from repro.xmltree.node import XMLNode
+
+
+class XPathError(GKSError):
+    """Raised for malformed path expressions."""
+
+
+Predicate = Callable[[XMLNode, int], bool]
+
+
+@dataclass(frozen=True)
+class Step:
+    tag: str                      # element name or '*'
+    descendant: bool              # reached via '//'
+    predicates: tuple[Predicate, ...] = field(default=())
+
+
+def parse_path(path: str) -> list[Step]:
+    """Parse a path expression into steps."""
+    text = path.strip()
+    if not text:
+        raise XPathError("empty path expression")
+    steps: list[Step] = []
+    position = 0
+    descendant = False
+    if text.startswith("//"):
+        descendant = True
+        position = 2
+    elif text.startswith("/"):
+        position = 1
+
+    while position < len(text):
+        name, position = _read_name(text, position)
+        predicates: list[Predicate] = []
+        while position < len(text) and text[position] == "[":
+            closing = text.find("]", position)
+            if closing < 0:
+                raise XPathError(f"unterminated predicate in {path!r}")
+            predicates.append(_parse_predicate(
+                text[position + 1:closing].strip(), path))
+            position = closing + 1
+        steps.append(Step(tag=name, descendant=descendant,
+                          predicates=tuple(predicates)))
+        descendant = False
+        if position >= len(text):
+            break
+        if text.startswith("//", position):
+            descendant = True
+            position += 2
+        elif text[position] == "/":
+            position += 1
+        else:
+            raise XPathError(f"unexpected {text[position]!r} in {path!r}")
+        if position >= len(text):
+            raise XPathError(f"trailing axis in {path!r}")
+    if not steps:
+        raise XPathError(f"no steps in {path!r}")
+    return steps
+
+
+def _read_name(text: str, position: int) -> tuple[str, int]:
+    if position < len(text) and text[position] == "*":
+        return "*", position + 1
+    start = position
+    while position < len(text) and (text[position].isalnum()
+                                    or text[position] in "_-."):
+        position += 1
+    if position == start:
+        raise XPathError(f"expected a name at offset {start} in {text!r}")
+    return text[start:position], position
+
+
+def _parse_predicate(body: str, path: str) -> Predicate:
+    if not body:
+        raise XPathError(f"empty predicate in {path!r}")
+    if body.isdigit():
+        wanted = int(body)
+        return lambda node, ordinal: ordinal == wanted
+    if body.startswith("text()"):
+        rest = body[len("text()"):].strip()
+        if not rest.startswith("="):
+            raise XPathError(f"expected '=' after text() in {path!r}")
+        literal = _parse_literal(rest[1:].strip(), path)
+        return lambda node, ordinal: (node.text or "").strip() == literal
+
+    name = body.lstrip("@")
+    if not name:
+        raise XPathError(f"empty predicate name in {path!r}")
+    for operator in ("=", "<", ">"):
+        if operator in name:
+            field_name, _, raw = name.partition(operator)
+            field_name = field_name.strip()
+            raw = raw.strip()
+            if operator == "=":
+                literal = _parse_literal(raw, path)
+                return _child_equals(field_name, literal)
+            try:
+                bound = float(raw)
+            except ValueError:
+                raise XPathError(
+                    f"numeric comparison needs a number in {path!r}")
+            return _child_compares(field_name, operator, bound)
+    field_name = name.strip()
+    return lambda node, ordinal: any(child.tag == field_name
+                                     for child in node.children)
+
+
+def _parse_literal(raw: str, path: str) -> str:
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    raise XPathError(f"expected a quoted literal in {path!r}, got {raw!r}")
+
+
+def _child_equals(tag: str, literal: str) -> Predicate:
+    def check(node: XMLNode, ordinal: int) -> bool:
+        return any(child.tag == tag
+                   and (child.text or "").strip() == literal
+                   for child in node.children)
+    return check
+
+
+def _child_compares(tag: str, operator: str, bound: float) -> Predicate:
+    def check(node: XMLNode, ordinal: int) -> bool:
+        for child in node.children:
+            if child.tag != tag or not child.has_text:
+                continue
+            try:
+                value = float(child.text.strip())
+            except ValueError:
+                continue
+            if operator == "<" and value < bound:
+                return True
+            if operator == ">" and value > bound:
+                return True
+        return False
+    return check
+
+
+def select(root: XMLNode, path: str) -> list[XMLNode]:
+    """Evaluate *path* against *root*; the first step matches the root's
+    children (or any descendant with a leading ``//``).
+
+    An absolute path may also start with the root's own tag
+    (``/dblp/article`` on a tree rooted at ``<dblp>``).
+    """
+    steps = parse_path(path)
+    current: list[XMLNode] = [root]
+    for index, step in enumerate(steps):
+        gathered: list[XMLNode] = []
+        seen: set = set()
+        for node in current:
+            candidates = [candidate
+                          for candidate in _candidates(
+                              node, step, allow_self=(index == 0))
+                          if step.tag == "*" or candidate.tag == step.tag]
+            # positional predicates count within the tag-filtered context,
+            # per XPath semantics (article[2] is the second article)
+            matched = [candidate for ordinal, candidate
+                       in enumerate(candidates, start=1)
+                       if all(predicate(candidate, ordinal)
+                              for predicate in step.predicates)]
+            for match in matched:
+                if match.dewey not in seen:
+                    seen.add(match.dewey)
+                    gathered.append(match)
+        current = gathered
+        if not current:
+            break
+    return current
+
+
+def _candidates(node: XMLNode, step: Step,
+                allow_self: bool) -> Iterable[XMLNode]:
+    if step.descendant:
+        return node.iter_subtree() if allow_self \
+            else node.iter_descendants()
+    if allow_self and node.tag == step.tag and node.parent is None:
+        return [node]
+    return node.children
+
+
+def select_text(root: XMLNode, path: str) -> list[str]:
+    """The direct text of each selected node (empty strings skipped)."""
+    return [node.text.strip() for node in select(root, path)
+            if node.has_text]

@@ -1,0 +1,107 @@
+"""Tests for the analytics layer (facets, aggregation, histograms)."""
+
+import pytest
+
+from repro.analytics import (aggregate, facets, group_rank, histogram)
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dblp_engine():
+    return GKSEngine(load_dataset("dblp"))
+
+
+@pytest.fixture(scope="module")
+def qd2_response(dblp_engine):
+    return dblp_engine.search(
+        '"Peter Buneman" "Wenfei Fan" "Scott Weinstein"', s=1)
+
+
+class TestFacets:
+    def test_year_facet_finds_2001(self, dblp_engine, qd2_response):
+        report = facets(dblp_engine.repository, qd2_response, "year")
+        assert report.column == "year"
+        top = report.top(1)[0]
+        assert top.value == "2001"  # the planted Example 2 year
+
+    def test_counts_and_weights_consistent(self, dblp_engine,
+                                           qd2_response):
+        report = facets(dblp_engine.repository, qd2_response, "year")
+        total = sum(bucket.count for bucket in report)
+        assert total + report.missing == len(qd2_response.lce_nodes)
+        for bucket in report:
+            assert bucket.weight > 0
+
+    def test_top_truncates(self, dblp_engine, qd2_response):
+        report = facets(dblp_engine.repository, qd2_response, "year",
+                        top=1)
+        assert len(report.buckets) == 1
+
+    def test_path_suffix_column(self, dblp_engine, qd2_response):
+        by_tag = facets(dblp_engine.repository, qd2_response, "journal")
+        by_path = facets(dblp_engine.repository, qd2_response,
+                         ("article", "journal"))
+        assert {b.value for b in by_path} <= {b.value for b in by_tag}
+
+    def test_missing_column_counts(self, dblp_engine, qd2_response):
+        report = facets(dblp_engine.repository, qd2_response,
+                        "nonexistent_column")
+        assert not report.buckets
+        assert report.missing == len(qd2_response.lce_nodes)
+
+    def test_engine_facade(self, dblp_engine, qd2_response):
+        report = dblp_engine.facets(qd2_response, "year", top=3)
+        assert len(report.buckets) <= 3
+
+    def test_group_rank_ordering(self, dblp_engine, qd2_response):
+        values = group_rank(dblp_engine.repository, qd2_response, "year")
+        assert values[0] == "2001"
+
+
+class TestAggregate:
+    def test_year_statistics(self, dblp_engine, qd2_response):
+        report = aggregate(dblp_engine.repository, qd2_response, "year")
+        assert report.count > 0
+        assert report.minimum <= report.mean <= report.maximum
+        assert report.total == pytest.approx(
+            report.mean * report.count)
+
+    def test_non_numeric_column(self, dblp_engine, qd2_response):
+        report = aggregate(dblp_engine.repository, qd2_response, "title")
+        assert report.count == 0
+        assert report.mean is None
+        assert report.missing > 0
+
+    def test_engine_facade(self, dblp_engine, qd2_response):
+        report = dblp_engine.aggregate(qd2_response, "year")
+        assert report.column == "year"
+
+
+class TestHistogram:
+    def test_bins_cover_range(self, dblp_engine):
+        response = dblp_engine.search('"Prithviraj Banerjee"', s=1)
+        bins = histogram(dblp_engine.repository, response, "year",
+                         bins=4)
+        assert len(bins) in (1, 4)
+        assert sum(b.count for b in bins) > 0
+        for left, right in zip(bins, bins[1:]):
+            assert left.high == pytest.approx(right.low)
+
+    def test_constant_column_single_bin(self, dblp_engine, qd2_response):
+        # all trio articles carry year 2001
+        tight = dblp_engine.search(
+            '"Peter Buneman" "Wenfei Fan" "Scott Weinstein"', s=3)
+        bins = histogram(dblp_engine.repository, tight, "year")
+        assert len(bins) == 1
+        assert bins[0].low == bins[0].high == 2001.0
+
+    def test_invalid_bins_rejected(self, dblp_engine, qd2_response):
+        with pytest.raises(ValueError):
+            histogram(dblp_engine.repository, qd2_response, "year",
+                      bins=0)
+
+    def test_empty_when_no_numeric_values(self, dblp_engine,
+                                          qd2_response):
+        assert histogram(dblp_engine.repository, qd2_response,
+                         "title") == []

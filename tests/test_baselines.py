@@ -1,0 +1,157 @@
+"""Unit tests for the SLCA/ELCA/naïve baselines, pinned to Table 1 and
+cross-checked against the brute-force oracles."""
+
+import pytest
+
+from repro.baselines.bruteforce import (brute_candidates, brute_elca,
+                                        brute_slca)
+from repro.baselines.elca import all_keyword_closure, elca
+from repro.baselines.lca import (closest_match, left_match,
+                                 remove_ancestors, right_match)
+from repro.baselines.naive_gks import (keyword_subsets, naive_gks,
+                                       subset_count)
+from repro.core.query import Query
+from repro.index.builder import build_index
+from repro.xmltree.repository import Repository
+
+
+class TestMatchPrimitives:
+    POSTINGS = [(0, 1), (0, 3), (0, 5)]
+
+    def test_left_match(self):
+        assert left_match(self.POSTINGS, (0, 4)) == (0, 3)
+        assert left_match(self.POSTINGS, (0, 0)) is None
+        assert left_match(self.POSTINGS, (0, 3)) == (0, 3)
+
+    def test_right_match(self):
+        assert right_match(self.POSTINGS, (0, 2)) == (0, 3)
+        assert right_match(self.POSTINGS, (0, 9)) is None
+
+    def test_closest_match_prefers_deeper_lca(self):
+        postings = [(0, 0, 9), (0, 2, 0)]
+        # anchor inside subtree (0,2): the right neighbour shares a longer
+        # prefix than the left one
+        assert closest_match(postings, (0, 2, 5)) == (0, 2, 0)
+
+    def test_remove_ancestors(self):
+        nodes = [(0,), (0, 1), (0, 1, 2), (0, 2)]
+        assert remove_ancestors(nodes) == [(0, 1, 2), (0, 2)]
+
+    def test_remove_ancestors_keeps_duplicates_once(self):
+        assert remove_ancestors([(0, 1), (0, 1)]) == [(0, 1)]
+
+
+class TestTable1Baselines:
+    def test_q1_slca_is_x2(self, figure1_index, fig1_ids):
+        from repro.baselines.slca import slca_indexed_lookup_eager
+        query = Query.of(["a", "b", "c"])
+        assert slca_indexed_lookup_eager(figure1_index, query) == \
+            [fig1_ids["x2"]]
+
+    def test_q1_elca_is_x1_and_x2(self, figure1_index, fig1_ids):
+        query = Query.of(["a", "b", "c"])
+        assert elca(figure1_index, query) == [fig1_ids["x1"],
+                                              fig1_ids["x2"]]
+
+    def test_q2_null_for_both(self, figure1_index):
+        from repro.baselines.slca import slca_indexed_lookup_eager
+        query = Query.of(["a", "b", "e"])
+        assert slca_indexed_lookup_eager(figure1_index, query) == []
+        assert elca(figure1_index, query) == []
+
+    def test_q3_both_return_root(self, figure1_index, fig1_ids):
+        from repro.baselines.slca import slca_indexed_lookup_eager
+        query = Query.of(["a", "b", "c", "d"])
+        assert slca_indexed_lookup_eager(figure1_index, query) == \
+            [fig1_ids["r"]]
+        assert elca(figure1_index, query) == [fig1_ids["r"]]
+
+
+class TestCrossValidation:
+    CASES = [
+        ["a"], ["a", "b"], ["a", "b", "c"], ["a", "b", "c", "d"],
+        ["d"], ["d", "f"], ["c", "d"], ["a", "d"], ["b", "d", "f"],
+    ]
+
+    @pytest.mark.parametrize("keywords", CASES)
+    def test_slca_variants_agree_with_oracle(self, figure1_repo,
+                                             figure1_index, keywords):
+        from repro.baselines.slca import (slca_indexed_lookup_eager,
+                                          slca_scan)
+        query = Query.of(keywords)
+        oracle = brute_slca(figure1_repo, query)
+        assert slca_indexed_lookup_eager(figure1_index, query) == oracle
+        assert slca_scan(figure1_index, query) == oracle
+
+    @pytest.mark.parametrize("keywords", CASES)
+    def test_elca_agrees_with_oracle(self, figure1_repo, figure1_index,
+                                     keywords):
+        query = Query.of(keywords)
+        assert elca(figure1_index, query) == \
+            brute_elca(figure1_repo, query)
+
+    def test_multi_document_slca(self):
+        repo = Repository.from_texts(
+            ["<r><a>karen mike</a></r>", "<r><b>karen</b><c>mike</c></r>"])
+        index = build_index(repo)
+        from repro.baselines.slca import slca_indexed_lookup_eager
+        query = Query.of(["karen", "mike"])
+        assert slca_indexed_lookup_eager(index, query) == \
+            brute_slca(repo, query) == [(0, 0), (1,)]
+
+
+class TestClosure:
+    def test_closure_is_ancestor_closed(self, figure1_index):
+        query = Query.of(["a", "b", "c"])
+        closure = set(all_keyword_closure(figure1_index, query))
+        for dewey in closure:
+            if len(dewey) > 1:
+                assert dewey[:-1] in closure
+
+
+class TestNaiveGKS:
+    def test_subset_enumeration_counts(self):
+        query = Query.of(["a", "b", "c", "d"], s=2)
+        subsets = keyword_subsets(query)
+        assert len(subsets) == subset_count(4, 2) == 11
+
+    def test_subset_count_lemma3_growth(self):
+        # Lemma 3: s ≤ n/2 → at least 2^(n/2) subsets
+        for n in (4, 6, 8, 10):
+            assert subset_count(n, n // 2) >= 2 ** (n // 2)
+
+    def test_naive_gks_covers_gks_response(self, figure1_repo,
+                                           figure1_index):
+        # every GKS response node contains some subset's SLCA region:
+        # the naive union must contain a descendant-or-self of each
+        from repro.core.search import search
+        from repro.xmltree.dewey import is_ancestor_or_self
+
+        query = Query.of(["a", "b", "c", "d"], s=2)
+        gks_nodes = search(figure1_index, query).deweys
+        naive_nodes = naive_gks(figure1_index, query)
+        for dewey in gks_nodes:
+            assert any(is_ancestor_or_self(dewey, other)
+                       for other in naive_nodes)
+
+    def test_naive_gks_is_sorted_and_unique(self, figure1_index):
+        query = Query.of(["a", "b", "c"], s=1)
+        result = naive_gks(figure1_index, query)
+        assert result == sorted(set(result))
+
+
+class TestBruteCandidates:
+    def test_candidates_monotone_in_s(self, figure1_repo):
+        query = Query.of(["a", "b", "c", "d"])
+        sizes = [len(brute_candidates(figure1_repo, query.with_s(s)))
+                 for s in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_candidates_include_all_gks_nodes(self, figure1_repo,
+                                              figure1_index):
+        from repro.core.search import search
+
+        query = Query.of(["a", "b", "c", "d"], s=2)
+        candidates = set(brute_candidates(figure1_repo, query))
+        for dewey in search(figure1_index, query).deweys:
+            assert dewey in candidates

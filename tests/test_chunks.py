@@ -1,0 +1,76 @@
+"""Tests for Fig. 2(b)-style response chunks."""
+
+import pytest
+
+from repro.core.chunks import chunk_keep_set, response_chunk
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return GKSEngine(load_dataset("figure2a"))
+
+
+@pytest.fixture(scope="module")
+def response(engine):
+    # Example 3's intent without the tag keyword, so pruning is visible
+    return engine.search("karen mike john harry", s=1)
+
+
+class TestFigure2b:
+    def test_matched_students_kept_others_pruned(self, engine, response):
+        ai_course = next(node for node in response
+                         if node.dewey == (0, 1, 1, 2))
+        chunk = engine.response_chunk(ai_course)
+        assert "Karen" in chunk and "Mike" in chunk
+        assert "Serena" not in chunk and "Peter" not in chunk
+
+    def test_context_attribute_kept(self, engine, response):
+        ai_course = next(node for node in response
+                         if node.dewey == (0, 1, 1, 2))
+        chunk = engine.response_chunk(ai_course)
+        assert "<Name>AI</Name>" in chunk
+
+    def test_full_match_keeps_everything_matched(self, engine, response):
+        dm_course = next(node for node in response
+                         if node.dewey == (0, 1, 1, 0))
+        chunk = engine.response_chunk(dm_course)
+        for student in ("Karen", "Mike", "John"):
+            assert student in chunk
+
+    def test_tag_keyword_keeps_all_instances(self, engine):
+        # the tag keyword 'student' matches every Student element, so
+        # nothing is pruned — keyword semantics, not a bug
+        resp = engine.search("student karen", s=1)
+        ai_course = next(node for node in resp
+                         if node.dewey == (0, 1, 1, 2))
+        chunk = engine.response_chunk(ai_course)
+        assert "Serena" in chunk
+
+    def test_keep_set_paths_are_within_result(self, engine, response):
+        from repro.xmltree.dewey import is_ancestor_or_self
+
+        node = response[0]
+        query = engine.parse_query(" ".join(node.matched_keywords))
+        keep = chunk_keep_set(engine.index, query, node)
+        for dewey in keep:
+            assert is_ancestor_or_self(node.dewey, dewey)
+            assert dewey != node.dewey
+
+    def test_missing_node_handled(self, engine, response):
+        from repro.core.results import RankedNode
+
+        ghost = RankedNode(dewey=(9, 9), score=1.0, distinct_keywords=1,
+                           matched_keywords=("karen",), is_lce=False,
+                           estimated_keywords=1, breakdown=None)
+        assert "missing node" in response_chunk(
+            engine.repository, engine.index,
+            engine.parse_query("karen"), ghost)
+
+    def test_chunk_is_well_formed_xml(self, engine, response):
+        from repro.xmltree.parser import parse_document
+
+        chunk = engine.response_chunk(response[0])
+        reparsed = parse_document(chunk)
+        assert reparsed.root.tag == "Course"

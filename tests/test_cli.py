@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    path = tmp_path / "uni.xml"
+    path.write_text(
+        "<Dept><Dept_Name>CS</Dept_Name>"
+        "<Area><Name>Databases</Name><Courses>"
+        "<Course><Name>Data Mining</Name><Students>"
+        "<Student>Karen</Student><Student>Mike</Student>"
+        "</Students></Course>"
+        "<Course><Name>AI</Name><Students>"
+        "<Student>Karen</Student><Student>Zoe</Student>"
+        "</Students></Course>"
+        "</Courses></Area></Dept>")
+    return path
+
+
+class TestSearch:
+    def test_search_prints_ranked_results(self, corpus, capsys):
+        assert main(["search", str(corpus), "-q", "karen mike",
+                     "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "node(s) for" in out
+        assert "score=" in out
+
+    def test_search_snippets(self, corpus, capsys):
+        main(["search", str(corpus), "-q", "karen", "--snippets"])
+        assert "<Course>" in capsys.readouterr().out
+
+    def test_top_limits_output(self, corpus, capsys):
+        main(["search", str(corpus), "-q", "karen", "-k", "1"])
+        out = capsys.readouterr().out
+        assert out.count("score=") == 1
+
+
+class TestDI:
+    def test_di_prints_insights(self, corpus, capsys):
+        assert main(["di", str(corpus), "-q", "karen mike",
+                     "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Data Mining" in out
+
+    def test_di_without_lce_nodes(self, tmp_path, capsys):
+        path = tmp_path / "flat.xml"
+        path.write_text("<r><a>karen</a></r>")
+        main(["di", str(path), "-q", "karen"])
+        assert "no insights" in capsys.readouterr().out
+
+
+class TestIndexAndCategorize:
+    def test_index_writes_file(self, corpus, tmp_path, capsys):
+        out_path = tmp_path / "idx.gz"
+        assert main(["index", str(corpus), "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "indexed" in capsys.readouterr().out
+
+    def test_categorize_prints_counts(self, corpus, capsys):
+        assert main(["categorize", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "AN" in out and "EN" in out and "total nodes" in out
+
+
+class TestDataset:
+    def test_dataset_emits_xml(self, tmp_path, capsys):
+        assert main(["dataset", "figure2a", "-o", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("figure2a_*.xml"))
+        assert len(files) == 1
+        assert "Karen" in files[0].read_text()
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "nope", "-o", str(tmp_path)])
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,131 @@
+"""Edge-case battery across the stack: unusual documents, queries and
+content that real-world XML throws at a keyword-search system."""
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.core.query import Query
+from repro.core.search import search
+from repro.errors import QueryError
+from repro.index.builder import build_index
+from repro.xmltree.repository import Repository
+
+
+class TestUnusualDocuments:
+    def test_single_element_document(self):
+        engine = GKSEngine.from_texts(["<only>word</only>"])
+        response = engine.search("word")
+        assert response.deweys == [(0,)]
+
+    def test_empty_elements_everywhere(self):
+        engine = GKSEngine.from_texts(["<r><a/><b/><c><d/></c></r>"])
+        # no text, but tags are searchable
+        assert len(engine.search("d")) == 1
+
+    def test_whitespace_only_text(self):
+        engine = GKSEngine.from_texts(["<r><a>   \n\t  </a></r>"])
+        assert engine.index.stats.text_keywords == 0
+
+    def test_unicode_content_and_query(self):
+        engine = GKSEngine.from_texts(
+            ["<r><name>Bergström Ñandú</name></r>"])
+        assert len(engine.search("bergström")) == 1
+        assert len(engine.search("ñandú")) == 1
+
+    def test_numeric_and_mixed_tokens(self):
+        engine = GKSEngine.from_texts(
+            ["<r><id>P53-variant 2001</id></r>"])
+        assert len(engine.search("p53")) == 1
+        assert len(engine.search("2001")) == 1
+
+    def test_cdata_content_is_indexed(self):
+        engine = GKSEngine.from_texts(
+            ["<r><code><![CDATA[if karen < mike]]></code></r>"])
+        assert len(engine.search("karen mike", s=2)) == 1
+
+    def test_entity_references_in_values(self):
+        engine = GKSEngine.from_texts(
+            ["<r><t>tom &amp; jerry</t></r>"])
+        assert len(engine.search("tom jerry", s=2)) == 1
+
+    def test_very_wide_fanout(self):
+        children = "".join(f"<c>word{i}</c>" for i in range(2000))
+        engine = GKSEngine.from_texts([f"<r>{children}</r>"])
+        response = engine.search("word1999")
+        assert len(response) == 1
+        # potential flow divides by 2000 children
+        assert response[0].score <= 1.0
+
+    def test_repeated_keyword_in_one_element(self):
+        engine = GKSEngine.from_texts(
+            ["<r><a>spam spam spam spam</a></r>"])
+        # deduplicated posting; rank counts it once
+        response = engine.search("spam")
+        assert len(response) == 1
+        assert response[0].distinct_keywords == 1
+
+    def test_same_keyword_as_tag_and_text(self):
+        engine = GKSEngine.from_texts(
+            ["<r><year>year</year><other>x</other></r>"])
+        response = engine.search("year")
+        assert len(response) >= 1
+
+
+class TestUnusualQueries:
+    def test_query_larger_than_vocabulary(self, figure1_index):
+        query = Query.of(["a", "b", "c", "d", "e", "f", "g", "h"], s=2)
+        response = search(figure1_index, query)
+        assert len(response) > 0
+
+    def test_all_stopword_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("the of and is")
+
+    def test_single_keyword_s_greater_than_size(self, figure1_index):
+        response = search(figure1_index, Query.of(["a"], s=5))
+        assert response.query.s == 1  # clamped
+
+    def test_duplicate_phrase_and_word(self):
+        query = Query.parse('"data mining" data')
+        # the phrase and the loose word are distinct keywords
+        assert len(query.keywords) == 2
+
+    def test_stemming_unifies_query_and_data(self):
+        engine = GKSEngine.from_texts(
+            ["<r><t>publications</t></r>"])
+        assert len(engine.search("publication")) == 1
+        assert len(engine.search("publications")) == 1
+
+
+class TestMultiDocumentBoundaries:
+    def test_no_phantom_matches_across_documents(self):
+        # karen in doc 0, mike in doc 1: no node contains both
+        repo = Repository.from_texts(
+            ["<r><a>karen</a></r>", "<r><a>mike</a></r>"])
+        index = build_index(repo)
+        response = search(index, Query.of(["karen", "mike"], s=2))
+        assert len(response) == 0
+
+    def test_same_structure_in_every_document(self):
+        texts = [f"<r><a>karen {i}</a></r>" for i in range(4)]
+        index = build_index(Repository.from_texts(texts))
+        response = search(index, Query.of(["karen"], s=1))
+        assert len(response) == 4
+        assert {node.dewey[0] for node in response} == {0, 1, 2, 3}
+
+
+class TestRankingEdges:
+    def test_scores_are_finite(self, figure2a_index):
+        response = search(figure2a_index,
+                          Query.of(["karen", "mike", "student"], s=1))
+        for node in response:
+            assert node.score == node.score  # not NaN
+            assert node.score != float("inf")
+
+    def test_deterministic_across_runs(self, figure2a_index):
+        query = Query.of(["karen", "mike", "john", "student"], s=2)
+        first = search(figure2a_index, query)
+        second = search(figure2a_index, query)
+        assert first.deweys == second.deweys
+        assert [node.score for node in first] == \
+            [node.score for node in second]

@@ -1,0 +1,92 @@
+"""Tests for the stack-based (XRank-style) ELCA algorithm."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_elca
+from repro.baselines.elca import elca
+from repro.baselines.elca_stack import elca_stack
+from repro.core.query import Query
+from repro.datasets.registry import load_dataset
+from repro.index.builder import build_index
+from repro.xmltree.node import build_tree
+from repro.xmltree.repository import Repository
+
+
+class TestTable1:
+    def test_q1_matches_closure_elca(self, figure1_index, fig1_ids):
+        query = Query.of(["a", "b", "c"])
+        assert elca_stack(figure1_index, query) == \
+            [fig1_ids["x1"], fig1_ids["x2"]]
+
+    def test_q3_returns_root(self, figure1_index, fig1_ids):
+        query = Query.of(["a", "b", "c", "d"])
+        assert elca_stack(figure1_index, query) == [fig1_ids["r"]]
+
+    def test_missing_keyword_empty(self, figure1_index):
+        assert elca_stack(figure1_index, Query.of(["a", "zzz"])) == []
+
+
+class TestExclusivity:
+    def test_all_keyword_non_elca_descendant_still_claims(self):
+        """The regression the two-bit-set design exists for: a descendant
+        that contains all keywords claims its occurrences even when it
+        is itself not an ELCA (its own witnesses sit in a deeper
+        ELCA)."""
+        root = build_tree(("r", [
+            ("mid", [
+                ("k", "kilo"),
+                ("deep", [("k", "kilo"), ("l", "lima"),
+                          ("m", "mike")]),
+                ("l2", [("l", "lima")]),
+            ]),
+            ("k", "kilo"),
+            ("m", "mike"),
+        ]))
+        repo = Repository()
+        repo.add_root(root)
+        from repro.text.analyzer import Analyzer
+
+        index = build_index(repo, analyzer=Analyzer(use_stemming=False))
+        query = Query.of(["kilo", "lima", "mike"])
+        expected = brute_elca(repo, query,
+                              analyzer=Analyzer(use_stemming=False))
+        assert elca_stack(index, query) == expected
+        # and the root must NOT be an ELCA: its lima occurrences all sit
+        # inside the all-keyword <mid>
+        assert (0,) not in elca_stack(index, query)
+
+    def test_nested_elcas_both_reported(self):
+        root = build_tree(("r", [
+            ("outer", [
+                ("a", "kilo"), ("b", "lima"),
+                ("inner", [("a", "kilo"), ("b", "lima")]),
+            ]),
+        ]))
+        repo = Repository()
+        repo.add_root(root)
+        from repro.text.analyzer import Analyzer
+
+        index = build_index(repo, analyzer=Analyzer(use_stemming=False))
+        query = Query.of(["kilo", "lima"])
+        result = elca_stack(index, query)
+        assert (0, 0) in result        # outer has its own witnesses
+        assert (0, 0, 2) in result     # inner too
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("keywords", [
+        ["karen"], ["karen", "mike"], ["karen", "mike", "john"],
+        ["databas", "karen"], ["student", "name"],
+    ])
+    def test_agrees_with_closure_on_figure2a(self, figure2a_repo,
+                                             figure2a_index, keywords):
+        query = Query.of(keywords)
+        assert elca_stack(figure2a_index, query) == \
+            elca(figure2a_index, query) == \
+            brute_elca(figure2a_repo, query)
+
+    def test_agrees_on_corpus(self):
+        repository = load_dataset("sigmod")
+        index = build_index(repository)
+        query = Query.parse('"Randy H. Katz" "David J. DeWitt"')
+        assert elca_stack(index, query) == elca(index, query)

@@ -1,0 +1,136 @@
+"""Tests for the evaluation harness: metrics, workload, feedback,
+reporting."""
+
+import pytest
+
+from repro.eval.feedback import (FeedbackTable, QueryComparison,
+                                 simulate_feedback)
+from repro.eval.metrics import (precision_at, rank_score,
+                                rank_score_from_positions, recall,
+                                reciprocal_rank)
+from repro.eval.reporting import render_series, render_table
+from repro.eval.workload import TABLE6, by_id, for_dataset
+
+
+class TestRankScore:
+    def test_perfect_ranking_scores_one(self):
+        # true nodes occupy the top of the list
+        assert rank_score_from_positions([1, 2, 3]) == 1.0
+
+    def test_single_true_node_at_position_three(self):
+        # the paper's QM3: one true node at rank 3 → 0.17
+        assert rank_score_from_positions([3]) == pytest.approx(1 / 6)
+
+    def test_qd2_style_score(self):
+        # true nodes at 1,2,3,4 and one at 10 → the paper's 0.72-ish zone
+        score = rank_score_from_positions([1, 2, 3, 4, 10])
+        assert 0.6 < score < 0.8
+
+    def test_positions_must_be_one_based(self):
+        with pytest.raises(ValueError):
+            rank_score_from_positions([0, 1])
+
+    def test_empty_scores_zero(self):
+        assert rank_score_from_positions([]) == 0.0
+
+    def test_rank_score_over_deweys(self):
+        ranked = [(0, 1), (0, 2), (0, 3)]
+        assert rank_score(ranked, [(0, 1)]) == 1.0
+        assert rank_score(ranked, [(0, 3)]) == pytest.approx(1 / 6)
+        assert rank_score(ranked, [(9, 9)]) == 0.0
+
+
+class TestIRMetrics:
+    RANKED = [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_precision_at(self):
+        assert precision_at(self.RANKED, [(0, 1), (0, 3)], 2) == 0.5
+        assert precision_at(self.RANKED, [(0, 1)], 1) == 1.0
+        assert precision_at([], [(0, 1)], 3) == 0.0
+
+    def test_precision_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            precision_at(self.RANKED, [], 0)
+
+    def test_recall(self):
+        assert recall(self.RANKED, [(0, 1), (9, 9)]) == 0.5
+        assert recall(self.RANKED, []) == 1.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(self.RANKED, [(0, 2)]) == 0.5
+        assert reciprocal_rank(self.RANKED, [(9, 9)]) == 0.0
+
+
+class TestWorkload:
+    def test_fourteen_queries(self):
+        assert len(TABLE6) == 14
+
+    def test_sizes_match_table6(self):
+        assert by_id("QS4").size == 8
+        assert by_id("QM2").size == 3
+        assert by_id("QI1").size == 2
+
+    def test_half_s(self):
+        assert by_id("QD4").half_s() == 4
+        assert by_id("QM2").half_s() == 1
+
+    def test_for_dataset(self):
+        assert [query.qid for query in for_dataset("mondial")] == \
+            ["QM1", "QM2", "QM3", "QM4"]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            by_id("QX1")
+
+
+class TestFeedback:
+    def comparison(self, **kwargs):
+        defaults = {"qid": "Q", "gks_count": 10, "gks_top_keywords": 3,
+                    "slca_count": 0, "slca_is_root": False}
+        defaults.update(kwargs)
+        return QueryComparison(**defaults)
+
+    def test_deterministic_given_seed(self):
+        comparisons = [self.comparison(qid=f"Q{i}") for i in range(3)]
+        first = simulate_feedback(comparisons, seed=5)
+        second = simulate_feedback(comparisons, seed=5)
+        assert first.rows == second.rows
+
+    def test_histogram_sums_to_users(self):
+        table = simulate_feedback([self.comparison()], users=40)
+        assert sum(table.rows["Q"]) == 40
+
+    def test_empty_slca_strongly_favours_gks(self):
+        table = simulate_feedback(
+            [self.comparison(qid=f"Q{i}") for i in range(12)], users=40)
+        assert table.gks_better_rate > 0.8
+
+    def test_focused_slca_softens_preference(self):
+        strong = simulate_feedback([self.comparison()], users=400, seed=1)
+        soft = simulate_feedback(
+            [self.comparison(slca_count=5)], users=400, seed=1)
+        assert soft.gks_better_rate < strong.gks_better_rate
+
+    def test_gks_better_counts(self):
+        table = FeedbackTable(users=4)
+        table.add("Q1", [1, 2, 3, 4])
+        assert table.gks_better == 2
+        assert table.total_ratings == 4
+        assert table.gks_better_rate == 0.5
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [("a", 1), ("bbbb", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "2.500" in text
+
+    def test_render_table_with_title(self):
+        assert render_table(["x"], [(1,)],
+                            title="T").splitlines()[0] == "T"
+
+    def test_render_series(self):
+        text = render_series("Fig", [(1, 2.0)], x_label="n",
+                             y_label="ms")
+        assert "Fig" in text and "n" in text and "2.000" in text

@@ -1,0 +1,96 @@
+"""Tests for incremental index maintenance (append / remove-last)."""
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.core.query import Query
+from repro.core.search import search
+from repro.errors import IndexError_
+from repro.index.builder import build_index
+from repro.index.incremental import append_document, remove_last_document
+from repro.xmltree.parser import parse_document
+from repro.xmltree.repository import Repository
+
+DOC0 = "<r><a>karen</a><b>mike</b></r>"
+DOC1 = "<r><a>karen</a><c>zoe</c></r>"
+DOC2 = "<r><d>mike</d></r>"
+
+
+def fresh_index(*texts):
+    return build_index(Repository.from_texts(list(texts)))
+
+
+class TestAppend:
+    def test_appended_index_equals_batch_index(self):
+        incremental = fresh_index(DOC0)
+        incremental = append_document(
+            incremental, parse_document(DOC1, doc_id=1))
+        batch = fresh_index(DOC0, DOC1)
+        assert dict(incremental.inverted.items()) == \
+            dict(batch.inverted.items())
+        assert incremental.hashes.entity_table == \
+            batch.hashes.entity_table
+        assert incremental.hashes.element_table == \
+            batch.hashes.element_table
+        assert incremental.document_names == batch.document_names
+
+    def test_search_after_append(self):
+        index = fresh_index(DOC0)
+        index = append_document(index, parse_document(DOC1, doc_id=1))
+        response = search(index, Query.of(["karen"], s=1))
+        docs = {node.dewey[0] for node in response}
+        assert docs == {0, 1}
+
+    def test_wrong_doc_id_rejected(self):
+        index = fresh_index(DOC0)
+        with pytest.raises(IndexError_):
+            append_document(index, parse_document(DOC1, doc_id=5))
+
+    def test_stats_continue(self):
+        index = fresh_index(DOC0)
+        before = index.stats.total_nodes
+        index = append_document(index, parse_document(DOC1, doc_id=1))
+        assert index.stats.documents == 2
+        assert index.stats.total_nodes > before
+
+
+class TestRemoveLast:
+    def test_remove_restores_previous_state(self):
+        grown = fresh_index(DOC0, DOC1)
+        shrunk = remove_last_document(grown)
+        baseline = fresh_index(DOC0)
+        assert dict(shrunk.inverted.items()) == \
+            dict(baseline.inverted.items())
+        assert shrunk.hashes.entity_table == baseline.hashes.entity_table
+        assert shrunk.document_names == ("doc0",)
+
+    def test_removed_document_is_unsearchable(self):
+        index = remove_last_document(fresh_index(DOC0, DOC2))
+        response = search(index, Query.of(["mike"], s=1))
+        assert all(node.dewey[0] == 0 for node in response)
+
+    def test_remove_from_empty_rejected(self):
+        empty = remove_last_document(fresh_index(DOC0))
+        with pytest.raises(IndexError_):
+            remove_last_document(empty)
+
+
+class TestEngineMaintenance:
+    def test_engine_add_document_end_to_end(self):
+        engine = GKSEngine(Repository.from_texts([DOC0]))
+        assert len(engine.search("zoe")) == 0
+        engine.add_document(DOC1, name="update.xml")
+        response = engine.search("zoe")
+        assert len(response) == 1
+        assert response[0].dewey[0] == 1
+        # snippets resolve against the updated repository
+        assert "zoe" in engine.snippet(response[0])
+
+    def test_phrase_cache_not_stale_after_append(self):
+        engine = GKSEngine(Repository.from_texts([DOC0]))
+        # warm the phrase cache: karen and mike sit in *different*
+        # elements of DOC0, so the phrase matches nothing yet
+        assert engine.search('"karen mike"').deweys == []
+        engine.add_document("<r><e>karen mike</e></r>")
+        response = engine.search('"karen mike"')
+        assert {node.dewey[0] for node in response} == {1}

@@ -1,0 +1,184 @@
+"""Unit tests for the indexing engine: inverted index, hash tables,
+builder, statistics (paper §2.4)."""
+
+import pytest
+
+from repro.datasets.toy import figure2a
+from repro.errors import IndexError_
+from repro.index.builder import IndexBuilder, build_index
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import (count_in_subtree, intersect_postings,
+                                  merge_posting_lists, subtree_range)
+from repro.text.analyzer import Analyzer
+from repro.xmltree.repository import Repository
+from repro.xmltree.serialize import serialize_node
+from repro.xmltree.tree import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def fig2a_index():
+    repo = Repository()
+    repo.add_root(figure2a())
+    return build_index(repo)
+
+
+class TestInvertedIndex:
+    def test_add_keeps_sorted_and_deduped(self):
+        index = InvertedIndex()
+        index.add("k", (0, 2))
+        index.add("k", (0, 2))      # duplicate
+        index.add("k", (0, 5))
+        index.add("k", (0, 3))      # out of order (mixed content case)
+        assert index.postings("k") == [(0, 2), (0, 3), (0, 5)]
+        assert index.check_integrity()
+
+    def test_missing_keyword_is_empty(self):
+        assert InvertedIndex().postings("nope") == []
+
+    def test_vocabulary_and_counts(self):
+        index = InvertedIndex()
+        index.add_all(["a", "b"], (0, 1))
+        index.add("a", (0, 2))
+        assert index.vocabulary == ["a", "b"]
+        assert index.document_frequency("a") == 2
+        assert index.total_postings == 3
+        assert "a" in index and "c" not in index
+
+
+class TestPostingOps:
+    def test_subtree_range_binary_search(self):
+        postings = [(0, 1), (0, 2, 0), (0, 2, 5), (0, 3), (1, 0)]
+        lo, hi = subtree_range(postings, (0, 2))
+        assert postings[lo:hi] == [(0, 2, 0), (0, 2, 5)]
+        assert count_in_subtree(postings, (0,)) == 4
+        assert count_in_subtree(postings, (2,)) == 0
+
+    def test_merge_tags_keyword_indexes(self):
+        merged = merge_posting_lists([[(0, 1), (0, 5)], [(0, 3)]])
+        assert [(entry.dewey, entry.keyword) for entry in merged] == \
+            [((0, 1), 0), ((0, 3), 1), ((0, 5), 0)]
+
+    def test_merge_result_is_sorted(self):
+        merged = merge_posting_lists([[(0, 1)], [(0, 0), (1, 0)], []])
+        deweys = [entry.dewey for entry in merged]
+        assert deweys == sorted(deweys)
+
+    def test_intersect_postings(self):
+        a = [(0, 1), (0, 2), (0, 5)]
+        b = [(0, 2), (0, 5), (0, 9)]
+        c = [(0, 2), (0, 9)]
+        assert intersect_postings([a, b]) == [(0, 2), (0, 5)]
+        assert intersect_postings([a, b, c]) == [(0, 2)]
+        assert intersect_postings([a, []]) == []
+        assert intersect_postings([]) == []
+
+
+class TestTable3:
+    def test_karen_and_mike_postings(self, fig2a_index):
+        # Table 3: Karen → did.0.1.1.0.1.0, did.0.1.1.2.1.0, …
+        karen = fig2a_index.postings("karen")
+        assert (0, 1, 1, 0, 1, 0) in karen
+        assert (0, 1, 1, 2, 1, 0) in karen
+        mike = fig2a_index.postings("mike")
+        assert (0, 1, 1, 0, 1, 1) in mike
+
+    def test_tag_names_are_indexed(self, fig2a_index):
+        # queries may search element names (QM2: 'country', 'name')
+        assert fig2a_index.postings("student")
+        assert (0, 1, 0) in fig2a_index.postings("name")
+
+    def test_phrase_postings_intersect_per_element(self, fig2a_index):
+        # phrase keywords hold *analysed* words ("mining" stems to "mine")
+        assert fig2a_index.postings("data mine") == [(0, 1, 1, 0, 0)]
+        assert fig2a_index.postings("data serena") == []
+
+
+class TestHashTables:
+    def test_is_entity_and_is_element_return_child_counts(self,
+                                                          fig2a_index):
+        hashes = fig2a_index.hashes
+        assert hashes.is_entity((0, 1)) == 2          # Area
+        assert hashes.is_element((0, 1, 1)) == 3      # Courses (CN)
+        assert hashes.is_entity((0, 1, 1)) is None
+        # Course is both entity and repeating → in both tables (§2.4)
+        assert hashes.is_entity((0, 1, 1, 0)) == 2
+        assert hashes.is_element((0, 1, 1, 0)) == 2
+
+    def test_attribute_nodes_in_neither_table(self, fig2a_index):
+        hashes = fig2a_index.hashes
+        assert hashes.is_entity((0, 1, 0)) is None
+        assert hashes.is_element((0, 1, 0)) is None
+        assert hashes.is_attribute((0, 1, 0))
+
+    def test_nearest_entity_walks_ancestors(self, fig2a_index):
+        hashes = fig2a_index.hashes
+        # Student node → nearest entity is its Course
+        assert hashes.nearest_entity((0, 1, 1, 0, 1, 0)) == (0, 1, 1, 0)
+        assert hashes.nearest_entity((0, 1, 1, 0)) == (0, 1, 1, 0)
+
+    def test_entity_ancestors_ordered_nearest_first(self, fig2a_index):
+        chain = list(fig2a_index.hashes.entity_ancestors(
+            (0, 1, 1, 0, 1, 0)))
+        assert chain == [(0, 1, 1, 0), (0, 1), (0,)]
+
+
+class TestBuilder:
+    def test_tree_and_stream_paths_agree(self):
+        xml = serialize_node(figure2a())
+        repo = Repository()
+        repo.parse(xml)
+        from_tree = build_index(repo)
+        from_text = build_index(xml)
+        assert dict(from_tree.inverted.items()) == \
+            dict(from_text.inverted.items())
+        assert from_tree.hashes.entity_table == \
+            from_text.hashes.entity_table
+        assert from_tree.hashes.element_table == \
+            from_text.hashes.element_table
+
+    def test_multi_document_postings_carry_doc_ids(self):
+        repo = Repository.from_texts(["<r><a>karen</a></r>",
+                                      "<r><a>karen</a></r>"])
+        index = build_index(repo)
+        assert index.postings("karen") == [(0, 0), (1, 0)]
+
+    def test_builder_rejects_use_after_build(self):
+        builder = IndexBuilder()
+        builder.add_xml("<a>x</a>")
+        builder.build()
+        with pytest.raises(IndexError_):
+            builder.add_xml("<b>y</b>")
+        with pytest.raises(IndexError_):
+            builder.build()
+
+    def test_tag_indexing_can_be_disabled(self):
+        index = build_index("<country><name>Laos</name></country>",
+                            index_tags=False)
+        assert not index.postings("country")
+        assert index.postings("lao")  # text keyword still there (stemmed)
+
+    def test_analyzer_is_applied(self):
+        index = build_index("<r><a>The Publications</a></r>",
+                            analyzer=Analyzer())
+        assert index.postings("public")
+        assert not index.postings("the")
+
+    def test_stats_counts(self):
+        repo = Repository()
+        repo.add_root(figure2a())
+        stats = build_index(repo).stats
+        row = stats.category_row()
+        assert row["total"] == 36
+        assert row["EN"] == 8          # Dept + 2 Areas + 5 Courses
+        assert stats.max_depth == 5
+        assert stats.documents == 1
+
+    def test_build_index_rejects_unknown_source(self):
+        with pytest.raises(TypeError):
+            build_index(42)
+
+    def test_document_ids_must_be_consecutive(self):
+        builder = IndexBuilder()
+        from repro.xmltree.node import XMLNode
+        with pytest.raises(IndexError_):
+            builder.add_document(XMLDocument(XMLNode("r", (3,))))

@@ -1,0 +1,114 @@
+"""Tests for the JSON → labeled-tree adapter and JSON keyword search."""
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.index.categorize import NodeCategory, categorize_tree
+from repro.xmltree.json_adapter import (json_to_document,
+                                        parse_json_document, sanitize_tag)
+from repro.xmltree.repository import Repository
+
+
+class TestMapping:
+    def test_object_keys_become_children(self):
+        doc = json_to_document({"title": "GKS", "year": 2016})
+        tags = {child.tag: child.text for child in doc.root.children}
+        assert tags == {"title": "GKS", "year": "2016"}
+
+    def test_arrays_repeat_their_key(self):
+        doc = json_to_document({"authors": ["a", "b", "c"]})
+        authors = doc.root.find_all("authors")
+        assert [node.text for node in authors] == ["a", "b", "c"]
+
+    def test_nested_objects(self):
+        doc = json_to_document({"venue": {"name": "EDBT", "year": 2016}})
+        venue = doc.root.children[0]
+        assert venue.tag == "venue"
+        assert venue.children[0].text == "EDBT"
+
+    def test_array_of_objects(self):
+        doc = json_to_document({"refs": [{"id": 1}, {"id": 2}]})
+        refs = doc.root.find_all("refs")
+        assert len(refs) == 2
+        assert refs[1].children[0].text == "2"
+
+    def test_top_level_array_wraps_items(self):
+        doc = json_to_document([1, 2, 3])
+        assert [node.text for node in doc.root.find_all("item")] == \
+            ["1", "2", "3"]
+
+    def test_scalar_document(self):
+        doc = json_to_document("hello")
+        assert doc.root.text == "hello"
+
+    def test_null_and_booleans(self):
+        doc = json_to_document({"a": None, "b": True, "c": False})
+        by_tag = {child.tag: child.text for child in doc.root.children}
+        assert by_tag == {"a": None, "b": "true", "c": "false"}
+
+    def test_float_rendering(self):
+        doc = json_to_document({"x": 3.14, "y": 2.0})
+        by_tag = {child.tag: child.text for child in doc.root.children}
+        assert by_tag == {"x": "3.14", "y": "2"}
+
+    def test_tag_sanitisation(self):
+        assert sanitize_tag("first name") == "first_name"
+        assert sanitize_tag("42") == "f_42"
+        assert sanitize_tag("") == "field"
+        assert sanitize_tag("ok-key.v2") == "ok-key.v2"
+
+    def test_parse_json_document(self):
+        doc = parse_json_document('{"k": "v"}', doc_id=3)
+        assert doc.doc_id == 3
+        assert doc.root.children[0].dewey == (3, 0)
+
+
+class TestCategorizationOnJSON:
+    def test_record_with_array_is_entity(self):
+        # {"title": ..., "authors": [...]} ↔ the DBLP entity pattern
+        doc = json_to_document({"title": "GKS",
+                                "authors": ["Agarwal", "Ramamritham"]})
+        records = categorize_tree(doc.root)
+        assert records[(0,)].category is NodeCategory.ENTITY
+
+    def test_scalar_fields_are_attributes(self):
+        doc = json_to_document({"title": "GKS",
+                                "authors": ["a", "b"]})
+        records = categorize_tree(doc.root)
+        assert records[(0, 0)].category is NodeCategory.ATTRIBUTE
+        assert records[(0, 1)].category is NodeCategory.REPEATING
+
+
+class TestSearchOverJSON:
+    @pytest.fixture
+    def engine(self):
+        repo = Repository()
+        repo.parse_json('''{
+            "articles": [
+                {"title": "keyword search", "year": 2016,
+                 "authors": ["Agarwal", "Ramamritham"]},
+                {"title": "xml processing", "year": 2009,
+                 "authors": ["Bhide", "Agarwal"]}
+            ]
+        }''')
+        return GKSEngine(repo)
+
+    def test_keyword_search_finds_json_records(self, engine):
+        response = engine.search("agarwal ramamritham", s=2)
+        assert len(response) == 1
+        assert response[0].is_lce  # the record object is an entity
+
+    def test_di_over_json(self, engine):
+        response = engine.search("agarwal", s=1)
+        report = engine.insights(response)
+        rendered = " ".join(insight.render() for insight in report)
+        assert "2016" in rendered or "2009" in rendered
+
+    def test_mixed_xml_and_json_repository(self):
+        repo = Repository()
+        repo.parse("<r><a>karen</a></r>")
+        repo.parse_json('{"b": "karen"}')
+        engine = GKSEngine(repo)
+        response = engine.search("karen")
+        docs = {node.dewey[0] for node in response}
+        assert docs == {0, 1}

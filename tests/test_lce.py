@@ -1,0 +1,110 @@
+"""Unit tests for LCE discovery with independent witnesses (paper §4.2)."""
+
+import pytest
+
+from repro.core.lce import discover_lce
+from repro.core.lcp import compute_lcp_list
+from repro.core.merge import merged_list
+from repro.core.query import Query
+from repro.datasets.toy import figure2a
+from repro.index.builder import build_index
+from repro.xmltree.node import build_tree
+from repro.xmltree.repository import Repository
+
+
+def run_pipeline(index, keywords, s):
+    query = Query.of(list(keywords), s=s)
+    sl = merged_list(index, query)
+    lcp = compute_lcp_list(sl, min(s, len(query)))
+    return discover_lce(lcp, sl, index), sl
+
+
+@pytest.fixture(scope="module")
+def fig2a_index():
+    repo = Repository()
+    repo.add_root(figure2a())
+    return build_index(repo)
+
+
+class TestExample3:
+    """Q4 = {student, karen, mike, john, harry}, s=2 → the three
+    Databases courses plus the OS course (harry) as LCE nodes."""
+
+    def test_courses_are_the_lce_nodes(self, fig2a_index):
+        result, _ = run_pipeline(
+            fig2a_index, ["student", "karen", "mike", "john", "harri"], 2)
+        courses = {(0, 1, 1, 0), (0, 1, 1, 1), (0, 1, 1, 2)}
+        assert courses <= set(result.lce)
+
+    def test_every_lce_node_is_an_entity(self, fig2a_index):
+        result, _ = run_pipeline(
+            fig2a_index, ["student", "karen", "mike"], 2)
+        for dewey in result.lce:
+            assert fig2a_index.hashes.is_entity(dewey) is not None
+
+
+class TestWitnesses:
+    def test_surviving_lce_nodes_have_witnesses(self, fig2a_index):
+        result, _ = run_pipeline(
+            fig2a_index, ["karen", "mike", "john", "databas"], 2)
+        for info in result.lce.values():
+            assert info.witness is not None
+
+    def test_ancestor_with_own_witness_survives(self, fig2a_index):
+        # 'databas' lives in Area's attribute — an independent witness for
+        # Area even though Courses below also match.
+        result, _ = run_pipeline(fig2a_index,
+                                 ["databas", "karen", "mike"], 2)
+        assert (0, 1) in result.lce            # Area survives
+        assert (0, 1, 1, 0) in result.lce      # Data Mining course too
+
+    def test_ancestor_without_witness_is_evicted(self):
+        # Both keywords only inside the deeper entity: the outer entity
+        # has no independent witness and must not appear.
+        root = build_tree(("outer", [
+            ("title", "misc"),
+            ("items", [
+                ("inner", [("name", "karen mike"),
+                           ("w", "1"), ("w", "2")]),
+                ("inner", [("name", "other"), ("w", "3"), ("w", "4")]),
+            ]),
+        ]))
+        repo = Repository()
+        repo.add_root(root)
+        index = build_index(repo)
+        assert index.hashes.is_entity((0,)) is not None
+        assert index.hashes.is_entity((0, 1, 0)) is not None
+        result, _ = run_pipeline(index, ["karen", "mike"], 2)
+        assert (0, 1, 0) in result.lce
+        assert (0,) not in result.lce
+
+
+class TestUnmapped:
+    def test_nodes_without_entity_ancestor_are_unmapped(self,
+                                                        figure1_index):
+        result, _ = run_pipeline(figure1_index, ["a", "b"], 2)
+        assert not result.lce               # Figure 1 has no entities
+        assert result.unmapped
+
+    def test_response_filters_unmapped_ancestors(self, figure1_index,
+                                                 fig1_ids):
+        result, _ = run_pipeline(figure1_index, ["a", "b", "c"], 3)
+        response = result.response_deweys()
+        assert response == [fig1_ids["x2"]]
+
+    def test_attribute_lcp_is_lifted_to_parent(self, fig2a_index):
+        # s=1 on a keyword that lives in an attribute node: the candidate
+        # must be the attribute's parent (Def 2.1.1), then its entity.
+        result, _ = run_pipeline(fig2a_index, ["databas"], 1)
+        assert (0, 1) in result.lce          # Area, not the Name AN
+
+
+class TestEstimates:
+    def test_example4_style_accumulation(self, fig2a_index):
+        # an entity whose subtree produces several blocks accumulates
+        # counter-based estimates ≥ its exact distinct count
+        result, sl = run_pipeline(
+            fig2a_index, ["karen", "mike", "john"], 2)
+        course = result.lce.get((0, 1, 1, 0))
+        assert course is not None
+        assert course.estimated_keywords >= 2

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis): the efficient algorithms are
+cross-validated against brute-force oracles on randomized documents, and
+the paper's structural invariants are checked on arbitrary trees."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.bruteforce import (brute_candidates, brute_elca,
+                                        brute_slca, subtree_keyword_map)
+from repro.baselines.elca import elca
+from repro.baselines.slca import slca_indexed_lookup_eager, slca_scan
+from repro.core.lcp import sliding_blocks
+from repro.core.merge import merged_list
+from repro.core.query import Query
+from repro.core.ranking import rank_node
+from repro.core.search import search
+from repro.index.builder import build_index
+from repro.text.analyzer import Analyzer
+from repro.xmltree.dewey import is_ancestor_or_self
+from repro.xmltree.node import build_tree
+from repro.xmltree.parser import parse_document
+from repro.xmltree.repository import Repository
+from repro.xmltree.serialize import serialize_node
+
+# Text keywords use an alphabet the analyzer maps to itself.
+KEYWORDS = ["kilo", "lima", "mike", "november", "oscar"]
+TAGS = ["va", "vb", "vc", "vd"]
+
+ANALYZER = Analyzer(use_stemming=False)
+
+
+def spec_strategy():
+    """Nested (tag, text?, children?) specs for build_tree."""
+    leaf = st.tuples(st.sampled_from(TAGS), st.sampled_from(KEYWORDS))
+    return st.recursive(
+        leaf,
+        lambda children: st.tuples(
+            st.sampled_from(TAGS),
+            st.lists(children, min_size=1, max_size=4)),
+        max_leaves=12,
+    ).map(lambda spec: ("root", [spec]) if not isinstance(spec[1], list)
+          else ("root", spec[1]))
+
+
+@st.composite
+def repo_and_query(draw):
+    spec = draw(spec_strategy())
+    repo = Repository()
+    repo.add_root(build_tree(spec))
+    count = draw(st.integers(min_value=1, max_value=3))
+    keywords = draw(st.lists(st.sampled_from(KEYWORDS), min_size=count,
+                             max_size=count, unique=True))
+    s = draw(st.integers(min_value=1, max_value=count))
+    return repo, Query.of(keywords, s=s)
+
+
+@settings(max_examples=120, deadline=None)
+@given(repo_and_query())
+def test_slca_matches_bruteforce(case):
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    oracle = brute_slca(repo, query, analyzer=ANALYZER)
+    assert slca_indexed_lookup_eager(index, query) == oracle
+    assert slca_scan(index, query) == oracle
+    from repro.baselines.slca_intersect import slca_set_intersection
+
+    assert slca_set_intersection(index, query) == oracle
+
+
+@settings(max_examples=120, deadline=None)
+@given(repo_and_query())
+def test_elca_matches_bruteforce(case):
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    oracle = brute_elca(repo, query, analyzer=ANALYZER)
+    assert elca(index, query) == oracle
+    from repro.baselines.elca_stack import elca_stack
+
+    assert elca_stack(index, query) == oracle
+
+
+@settings(max_examples=120, deadline=None)
+@given(repo_and_query())
+def test_gks_response_soundness(case):
+    """Every response node's subtree really holds ≥ s distinct keywords."""
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    response = search(index, query)
+    candidates = set(brute_candidates(repo, query, analyzer=ANALYZER))
+    for node in response:
+        assert node.dewey in candidates
+        assert node.distinct_keywords >= query.effective_s
+
+
+@settings(max_examples=120, deadline=None)
+@given(repo_and_query())
+def test_gks_response_coverage(case):
+    """Minimal candidates are always represented, and matches imply a
+    non-empty response.
+
+    A *minimal* candidate (no candidate strictly inside it), lifted off an
+    attribute node per Def 2.1.1, must be comparable to some response node
+    — in its subtree or on its ancestor chain.  Non-minimal candidates may
+    legitimately go unrepresented: the response follows SLCA semantics and
+    drops shallower matches in favour of deeper ones (Table 1's Q1 returns
+    x2, not x1).
+    """
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    response = search(index, query)
+    candidates = brute_candidates(repo, query, analyzer=ANALYZER)
+    candidate_set = set(candidates)
+    if candidates:
+        assert len(response) > 0
+
+    from repro.xmltree.dewey import is_ancestor
+
+    for candidate in candidates:
+        if any(other != candidate and is_ancestor(candidate, other)
+               for other in candidate_set):
+            continue  # not minimal
+        lifted = candidate
+        if len(candidate) > 1 and index.hashes.is_attribute(candidate):
+            lifted = candidate[:-1]
+        assert any(is_ancestor_or_self(lifted, dewey)
+                   or is_ancestor_or_self(dewey, lifted)
+                   for dewey in response.deweys), (
+            f"minimal candidate {candidate} not represented")
+
+
+@settings(max_examples=100, deadline=None)
+@given(repo_and_query())
+def test_lcp_blocks_have_s_unique_keywords(case):
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    sl = merged_list(index, query)
+    for left, right, prefix in sliding_blocks(sl, query.effective_s):
+        block_keywords = {sl[i].keyword for i in range(left, right + 1)}
+        assert len(block_keywords) == query.effective_s
+        if prefix:
+            for position in range(left, right + 1):
+                assert is_ancestor_or_self(prefix, sl[position].dewey)
+
+
+@settings(max_examples=100, deadline=None)
+@given(repo_and_query())
+def test_reference_semantics_monotone_in_s(case):
+    """Lemma 2 on reference semantics: candidates shrink as s grows."""
+    repo, query = case
+    previous = None
+    for s in range(1, len(query.keywords) + 1):
+        current = set(brute_candidates(repo, query.with_s(s),
+                                       analyzer=ANALYZER))
+        if previous is not None:
+            assert current <= previous
+        previous = current
+
+
+@settings(max_examples=100, deadline=None)
+@given(repo_and_query())
+def test_ranking_bounds(case):
+    """0 < rank ≤ P·(#terminals per keyword)·… — concretely: positive and
+    at most P times the total number of terminal points."""
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    response = search(index, query)
+    for node in response:
+        breakdown = rank_node(index, query, node.dewey)
+        assert breakdown.score > 0
+        terminal_count = sum(len(points)
+                             for points in breakdown.terminals.values())
+        assert breakdown.score <= \
+            breakdown.initial_potential * terminal_count + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(repo_and_query())
+def test_estimated_counts_at_least_s(case):
+    repo, query = case
+    index = build_index(repo, analyzer=ANALYZER)
+    response = search(index, query)
+    for node in response:
+        assert node.estimated_keywords >= query.effective_s
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec_strategy())
+def test_serializer_parser_round_trip(spec):
+    root = build_tree(spec)
+    reparsed = parse_document(serialize_node(root))
+    original = [(node.dewey, node.tag, node.text)
+                for node in root.iter_subtree()]
+    rebuilt = [(node.dewey, node.tag, node.text)
+               for node in reparsed.root.iter_subtree()]
+    assert original == rebuilt
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec_strategy())
+def test_subtree_keyword_map_consistency(spec):
+    """The oracle keyword map agrees with the index on every node."""
+    repo = Repository()
+    repo.add_root(build_tree(spec))
+    index = build_index(repo, analyzer=ANALYZER)
+    mapping = subtree_keyword_map(repo, analyzer=ANALYZER)
+    from repro.index.postings import count_in_subtree
+
+    for dewey, keywords in mapping.items():
+        for keyword in KEYWORDS:
+            expected = keyword in keywords
+            found = count_in_subtree(index.postings(keyword), dewey) > 0
+            assert expected == found

@@ -1,0 +1,74 @@
+"""Unit tests for query parsing (phrases, thresholds)."""
+
+import pytest
+
+from repro.core.query import Query, split_phrases
+from repro.errors import QueryError
+
+
+class TestSplitPhrases:
+    def test_mixed_words_and_phrases(self):
+        assert split_phrases('"Peter Buneman" database 2001') == \
+            ["Peter Buneman", "database", "2001"]
+
+    def test_adjacent_phrases(self):
+        assert split_phrases('"A B" "C D"') == ["A B", "C D"]
+
+    def test_unbalanced_quote_forgiven(self):
+        assert split_phrases('alpha "beta gamma') == ["alpha",
+                                                      "beta gamma"]
+
+    def test_empty(self):
+        assert split_phrases("") == []
+
+
+class TestParse:
+    def test_phrases_become_single_keywords(self):
+        query = Query.parse('"Peter Buneman" "Wenfei Fan" 2001')
+        assert query.keywords == ("peter buneman", "wenfei fan", "2001")
+        assert len(query) == 3
+
+    def test_flatten_mode(self):
+        query = Query.parse('"Peter Buneman"', phrases_as_keywords=False)
+        assert query.keywords == ("peter", "buneman")
+
+    def test_analysis_applied_inside_phrases(self):
+        query = Query.parse('"The Publications of Science"')
+        assert query.keywords == ("public scienc",)
+
+    def test_duplicate_keywords_collapse(self):
+        query = Query.parse("data data mining")
+        assert query.keywords == ("data", "mine")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("the of and")  # all stop words
+
+    def test_invalid_s_rejected(self):
+        with pytest.raises(QueryError):
+            Query.parse("data", s=0)
+
+
+class TestThreshold:
+    def test_effective_s_clamps_to_size(self):
+        query = Query.of(["a", "b"], s=5)
+        assert query.effective_s == 2
+
+    def test_with_s_keeps_keywords(self):
+        query = Query.of(["a", "b", "c"], s=1)
+        stricter = query.with_s(3)
+        assert stricter.keywords == query.keywords
+        assert stricter.s == 3
+
+
+class TestAccessors:
+    def test_keyword_index_positions(self):
+        query = Query.of(["x", "y"])
+        assert query.keyword_index() == {"x": 0, "y": 1}
+
+    def test_word_set_splits_phrases(self):
+        query = Query.parse('"Peter Buneman" 2001')
+        assert query.word_set() == {"peter", "buneman", "2001"}
+
+    def test_str_rendering(self):
+        assert str(Query.of(["a", "b"], s=2)) == "Q={a, b} s=2"

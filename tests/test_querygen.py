@@ -1,0 +1,76 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.core.search import search
+from repro.eval.querygen import (WorkloadSpec, generate_queries,
+                                 vocabulary_by_frequency)
+from repro.index.builder import build_index
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index(load_dataset("figure2a"))
+
+
+class TestVocabulary:
+    def test_sorted_rare_to_frequent(self, index):
+        vocabulary = vocabulary_by_frequency(index)
+        frequencies = [index.inverted.document_frequency(keyword)
+                       for keyword in vocabulary]
+        assert frequencies == sorted(frequencies)
+
+
+class TestGeneration:
+    def test_deterministic(self, index):
+        spec = WorkloadSpec(queries=10, seed=4)
+        first = generate_queries(index, spec)
+        second = generate_queries(index, spec)
+        assert [query.keywords for query in first] == \
+            [query.keywords for query in second]
+
+    def test_counts_and_bounds(self, index):
+        spec = WorkloadSpec(queries=25, min_keywords=2, max_keywords=4,
+                            seed=1)
+        queries = generate_queries(index, spec)
+        assert len(queries) == 25
+        for query in queries:
+            assert 2 <= len(query.keywords) <= 4
+            assert 1 <= query.s <= len(query.keywords)
+
+    def test_selectivity_bias(self, index):
+        frequent = generate_queries(index, WorkloadSpec(
+            queries=40, selectivity=1.0, noise=0.0, seed=2))
+        rare = generate_queries(index, WorkloadSpec(
+            queries=40, selectivity=0.0, noise=0.0, seed=2))
+
+        def mean_df(queries):
+            dfs = [index.inverted.document_frequency(keyword)
+                   for query in queries for keyword in query.keywords]
+            return sum(dfs) / len(dfs)
+
+        assert mean_df(frequent) > mean_df(rare)
+
+    def test_noise_produces_unknown_keywords(self, index):
+        queries = generate_queries(index, WorkloadSpec(
+            queries=40, noise=1.0, seed=3))
+        for query in queries:
+            for keyword in query.keywords:
+                assert keyword.startswith("zz")
+
+    def test_all_generated_queries_are_searchable(self, index):
+        for query in generate_queries(index, WorkloadSpec(queries=30,
+                                                          seed=5)):
+            response = search(index, query)  # must not raise
+            for node in response:
+                assert node.distinct_keywords >= query.effective_s
+
+    def test_invalid_specs_rejected(self, index):
+        with pytest.raises(ValueError):
+            generate_queries(index, WorkloadSpec(min_keywords=0))
+        with pytest.raises(ValueError):
+            generate_queries(index, WorkloadSpec(min_keywords=3,
+                                                 max_keywords=2))
+        with pytest.raises(ValueError):
+            generate_queries(index, WorkloadSpec(selectivity=2.0))

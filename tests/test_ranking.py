@@ -1,0 +1,102 @@
+"""Unit tests for potential-flow ranking (paper §5, Example 5)."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.ranking import (rank_by_keyword_count, rank_node,
+                                received_potential, terminal_points)
+
+
+class TestTerminalPoints:
+    def test_highest_occurrence_only(self):
+        points = terminal_points([(0, 1), (0, 2, 5), (0, 3)])
+        assert points == ((0, 1), (0, 3))  # depth-1 beats depth-2
+
+    def test_multiple_at_highest_level_all_count(self):
+        points = terminal_points([(0, 1), (0, 2)])
+        assert len(points) == 2
+
+    def test_empty(self):
+        assert terminal_points([]) == ()
+
+
+class TestReceivedPotential:
+    def test_terminal_at_root_receives_everything(self, figure1_index):
+        assert received_potential(figure1_index, (0, 1), (0, 1), 3.0) == 3.0
+
+    def test_division_along_path(self, figure1_index, fig1_ids):
+        # x3 has 3 children; y (inside x3) has 2: potential 3 at x3
+        # arriving at y's child d = 3 · (1/3) · (1/2) = 0.5
+        x3, y = fig1_ids["x3"], fig1_ids["y"]
+        d_leaf = y + (0,)
+        assert received_potential(figure1_index, x3, d_leaf, 3.0) == \
+            pytest.approx(0.5)
+
+
+class TestExample5:
+    """Q3 = {a, b, c, d}: rank(x2)=3, rank(x3)=2.5, rank(x4)=2."""
+
+    QUERY = Query.of(["a", "b", "c", "d"], s=2)
+
+    def test_x2_rank(self, figure1_index, fig1_ids):
+        breakdown = rank_node(figure1_index, self.QUERY, fig1_ids["x2"])
+        assert breakdown.score == pytest.approx(3.0)
+        assert breakdown.initial_potential == 3
+
+    def test_x3_rank(self, figure1_index, fig1_ids):
+        breakdown = rank_node(figure1_index, self.QUERY, fig1_ids["x3"])
+        assert breakdown.score == pytest.approx(2.5)
+
+    def test_x4_rank(self, figure1_index, fig1_ids):
+        breakdown = rank_node(figure1_index, self.QUERY, fig1_ids["x4"])
+        assert breakdown.score == pytest.approx(2.0)
+
+    def test_order_matches_paper(self, figure1_index, fig1_ids):
+        scores = {
+            name: rank_node(figure1_index, self.QUERY,
+                            fig1_ids[name]).score
+            for name in ("x2", "x3", "x4")
+        }
+        assert scores["x2"] > scores["x3"] > scores["x4"]
+
+
+class TestBreakdowns:
+    def test_matched_keywords_recorded(self, figure1_index, fig1_ids):
+        query = Query.of(["a", "b", "c", "d"])
+        breakdown = rank_node(figure1_index, query, fig1_ids["x3"])
+        assert set(breakdown.matched_keywords) == {"a", "b", "d"}
+        assert breakdown.distinct_keywords == 3
+
+    def test_absent_keywords_do_not_contribute(self, figure1_index,
+                                               fig1_ids):
+        query = Query.of(["a", "zzz"])
+        breakdown = rank_node(figure1_index, query, fig1_ids["x2"])
+        assert breakdown.initial_potential == 1
+        assert "zzz" not in breakdown.terminals
+
+    def test_node_without_keywords_scores_zero(self, figure1_index,
+                                               fig1_ids):
+        query = Query.of(["zzz"])
+        breakdown = rank_node(figure1_index, query, fig1_ids["x2"])
+        assert breakdown.score == 0.0
+
+    def test_rank_is_positive_when_keywords_present(self, figure1_index,
+                                                    fig1_ids):
+        query = Query.of(["a"])
+        assert rank_node(figure1_index, query,
+                         fig1_ids["x1"]).score > 0
+
+
+class TestKeywordCountBaseline:
+    def test_count_ranker_ignores_structure(self, figure1_index, fig1_ids):
+        query = Query.of(["a", "b", "c", "d"], s=2)
+        x3 = rank_by_keyword_count(figure1_index, query, fig1_ids["x3"])
+        x2 = rank_by_keyword_count(figure1_index, query, fig1_ids["x2"])
+        assert x3.score == x2.score == 3.0  # both match 3 keywords
+
+    def test_count_ranker_terminals_match_flow_ranker(self, figure1_index,
+                                                      fig1_ids):
+        query = Query.of(["a", "b"])
+        flow = rank_node(figure1_index, query, fig1_ids["x3"])
+        count = rank_by_keyword_count(figure1_index, query, fig1_ids["x3"])
+        assert flow.terminals == count.terminals

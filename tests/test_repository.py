@@ -1,0 +1,88 @@
+"""Unit tests for the multi-document repository (paper §2.4, §7.6)."""
+
+import pytest
+
+from repro.xmltree.node import XMLNode, build_tree
+from repro.xmltree.repository import Repository
+from repro.xmltree.tree import XMLDocument
+
+
+class TestConstruction:
+    def test_parse_assigns_consecutive_doc_ids(self):
+        repo = Repository.from_texts(["<a/>", "<b/>", "<c/>"])
+        assert [doc.doc_id for doc in repo] == [0, 1, 2]
+        assert len(repo) == 3
+
+    def test_add_rejects_wrong_doc_id(self):
+        repo = Repository()
+        stray = XMLDocument(XMLNode("r", (5,)))
+        with pytest.raises(ValueError):
+            repo.add(stray)
+
+    def test_add_root_renumbers(self):
+        repo = Repository()
+        repo.parse("<a/>")
+        doc = repo.add_root(build_tree(("r", [("x", "1")])))
+        assert doc.doc_id == 1
+        assert doc.root.children[0].dewey == (1, 0)
+
+    def test_from_paths(self, tmp_path):
+        for name, text in [("one.xml", "<a>1</a>"), ("two.xml", "<b>2</b>")]:
+            (tmp_path / name).write_text(text)
+        repo = Repository.from_paths(sorted(tmp_path.iterdir()))
+        assert [doc.root.tag for doc in repo] == ["a", "b"]
+        assert repo[0].name == "one.xml"
+
+
+class TestLookup:
+    def test_node_at_resolves_across_documents(self):
+        repo = Repository.from_texts(["<a><b>x</b></a>", "<c><d>y</d></c>"])
+        assert repo.node_at((0, 0)).text == "x"
+        assert repo.node_at((1, 0)).text == "y"
+        assert repo.node_at((2, 0)) is None
+        assert repo.node_at((0, 5)) is None
+
+    def test_iter_nodes_global_document_order(self):
+        repo = Repository.from_texts(["<a><b/></a>", "<c/>"])
+        deweys = [node.dewey for node in repo.iter_nodes()]
+        assert deweys == sorted(deweys)
+
+    def test_totals(self):
+        repo = Repository.from_texts(["<a><b/><c><d/></c></a>", "<e/>"])
+        assert repo.total_nodes == 5
+        assert repo.depth == 2
+
+
+class TestReplication:
+    def test_extend_replicated_copies_every_document(self):
+        repo = Repository.from_texts(["<a><b>x</b></a>", "<c/>"])
+        tripled = repo.extend_replicated(3)
+        assert len(tripled) == 6
+        assert tripled.total_nodes == repo.total_nodes * 3
+        # replicas carry fresh doc ids but identical structure
+        assert tripled.node_at((2, 0)).text == "x"
+        assert tripled.node_at((4, 0)).text == "x"
+
+    def test_extend_replicated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Repository.from_texts(["<a/>"]).extend_replicated(0)
+
+    def test_merged_concatenates(self):
+        left = Repository.from_texts(["<a/>"])
+        right = Repository.from_texts(["<b/>", "<c/>"])
+        merged = Repository.merged(left, right)
+        assert [doc.root.tag for doc in merged] == ["a", "b", "c"]
+        assert [doc.doc_id for doc in merged] == [0, 1, 2]
+
+
+class TestDocument:
+    def test_document_requires_root_dewey(self):
+        with pytest.raises(ValueError):
+            XMLDocument(XMLNode("r", (0, 1)))
+
+    def test_renumber_deep_copies(self):
+        doc = XMLDocument(build_tree(("r", [("a", "x")])))
+        copy = doc.renumber(3)
+        assert copy.doc_id == 3
+        copy.root.children[0].text = "changed"
+        assert doc.root.children[0].text == "x"

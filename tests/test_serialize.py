@@ -1,0 +1,60 @@
+"""Unit tests for the XML serializer (incl. parse round-trips)."""
+
+from repro.xmltree.node import build_tree
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serialize import (escape_attribute, escape_text,
+                                     serialize_document, serialize_node)
+from repro.xmltree.tree import XMLDocument
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_attribute_escapes_quotes_too(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestSerialization:
+    def test_compact_output(self):
+        root = build_tree(("r", [("a", "x"), ("b",)]))
+        assert serialize_node(root) == "<r><a>x</a><b/></r>"
+
+    def test_pretty_output_indents(self):
+        root = build_tree(("r", [("a", "x")]))
+        text = serialize_node(root, indent=2)
+        assert "\n  <a>x</a>\n" in text
+
+    def test_document_declaration(self):
+        doc = XMLDocument(build_tree(("r",)))
+        assert serialize_document(doc).startswith(
+            '<?xml version="1.0" encoding="UTF-8"?>')
+        assert serialize_document(doc, declaration=False) == "<r/>"
+
+    def test_keep_predicate_prunes(self):
+        root = build_tree(("r", [("keep", "x"), ("drop", "y")]))
+        text = serialize_node(root, keep=lambda n: n.tag != "drop")
+        assert "drop" not in text and "keep" in text
+
+    def test_special_characters_round_trip(self):
+        root = build_tree(("r", [("a", 'x < y & "z"')]))
+        reparsed = parse_document(serialize_node(root))
+        assert reparsed.root.children[0].text == 'x < y & "z"'
+
+    def test_structure_round_trip(self):
+        root = build_tree(("r", [
+            ("a", "one", [("b", "two")]),
+            ("c", [("d",), ("d", "x")]),
+        ]))
+        reparsed = parse_document(serialize_node(root))
+        original = [(n.dewey, n.tag, n.text)
+                    for n in root.iter_subtree()]
+        rebuilt = [(n.dewey, n.tag, n.text)
+                   for n in reparsed.root.iter_subtree()]
+        assert original == rebuilt
+
+    def test_pretty_round_trip_preserves_text(self):
+        root = build_tree(("r", [("a", "hello world", [("b", "bye")])]))
+        reparsed = parse_document(serialize_node(root, indent=2))
+        assert reparsed.root.children[0].text == "hello world"
+        assert reparsed.root.children[0].children[0].text == "bye"

@@ -1,0 +1,136 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+import io
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+from repro.shell import Shell, run_shell
+
+
+@pytest.fixture
+def shell_io():
+    engine = GKSEngine(load_dataset("figure2a"))
+    lines: list[str] = []
+    shell = Shell(engine, lines.append)
+    return shell, lines
+
+
+class TestQueries:
+    def test_plain_line_searches(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen mike")
+        assert any("node(s) for" in line for line in lines)
+        assert any("score=" in line for line in lines)
+
+    def test_empty_line_ignored(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("   ")
+        assert lines == []
+
+    def test_no_match_query(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("zzzzz")
+        assert any("0 node(s)" in line for line in lines)
+
+    def test_all_stopwords_reports_error(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("the of and")
+        assert any("error" in line for line in lines)
+
+
+class TestCommands:
+    def test_set_s(self, shell_io):
+        shell, lines = shell_io
+        shell.handle(":s 3")
+        assert shell.s == 3
+        assert "s = 3" in lines
+
+    def test_di_after_query(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen mike john")
+        lines.clear()
+        shell.handle(":di")
+        assert any("Data Mining" in line for line in lines)
+        assert any("refine[" in line for line in lines)
+
+    def test_refine_runs_suggestion(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen mike zzz")
+        lines.clear()
+        shell.handle(":refine 0")
+        assert any("node(s) for" in line for line in lines)
+
+    def test_drill_down(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen")
+        lines.clear()
+        shell.handle(":drill")
+        assert any("node(s) for" in line for line in lines)
+
+    def test_explain_and_snippet(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen mike")
+        lines.clear()
+        shell.handle(":explain 0")
+        assert any("rank =" in line for line in lines)
+        lines.clear()
+        shell.handle(":snippet 0")
+        assert any("**Karen**" in line for line in lines)
+
+    def test_back(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen")
+        shell.handle("mike")
+        lines.clear()
+        shell.handle(":back")
+        assert any("karen" in line for line in lines)
+
+    def test_history(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen")
+        lines.clear()
+        shell.handle(":history")
+        assert any("step 1" in line for line in lines)
+
+    def test_unknown_command(self, shell_io):
+        shell, lines = shell_io
+        shell.handle(":nope")
+        assert any("unknown command" in line for line in lines)
+
+    def test_out_of_range_result(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("karen")
+        lines.clear()
+        shell.handle(":explain 99")
+        assert any("error" in line for line in lines)
+
+    def test_command_before_query_errors_gracefully(self, shell_io):
+        shell, lines = shell_io
+        shell.handle(":di")
+        assert any("error" in line for line in lines)
+
+    def test_help_and_quit(self, shell_io):
+        shell, lines = shell_io
+        shell.handle(":help")
+        assert any("commands:" in line for line in lines)
+        shell.handle(":quit")
+        assert shell.running is False
+
+
+class TestRunLoop:
+    def test_scripted_session(self):
+        engine = GKSEngine(load_dataset("figure2a"))
+        lines: list[str] = []
+        stdin = io.StringIO("karen mike\n:di\n:quit\n")
+        run_shell(engine, stdin, lines.append)
+        text = "\n".join(lines)
+        assert "GKS shell" in text
+        assert "node(s) for" in text
+
+    def test_eof_terminates(self):
+        engine = GKSEngine(load_dataset("figure2a"))
+        lines: list[str] = []
+        run_shell(engine, io.StringIO(""), lines.append)
+        assert lines  # greeted, then exited on EOF

@@ -1,0 +1,105 @@
+"""Persistence tests with failure injection (corrupt/partial index
+files)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.datasets.toy import figure2a
+from repro.errors import StorageError
+from repro.index.builder import build_index
+from repro.index.storage import (index_size_bytes, load_index, save_index)
+from repro.text.analyzer import Analyzer
+from repro.xmltree.repository import Repository
+
+
+@pytest.fixture(scope="module")
+def index():
+    repo = Repository()
+    repo.add_root(figure2a())
+    return build_index(repo)
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, index, tmp_path):
+        path = save_index(index, tmp_path / "idx.gz")
+        loaded = load_index(path)
+        assert dict(loaded.inverted.items()) == \
+            dict(index.inverted.items())
+        assert loaded.hashes.entity_table == index.hashes.entity_table
+        assert loaded.hashes.element_table == index.hashes.element_table
+        assert loaded.document_names == index.document_names
+        assert loaded.stats.total_nodes == index.stats.total_nodes
+
+    def test_analyzer_settings_persisted(self, tmp_path):
+        repo = Repository.from_texts(["<r><a>publications</a></r>"])
+        raw = build_index(repo, analyzer=Analyzer(use_stemming=False))
+        loaded = load_index(save_index(raw, tmp_path / "raw.gz"))
+        assert loaded.analyzer.use_stemming is False
+        assert loaded.postings("publications")
+
+    def test_index_size_reported(self, index, tmp_path):
+        path = save_index(index, tmp_path / "idx.gz")
+        assert index_size_bytes(path) == path.stat().st_size > 0
+
+    def test_searchable_after_reload(self, index, tmp_path):
+        from repro.core.query import Query
+        from repro.core.search import search
+
+        loaded = load_index(save_index(index, tmp_path / "idx.gz"))
+        query = Query.of(["karen", "mike"], s=2)
+        assert search(loaded, query).deweys == search(index, query).deweys
+
+
+class TestFailureInjection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "absent.gz")
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "bogus.gz"
+        path.write_text("definitely not gzip")
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_gzip_but_not_json(self, tmp_path):
+        path = tmp_path / "badjson.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("{ broken json")
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_truncated_file(self, index, tmp_path):
+        path = save_index(index, tmp_path / "idx.gz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_wrong_version(self, index, tmp_path):
+        path = save_index(index, tmp_path / "idx.gz")
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        payload["version"] = 999
+        with gzip.open(path, "wt") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(StorageError) as excinfo:
+            load_index(path)
+        assert "version" in str(excinfo.value)
+
+    def test_unwritable_target(self, index, tmp_path):
+        with pytest.raises(StorageError):
+            save_index(index, tmp_path / "no" / "such" / "dir" / "x.gz")
+
+    def test_malformed_dewey_in_payload(self, index, tmp_path):
+        path = save_index(index, tmp_path / "idx.gz")
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        payload["postings"]["karen"] = ["not.a.number"]
+        with gzip.open(path, "wt") as handle:
+            json.dump(payload, handle)
+        from repro.errors import GKSError
+
+        with pytest.raises(GKSError):
+            load_index(path)

@@ -1,0 +1,112 @@
+"""Unit tests for the text-analysis substrate (tokenizer, stop words,
+Porter stemmer, analyzer pipeline)."""
+
+import pytest
+
+from repro.text.analyzer import Analyzer
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_hyphen_and_punctuation_split(self):
+        assert tokenize("Jean-Marc Cadiou!") == ["jean", "marc", "cadiou"]
+
+    def test_digits_kept_whole(self):
+        assert tokenize("year 2001, vol. 2") == ["year", "2001", "vol", "2"]
+
+    def test_empty_and_symbol_only(self):
+        assert tokenize("") == []
+        assert tokenize("... --- !!!") == []
+
+    def test_unicode_words(self):
+        assert tokenize("Bergström") == ["bergström"]
+
+
+class TestStopwords:
+    def test_function_words_flagged(self):
+        for word in ("the", "and", "of", "is"):
+            assert is_stopword(word)
+
+    def test_content_words_kept(self):
+        # QM2 searches for the tags 'country' and 'name'
+        for word in ("country", "name", "year", "search"):
+            assert not is_stopword(word)
+
+    def test_stopword_set_is_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)
+
+
+class TestPorterStemmer:
+    # reference pairs from the published Porter test vocabulary
+    @pytest.mark.parametrize("word,stem", [
+        ("caresses", "caress"), ("ponies", "poni"), ("cats", "cat"),
+        ("agreed", "agre"), ("plastered", "plaster"), ("motoring", "motor"),
+        ("hopping", "hop"), ("falling", "fall"), ("filing", "file"),
+        ("happy", "happi"), ("sky", "sky"), ("relational", "relat"),
+        ("conditional", "condit"), ("digitizer", "digit"),
+        ("operator", "oper"), ("feudalism", "feudal"),
+        ("decisiveness", "decis"), ("triplicate", "triplic"),
+        ("formative", "form"), ("electrical", "electr"),
+        ("hopeful", "hope"), ("goodness", "good"), ("revival", "reviv"),
+        ("allowance", "allow"), ("inference", "infer"),
+        ("adjustable", "adjust"), ("replacement", "replac"),
+        ("adoption", "adopt"), ("activate", "activ"),
+        ("effective", "effect"), ("rate", "rate"), ("cease", "ceas"),
+        ("controll", "control"), ("roll", "roll"),
+        ("publications", "public"), ("searching", "search"),
+    ])
+    def test_reference_vocabulary(self, word, stem):
+        assert porter_stem(word) == stem
+
+    def test_short_words_unchanged(self):
+        assert porter_stem("is") == "is"
+        assert porter_stem("ab") == "ab"
+
+    def test_non_alpha_unchanged(self):
+        assert porter_stem("2001") == "2001"
+        assert porter_stem("p53") == "p53"
+
+    def test_common_stems_are_stable(self):
+        # Porter is not idempotent in general ("databases" → "databas" →
+        # "databa"); these stems, however, are fixed points and queries
+        # rely on them matching the indexed form.
+        words = ["relational", "searching", "happiness", "organization",
+                 "probabilistic"]
+        for word in words:
+            once = porter_stem(word)
+            assert porter_stem(once) == once
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("The Publications of 2002 Science") == \
+            ["public", "2002", "scienc"]
+
+    def test_preserves_multiplicity(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("data data data") == ["data"] * 3
+
+    def test_analyze_unique_dedups_in_order(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_unique("search data search") == \
+            ["search", "data"]
+
+    def test_stemming_can_be_disabled(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze("publications") == ["publications"]
+
+    def test_stopwords_can_be_disabled(self):
+        analyzer = Analyzer(use_stopwords=False, use_stemming=False)
+        assert analyzer.analyze("the cat") == ["the", "cat"]
+
+    def test_tags_skip_stopword_filter(self):
+        analyzer = Analyzer()
+        # a tag named <for> must stay searchable
+        assert analyzer.analyze_tag("for") == ["for"]
+        assert analyzer.analyze_tag("Dept_Name") == ["dept", "name"]

@@ -1,0 +1,122 @@
+"""Tests for the set-intersection SLCA and the index validator."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.baselines.bruteforce import brute_slca
+from repro.baselines.slca import slca_indexed_lookup_eager
+from repro.baselines.slca_intersect import (ancestor_set,
+                                            slca_set_intersection)
+from repro.cli import main
+from repro.core.query import Query
+from repro.datasets.registry import load_dataset
+from repro.index.builder import build_index
+from repro.index.storage import save_index
+from repro.index.validate import (validate_against_repository,
+                                  validate_index)
+from repro.xmltree.repository import Repository
+
+
+class TestAncestorSet:
+    def test_closure_contains_all_prefixes(self):
+        closure = ancestor_set([(0, 1, 2), (0, 3)])
+        assert closure == {(0,), (0, 1), (0, 1, 2), (0, 3)}
+
+    def test_shared_prefix_shortcut_is_correct(self):
+        # two postings sharing a deep prefix: the closure must still be
+        # complete despite the early break
+        closure = ancestor_set([(0, 1, 2, 3), (0, 1, 2, 4)])
+        assert (0,) in closure and (0, 1) in closure
+        assert (0, 1, 2, 3) in closure and (0, 1, 2, 4) in closure
+
+    def test_empty(self):
+        assert ancestor_set([]) == set()
+
+
+class TestSetIntersectionSLCA:
+    CASES = [
+        ["a"], ["a", "b"], ["a", "b", "c"], ["a", "b", "c", "d"],
+        ["d", "f"], ["c", "d"], ["a", "d"],
+    ]
+
+    @pytest.mark.parametrize("keywords", CASES)
+    def test_agrees_with_eager_and_oracle(self, figure1_repo,
+                                          figure1_index, keywords):
+        query = Query.of(keywords)
+        expected = brute_slca(figure1_repo, query)
+        assert slca_set_intersection(figure1_index, query) == expected
+        assert slca_indexed_lookup_eager(figure1_index, query) == expected
+
+    def test_on_corpus(self):
+        repository = load_dataset("figure2a")
+        index = build_index(repository)
+        query = Query.of(["karen", "mike"])
+        assert slca_set_intersection(index, query) == \
+            slca_indexed_lookup_eager(index, query)
+
+    def test_missing_keyword_empty(self, figure1_index):
+        assert slca_set_intersection(figure1_index,
+                                     Query.of(["a", "zzz"])) == []
+
+
+class TestValidator:
+    @pytest.fixture
+    def healthy(self):
+        repository = load_dataset("figure2a")
+        return repository, build_index(repository)
+
+    def test_healthy_index_has_no_problems(self, healthy):
+        repository, index = healthy
+        assert validate_index(index) == []
+        assert validate_against_repository(index, repository) == []
+
+    def test_unsorted_postings_detected(self, healthy):
+        _, index = healthy
+        postings = index.inverted.postings("karen")
+        postings.reverse()
+        problems = validate_index(index)
+        assert any("unsorted" in problem for problem in problems)
+
+    def test_unknown_document_detected(self, healthy):
+        _, index = healthy
+        index.inverted.postings("karen").append((9, 0))
+        problems = validate_index(index)
+        assert any("unknown document" in problem for problem in problems)
+
+    def test_stale_index_detected_against_repository(self, healthy):
+        repository, _ = healthy
+        other = Repository.from_texts(["<r><a>different</a></r>"])
+        stale = build_index(other)
+        problems = validate_against_repository(stale, repository)
+        assert problems
+
+    def test_cli_validate_ok(self, tmp_path, capsys):
+        repository = load_dataset("figure2a")
+        index = build_index(repository)
+        path = save_index(index, tmp_path / "idx.gz")
+        assert main(["validate", str(path)]) == 0
+        assert "index OK" in capsys.readouterr().out
+
+    def test_cli_validate_against_mismatch(self, tmp_path, capsys):
+        index = build_index(Repository.from_texts(["<r><a>x</a></r>"]))
+        path = save_index(index, tmp_path / "idx.gz")
+        data = tmp_path / "other.xml"
+        data.write_text("<r><b>y</b></r>")
+        assert main(["validate", str(path), "--against",
+                     str(data)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+    def test_corrupted_file_detected(self, tmp_path, capsys):
+        repository = load_dataset("figure2a")
+        index = build_index(repository)
+        path = save_index(index, tmp_path / "idx.gz")
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        payload["entity_hash"]["0.1"] = -3  # negative child count
+        with gzip.open(path, "wt") as handle:
+            json.dump(payload, handle)
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "negative child count" in out

@@ -1,0 +1,94 @@
+"""Tests for the XPath-lite evaluator."""
+
+import pytest
+
+from repro.xmltree.node import build_tree
+from repro.xmltree.xpath import XPathError, parse_path, select, select_text
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_tree(("lib", [
+        ("book", [("title", "Alpha"), ("year", "1999"),
+                  ("author", "Ann"), ("author", "Bob")]),
+        ("book", [("title", "Beta"), ("year", "2005"),
+                  ("author", "Ann")]),
+        ("journal", [("title", "Gamma"), ("year", "2005")]),
+        ("shelf", [("book", [("title", "Delta"), ("year", "2011")])]),
+    ]))
+
+
+class TestParsing:
+    def test_steps_and_axes(self):
+        steps = parse_path("/a//b/c")
+        assert [(s.tag, s.descendant) for s in steps] == \
+            [("a", False), ("b", True), ("c", False)]
+
+    def test_leading_descendant_axis(self):
+        steps = parse_path("//x")
+        assert steps[0].descendant
+
+    @pytest.mark.parametrize("bad", [
+        "", "/", "a[", "a[]", "a[text()'x']", "a[y='x]",
+        "a[n<abc]", "a//", "a[@]",
+    ])
+    def test_malformed_paths_raise(self, bad):
+        with pytest.raises(XPathError):
+            parse_path(bad)
+
+
+class TestSelection:
+    def test_child_steps(self, library):
+        assert len(select(library, "book")) == 2
+        assert select_text(library, "book/title") == ["Alpha", "Beta"]
+
+    def test_rooted_path_may_name_root(self, library):
+        assert len(select(library, "/lib/book")) == 2
+
+    def test_descendant_axis(self, library):
+        titles = select_text(library, "//book/title")
+        assert titles == ["Alpha", "Beta", "Delta"]
+
+    def test_wildcard(self, library):
+        assert len(select(library, "*/title")) == 3
+
+    def test_positional_predicate_counts_matching_tags(self, library):
+        assert select_text(library, "book[2]/title") == ["Beta"]
+
+    def test_child_equality_predicate(self, library):
+        titles = select_text(library, "book[author='Ann']/title")
+        assert titles == ["Alpha", "Beta"]
+        assert select_text(library, "book[author='Bob']/title") == \
+            ["Alpha"]
+
+    def test_at_sign_is_equivalent(self, library):
+        assert select_text(library, "book[@author='Bob']/title") == \
+            ["Alpha"]
+
+    def test_existence_predicate(self, library):
+        assert len(select(library, "book[author]")) == 2
+        assert len(select(library, "journal[author]")) == 0
+
+    def test_text_predicate(self, library):
+        assert len(select(library, "book/title[text()='Alpha']")) == 1
+
+    def test_numeric_comparison(self, library):
+        assert select_text(library, "book[year>2000]/title") == ["Beta"]
+        assert select_text(library, "//book[year<2000]/title") == \
+            ["Alpha"]
+
+    def test_chained_predicates(self, library):
+        assert select_text(library,
+                           "book[author='Ann'][year>2000]/title") == \
+            ["Beta"]
+
+    def test_no_match_is_empty(self, library):
+        assert select(library, "nonexistent/thing") == []
+
+    def test_results_deduplicated_in_document_order(self, library):
+        nodes = select(library, "//title")
+        deweys = [node.dewey for node in nodes]
+        assert deweys == sorted(set(deweys))
+
+    def test_select_text_skips_containers(self, library):
+        assert select_text(library, "//book") == []

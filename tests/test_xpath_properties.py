@@ -1,0 +1,81 @@
+"""Property tests for the XPath-lite evaluator against a naive
+reference implementation."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.xmltree.node import XMLNode, build_tree
+from repro.xmltree.xpath import select
+
+TAGS = ["aa", "bb", "cc"]
+VALUES = ["x", "y"]
+
+
+def spec_strategy():
+    leaf = st.tuples(st.sampled_from(TAGS), st.sampled_from(VALUES))
+    return st.recursive(
+        leaf,
+        lambda children: st.tuples(
+            st.sampled_from(TAGS),
+            st.lists(children, min_size=1, max_size=3)),
+        max_leaves=12,
+    ).map(lambda spec: ("root", [spec]) if not isinstance(spec[1], list)
+          else ("root", spec[1]))
+
+
+def reference_descendants(root: XMLNode, tag: str) -> list[XMLNode]:
+    return [node for node in root.iter_subtree() if node.tag == tag]
+
+
+def reference_children(nodes: list[XMLNode], tag: str) -> list[XMLNode]:
+    found = []
+    for node in nodes:
+        found.extend(child for child in node.children
+                     if child.tag == tag)
+    return found
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec_strategy(), st.sampled_from(TAGS))
+def test_descendant_axis_matches_reference(spec, tag):
+    root = build_tree(spec)
+    expected = [node.dewey for node in reference_descendants(root, tag)]
+    actual = [node.dewey for node in select(root, f"//{tag}")]
+    assert actual == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec_strategy(), st.sampled_from(TAGS), st.sampled_from(TAGS))
+def test_child_chain_matches_reference(spec, first, second):
+    root = build_tree(spec)
+    expected = [node.dewey for node in reference_children(
+        reference_children([root], first), second)]
+    actual = [node.dewey for node in select(root, f"{first}/{second}")]
+    assert actual == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec_strategy(), st.sampled_from(TAGS), st.sampled_from(VALUES))
+def test_text_predicate_matches_reference(spec, tag, value):
+    root = build_tree(spec)
+    expected = [node.dewey
+                for node in reference_descendants(root, tag)
+                if (node.text or "").strip() == value]
+    actual = [node.dewey
+              for node in select(root, f"//{tag}[text()='{value}']")]
+    assert actual == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec_strategy(), st.sampled_from(TAGS))
+def test_wildcard_parent_covers_all_children(spec, tag):
+    root = build_tree(spec)
+    # reference: */tag selects grandchildren of the root with that tag
+    expected = [grandchild.dewey
+                for child in root.children
+                for grandchild in child.children
+                if grandchild.tag == tag]
+    actual = [node.dewey for node in select(root, f"*/{tag}")]
+    assert actual == expected
