@@ -12,10 +12,15 @@ import time
 
 import pytest
 
+from repro.core.budget import SearchBudget
 from repro.core.search import search
+from repro.datasets.plays import generate_plays
 from repro.eval.querygen import WorkloadSpec, generate_queries
 from repro.eval.reporting import render_table
 from repro.eval.runner import engine_for
+from repro.testing.faults import corrupt_corpus
+from repro.xmltree.repository import Repository
+from repro.xmltree.serialize import serialize_node
 
 CORPORA = ["dblp", "mondial", "swissprot", "interpro", "nasa"]
 
@@ -71,3 +76,88 @@ def test_robustness_report(results_writer, benchmark):
         rows, title="Robustness fuzz — 100 random queries per corpus"))
     for row in rows:
         assert row[1] == 100
+
+
+# ----------------------------------------------------------------------
+# Fault injection: corrupted corpora and budgeted serving
+# ----------------------------------------------------------------------
+def _play_corpus(documents: int = 60) -> list[str]:
+    roots = generate_plays(scale=max(1, documents // 12), seed=31)
+    texts = [serialize_node(root) for root in roots]
+    while len(texts) < documents:  # pad with reseeded copies
+        texts.extend(serialize_node(root) for root in
+                     generate_plays(scale=1, seed=31 + len(texts)))
+    return texts[:documents]
+
+
+@pytest.mark.resilience
+def test_corrupted_ingestion_report(results_writer, benchmark):
+    """Ingestion under byte-level corruption, per recovery policy.
+
+    ``skip_document`` must quarantine exactly the victims; ``salvage``
+    must keep strictly more documents than skipping does.
+    """
+    texts, victims = corrupt_corpus(_play_corpus(60), 0.20, seed=47)
+
+    def ingest():
+        rows = []
+        for policy in ("skip_document", "salvage"):
+            started = time.perf_counter()
+            repository = Repository.from_texts(texts, policy=policy)
+            elapsed = (time.perf_counter() - started) * 1000
+            rows.append((policy, len(texts), len(repository),
+                         len(repository.quarantine), f"{elapsed:.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    results_writer("robustness_ingestion", render_table(
+        ["policy", "docs", "kept", "quarantined", "ms"], rows,
+        title="Ingestion of a 20%-corrupted corpus by recovery policy"))
+    by_policy = {row[0]: row for row in rows}
+    assert by_policy["skip_document"][3] == len(victims)
+    assert by_policy["salvage"][2] >= by_policy["skip_document"][2]
+    for row in rows:
+        assert row[2] + row[3] == len(texts)
+
+
+@pytest.mark.resilience
+def test_budgeted_degradation_report(results_writer, benchmark):
+    """Latency envelope of budget-capped search vs. the unbudgeted run.
+
+    Every budgeted query must finish — degraded when the cap bites,
+    never raising — and the capped p95 must not blow past the
+    unbudgeted p95 envelope.
+    """
+    def serve():
+        rows = []
+        for dataset in CORPORA:
+            engine = engine_for(dataset)
+            queries = generate_queries(
+                engine.index, WorkloadSpec(queries=50, seed=17))
+            for label, factory in (
+                    ("unbudgeted", lambda: None),
+                    ("max_sl=64", lambda: SearchBudget(max_sl=64)),
+                    ("max_nodes=10",
+                     lambda: SearchBudget(max_nodes=10))):
+                latencies: list[float] = []
+                degraded = 0
+                for query in queries:
+                    started = time.perf_counter()
+                    response = search(engine.index, query,
+                                      budget=factory())
+                    latencies.append(
+                        (time.perf_counter() - started) * 1000)
+                    if response.degraded:
+                        degraded += 1
+                        assert response.degradation is not None
+                rows.append((dataset, label, len(queries), degraded,
+                             f"{_percentile(latencies, 0.50):.2f}",
+                             f"{_percentile(latencies, 0.95):.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(serve, rounds=1, iterations=1)
+    results_writer("robustness_budgets", render_table(
+        ["corpus", "budget", "queries", "degraded", "p50 ms", "p95 ms"],
+        rows, title="Graceful degradation — budget caps vs. unbudgeted"))
+    for row in rows:
+        assert row[3] <= row[2]

@@ -24,24 +24,27 @@ paper-vs-measured record of every table and figure.
 from repro.analytics import aggregate, facets, histogram
 from repro.baselines import (elca, naive_gks, slca_indexed_lookup_eager,
                              slca_scan)
-from repro.core import (GKSEngine, GKSResponse, Insight, InsightReport,
-                        Query, RankedNode, Refinement, search,
-                        search_top_k)
+from repro.core import (DegradationReport, GKSEngine, GKSResponse, Insight,
+                        InsightReport, Query, RankedNode, Refinement,
+                        SearchBudget, search, search_top_k)
 from repro.datasets import load_dataset
 from repro.index import (GKSIndex, IndexBuilder, NodeCategory,
                          append_document, build_index, categorize_tree,
                          load_index, remove_last_document, save_index)
 from repro.schema import build_schema_index, infer_schema
 from repro.text import Analyzer
-from repro.xmltree import (Repository, XMLDocument, XMLNode,
-                           parse_document, parse_json_document)
+from repro.xmltree import (IngestFailure, RecoveryPolicy, Repository,
+                           XMLDocument, XMLNode, parse_document,
+                           parse_json_document)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Analyzer", "GKSEngine", "GKSIndex", "GKSResponse", "IndexBuilder",
+    "Analyzer", "DegradationReport", "GKSEngine", "GKSIndex",
+    "GKSResponse", "IndexBuilder", "IngestFailure",
     "Insight", "InsightReport", "NodeCategory", "Query", "RankedNode",
-    "Refinement", "Repository", "XMLDocument", "XMLNode", "aggregate",
+    "RecoveryPolicy", "Refinement", "Repository", "SearchBudget",
+    "XMLDocument", "XMLNode", "aggregate",
     "append_document", "build_index", "build_schema_index",
     "categorize_tree", "elca", "facets", "histogram", "infer_schema",
     "load_dataset", "load_index", "naive_gks", "parse_document",

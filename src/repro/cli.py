@@ -24,9 +24,11 @@ from pathlib import Path
 
 from repro.core.engine import GKSEngine
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.errors import GKSError
 from repro.eval.reporting import render_table
 from repro.index.builder import IndexBuilder
 from repro.index.storage import save_index
+from repro.xmltree.parser import RecoveryPolicy
 from repro.xmltree.repository import Repository
 from repro.xmltree.serialize import serialize_document
 
@@ -42,6 +44,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     index_cmd.add_argument("files", nargs="+", help="XML files to index")
     index_cmd.add_argument("-o", "--output", required=True,
                            help="index output path (gzip JSON)")
+    index_cmd.add_argument(
+        "--recover", default="strict",
+        choices=[policy.value for policy in RecoveryPolicy],
+        help="malformed-input handling: abort (strict, default), "
+             "quarantine bad documents (skip_document), or repair "
+             "markup in stream (salvage)")
 
     search_cmd = commands.add_parser("search", help="run a keyword query")
     search_cmd.add_argument("files", nargs="+", help="XML files to search")
@@ -105,6 +113,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                               help="data files to diff the index "
                                    "against (slow, authoritative)")
 
+    check_cmd = commands.add_parser(
+        "check-index",
+        help="verify an index file's checksum, print a health summary")
+    check_cmd.add_argument("index", help="index file to check")
+
     data_cmd = commands.add_parser("dataset",
                                    help="emit a synthetic corpus as XML")
     data_cmd.add_argument("name", choices=dataset_names())
@@ -116,6 +129,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``python -m repro --check-index <path>`` is sugar for the
+    # ``check-index`` subcommand (operational muscle memory: flags work
+    # from anywhere on the command line).
+    if argv and argv[0] == "--check-index":
+        argv = ["check-index", *argv[1:]]
     args = build_arg_parser().parse_args(argv)
     handlers = {
         "index": _cmd_index,
@@ -128,9 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         "xpath": _cmd_xpath,
         "shell": _cmd_shell,
         "validate": _cmd_validate,
+        "check-index": _cmd_check_index,
         "dataset": _cmd_dataset,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except GKSError as error:
+        print(f"gks: error: {error}", file=sys.stderr)
+        return 1
 
 
 def _cmd_shell(args: argparse.Namespace) -> int:
@@ -160,6 +185,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_check_index(args: argparse.Namespace) -> int:
+    from repro.index.storage import check_index
+
+    summary = check_index(args.index)
+    if summary["ok"]:
+        print(f"index OK: {summary['path']}")
+        for key in ("size_bytes", "documents", "total_nodes",
+                    "entity_nodes", "element_nodes", "keywords",
+                    "postings"):
+            print(f"  {key:>14}: {summary[key]}")
+        return 0
+    print(f"index BAD: {summary['path']}")
+    print(f"  diagnosis: {summary['diagnosis']}")
+    print(f"  error: {summary['error']}")
+    return 1
+
+
 def _load_repository(files: list[str]) -> Repository:
     """Build a repository; ``.json`` files go through the JSON adapter."""
     from pathlib import Path as _Path
@@ -180,7 +222,7 @@ def _engine(files: list[str]) -> GKSEngine:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    repository = Repository.from_paths(args.files)
+    repository = Repository.from_paths(args.files, policy=args.recover)
     builder = IndexBuilder()
     builder.add_repository(repository)
     index = builder.build()
@@ -189,6 +231,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
     print(f"indexed {stats.total_nodes} nodes "
           f"({stats.entity_nodes} entities) from {stats.documents} "
           f"document(s) in {stats.build_seconds:.2f}s -> {path}")
+    for failure in repository.quarantine:
+        print(f"quarantined {failure.render()}")
     return 0
 
 

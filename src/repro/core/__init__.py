@@ -1,5 +1,6 @@
 """GKS core: search pipeline, ranking, insights, refinement, engine."""
 
+from repro.core.budget import DegradationReport, SearchBudget
 from repro.core.chunks import chunk_keep_set, response_chunk
 from repro.core.engine import GKSEngine
 from repro.core.explain import RankExplanation, explain_rank
@@ -25,6 +26,7 @@ from repro.core.search import search
 from repro.core.topk import distinct_keyword_count, search_top_k
 
 __all__ = [
+    "DegradationReport", "SearchBudget",
     "ExplorationSession", "GKSEngine", "GKSResponse", "Insight",
     "InsightReport", "LCEInfo", "RankExplanation", "ResultGroup",
     "SProfile", "SessionStep", "chunk_keep_set", "dominant_group",

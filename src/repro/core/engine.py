@@ -19,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from repro.core.budget import SearchBudget
 from repro.core.insights import (InsightReport, discover_insights,
                                  discover_recursive)
 from repro.core.query import Query
@@ -26,10 +27,12 @@ from repro.core.refinement import Refinement, suggest
 from repro.core.ranking import rank_node
 from repro.core.results import GKSResponse, RankedNode
 from repro.core.search import Ranker, search
+from repro.errors import SearchTimeout, StorageError
 from repro.index.builder import GKSIndex, IndexBuilder
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey, format_dewey
 from repro.xmltree.node import XMLNode
+from repro.xmltree.parser import RecoveryPolicy
 from repro.xmltree.repository import Repository
 from repro.xmltree.serialize import serialize_node
 
@@ -61,16 +64,42 @@ class GKSEngine:
     @classmethod
     def from_texts(cls, texts: Iterable[str],
                    analyzer: Analyzer = DEFAULT_ANALYZER,
-                   index_tags: bool = True) -> "GKSEngine":
-        return cls(Repository.from_texts(texts), analyzer=analyzer,
-                   index_tags=index_tags)
+                   index_tags: bool = True,
+                   policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                   ) -> "GKSEngine":
+        return cls(Repository.from_texts(texts, policy=policy),
+                   analyzer=analyzer, index_tags=index_tags)
 
     @classmethod
     def from_paths(cls, paths: Iterable[str | Path],
                    analyzer: Analyzer = DEFAULT_ANALYZER,
-                   index_tags: bool = True) -> "GKSEngine":
-        return cls(Repository.from_paths(paths), analyzer=analyzer,
-                   index_tags=index_tags)
+                   index_tags: bool = True,
+                   policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                   index_path: str | Path | None = None) -> "GKSEngine":
+        """Build an engine from corpus files, optionally via a cached index.
+
+        With ``index_path`` the engine first tries :func:`load_index`;
+        a missing, truncated, corrupted or version-mismatched file makes
+        it fall back to rebuilding the index from the corpus and
+        rewriting the cache (atomically) — a cold cache is a slow start,
+        never a failed one.
+        """
+        repository = Repository.from_paths(paths, policy=policy)
+        if index_path is None:
+            return cls(repository, analyzer=analyzer, index_tags=index_tags)
+
+        from repro.index.storage import load_index, save_index
+
+        index = None
+        try:
+            index = load_index(index_path)
+        except StorageError:
+            pass  # unreadable cache: rebuild below and rewrite it
+        engine = cls(repository, analyzer=analyzer, index=index,
+                     index_tags=index_tags)
+        if index is None:
+            save_index(engine.index, index_path)
+        return engine
 
     # ------------------------------------------------------------------
     # Search Engine
@@ -80,33 +109,56 @@ class GKSEngine:
 
     def search(self, query: str | Query, s: int | None = None,
                ranker: Ranker = rank_node,
-               use_cache: bool = True) -> GKSResponse:
+               use_cache: bool = True,
+               budget: SearchBudget | None = None,
+               strict_deadline: bool = False) -> GKSResponse:
         """Run a keyword query; ``s`` defaults to 1 (any-keyword search).
 
         Responses are LRU-cached per (keywords, s, ranker); pass
         ``use_cache=False`` to force a fresh run (timing harnesses do).
+
+        A :class:`SearchBudget` bounds the query's cost; an exhausted
+        budget yields a partial response flagged ``degraded=True``.  With
+        ``strict_deadline=True`` a deadline trip raises
+        :class:`SearchTimeout` instead (resource-cap trips — ``max_sl``,
+        ``max_nodes`` — still degrade gracefully).  Budgeted responses
+        bypass the cache in both directions: a partial answer must never
+        be served to an unbudgeted caller, nor vice versa.
         """
         if isinstance(query, str):
             query = self.parse_query(query, s=s if s is not None else 1)
         elif s is not None:
             query = query.with_s(s)
 
-        cache_key = (query.keywords, query.effective_s, id(ranker))
+        use_cache = use_cache and budget is None
+        # Keyed on the ranker object itself (not id(): ids are recycled
+        # after GC, which can silently serve another ranker's response).
+        cache_key = (query.keywords, query.effective_s, ranker)
         if use_cache:
-            cached = self._response_cache.get(cache_key)
+            cached = self._response_cache.pop(cache_key, None)
             if cached is not None:
+                # re-insert to refresh recency: true LRU, not FIFO
+                self._response_cache[cache_key] = cached
                 return cached
-        response = search(self.index, query, ranker=ranker)
+        response = search(self.index, query, ranker=ranker, budget=budget)
+        if (strict_deadline and response.degraded
+                and response.degradation.reason == "deadline"):
+            raise SearchTimeout(
+                f"query {query} exceeded its deadline: "
+                f"{response.degradation.render()}",
+                report=response.degradation)
         if use_cache and self._cache_size:
             if len(self._response_cache) >= self._cache_size:
-                # drop the oldest entry (dict preserves insertion order)
+                # drop the least recently used entry (dict preserves
+                # insertion order; hits re-insert at the end)
                 oldest = next(iter(self._response_cache))
                 del self._response_cache[oldest]
             self._response_cache[cache_key] = response
         return response
 
     def search_top_k(self, query: str | Query, k: int,
-                     s: int | None = None) -> GKSResponse:
+                     s: int | None = None,
+                     budget: SearchBudget | None = None) -> GKSResponse:
         """The ``k`` best nodes only, with early-terminated ranking."""
         from repro.core.topk import search_top_k
 
@@ -114,7 +166,7 @@ class GKSEngine:
             query = self.parse_query(query, s=s if s is not None else 1)
         elif s is not None:
             query = query.with_s(s)
-        return search_top_k(self.index, query, k)
+        return search_top_k(self.index, query, k, budget=budget)
 
     # ------------------------------------------------------------------
     # Maintenance

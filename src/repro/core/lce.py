@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.budget import SearchBudget
 from repro.core.lcp import LCPList
 from repro.index.builder import GKSIndex
 from repro.index.postings import MergedEntry
@@ -139,11 +140,19 @@ def _independent_witness(candidate: Dewey, left: int, right: int,
 
 
 def discover_lce(lcp: LCPList, sl: list[MergedEntry],
-                 index: GKSIndex) -> LCEResult:
-    """Map LCP entries to LCE nodes with witness maintenance."""
-    result = LCEResult()
+                 index: GKSIndex,
+                 budget: SearchBudget | None = None) -> LCEResult:
+    """Map LCP entries to LCE nodes with witness maintenance.
 
-    for dewey, entry in lcp.entries.items():
+    With a budget the walk polls the deadline between LCP entries and
+    stops early when it trips; already-discovered LCE nodes are kept.
+    """
+    result = LCEResult()
+    total = len(lcp.entries)
+
+    for position, (dewey, entry) in enumerate(lcp.entries.items()):
+        if budget is not None and budget.checkpoint("lce", position, total):
+            break
         candidate = _lift_attribute(dewey, index)
         entity = index.hashes.nearest_entity(candidate)
         if entity is None:

@@ -21,7 +21,9 @@ skipped (their common prefix is empty).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from repro.core.budget import SearchBudget
 from repro.index.postings import MergedEntry
 from repro.xmltree.dewey import Dewey, common_prefix
 
@@ -70,14 +72,13 @@ class LCPList:
         return list(self.entries)
 
 
-def sliding_blocks(sl: list[MergedEntry],
-                   s: int) -> list[tuple[int, int, Dewey]]:
-    """All minimal ``s``-unique blocks as ``(l, r, prefix)`` triples.
+def iter_sliding_blocks(sl: list[MergedEntry],
+                        s: int) -> Iterator[tuple[int, int, Dewey]]:
+    """Lazily generate the minimal ``s``-unique blocks of the sweep.
 
-    Exposed separately so tests can check the window invariants; cross-
-    document blocks are reported with an empty prefix.
+    The generator form lets a :class:`SearchBudget` interrupt the sweep
+    between blocks without computing the tail.
     """
-    blocks: list[tuple[int, int, Dewey]] = []
     counts: dict[int, int] = {}
     unique = 0
     right = -1
@@ -90,19 +91,36 @@ def sliding_blocks(sl: list[MergedEntry],
                 unique += 1
         if unique < s:
             break  # no block with s unique keywords starts at or after left
-        blocks.append((left, right,
-                       common_prefix(sl[left].dewey, sl[right].dewey)))
+        yield (left, right,
+               common_prefix(sl[left].dewey, sl[right].dewey))
         keyword = sl[left].keyword
         counts[keyword] -= 1
         if counts[keyword] == 0:
             unique -= 1
-    return blocks
 
 
-def compute_lcp_list(sl: list[MergedEntry], s: int) -> LCPList:
-    """Sweep ``SL`` and build the LCP list (the candidate GKS nodes)."""
+def sliding_blocks(sl: list[MergedEntry],
+                   s: int) -> list[tuple[int, int, Dewey]]:
+    """All minimal ``s``-unique blocks as ``(l, r, prefix)`` triples.
+
+    Exposed separately so tests can check the window invariants; cross-
+    document blocks are reported with an empty prefix.
+    """
+    return list(iter_sliding_blocks(sl, s))
+
+
+def compute_lcp_list(sl: list[MergedEntry], s: int,
+                     budget: SearchBudget | None = None) -> LCPList:
+    """Sweep ``SL`` and build the LCP list (the candidate GKS nodes).
+
+    With a budget the sweep polls the deadline between blocks and stops
+    early when it trips, leaving a coherent partial LCP list.
+    """
     lcp = LCPList(s=s)
-    for left, right, prefix in sliding_blocks(sl, s):
+    total = len(sl)
+    for left, right, prefix in iter_sliding_blocks(sl, s):
+        if budget is not None and budget.checkpoint("lcp", left, total):
+            break
         if prefix:  # same-document block only
             lcp.file(prefix, left, right)
     return lcp

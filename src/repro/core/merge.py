@@ -8,12 +8,14 @@ merge of the sorted posting lists yields exactly that ordering.
 
 from __future__ import annotations
 
+from repro.core.budget import SearchBudget
 from repro.index.builder import GKSIndex
 from repro.index.postings import MergedEntry, merge_posting_lists
 from repro.core.query import Query
 
 
-def merged_list(index: GKSIndex, query: Query) -> list[MergedEntry]:
+def merged_list(index: GKSIndex, query: Query,
+                budget: SearchBudget | None = None) -> list[MergedEntry]:
     """The sorted merged list ``SL`` of all query-keyword postings.
 
     Entry *i* carries ``keyword`` = the index of its keyword in
@@ -21,6 +23,14 @@ def merged_list(index: GKSIndex, query: Query) -> list[MergedEntry]:
     empty lists; ``|SL| <= Σ|Si|`` with equality unless an element holds
     two query keywords at the same Dewey id under the same keyword
     (impossible — posting lists are deduplicated per keyword).
+
+    A :class:`SearchBudget` caps the result at ``max_sl`` entries (the
+    kept prefix is a coherent leading slice of the corpus in document
+    order) and charges the merge against the deadline.
     """
-    return merge_posting_lists(
+    sl = merge_posting_lists(
         index.postings(keyword) for keyword in query.keywords)
+    if budget is not None:
+        sl = budget.admit_sl(sl)
+        budget.checkpoint("merge", len(sl), len(sl))
+    return sl

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.budget import DegradationReport
 from repro.core.query import Query
 from repro.core.ranking import RankBreakdown
 from repro.xmltree.dewey import Dewey, format_dewey
@@ -64,11 +65,18 @@ class GKSResponse:
 
     ``nodes`` is the full ranked list ``RQ(s)``; ``lce_nodes`` is the
     subset ``EQ`` of entity (LCE) nodes the DI analysis runs on.
+
+    ``degraded`` marks a response produced under an exhausted
+    :class:`~repro.core.budget.SearchBudget`: ``nodes`` then holds the
+    best-effort partial answer and ``degradation`` says which pipeline
+    stage tripped and how much of it completed.
     """
 
     query: Query
     nodes: tuple[RankedNode, ...]
     profile: SearchProfile
+    degraded: bool = False
+    degradation: DegradationReport | None = None
 
     def __len__(self) -> int:
         return len(self.nodes)

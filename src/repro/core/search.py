@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.core.budget import SearchBudget
 from repro.core.lce import LCEResult, discover_lce
 from repro.core.lcp import compute_lcp_list
 from repro.core.merge import merged_list
@@ -33,19 +34,30 @@ Ranker = Callable[[GKSIndex, Query, Dewey], RankBreakdown]
 
 
 def search(index: GKSIndex, query: Query,
-           ranker: Ranker = rank_node) -> GKSResponse:
-    """Run one GKS query against an index and return the ranked response."""
+           ranker: Ranker = rank_node,
+           budget: SearchBudget | None = None) -> GKSResponse:
+    """Run one GKS query against an index and return the ranked response.
+
+    With a :class:`SearchBudget` every stage runs under cooperative
+    checkpoints.  When the budget trips mid-pipeline, downstream stages
+    operate on whatever was discovered so far and ranking falls back to a
+    bounded top-k of the already-discovered nodes — the response comes
+    back ``degraded=True`` with a
+    :class:`~repro.core.budget.DegradationReport` instead of raising.
+    """
     started = time.perf_counter()
     effective = query.with_s(query.effective_s)
+    if budget is not None:
+        budget.start()
 
-    sl = merged_list(index, effective)
+    sl = merged_list(index, effective, budget=budget)
     after_merge = time.perf_counter()
-    lcp = compute_lcp_list(sl, effective.s)
+    lcp = compute_lcp_list(sl, effective.s, budget=budget)
     after_lcp = time.perf_counter()
-    lce = discover_lce(lcp, sl, index)
+    lce = discover_lce(lcp, sl, index, budget=budget)
     after_lce = time.perf_counter()
 
-    nodes = _rank_response(index, effective, lce, ranker)
+    nodes = _rank_response(index, effective, lce, ranker, budget=budget)
     finished = time.perf_counter()
     profile = SearchProfile(merged_list_size=len(sl),
                             lcp_entries=len(lcp),
@@ -55,15 +67,32 @@ def search(index: GKSIndex, query: Query,
                             lcp_seconds=after_lcp - after_merge,
                             lce_seconds=after_lce - after_lcp,
                             rank_seconds=finished - after_lce)
-    return GKSResponse(query=effective, nodes=tuple(nodes), profile=profile)
+    tripped = budget is not None and budget.tripped
+    return GKSResponse(query=effective, nodes=tuple(nodes), profile=profile,
+                       degraded=tripped,
+                       degradation=budget.report if tripped else None)
 
 
 def _rank_response(index: GKSIndex, query: Query, lce: LCEResult,
-                   ranker: Ranker) -> list[RankedNode]:
+                   ranker: Ranker,
+                   budget: SearchBudget | None = None) -> list[RankedNode]:
     lce_set = set(lce.lce)
     fallback = lce.fallback_candidates()
+    deweys = lce.response_deweys()
+    pre_tripped = budget is not None and budget.tripped
+    if pre_tripped:
+        # An earlier stage tripped: salvage a bounded top-k of what was
+        # discovered.  response_deweys() lists the LCE nodes first, so
+        # the cap favours entity results (§4.2 semantics).  The recovery
+        # ranking itself is bounded by recovery_k, not the (already
+        # spent) deadline.
+        deweys = deweys[:budget.recovery_k]
     ranked: list[RankedNode] = []
-    for dewey in lce.response_deweys():
+    total = len(deweys)
+    for dewey in deweys:
+        if (budget is not None and not pre_tripped
+                and not budget.admit_node(len(ranked), total)):
+            break
         breakdown = ranker(index, query, dewey)
         if dewey in lce.lce:
             estimate = lce.lce[dewey].estimated_keywords

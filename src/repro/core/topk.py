@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import time
 
+from repro.core.budget import SearchBudget
 from repro.core.lce import discover_lce
 from repro.core.lcp import compute_lcp_list
 from repro.core.merge import merged_list
@@ -51,20 +52,31 @@ def distinct_keyword_count(index: GKSIndex, query: Query,
 
 
 def search_top_k(index: GKSIndex, query: Query, k: int,
-                 ranker: Ranker = rank_node) -> GKSResponse:
-    """The k highest-ranked nodes of ``RQ(s)``, skipping tail ranking."""
+                 ranker: Ranker = rank_node,
+                 budget: SearchBudget | None = None) -> GKSResponse:
+    """The k highest-ranked nodes of ``RQ(s)``, skipping tail ranking.
+
+    A :class:`SearchBudget` bounds the candidate stages exactly as in
+    :func:`repro.core.search.search`; a tripped budget yields the top-k
+    of the partially discovered candidate set, flagged ``degraded``.
+    """
     if k < 1:
         raise ValueError(f"k must be positive: {k}")
     started = time.perf_counter()
     effective = query.with_s(query.effective_s)
+    if budget is not None:
+        budget.start()
 
-    sl = merged_list(index, effective)
-    lcp = compute_lcp_list(sl, effective.s)
-    lce = discover_lce(lcp, sl, index)
+    sl = merged_list(index, effective, budget=budget)
+    lcp = compute_lcp_list(sl, effective.s, budget=budget)
+    lce = discover_lce(lcp, sl, index, budget=budget)
     fallback = lce.fallback_candidates()
     lce_set = set(lce.lce)
 
     candidates = lce.response_deweys()
+    pre_tripped = budget is not None and budget.tripped
+    if pre_tripped:
+        candidates = candidates[:budget.recovery_k]
     bounded = sorted(
         ((distinct_keyword_count(index, effective, dewey), dewey)
          for dewey in candidates),
@@ -77,6 +89,9 @@ def search_top_k(index: GKSIndex, query: Query, k: int,
         bound = float(count * count)
         if len(best) >= k and best[0][0] >= _bound_key(bound):
             break  # nothing later can displace the current top k
+        if (budget is not None and not pre_tripped
+                and budget.checkpoint("rank", sequence, len(bounded))):
+            break
         breakdown = ranker(index, effective, dewey)
         node = RankedNode(
             dewey=dewey, score=breakdown.score,
@@ -100,8 +115,10 @@ def search_top_k(index: GKSIndex, query: Query, k: int,
                             lcp_entries=len(lcp),
                             lce_nodes=len(lce.lce),
                             seconds=elapsed)
+    tripped = budget is not None and budget.tripped
     return GKSResponse(query=effective, nodes=tuple(nodes),
-                       profile=profile)
+                       profile=profile, degraded=tripped,
+                       degradation=budget.report if tripped else None)
 
 
 def _heap_key(node: RankedNode) -> tuple:

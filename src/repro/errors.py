@@ -19,15 +19,40 @@ class XMLSyntaxError(GKSError):
     ----------
     line, column:
         1-based position of the offending character in the input, when known.
+    offset:
+        0-based character offset of the offending position — the
+        machine-readable form the recovering parser and quarantine reports
+        use.  ``args[0]`` stays the bare message; the position is rendered
+        only by :meth:`__str__`, so it is never duplicated.
     """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None) -> None:
+                 column: int | None = None,
+                 offset: int | None = None) -> None:
         self.line = line
         self.column = column
-        if line is not None:
-            message = f"{message} (line {line}, column {column})"
+        self.offset = offset
         super().__init__(message)
+
+    @property
+    def message(self) -> str:
+        """The bare error message without any position rendering."""
+        return self.args[0]
+
+    def position_text(self) -> str:
+        """Human-readable position, empty when the position is unknown."""
+        parts = []
+        if self.line is not None:
+            parts.append(f"line {self.line}, column {self.column}")
+        if self.offset is not None:
+            parts.append(f"offset {self.offset}")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        position = self.position_text()
+        if position:
+            return f"{self.args[0]} ({position})"
+        return self.args[0]
 
 
 class DeweyError(GKSError):
@@ -43,7 +68,49 @@ class IndexError_(GKSError):
 
 
 class StorageError(GKSError):
-    """Raised when a persisted index cannot be written or read back."""
+    """Raised when a persisted index cannot be written or read back.
+
+    Attributes
+    ----------
+    diagnosis:
+        Machine-readable failure class: ``"unwritable"``, ``"unreadable"``,
+        ``"truncated"``, ``"corrupted"`` or ``"version-mismatch"`` —
+        ``None`` for legacy call sites that did not classify the failure.
+    path:
+        The index file involved, when known.
+    """
+
+    def __init__(self, message: str, diagnosis: str | None = None,
+                 path=None) -> None:
+        self.diagnosis = diagnosis
+        self.path = path
+        super().__init__(message)
+
+
+class DocumentLoadError(GKSError):
+    """Raised when a corpus file cannot be read off disk.
+
+    Wraps the underlying :class:`OSError`/:class:`UnicodeDecodeError` so a
+    multi-file ingest failing on file 7041 names the offending path instead
+    of leaking a bare builtin exception mid-build.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        self.path = path
+        super().__init__(message)
+
+
+class SearchTimeout(GKSError):
+    """Raised by :meth:`GKSEngine.search` when a :class:`SearchBudget`
+    deadline trips under ``strict_deadline=True``.
+
+    Carries the :class:`repro.core.budget.DegradationReport` describing
+    which pipeline stage tripped and how much work was completed.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        self.report = report
+        super().__init__(message)
 
 
 class QueryError(GKSError):

@@ -7,6 +7,18 @@ loading needs no re-sort (a checksum of sortedness is verified on load).
 The format is versioned; loading an unknown version fails loudly rather
 than guessing.
 
+Durability (format version 2)
+-----------------------------
+``save_index`` is atomic: the gzip payload is written to a temporary file
+in the target directory, fsynced, and renamed over the destination —
+a crash mid-write can never leave a truncated index under the final name.
+The envelope embeds a CRC32 of the canonical payload serialization;
+``load_index`` verifies it and raises :class:`StorageError` with a
+machine-readable ``diagnosis`` — ``"truncated"`` (the gzip stream ends
+early, e.g. a torn write of the temp-file-less v1 era), ``"corrupted"``
+(bad gzip/JSON bytes or checksum mismatch) or ``"version-mismatch"``.
+Version-1 files (no checksum) still load.
+
 Table 4's "Index Size" column is measured with :func:`index_size_bytes`.
 """
 
@@ -14,6 +26,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+import zlib
 from pathlib import Path
 
 from repro.errors import StorageError
@@ -24,14 +38,12 @@ from repro.index.statistics import IndexStats
 from repro.text.analyzer import Analyzer
 from repro.xmltree.dewey import format_dewey, parse_dewey
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_index(index: GKSIndex, path: str | Path) -> Path:
-    """Write *index* to *path* (gzip JSON).  Returns the path written."""
-    path = Path(path)
-    payload = {
-        "version": FORMAT_VERSION,
+def _payload_dict(index: GKSIndex) -> dict:
+    return {
         "analyzer": {
             "use_stopwords": index.analyzer.use_stopwords,
             "use_stemming": index.analyzer.use_stemming,
@@ -46,34 +58,115 @@ def save_index(index: GKSIndex, path: str | Path) -> Path:
         "postings": {keyword: [format_dewey(dewey) for dewey in posting_list]
                      for keyword, posting_list in index.inverted.items()},
     }
+
+
+def _canonical(payload: dict) -> str:
+    """The byte-stable serialization the CRC32 is computed over."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def save_index(index: GKSIndex, path: str | Path) -> Path:
+    """Write *index* to *path* atomically (temp file + fsync + rename).
+
+    The envelope embeds a CRC32 of the payload so :func:`load_index` can
+    distinguish a clean file from silent corruption.  Returns the path
+    written.
+    """
+    path = Path(path)
+    payload = _payload_dict(index)
+    canonical = _canonical(payload)
+    envelope = {
+        "version": FORMAT_VERSION,
+        "crc32": zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF,
+        "payload": payload,
+    }
+    temp_path = path.with_name(path.name + ".tmp")
     try:
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+        with open(temp_path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+                handle.write(
+                    json.dumps(envelope, separators=(",", ":"))
+                    .encode("utf-8"))
+            raw.flush()
+            os.fsync(raw.fileno())
+        os.replace(temp_path, path)
     except OSError as exc:
-        raise StorageError(f"cannot write index to {path}: {exc}") from exc
+        try:
+            temp_path.unlink()
+        except OSError:
+            pass
+        raise StorageError(f"cannot write index to {path}: {exc}",
+                           diagnosis="unwritable", path=path) from exc
     return path
 
 
 def load_index(path: str | Path) -> GKSIndex:
-    """Read an index previously written by :func:`save_index`."""
+    """Read an index previously written by :func:`save_index`.
+
+    Raises :class:`StorageError` carrying a ``diagnosis`` naming the
+    failure class (truncated / corrupted / version-mismatch /
+    unreadable); a verified index is returned whole or not at all — a
+    torn write can never yield a partially-read index.
+    """
     path = Path(path)
     try:
         with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, EOFError, json.JSONDecodeError) as exc:
-        # EOFError: truncated gzip stream
-        raise StorageError(f"cannot read index from {path}: {exc}") from exc
-
-    version = payload.get("version")
-    if version != FORMAT_VERSION:
+            envelope = json.load(handle)
+    except EOFError as exc:
+        # the gzip stream ends before its trailer: a torn/partial write
         raise StorageError(
-            f"unsupported index format version {version!r} in {path}")
+            f"cannot read index from {path}: file is truncated ({exc})",
+            diagnosis="truncated", path=path) from exc
+    except (gzip.BadGzipFile, json.JSONDecodeError, UnicodeDecodeError,
+            zlib.error) as exc:
+        raise StorageError(
+            f"cannot read index from {path}: file is corrupted ({exc})",
+            diagnosis="corrupted", path=path) from exc
+    except OSError as exc:
+        raise StorageError(f"cannot read index from {path}: {exc}",
+                           diagnosis="unreadable", path=path) from exc
 
-    inverted = InvertedIndex.from_mapping({
-        keyword: [parse_dewey(text) for text in posting_list]
-        for keyword, posting_list in payload["postings"].items()})
+    if not isinstance(envelope, dict):
+        raise StorageError(f"cannot read index from {path}: not an index "
+                           f"envelope", diagnosis="corrupted", path=path)
+    version = envelope.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise StorageError(
+            f"unsupported index format version {version!r} in {path}",
+            diagnosis="version-mismatch", path=path)
+
+    if version == 1:
+        payload = envelope  # v1 stored the payload fields at top level
+    else:
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            raise StorageError(
+                f"cannot read index from {path}: envelope has no payload",
+                diagnosis="corrupted", path=path)
+        expected_crc = envelope.get("crc32")
+        actual_crc = (zlib.crc32(_canonical(payload).encode("utf-8"))
+                      & 0xFFFFFFFF)
+        if expected_crc != actual_crc:
+            raise StorageError(
+                f"checksum mismatch in {path}: stored crc32 "
+                f"{expected_crc!r}, computed {actual_crc:#010x} — the "
+                f"file is corrupted", diagnosis="corrupted", path=path)
+
+    return _index_from_payload(payload, path)
+
+
+def _index_from_payload(payload: dict, path: Path) -> GKSIndex:
+    try:
+        inverted = InvertedIndex.from_mapping({
+            keyword: [parse_dewey(text) for text in posting_list]
+            for keyword, posting_list in payload["postings"].items()})
+    except KeyError as exc:
+        raise StorageError(f"cannot read index from {path}: missing "
+                           f"section {exc}", diagnosis="corrupted",
+                           path=path) from exc
     if not inverted.check_integrity():
-        raise StorageError(f"corrupt posting lists in {path}")
+        raise StorageError(f"corrupt posting lists in {path}",
+                           diagnosis="corrupted", path=path)
 
     hashes = NodeHashes.from_mappings(
         entity={parse_dewey(text): count
@@ -91,6 +184,37 @@ def load_index(path: str | Path) -> GKSIndex:
         stats=IndexStats.from_dict(payload.get("stats", {})),
         analyzer=analyzer,
         document_names=tuple(payload.get("document_names", ())))
+
+
+def check_index(path: str | Path) -> dict:
+    """Health summary of a persisted index file (``--check-index``).
+
+    Never raises: failures are reported in the returned mapping's
+    ``"ok"``/``"diagnosis"``/``"error"`` fields.
+    """
+    path = Path(path)
+    summary: dict = {"path": str(path), "ok": False}
+    try:
+        summary["size_bytes"] = index_size_bytes(path)
+    except OSError as exc:
+        summary.update(diagnosis="unreadable", error=str(exc))
+        return summary
+    try:
+        index = load_index(path)
+    except StorageError as exc:
+        summary.update(diagnosis=exc.diagnosis or "corrupted",
+                       error=str(exc))
+        return summary
+    summary.update(
+        ok=True,
+        documents=len(index.document_names),
+        keywords=len(dict(index.inverted.items())),
+        postings=sum(len(posting_list)
+                     for _, posting_list in index.inverted.items()),
+        entity_nodes=len(index.hashes.entity_table),
+        element_nodes=len(index.hashes.element_table),
+        total_nodes=index.stats.total_nodes)
+    return summary
 
 
 def index_size_bytes(path: str | Path) -> int:

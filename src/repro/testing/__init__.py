@@ -1,0 +1,6 @@
+"""Deterministic fault injection for resilience tests and benchmarks."""
+
+from repro.testing.faults import (FakeClock, TornWriter, XMLCorruptor,
+                                  corrupt_corpus)
+
+__all__ = ["FakeClock", "TornWriter", "XMLCorruptor", "corrupt_corpus"]

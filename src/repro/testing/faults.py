@@ -1,0 +1,188 @@
+"""Deterministic, seedable fault injectors.
+
+Resilience claims are only testable when the faults are reproducible.
+This module provides the three injectors the ``tests/test_resilience.py``
+suite and ``benchmarks/bench_robustness.py`` build on:
+
+* :class:`XMLCorruptor` — byte-level corruption of XML text that is
+  *guaranteed* to make the strict parser reject the document (each
+  mutation is verified; a deterministic fallback breaker is appended when
+  a random mutation happens to leave the document well-formed),
+* :class:`TornWriter` — simulates a crash mid-write by truncating a file
+  at a deterministic cut point (what a power loss during a non-atomic
+  write leaves behind),
+* :class:`FakeClock` — an injectable time source for
+  :class:`repro.core.budget.SearchBudget`, so deadline tests never sleep.
+
+Everything is driven by :class:`random.Random` seeded explicitly; the same
+seed always injects the same faults.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.parser import iter_events
+
+
+class FakeClock:
+    """A callable clock for deterministic deadline tests.
+
+    Each call returns the current fake time and then advances it by
+    ``auto_advance`` — so a budget polling the clock N times observes a
+    monotonically increasing timeline without any real sleeping.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0) -> None:
+        self._now = start
+        self.auto_advance = auto_advance
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        now = self._now
+        self._now += self.auto_advance
+        return now
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward manually."""
+        self._now += seconds
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+
+class XMLCorruptor:
+    """Seedable byte-level corruptor for XML documents.
+
+    ``corrupt`` applies one randomly chosen mutation — dropping a closing
+    tag, breaking a tag name, truncating the tail, injecting a stray
+    ``<`` or unbalancing a quote — and verifies the result no longer
+    strict-parses.  If the mutation accidentally left the document
+    well-formed, a guaranteed breaker (a stray top-level closing tag) is
+    appended instead, so every returned text is genuinely malformed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    # -- individual mutations ------------------------------------------
+    def _drop_closing_tag(self, text: str) -> str:
+        closers = [i for i in range(len(text)) if text.startswith("</", i)]
+        if not closers:
+            return text
+        start = self._rng.choice(closers)
+        end = text.find(">", start)
+        if end < 0:
+            return text
+        return text[:start] + text[end + 1:]
+
+    def _break_tag_name(self, text: str) -> str:
+        opens = [i for i in range(len(text))
+                 if text[i] == "<" and i + 1 < len(text)
+                 and text[i + 1].isalpha()]
+        if not opens:
+            return text
+        position = self._rng.choice(opens) + 1
+        return text[:position] + "<" + text[position + 1:]
+
+    def _truncate_tail(self, text: str) -> str:
+        if len(text) < 8:
+            return text
+        cut = self._rng.randrange(len(text) // 4, 3 * len(text) // 4)
+        return text[:cut]
+
+    def _stray_open(self, text: str) -> str:
+        if not text:
+            return "<"
+        position = self._rng.randrange(len(text))
+        return text[:position] + "<" + text[position:]
+
+    def _unbalance_quote(self, text: str) -> str:
+        quotes = [i for i, ch in enumerate(text) if ch == '"']
+        if not quotes:
+            return text
+        position = self._rng.choice(quotes)
+        return text[:position] + text[position + 1:]
+
+    # -- public API -----------------------------------------------------
+    def corrupt(self, text: str) -> str:
+        """One deterministic, verified-malformed corruption of *text*."""
+        mutation = self._rng.choice([
+            self._drop_closing_tag, self._break_tag_name,
+            self._truncate_tail, self._stray_open, self._unbalance_quote])
+        mutated = mutation(text)
+        if not self._is_malformed(mutated):
+            # the mutation was a no-op or left the text well-formed:
+            # append a stray top-level closing tag — always an error
+            mutated = mutated + "</torn-injected>"
+        return mutated
+
+    @staticmethod
+    def _is_malformed(text: str) -> bool:
+        try:
+            for _ in iter_events(text):
+                pass
+        except XMLSyntaxError:
+            return True
+        return False
+
+
+def corrupt_corpus(texts: list[str], fraction: float,
+                   seed: int = 0) -> tuple[list[str], set[int]]:
+    """Corrupt a deterministic *fraction* of the corpus.
+
+    Returns ``(mutated_texts, corrupted_positions)``; exactly
+    ``round(len(texts) * fraction)`` documents are corrupted, chosen by
+    the seeded RNG, each verified malformed.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+    rng = random.Random(seed)
+    count = round(len(texts) * fraction)
+    victims = set(rng.sample(range(len(texts)), count))
+    corruptor = XMLCorruptor(seed=rng.randrange(2 ** 31))
+    mutated = [corruptor.corrupt(text) if position in victims else text
+               for position, text in enumerate(texts)]
+    return mutated, victims
+
+
+class TornWriter:
+    """Simulates a crash mid-write: the file keeps only a prefix.
+
+    This is what a non-atomic ``save_index`` would leave behind after a
+    power loss — the storage layer's atomic temp-file + rename protocol
+    plus the embedded checksum must turn such remnants into a clean
+    :class:`~repro.errors.StorageError` rather than a half-loaded index.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def tear(self, path: str | Path, fraction: float | None = None) -> Path:
+        """Truncate *path* in place at a deterministic cut point.
+
+        ``fraction`` pins the cut (0 < fraction < 1); omitted, a random
+        cut inside the middle half of the file is chosen.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        if fraction is None:
+            cut = self._rng.randrange(max(1, len(data) // 4),
+                                      max(2, 3 * len(data) // 4))
+        else:
+            if not 0.0 < fraction < 1.0:
+                raise ValueError(f"fraction must be in (0, 1): {fraction}")
+            cut = max(1, int(len(data) * fraction))
+        path.write_bytes(data[:cut])
+        return path
+
+    def torn_copy(self, source: str | Path, destination: str | Path,
+                  fraction: float | None = None) -> Path:
+        """Write a torn copy of *source* at *destination*."""
+        source, destination = Path(source), Path(destination)
+        destination.write_bytes(source.read_bytes())
+        return self.tear(destination, fraction=fraction)

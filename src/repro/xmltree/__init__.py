@@ -7,16 +7,19 @@ from repro.xmltree.dewey import (Dewey, ancestors_of, block_lcp,
 from repro.xmltree.json_adapter import (json_to_document,
                                         parse_json_document)
 from repro.xmltree.node import XMLNode, build_tree
-from repro.xmltree.parser import (TreeBuilder, iter_events, parse_document,
-                                  parse_documents)
-from repro.xmltree.repository import Repository
+from repro.xmltree.parser import (RecoveryPolicy, SalvageLog, TreeBuilder,
+                                  iter_events, iter_events_salvage,
+                                  parse_document, parse_documents)
+from repro.xmltree.repository import IngestFailure, Repository
 from repro.xmltree.serialize import (serialize_document, serialize_node)
 from repro.xmltree.tree import XMLDocument
 
 __all__ = [
-    "Dewey", "XMLNode", "XMLDocument", "Repository", "TreeBuilder",
+    "Dewey", "IngestFailure", "RecoveryPolicy", "SalvageLog",
+    "XMLNode", "XMLDocument", "Repository", "TreeBuilder",
     "ancestors_of", "block_lcp", "build_tree", "common_prefix", "depth_of",
     "format_dewey", "is_ancestor", "is_ancestor_or_self", "iter_events",
+    "iter_events_salvage",
     "json_to_document", "lca_of", "make_dewey", "parse_dewey",
     "parse_document", "parse_documents", "parse_json_document",
     "serialize_document", "serialize_node",

@@ -18,10 +18,27 @@ Design notes
 ``iter_events`` is a generator, so indexing large inputs never materialises
 the document; ``parse_document`` builds an :class:`XMLDocument` for callers
 that want the tree.  Malformed input raises :class:`XMLSyntaxError` with a
-1-based line/column.
+1-based line/column and a 0-based character offset.
+
+Recovery
+--------
+Real multi-file corpora (§2.4) contain the occasional malformed document.
+:class:`RecoveryPolicy` selects what happens:
+
+* ``STRICT`` — raise on the first error (the default, unchanged behaviour);
+* ``SKIP_DOCUMENT`` — parser-level behaviour equals STRICT; the
+  *repository* catches the error and quarantines the document instead of
+  aborting the whole ingest;
+* ``SALVAGE`` — :func:`iter_events_salvage` resynchronises after malformed
+  markup (skips to the next ``<``), drops stray closing tags, closes
+  unbalanced open tags at end of input, ignores extra root elements, and
+  keeps unknown entities as literal text.  Every repair is recorded in a
+  :class:`SalvageLog`.
 """
 
 from __future__ import annotations
+
+import enum
 
 from typing import Iterable, Iterator
 
@@ -41,6 +58,44 @@ _PREDEFINED_ENTITIES = {
 
 _NAME_START_EXTRA = "_:"
 _NAME_EXTRA = "_:.-"
+
+
+class RecoveryPolicy(enum.Enum):
+    """How ingestion reacts to malformed XML (see module docstring)."""
+
+    STRICT = "strict"
+    SKIP_DOCUMENT = "skip_document"
+    SALVAGE = "salvage"
+
+    @classmethod
+    def coerce(cls, value: "RecoveryPolicy | str") -> "RecoveryPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(policy.value for policy in cls)
+            raise ValueError(
+                f"unknown recovery policy {value!r} (choose from {choices})")
+
+
+class SalvageLog:
+    """The repairs a salvage parse had to make, in input order."""
+
+    def __init__(self) -> None:
+        self.problems: list[XMLSyntaxError] = []
+
+    def note(self, problem: XMLSyntaxError) -> None:
+        self.problems.append(problem)
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __iter__(self):
+        return iter(self.problems)
+
+    def render(self) -> str:
+        return "; ".join(str(problem) for problem in self.problems)
 
 
 def _is_name_start(ch: str) -> bool:
@@ -105,11 +160,17 @@ class _Scanner:
         line = self.text.count("\n", 0, self.pos) + 1
         last_newline = self.text.rfind("\n", 0, self.pos)
         column = self.pos - last_newline
-        return XMLSyntaxError(message, line=line, column=column)
+        return XMLSyntaxError(message, line=line, column=column,
+                              offset=self.pos)
 
 
-def decode_entities(raw: str, scanner: _Scanner | None = None) -> str:
-    """Resolve entity and character references inside character data."""
+def decode_entities(raw: str, scanner: _Scanner | None = None,
+                    lenient: bool = False) -> str:
+    """Resolve entity and character references inside character data.
+
+    With ``lenient=True`` (salvage mode) an unresolvable reference is kept
+    as literal text instead of raising.
+    """
     if "&" not in raw:
         return raw
     out: list[str] = []
@@ -122,9 +183,17 @@ def decode_entities(raw: str, scanner: _Scanner | None = None) -> str:
             continue
         end = raw.find(";", i + 1)
         if end < 0:
-            raise _entity_error(f"unterminated entity reference", scanner)
+            if lenient:
+                out.append(raw[i:])
+                break
+            raise _entity_error("unterminated entity reference", scanner)
         name = raw[i + 1:end]
-        out.append(_resolve_entity(name, scanner))
+        try:
+            out.append(_resolve_entity(name, scanner))
+        except XMLSyntaxError:
+            if not lenient:
+                raise
+            out.append(raw[i:end + 1])
         i = end + 1
     return "".join(out)
 
@@ -187,22 +256,116 @@ def iter_events(text: str) -> Iterator[ParseEvent]:
         raise scanner.error("document has no root element")
 
 
-def _scan_text(scanner: _Scanner) -> str:
+def iter_events_salvage(text: str,
+                        log: SalvageLog | None = None) -> Iterator[ParseEvent]:
+    """Recovering variant of :func:`iter_events`.
+
+    On malformed markup the scanner resynchronises at the next ``<``;
+    stray closing tags are dropped; unbalanced open tags are closed at end
+    of input; content after the first root element is skipped.  Each
+    repair is recorded on *log*.  Only a document with no salvageable root
+    element at all still raises :class:`XMLSyntaxError`.
+    """
+    if log is None:
+        log = SalvageLog()
+    if text.startswith("﻿"):
+        text = text[1:]  # strip a UTF-8 BOM
+    scanner = _Scanner(text)
+    open_tags: list[str] = []
+    root_done = False      # the first root element closed already
+    suppressing = False    # inside a second root: consume, don't yield
+
+    while not scanner.at_end():
+        if scanner.peek() == "<":
+            at_top_level = not open_tags
+            position = scanner.pos
+            try:
+                events = _scan_markup(scanner, open_tags, recover=True)
+            except XMLSyntaxError as problem:
+                log.note(problem)
+                _resynchronize(scanner, position)
+                continue
+            if text.startswith("</", position) and len(events) > 1:
+                closed = ", ".join(f"<{event.tag}>" for event in events[:-1])
+                log.note(_position_error(
+                    scanner, position,
+                    f"closing tag auto-closed unclosed children: {closed}"))
+            for event in events:
+                if isinstance(event, StartElement) and at_top_level:
+                    at_top_level = False
+                    if root_done:
+                        suppressing = True
+                        log.note(_position_error(
+                            scanner, position,
+                            f"extra root element <{event.tag}> skipped"))
+                if not suppressing:
+                    yield event
+            if not open_tags and any(isinstance(event, EndElement)
+                                     for event in events):
+                if not suppressing:
+                    root_done = True
+                suppressing = False
+            continue
+        try:
+            chunk = _scan_text(scanner, lenient=True)
+        except XMLSyntaxError as problem:  # pragma: no cover - lenient
+            log.note(problem)
+            _resynchronize(scanner, scanner.pos)
+            continue
+        if chunk and open_tags and not suppressing:
+            yield Text(chunk)
+
+    if open_tags:
+        log.note(scanner.error(
+            f"unclosed element <{open_tags[-1]}> auto-closed at end of "
+            f"input"))
+        while open_tags:
+            tag = open_tags.pop()
+            if not suppressing:
+                yield EndElement(tag)
+        if not suppressing:
+            root_done = True
+    if not root_done:
+        raise scanner.error("document has no salvageable root element")
+
+
+def _resynchronize(scanner: _Scanner, markup_start: int) -> None:
+    """Skip past a malformed construct to the next plausible markup."""
+    scanner.pos = max(scanner.pos, markup_start + 1)
+    next_markup = scanner.text.find("<", scanner.pos)
+    scanner.pos = scanner.length if next_markup < 0 else next_markup
+
+
+def _position_error(scanner: _Scanner, position: int,
+                    message: str) -> XMLSyntaxError:
+    """An :class:`XMLSyntaxError` pinned to *position* (not scanner.pos)."""
+    saved = scanner.pos
+    scanner.pos = position
+    try:
+        return scanner.error(message)
+    finally:
+        scanner.pos = saved
+
+
+def _scan_text(scanner: _Scanner, lenient: bool = False) -> str:
     start = scanner.pos
     end = scanner.text.find("<", start)
     if end < 0:
         end = scanner.length
     raw = scanner.text[start:end]
     scanner.pos = end
-    return decode_entities(raw, scanner)
+    return decode_entities(raw, scanner, lenient=lenient)
 
 
-def _scan_markup(scanner: _Scanner,
-                 open_tags: list[str]) -> list[ParseEvent]:
+def _scan_markup(scanner: _Scanner, open_tags: list[str],
+                 recover: bool = False) -> list[ParseEvent]:
     """Dispatch on the markup starting at ``<``.
 
     Returns the events it produced — usually one, two for a self-closing
     element, zero for markup with no event (XML declaration, DOCTYPE).
+    With ``recover=True`` stray closing tags yield no event and entity
+    errors in attribute values are tolerated; structural errors still
+    raise and are handled by the salvage driver.
     """
     if scanner.startswith("<!--"):
         scanner.advance(4)
@@ -212,7 +375,7 @@ def _scan_markup(scanner: _Scanner,
         content = scanner.take_until("]]>", "CDATA section")
         if open_tags:
             return [Text(content)]
-        if content.strip():
+        if content.strip() and not recover:
             raise scanner.error("character data outside the root element")
         return []
     if scanner.startswith("<?"):
@@ -226,8 +389,10 @@ def _scan_markup(scanner: _Scanner,
         _skip_doctype(scanner)
         return []
     if scanner.startswith("</"):
+        if recover:
+            return _scan_end_tag_salvage(scanner, open_tags)
         return [_scan_end_tag(scanner, open_tags)]
-    return _scan_start_tag(scanner, open_tags)
+    return _scan_start_tag(scanner, open_tags, recover=recover)
 
 
 def _skip_doctype(scanner: _Scanner) -> None:
@@ -260,11 +425,35 @@ def _scan_end_tag(scanner: _Scanner, open_tags: list[str]) -> EndElement:
     return EndElement(tag)
 
 
-def _scan_start_tag(scanner: _Scanner,
-                    open_tags: list[str]) -> list[ParseEvent]:
+def _scan_end_tag_salvage(scanner: _Scanner,
+                          open_tags: list[str]) -> list[ParseEvent]:
+    """Recovering end-tag scan: close through to the matching open tag.
+
+    A closing tag whose name is on the open stack (not necessarily on
+    top) closes every deeper element on the way — the common
+    "forgot-to-close-a-child" corruption.  A closing tag matching nothing
+    is dropped.
+    """
+    scanner.advance(2)
+    tag = scanner.read_name("element name in closing tag")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    if tag not in open_tags:
+        raise scanner.error(f"stray closing tag </{tag}> dropped")
+    events: list[ParseEvent] = []
+    while open_tags:
+        top = open_tags.pop()
+        events.append(EndElement(top))
+        if top == tag:
+            break
+    return events
+
+
+def _scan_start_tag(scanner: _Scanner, open_tags: list[str],
+                    recover: bool = False) -> list[ParseEvent]:
     scanner.advance(1)
     tag = scanner.read_name("element name")
-    attributes = _scan_attributes(scanner)
+    attributes = _scan_attributes(scanner, lenient=recover)
     scanner.skip_whitespace()
     if scanner.startswith("/>"):
         scanner.advance(2)
@@ -274,7 +463,8 @@ def _scan_start_tag(scanner: _Scanner,
     return [StartElement(tag, attributes)]
 
 
-def _scan_attributes(scanner: _Scanner) -> dict[str, str]:
+def _scan_attributes(scanner: _Scanner,
+                     lenient: bool = False) -> dict[str, str]:
     attributes: dict[str, str] = {}
     while True:
         scanner.skip_whitespace()
@@ -292,7 +482,7 @@ def _scan_attributes(scanner: _Scanner) -> dict[str, str]:
         value = scanner.take_until(quote, "attribute value")
         if name in attributes:
             raise scanner.error(f"duplicate attribute {name!r}")
-        attributes[name] = decode_entities(value, scanner)
+        attributes[name] = decode_entities(value, scanner, lenient=lenient)
 
 
 class TreeBuilder:
@@ -361,21 +551,37 @@ class TreeBuilder:
 
 def parse_document(text: str, doc_id: int = 0,
                    attributes_as_children: bool = True,
-                   name: str | None = None) -> XMLDocument:
-    """Parse an XML string into an :class:`XMLDocument` with Dewey ids."""
+                   name: str | None = None,
+                   policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                   salvage_log: SalvageLog | None = None) -> XMLDocument:
+    """Parse an XML string into an :class:`XMLDocument` with Dewey ids.
+
+    ``policy=RecoveryPolicy.SALVAGE`` parses through malformed markup
+    (repairs are recorded on *salvage_log* when given); ``STRICT`` and
+    ``SKIP_DOCUMENT`` raise :class:`XMLSyntaxError` on the first error —
+    the skip decision belongs to the repository, not the parser.
+    """
+    policy = RecoveryPolicy.coerce(policy)
     builder = TreeBuilder(doc_id=doc_id,
                           attributes_as_children=attributes_as_children,
                           name=name)
-    for event in iter_events(text):
+    if policy is RecoveryPolicy.SALVAGE:
+        events = iter_events_salvage(text, log=salvage_log)
+    else:
+        events = iter_events(text)
+    for event in events:
         builder.feed(event)
     return builder.document()
 
 
 def parse_documents(texts: Iterable[str], first_doc_id: int = 0,
-                    attributes_as_children: bool = True) -> list[XMLDocument]:
+                    attributes_as_children: bool = True,
+                    policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                    ) -> list[XMLDocument]:
     """Parse several XML strings into consecutively numbered documents."""
     return [
         parse_document(text, doc_id=first_doc_id + offset,
-                       attributes_as_children=attributes_as_children)
+                       attributes_as_children=attributes_as_children,
+                       policy=policy)
         for offset, text in enumerate(texts)
     ]

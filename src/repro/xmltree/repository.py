@@ -11,23 +11,75 @@ and the scalability experiment (Fig. 10) replicates a corpus inside one.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.errors import DocumentLoadError, GKSError, XMLSyntaxError
 from repro.xmltree import dewey as dw
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
-from repro.xmltree.parser import parse_document
+from repro.xmltree.parser import (RecoveryPolicy, SalvageLog,
+                                  parse_document)
 from repro.xmltree.tree import XMLDocument
 
 
+@dataclass(frozen=True)
+class IngestFailure:
+    """One quarantined document: why it failed and where.
+
+    Attributes
+    ----------
+    name:
+        The document's name (file name for path-based ingest, or a
+        synthetic ``text[i]`` for text-based ingest).
+    error:
+        The :class:`GKSError` that condemned the document.
+    position:
+        Human-readable position of the first problem (``"line 3,
+        column 7, offset 42"``), empty when unknown; the machine-readable
+        offset lives on ``error.offset`` for syntax errors.
+    """
+
+    name: str
+    error: GKSError
+    position: str = ""
+
+    def render(self) -> str:
+        where = f" at {self.position}" if self.position else ""
+        return f"{self.name}: {self.error.args[0]}{where}"
+
+
+def _failure_for(name: str, error: GKSError) -> IngestFailure:
+    position = ""
+    if isinstance(error, XMLSyntaxError):
+        position = error.position_text()
+    return IngestFailure(name=name, error=error, position=position)
+
+
 class Repository:
-    """An ordered collection of XML documents sharing one Dewey id space."""
+    """An ordered collection of XML documents sharing one Dewey id space.
+
+    Ingestion accepts a :class:`RecoveryPolicy`:
+
+    * ``strict`` (default) — the first malformed document aborts the build;
+    * ``skip_document`` — malformed (or unreadable) documents land in
+      :attr:`quarantine` as :class:`IngestFailure` records and the rest of
+      the corpus builds normally;
+    * ``salvage`` — documents are repaired by the recovering parser where
+      possible; the unsalvageable ones are quarantined.
+    """
 
     def __init__(self, documents: Iterable[XMLDocument] = ()) -> None:
         self._documents: list[XMLDocument] = []
+        self.ingest_failures: list[IngestFailure] = []
         for document in documents:
             self.add(document)
+
+    @property
+    def quarantine(self) -> list[IngestFailure]:
+        """The documents that did not survive ingestion."""
+        return list(self.ingest_failures)
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,11 +105,34 @@ class Repository:
         return document
 
     def parse(self, text: str, name: str | None = None,
-              attributes_as_children: bool = True) -> XMLDocument:
-        """Parse *text* as the next document of the repository."""
-        document = parse_document(
-            text, doc_id=len(self._documents),
-            attributes_as_children=attributes_as_children, name=name)
+              attributes_as_children: bool = True,
+              policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+              label: str | None = None) -> XMLDocument | None:
+        """Parse *text* as the next document of the repository.
+
+        Under ``skip_document`` (and under ``salvage`` when even the
+        recovering parser finds nothing to keep) a malformed document is
+        quarantined and ``None`` is returned instead of raising.  *label*
+        names the document in quarantine reports when *name* is unset.
+        """
+        policy = RecoveryPolicy.coerce(policy)
+        parse_policy = (RecoveryPolicy.SALVAGE
+                        if policy is RecoveryPolicy.SALVAGE
+                        else RecoveryPolicy.STRICT)
+        if label is None:
+            label = (name if name is not None
+                     else f"text[{len(self._documents)}]")
+        salvage_log = SalvageLog()
+        try:
+            document = parse_document(
+                text, doc_id=len(self._documents),
+                attributes_as_children=attributes_as_children, name=name,
+                policy=parse_policy, salvage_log=salvage_log)
+        except XMLSyntaxError as error:
+            if policy is RecoveryPolicy.STRICT:
+                raise
+            self.ingest_failures.append(_failure_for(label, error))
+            return None
         self._documents.append(document)
         return document
 
@@ -73,22 +148,46 @@ class Repository:
         return document
 
     @classmethod
-    def from_texts(cls, texts: Iterable[str]) -> "Repository":
-        """Build a repository by parsing several XML strings."""
+    def from_texts(cls, texts: Iterable[str],
+                   policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                   ) -> "Repository":
+        """Build a repository by parsing several XML strings.
+
+        Under a non-strict *policy* malformed texts are quarantined on
+        :attr:`quarantine` instead of aborting the whole build.
+        """
         repository = cls()
-        for text in texts:
-            repository.parse(text)
+        for offset, text in enumerate(texts):
+            repository.parse(text, policy=policy, label=f"text[{offset}]")
         return repository
 
     @classmethod
     def from_paths(cls, paths: Iterable[str | Path],
-                   encoding: str = "utf-8") -> "Repository":
-        """Build a repository from XML files on disk (one doc per file)."""
+                   encoding: str = "utf-8",
+                   policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+                   ) -> "Repository":
+        """Build a repository from XML files on disk (one doc per file).
+
+        An unreadable or undecodable file raises
+        :class:`DocumentLoadError` naming the offending path (strict
+        policy) or is quarantined alongside parse failures otherwise.
+        """
+        policy = RecoveryPolicy.coerce(policy)
         repository = cls()
         for path in paths:
             path = Path(path)
-            repository.parse(path.read_text(encoding=encoding),
-                             name=path.name)
+            try:
+                text = path.read_text(encoding=encoding)
+            except (OSError, UnicodeDecodeError) as exc:
+                error = DocumentLoadError(
+                    f"cannot read corpus file {path}: {exc}", path=path)
+                error.__cause__ = exc
+                if policy is RecoveryPolicy.STRICT:
+                    raise error from exc
+                repository.ingest_failures.append(
+                    IngestFailure(name=path.name, error=error))
+                continue
+            repository.parse(text, name=path.name, policy=policy)
         return repository
 
     def extend_replicated(self, times: int) -> "Repository":

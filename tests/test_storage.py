@@ -93,12 +93,19 @@ class TestFailureInjection:
             save_index(index, tmp_path / "no" / "such" / "dir" / "x.gz")
 
     def test_malformed_dewey_in_payload(self, index, tmp_path):
+        import zlib
+
         path = save_index(index, tmp_path / "idx.gz")
         with gzip.open(path, "rt") as handle:
-            payload = json.load(handle)
-        payload["postings"]["karen"] = ["not.a.number"]
+            envelope = json.load(handle)
+        envelope["payload"]["postings"]["karen"] = ["not.a.number"]
+        # recompute the checksum so the dewey parser (not the CRC check)
+        # is what rejects the file
+        canonical = json.dumps(envelope["payload"],
+                               separators=(",", ":"), sort_keys=True)
+        envelope["crc32"] = zlib.crc32(canonical.encode()) & 0xFFFFFFFF
         with gzip.open(path, "wt") as handle:
-            json.dump(payload, handle)
+            json.dump(envelope, handle)
         from repro.errors import GKSError
 
         with pytest.raises(GKSError):

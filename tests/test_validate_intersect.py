@@ -109,14 +109,21 @@ class TestValidator:
         assert "PROBLEM" in capsys.readouterr().out
 
     def test_corrupted_file_detected(self, tmp_path, capsys):
+        import zlib
+
         repository = load_dataset("figure2a")
         index = build_index(repository)
         path = save_index(index, tmp_path / "idx.gz")
         with gzip.open(path, "rt") as handle:
-            payload = json.load(handle)
-        payload["entity_hash"]["0.1"] = -3  # negative child count
+            envelope = json.load(handle)
+        # negative child count; re-stamp the checksum so the semantic
+        # validator (not the CRC check) is what flags the file
+        envelope["payload"]["entity_hash"]["0.1"] = -3
+        canonical = json.dumps(envelope["payload"],
+                               separators=(",", ":"), sort_keys=True)
+        envelope["crc32"] = zlib.crc32(canonical.encode()) & 0xFFFFFFFF
         with gzip.open(path, "wt") as handle:
-            json.dump(payload, handle)
+            json.dump(envelope, handle)
         assert main(["validate", str(path)]) == 1
         out = capsys.readouterr().out
         assert "negative child count" in out
