@@ -34,24 +34,24 @@ def test_stage_timing_overhead(position, benchmark):
         pytest.skip("vocabulary too small")
     query = queries[position]
     response = benchmark(lambda: search(engine.index, query))
-    assert response.profile.seconds >= 0
+    assert response.stats.total_seconds >= 0
 
 
 def test_stage_breakdown_report(results_writer, benchmark):
+    """The stage split, read from each response's QueryStats record."""
     def measure():
         engine, queries = _queries()
         rows = []
         for query in queries:
             # median-ish of three runs for stable splits
-            profiles = [search(engine.index, query).profile
-                        for _ in range(3)]
-            profile = sorted(profiles,
-                             key=lambda item: item.seconds)[1]
-            total = profile.seconds or 1e-9
-            stages = profile.stage_breakdown()
+            stats = sorted(
+                (search(engine.index, query).stats for _ in range(3)),
+                key=lambda item: item.total_seconds)[1]
+            total = stats.total_seconds or 1e-9
+            stages = stats.stage_breakdown()
             rows.append((len(query.keywords),
-                         profile.merged_list_size,
-                         f"{profile.seconds * 1000:.2f}",
+                         stats.postings_scanned,
+                         f"{stats.total_seconds * 1000:.2f}",
                          *(f"{stages[name] / total:.0%}"
                            for name in ("merge", "lcp", "lce", "rank"))))
         return rows
@@ -65,6 +65,6 @@ def test_stage_breakdown_report(results_writer, benchmark):
 
 def test_stage_sum_accounts_for_total():
     engine, queries = _queries()
-    profile = search(engine.index, queries[-1]).profile
-    stage_sum = sum(profile.stage_breakdown().values())
-    assert stage_sum == pytest.approx(profile.seconds, rel=0.05)
+    stats = search(engine.index, queries[-1]).stats
+    assert stats.stage_sum() == pytest.approx(stats.total_seconds,
+                                              rel=0.05)

@@ -11,6 +11,8 @@ Subcommands mirror the system's three engines (Fig. 3):
 * ``gks facet FILE... -q QUERY -c COL``  facet a response by a column
 * ``gks xpath FILE... -p PATH``        evaluate an XPath-lite expression
 * ``gks dataset NAME -o DIR``          emit a synthetic corpus as XML
+* ``gks stats FILE... [-q QUERY]``     observability report (metrics,
+  per-query stats, slow queries; ``--prom``/``--json`` exposition)
 
 ``FILE`` arguments ending in ``.json`` are ingested through the JSON
 adapter; everything else is parsed as XML.
@@ -65,6 +67,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument("--explain", action="store_true",
                             help="print the potential-flow account of "
                                  "each result's rank")
+    search_cmd.add_argument("--trace", action="store_true",
+                            help="print the query's nested span tree "
+                                 "(merge/lcp/lce/rank timings)")
+    search_cmd.add_argument("--metrics-json", metavar="PATH",
+                            help="write the metrics registry snapshot "
+                                 "as JSON to PATH")
 
     topk_cmd = commands.add_parser(
         "topk", help="top-k search with early-terminated ranking")
@@ -118,6 +126,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="verify an index file's checksum, print a health summary")
     check_cmd.add_argument("index", help="index file to check")
 
+    stats_cmd = commands.add_parser(
+        "stats", help="observability report over a corpus")
+    stats_cmd.add_argument("files", nargs="+", help="XML files to load")
+    stats_cmd.add_argument("-q", "--query", action="append", default=[],
+                           help="query to run before reporting "
+                                "(repeatable)")
+    stats_cmd.add_argument("-s", type=int, default=1)
+    stats_cmd.add_argument("--prom", action="store_true",
+                           help="print Prometheus text exposition")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="print the metrics snapshot as JSON")
+    stats_cmd.add_argument("--slow-ms", type=float, default=500.0,
+                           help="slow-query threshold in milliseconds "
+                                "(default 500)")
+
     data_cmd = commands.add_parser("dataset",
                                    help="emit a synthetic corpus as XML")
     data_cmd.add_argument("name", choices=dataset_names())
@@ -149,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
         "shell": _cmd_shell,
         "validate": _cmd_validate,
         "check-index": _cmd_check_index,
+        "stats": _cmd_stats,
         "dataset": _cmd_dataset,
     }
     try:
@@ -186,20 +210,34 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check_index(args: argparse.Namespace) -> int:
-    from repro.index.storage import check_index
+    """Exit 0 only for a healthy index: readable, checksum-clean AND
+    structurally self-consistent.  Any unhealthy state exits non-zero so
+    scripts and CI can gate on the check."""
+    from repro.index.storage import check_index, load_index
+    from repro.index.validate import validate_index
 
     summary = check_index(args.index)
-    if summary["ok"]:
-        print(f"index OK: {summary['path']}")
-        for key in ("size_bytes", "documents", "total_nodes",
-                    "entity_nodes", "element_nodes", "keywords",
-                    "postings"):
-            print(f"  {key:>14}: {summary[key]}")
-        return 0
-    print(f"index BAD: {summary['path']}")
-    print(f"  diagnosis: {summary['diagnosis']}")
-    print(f"  error: {summary['error']}")
-    return 1
+    if not summary["ok"]:
+        print(f"index BAD: {summary['path']}")
+        print(f"  diagnosis: {summary['diagnosis']}")
+        print(f"  error: {summary['error']}")
+        return 1
+    # the file loads cleanly; still run the structural self-checks a
+    # checksum can't see (a stale checksum over consistent-but-wrong
+    # data, v1 files with no checksum at all)
+    problems = validate_index(load_index(args.index))
+    if problems:
+        print(f"index BAD: {summary['path']}")
+        print("  diagnosis: invalid")
+        for problem in problems:
+            print(f"  problem: {problem}")
+        return 1
+    print(f"index OK: {summary['path']}")
+    for key in ("size_bytes", "documents", "total_nodes",
+                "entity_nodes", "element_nodes", "keywords",
+                "postings"):
+        print(f"  {key:>14}: {summary[key]}")
+    return 0
 
 
 def _load_repository(files: list[str]) -> Repository:
@@ -237,8 +275,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.obs.trace import Tracer, render_span_tree
+
     engine = _engine(args.files)
-    response = engine.search(args.query, s=args.s)
+    tracer = Tracer() if args.trace else None
+    response = engine.search(args.query, s=args.s, tracer=tracer)
     profile = response.profile
     print(f"{len(response)} node(s) for {response.query}  "
           f"[|SL|={profile.merged_list_size}, "
@@ -249,6 +290,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print(engine.snippet(node))
         if args.explain:
             print(engine.explain(node))
+    if tracer is not None and tracer.roots:
+        print()
+        print(render_span_tree(tracer.roots[-1]))
+        print(response.stats.render())
+    if args.metrics_json:
+        import json as _json
+
+        Path(args.metrics_json).write_text(
+            _json.dumps(engine.metrics(), indent=2, sort_keys=True),
+            encoding="utf-8")
+        print(f"metrics written to {args.metrics_json}")
     return 0
 
 
@@ -319,6 +371,49 @@ def _cmd_categorize(args: argparse.Namespace) -> int:
     print(render_table(
         ["AN", "EN", "RN", "CN", "total nodes"],
         [(row["AN"], row["EN"], row["RN"], row["CN"], row["total"])]))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """One-shot observability report: load the corpus, optionally run
+    queries, then print metrics (human summary, ``--json`` snapshot, or
+    ``--prom`` Prometheus text)."""
+    import json as _json
+
+    from repro.obs.metrics import global_registry
+
+    # the CLI is a one-shot process, so the process-wide registry holds
+    # exactly this invocation's ingest, build and search metrics
+    registry = global_registry()
+    engine = GKSEngine(_load_repository(args.files),
+                       slow_query_threshold_s=args.slow_ms / 1000.0)
+    responses = [(text, engine.search(text, s=args.s))
+                 for text in args.query]
+    if args.prom:
+        print(registry.render_prometheus(), end="")
+        return 0
+    if args.json:
+        print(_json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+
+    stats = engine.index.stats
+    print(f"corpus: {len(engine.repository)} document(s), "
+          f"{stats.total_nodes} nodes, "
+          f"{len(engine.repository.quarantine)} quarantined")
+    print(f"index: {stats.entity_nodes} entities, "
+          f"{len(dict(engine.index.inverted.items()))} keywords, "
+          f"built in {stats.build_seconds * 1000:.1f} ms")
+    for text, response in responses:
+        print(f"query {text!r}: {len(response)} node(s)")
+        print(f"  {response.stats.render()}")
+    info = engine.cache_info()
+    print(f"cache: {info['hits']} hit(s), {info['misses']} miss(es), "
+          f"{info['evictions']} eviction(s), "
+          f"{info['size']}/{info['capacity']} entries")
+    slow = engine.slow_queries()
+    print(f"slow queries (>= {args.slow_ms:.0f} ms): {len(slow)}")
+    for entry in slow:
+        print(f"  {entry.render()}")
     return 0
 
 

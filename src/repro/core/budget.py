@@ -25,6 +25,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.metrics import global_registry
+
 
 @dataclass(frozen=True)
 class DegradationReport:
@@ -123,6 +125,10 @@ class SearchBudget:
             self.report = DegradationReport(
                 stage=stage, reason=reason, processed=processed,
                 total=total, elapsed_s=self.elapsed())
+            global_registry().counter(
+                "gks_budget_trips_total",
+                help="Search budget checkpoint trips by stage and reason."
+            ).inc(labels={"stage": stage, "reason": reason})
 
     # ------------------------------------------------------------------
     # Cooperative checkpoints (called from the pipeline's hot loops)

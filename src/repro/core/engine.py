@@ -16,6 +16,8 @@ API::
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable
 
@@ -29,6 +31,9 @@ from repro.core.results import GKSResponse, RankedNode
 from repro.core.search import Ranker, search
 from repro.errors import SearchTimeout, StorageError
 from repro.index.builder import GKSIndex, IndexBuilder
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.stats import SlowQuery, SlowQueryLog
+from repro.obs.trace import NullTracer, Span, Tracer
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey, format_dewey
 from repro.xmltree.node import XMLNode
@@ -44,9 +49,21 @@ class GKSEngine:
                  analyzer: Analyzer = DEFAULT_ANALYZER,
                  index: GKSIndex | None = None,
                  index_tags: bool = True,
-                 cache_size: int = 64) -> None:
+                 cache_size: int = 64,
+                 metrics: MetricsRegistry | None = None,
+                 slow_query_threshold_s: float = 0.5,
+                 slow_log_capacity: int = 128,
+                 trace_capacity: int = 32) -> None:
         self.repository = repository
         self.analyzer = analyzer
+        # Observability: the shared metrics registry (process-global by
+        # default), the slow-query ring buffer, and the recent-trace ring.
+        self.metrics_registry = (metrics if metrics is not None
+                                 else global_registry())
+        self.slow_log = SlowQueryLog(threshold_s=slow_query_threshold_s,
+                                     capacity=slow_log_capacity)
+        self._recent_traces: deque[Span] = deque(maxlen=max(1,
+                                                            trace_capacity))
         if index is None:
             builder = IndexBuilder(analyzer=analyzer, index_tags=index_tags)
             builder.add_repository(repository)
@@ -57,6 +74,9 @@ class GKSEngine:
         # the corpus changes (add_document).
         self._cache_size = max(0, cache_size)
         self._response_cache: dict = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -111,7 +131,8 @@ class GKSEngine:
                ranker: Ranker = rank_node,
                use_cache: bool = True,
                budget: SearchBudget | None = None,
-               strict_deadline: bool = False) -> GKSResponse:
+               strict_deadline: bool = False,
+               tracer: Tracer | NullTracer | None = None) -> GKSResponse:
         """Run a keyword query; ``s`` defaults to 1 (any-keyword search).
 
         Responses are LRU-cached per (keywords, s, ranker); pass
@@ -124,6 +145,12 @@ class GKSEngine:
         ``max_nodes`` — still degrade gracefully).  Budgeted responses
         bypass the cache in both directions: a partial answer must never
         be served to an unbudgeted caller, nor vice versa.
+
+        Pass a :class:`~repro.obs.trace.Tracer` to capture the query's
+        span tree (also retained in :meth:`recent_traces`); every search,
+        traced or not, records into the engine's metrics registry and
+        slow-query log and returns a response with populated
+        :class:`~repro.obs.stats.QueryStats`.
         """
         if isinstance(query, str):
             query = self.parse_query(query, s=s if s is not None else 1)
@@ -139,8 +166,14 @@ class GKSEngine:
             if cached is not None:
                 # re-insert to refresh recency: true LRU, not FIFO
                 self._response_cache[cache_key] = cached
-                return cached
-        response = search(self.index, query, ranker=ranker, budget=budget)
+                self._count_cache("hits")
+                hit = replace(cached, stats=cached.stats.as_cache_hit())
+                self._record_search(hit, tracer=None)
+                return hit
+            self._count_cache("misses")
+        response = search(self.index, query, ranker=ranker, budget=budget,
+                          tracer=tracer)
+        self._record_search(response, tracer=tracer)
         if (strict_deadline and response.degraded
                 and response.degradation.reason == "deadline"):
             raise SearchTimeout(
@@ -153,12 +186,15 @@ class GKSEngine:
                 # insertion order; hits re-insert at the end)
                 oldest = next(iter(self._response_cache))
                 del self._response_cache[oldest]
+                self._count_cache("evictions")
             self._response_cache[cache_key] = response
         return response
 
     def search_top_k(self, query: str | Query, k: int,
                      s: int | None = None,
-                     budget: SearchBudget | None = None) -> GKSResponse:
+                     budget: SearchBudget | None = None,
+                     tracer: Tracer | NullTracer | None = None
+                     ) -> GKSResponse:
         """The ``k`` best nodes only, with early-terminated ranking."""
         from repro.core.topk import search_top_k
 
@@ -166,7 +202,80 @@ class GKSEngine:
             query = self.parse_query(query, s=s if s is not None else 1)
         elif s is not None:
             query = query.with_s(s)
-        return search_top_k(self.index, query, k, budget=budget)
+        response = search_top_k(self.index, query, k, budget=budget,
+                                tracer=tracer)
+        self._record_search(response, tracer=tracer)
+        return response
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _count_cache(self, event: str) -> None:
+        if event == "hits":
+            self._cache_hits += 1
+        elif event == "misses":
+            self._cache_misses += 1
+        else:
+            self._cache_evictions += 1
+        self.metrics_registry.counter(
+            f"gks_cache_{event}_total",
+            help=f"Engine response-cache {event}.").inc()
+
+    def _record_search(self, response: GKSResponse,
+                       tracer: Tracer | NullTracer | None) -> None:
+        """File one served response with metrics, slow log and traces."""
+        stats = response.stats
+        registry = self.metrics_registry
+        registry.counter("gks_searches_total",
+                         help="Queries served by the engine.").inc()
+        if stats.cache_hit:
+            return  # cached: no pipeline ran, nothing more to measure
+        registry.histogram(
+            "gks_search_seconds",
+            help="End-to-end search pipeline latency."
+        ).observe(stats.total_seconds)
+        for stage, seconds in stats.stage_breakdown().items():
+            registry.histogram(
+                "gks_search_stage_seconds",
+                help="Per-stage search pipeline latency."
+            ).observe(seconds, labels={"stage": stage})
+        registry.counter(
+            "gks_search_postings_scanned_total",
+            help="Merged posting-list entries (|SL|) processed."
+        ).inc(stats.postings_scanned)
+        registry.counter(
+            "gks_search_nodes_emitted_total",
+            help="Response nodes returned to callers."
+        ).inc(stats.nodes_emitted)
+        if stats.degraded:
+            registry.counter(
+                "gks_search_degraded_total",
+                help="Responses degraded by an exhausted budget.").inc()
+        self.slow_log.observe(str(response.query), response.query.s, stats)
+        if tracer is not None and tracer.enabled and tracer.roots:
+            self._recent_traces.append(tracer.roots[-1])
+
+    def metrics(self) -> dict:
+        """JSON-able snapshot of the engine's metrics registry."""
+        return self.metrics_registry.snapshot()
+
+    def recent_traces(self) -> list[Span]:
+        """Root spans of the most recent traced searches, oldest first."""
+        return list(self._recent_traces)
+
+    def slow_queries(self) -> list[SlowQuery]:
+        """The retained slow-query log entries, oldest first."""
+        return self.slow_log.entries()
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction accounting of the response LRU cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "size": len(self._response_cache),
+            "capacity": self._cache_size,
+        }
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.budget import DegradationReport
 from repro.core.query import Query
 from repro.core.ranking import RankBreakdown
+from repro.obs.stats import QueryStats
 from repro.xmltree.dewey import Dewey, format_dewey
 
 
@@ -70,6 +71,10 @@ class GKSResponse:
     :class:`~repro.core.budget.SearchBudget`: ``nodes`` then holds the
     best-effort partial answer and ``degradation`` says which pipeline
     stage tripped and how much of it completed.
+
+    ``stats`` is the :class:`~repro.obs.stats.QueryStats` observability
+    record every search populates: stage durations, work counters and
+    serving context (cache hit, budget trips).
     """
 
     query: Query
@@ -77,6 +82,7 @@ class GKSResponse:
     profile: SearchProfile
     degraded: bool = False
     degradation: DegradationReport | None = None
+    stats: QueryStats = field(default_factory=QueryStats)
 
     def __len__(self) -> int:
         return len(self.nodes)

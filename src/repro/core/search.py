@@ -17,7 +17,6 @@ recounted over posting-list subtree ranges — while the paper's
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 from repro.core.budget import SearchBudget
@@ -28,6 +27,8 @@ from repro.core.query import Query
 from repro.core.ranking import RankBreakdown, rank_node
 from repro.core.results import GKSResponse, RankedNode, SearchProfile
 from repro.index.builder import GKSIndex
+from repro.obs.stats import QueryStats
+from repro.obs.trace import NOOP_TRACER, NullTracer, Tracer
 from repro.xmltree.dewey import Dewey
 
 Ranker = Callable[[GKSIndex, Query, Dewey], RankBreakdown]
@@ -35,7 +36,8 @@ Ranker = Callable[[GKSIndex, Query, Dewey], RankBreakdown]
 
 def search(index: GKSIndex, query: Query,
            ranker: Ranker = rank_node,
-           budget: SearchBudget | None = None) -> GKSResponse:
+           budget: SearchBudget | None = None,
+           tracer: Tracer | NullTracer | None = None) -> GKSResponse:
     """Run one GKS query against an index and return the ranked response.
 
     With a :class:`SearchBudget` every stage runs under cooperative
@@ -44,21 +46,45 @@ def search(index: GKSIndex, query: Query,
     bounded top-k of the already-discovered nodes — the response comes
     back ``degraded=True`` with a
     :class:`~repro.core.budget.DegradationReport` instead of raising.
+
+    Stage timings are read from the *tracer*'s clock (injectable; the
+    default no-op tracer records no spans but still times stages for the
+    response's :class:`~repro.obs.stats.QueryStats`).  Pass a real
+    :class:`~repro.obs.trace.Tracer` to additionally capture the nested
+    span tree ``gks search --trace`` renders.
     """
-    started = time.perf_counter()
+    if tracer is None:
+        tracer = NOOP_TRACER
+    clock = tracer.clock
     effective = query.with_s(query.effective_s)
     if budget is not None:
         budget.start()
 
-    sl = merged_list(index, effective, budget=budget)
-    after_merge = time.perf_counter()
-    lcp = compute_lcp_list(sl, effective.s, budget=budget)
-    after_lcp = time.perf_counter()
-    lce = discover_lce(lcp, sl, index, budget=budget)
-    after_lce = time.perf_counter()
+    with tracer.span("search", query=" ".join(effective.keywords),
+                     s=effective.s) as root:
+        started = clock()
+        with tracer.span("merge") as span:
+            sl = merged_list(index, effective, budget=budget)
+            span.add("sl_entries", len(sl))
+        after_merge = clock()
+        with tracer.span("lcp") as span:
+            lcp = compute_lcp_list(sl, effective.s, budget=budget)
+            span.add("entries", len(lcp))
+        after_lcp = clock()
+        with tracer.span("lce") as span:
+            lce = discover_lce(lcp, sl, index, budget=budget)
+            span.add("nodes", len(lce.lce))
+        after_lce = clock()
+        with tracer.span("rank") as span:
+            nodes = _rank_response(index, effective, lce, ranker,
+                                   budget=budget)
+            span.add("ranked", len(nodes))
+        finished = clock()
+        tripped = budget is not None and budget.tripped
+        if tripped:
+            root.set(degraded=True, trip_stage=budget.report.stage,
+                     trip_reason=budget.report.reason)
 
-    nodes = _rank_response(index, effective, lce, ranker, budget=budget)
-    finished = time.perf_counter()
     profile = SearchProfile(merged_list_size=len(sl),
                             lcp_entries=len(lcp),
                             lce_nodes=len(lce.lce),
@@ -67,10 +93,23 @@ def search(index: GKSIndex, query: Query,
                             lcp_seconds=after_lcp - after_merge,
                             lce_seconds=after_lce - after_lcp,
                             rank_seconds=finished - after_lce)
-    tripped = budget is not None and budget.tripped
+    stats = QueryStats(total_seconds=profile.seconds,
+                       merge_seconds=profile.merge_seconds,
+                       lcp_seconds=profile.lcp_seconds,
+                       lce_seconds=profile.lce_seconds,
+                       rank_seconds=profile.rank_seconds,
+                       postings_scanned=len(sl),
+                       lcp_entries=len(lcp),
+                       lce_nodes=len(lce.lce),
+                       nodes_emitted=len(nodes),
+                       budget_trips=1 if tripped else 0,
+                       trip_stage=budget.report.stage if tripped else None,
+                       trip_reason=budget.report.reason if tripped else None,
+                       degraded=tripped)
     return GKSResponse(query=effective, nodes=tuple(nodes), profile=profile,
                        degraded=tripped,
-                       degradation=budget.report if tripped else None)
+                       degradation=budget.report if tripped else None,
+                       stats=stats)
 
 
 def _rank_response(index: GKSIndex, query: Query, lce: LCEResult,

@@ -24,7 +24,6 @@ skipped tail never ranked.
 from __future__ import annotations
 
 import heapq
-import time
 
 from repro.core.budget import SearchBudget
 from repro.core.lce import discover_lce
@@ -36,6 +35,8 @@ from repro.core.results import GKSResponse, RankedNode, SearchProfile
 from repro.core.search import Ranker
 from repro.index.builder import GKSIndex
 from repro.index.postings import subtree_range
+from repro.obs.stats import QueryStats
+from repro.obs.trace import NOOP_TRACER, NullTracer, Tracer
 from repro.xmltree.dewey import Dewey
 
 
@@ -53,72 +54,120 @@ def distinct_keyword_count(index: GKSIndex, query: Query,
 
 def search_top_k(index: GKSIndex, query: Query, k: int,
                  ranker: Ranker = rank_node,
-                 budget: SearchBudget | None = None) -> GKSResponse:
+                 budget: SearchBudget | None = None,
+                 tracer: Tracer | NullTracer | None = None) -> GKSResponse:
     """The k highest-ranked nodes of ``RQ(s)``, skipping tail ranking.
 
     A :class:`SearchBudget` bounds the candidate stages exactly as in
     :func:`repro.core.search.search`; a tripped budget yields the top-k
     of the partially discovered candidate set, flagged ``degraded``.
+    Stage timings come from the *tracer*'s clock (see
+    :func:`repro.core.search.search`).
     """
     if k < 1:
         raise ValueError(f"k must be positive: {k}")
-    started = time.perf_counter()
+    if tracer is None:
+        tracer = NOOP_TRACER
+    clock = tracer.clock
     effective = query.with_s(query.effective_s)
     if budget is not None:
         budget.start()
 
-    sl = merged_list(index, effective, budget=budget)
-    lcp = compute_lcp_list(sl, effective.s, budget=budget)
-    lce = discover_lce(lcp, sl, index, budget=budget)
-    fallback = lce.fallback_candidates()
-    lce_set = set(lce.lce)
+    with tracer.span("search_top_k",
+                     query=" ".join(effective.keywords),
+                     s=effective.s, k=k) as root:
+        started = clock()
+        with tracer.span("merge") as span:
+            sl = merged_list(index, effective, budget=budget)
+            span.add("sl_entries", len(sl))
+        after_merge = clock()
+        with tracer.span("lcp") as span:
+            lcp = compute_lcp_list(sl, effective.s, budget=budget)
+            span.add("entries", len(lcp))
+        after_lcp = clock()
+        with tracer.span("lce") as span:
+            lce = discover_lce(lcp, sl, index, budget=budget)
+            span.add("nodes", len(lce.lce))
+        after_lce = clock()
+        fallback = lce.fallback_candidates()
+        lce_set = set(lce.lce)
 
-    candidates = lce.response_deweys()
-    pre_tripped = budget is not None and budget.tripped
-    if pre_tripped:
-        candidates = candidates[:budget.recovery_k]
-    bounded = sorted(
-        ((distinct_keyword_count(index, effective, dewey), dewey)
-         for dewey in candidates),
-        key=lambda pair: (-(pair[0] ** 2), pair[1]))
+        candidates = lce.response_deweys()
+        pre_tripped = budget is not None and budget.tripped
+        if pre_tripped:
+            candidates = candidates[:budget.recovery_k]
 
-    # min-heap over the current best k, ordered so the root is the
-    # *worst* of the best; a sequence number breaks exact key ties.
-    best: list[tuple[tuple, int, RankedNode]] = []
-    for sequence, (count, dewey) in enumerate(bounded):
-        bound = float(count * count)
-        if len(best) >= k and best[0][0] >= _bound_key(bound):
-            break  # nothing later can displace the current top k
-        if (budget is not None and not pre_tripped
-                and budget.checkpoint("rank", sequence, len(bounded))):
-            break
-        breakdown = ranker(index, effective, dewey)
-        node = RankedNode(
-            dewey=dewey, score=breakdown.score,
-            distinct_keywords=breakdown.distinct_keywords,
-            matched_keywords=breakdown.matched_keywords,
-            is_lce=dewey in lce_set,
-            estimated_keywords=(
-                lce.lce[dewey].estimated_keywords if dewey in lce.lce
-                else fallback.get(dewey, effective.s)),
-            breakdown=breakdown)
-        entry = (_heap_key(node), sequence, node)
-        if len(best) < k:
-            heapq.heappush(best, entry)
-        elif entry[0] > best[0][0]:
-            heapq.heapreplace(best, entry)
+        with tracer.span("rank") as rank_span:
+            bounded = sorted(
+                ((distinct_keyword_count(index, effective, dewey), dewey)
+                 for dewey in candidates),
+                key=lambda pair: (-(pair[0] ** 2), pair[1]))
 
-    nodes = sorted((node for _, _, node in best),
-                   key=RankedNode.sort_key)
-    elapsed = time.perf_counter() - started
+            # min-heap over the current best k, ordered so the root is the
+            # *worst* of the best; a sequence number breaks exact key ties.
+            best: list[tuple[tuple, int, RankedNode]] = []
+            ranked_count = 0
+            for sequence, (count, dewey) in enumerate(bounded):
+                bound = float(count * count)
+                if len(best) >= k and best[0][0] >= _bound_key(bound):
+                    break  # nothing later can displace the current top k
+                if (budget is not None and not pre_tripped
+                        and budget.checkpoint("rank", sequence,
+                                              len(bounded))):
+                    break
+                breakdown = ranker(index, effective, dewey)
+                ranked_count += 1
+                node = RankedNode(
+                    dewey=dewey, score=breakdown.score,
+                    distinct_keywords=breakdown.distinct_keywords,
+                    matched_keywords=breakdown.matched_keywords,
+                    is_lce=dewey in lce_set,
+                    estimated_keywords=(
+                        lce.lce[dewey].estimated_keywords
+                        if dewey in lce.lce
+                        else fallback.get(dewey, effective.s)),
+                    breakdown=breakdown)
+                entry = (_heap_key(node), sequence, node)
+                if len(best) < k:
+                    heapq.heappush(best, entry)
+                elif entry[0] > best[0][0]:
+                    heapq.heapreplace(best, entry)
+            rank_span.add("ranked", ranked_count)
+            rank_span.add("skipped", len(bounded) - ranked_count)
+
+        nodes = sorted((node for _, _, node in best),
+                       key=RankedNode.sort_key)
+        finished = clock()
+        tripped = budget is not None and budget.tripped
+        if tripped:
+            root.set(degraded=True, trip_stage=budget.report.stage,
+                     trip_reason=budget.report.reason)
+
     profile = SearchProfile(merged_list_size=len(sl),
                             lcp_entries=len(lcp),
                             lce_nodes=len(lce.lce),
-                            seconds=elapsed)
-    tripped = budget is not None and budget.tripped
+                            seconds=finished - started,
+                            merge_seconds=after_merge - started,
+                            lcp_seconds=after_lcp - after_merge,
+                            lce_seconds=after_lce - after_lcp,
+                            rank_seconds=finished - after_lce)
+    stats = QueryStats(total_seconds=profile.seconds,
+                       merge_seconds=profile.merge_seconds,
+                       lcp_seconds=profile.lcp_seconds,
+                       lce_seconds=profile.lce_seconds,
+                       rank_seconds=profile.rank_seconds,
+                       postings_scanned=len(sl),
+                       lcp_entries=len(lcp),
+                       lce_nodes=len(lce.lce),
+                       nodes_emitted=len(nodes),
+                       budget_trips=1 if tripped else 0,
+                       trip_stage=budget.report.stage if tripped else None,
+                       trip_reason=budget.report.reason if tripped else None,
+                       degraded=tripped)
     return GKSResponse(query=effective, nodes=tuple(nodes),
                        profile=profile, degraded=tripped,
-                       degradation=budget.report if tripped else None)
+                       degradation=budget.report if tripped else None,
+                       stats=stats)
 
 
 def _heap_key(node: RankedNode) -> tuple:

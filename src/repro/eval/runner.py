@@ -8,7 +8,6 @@ tests can assert on experiment *content* without paying benchmark runtime.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -157,18 +156,19 @@ def queries_for_figure8(index: GKSIndex, n: int = 8,
 
 def timed_search(engine: GKSEngine, query: Query,
                  repeats: int = 3) -> tuple[float, int]:
-    """Best-of-*repeats* wall time (seconds) and merged-list size.
+    """Best-of-*repeats* pipeline time (seconds) and merged-list size.
 
     Bypasses the engine's response cache — every repeat pays full cost.
+    Timings come from the :class:`~repro.obs.stats.QueryStats` record on
+    each response (the pipeline's own instrument), not from re-timing
+    around the call.
     """
     best = float("inf")
     sl_size = 0
     for _ in range(repeats):
-        started = time.perf_counter()
         response = engine.search(query, use_cache=False)
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
-        sl_size = response.profile.merged_list_size
+        best = min(best, response.stats.total_seconds)
+        sl_size = response.stats.postings_scanned
     return best, sl_size
 
 

@@ -24,6 +24,7 @@ from repro.index.categorize import StreamingCategorizer
 from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
 from repro.index.statistics import IndexStats
+from repro.obs.metrics import global_registry
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.events import EndElement, StartElement, Text
@@ -205,6 +206,18 @@ class IndexBuilder:
         self._check_open()
         self._built = True
         self._stats.build_seconds = time.perf_counter() - self._started
+        registry = global_registry()
+        registry.counter("gks_index_builds_total",
+                         help="Indexes built in this process.").inc()
+        registry.histogram("gks_index_build_seconds",
+                           help="Wall time of index builds."
+                           ).observe(self._stats.build_seconds)
+        registry.gauge("gks_index_total_nodes",
+                       help="Nodes in the most recently built index."
+                       ).set(self._stats.total_nodes)
+        registry.gauge("gks_index_documents",
+                       help="Documents in the most recently built index."
+                       ).set(self._stats.documents)
         return GKSIndex(inverted=self._inverted, hashes=self._hashes,
                         stats=self._stats, analyzer=self.analyzer,
                         document_names=tuple(self._names))

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.errors import StorageError
 from repro.index.builder import GKSIndex
+from repro.obs.metrics import global_registry
 from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
 from repro.index.statistics import IndexStats
@@ -97,6 +98,12 @@ def save_index(index: GKSIndex, path: str | Path) -> Path:
             pass
         raise StorageError(f"cannot write index to {path}: {exc}",
                            diagnosis="unwritable", path=path) from exc
+    registry = global_registry()
+    registry.counter("gks_index_saves_total",
+                     help="Indexes persisted to disk.").inc()
+    registry.gauge("gks_index_file_bytes",
+                   help="On-disk size of the most recently saved index."
+                   ).set(path.stat().st_size)
     return path
 
 
@@ -108,6 +115,21 @@ def load_index(path: str | Path) -> GKSIndex:
     unreadable); a verified index is returned whole or not at all — a
     torn write can never yield a partially-read index.
     """
+    registry = global_registry()
+    try:
+        index = _load_index(path)
+    except StorageError as exc:
+        registry.counter(
+            "gks_index_load_failures_total",
+            help="Index loads rejected, by failure diagnosis."
+        ).inc(labels={"diagnosis": exc.diagnosis or "unknown"})
+        raise
+    registry.counter("gks_index_loads_total",
+                     help="Indexes loaded from disk.").inc()
+    return index
+
+
+def _load_index(path: str | Path) -> GKSIndex:
     path = Path(path)
     try:
         with gzip.open(path, "rt", encoding="utf-8") as handle:

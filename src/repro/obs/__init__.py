@@ -1,0 +1,38 @@
+"""``repro.obs`` — the zero-dependency observability subsystem.
+
+Three instruments, one package:
+
+* :mod:`repro.obs.trace` — nested wall-time spans with counters and
+  attributes (:class:`Tracer`), plus a shared no-op tracer
+  (:data:`NOOP_TRACER`) so the untraced hot path pays ~nothing;
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges and bucketed histograms with JSON and Prometheus-text
+  exposition;
+* :mod:`repro.obs.stats` — the per-query :class:`QueryStats` record
+  attached to every :class:`~repro.core.results.GKSResponse`, and the
+  :class:`SlowQueryLog` ring buffer behind ``gks stats``.
+
+Every clock in the package is injectable (compose with
+:class:`repro.testing.faults.FakeClock`), so duration assertions are
+deterministic and never sleep.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               global_registry)
+from repro.obs.stats import QueryStats, SlowQuery, SlowQueryLog
+from repro.obs.trace import NOOP_TRACER, Span, Tracer, render_span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "QueryStats",
+    "SlowQuery",
+    "SlowQueryLog",
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+]

@@ -1,0 +1,222 @@
+"""Nested wall-time spans for the query pipeline.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects — one span per
+pipeline stage, nested under the span that was open when it started.
+Spans carry a duration (by the tracer's clock), free-form attributes and
+integer counters; :func:`render_span_tree` pretty-prints the tree the CLI
+shows under ``gks search --trace``.
+
+The clock is injectable (pass a :class:`repro.testing.faults.FakeClock`
+for deterministic duration assertions).  When tracing is off, the shared
+:data:`NOOP_TRACER` hands out one reusable do-nothing span, so the
+instrumented hot path allocates nothing and pays only an attribute lookup
+and a no-op context-manager call per stage.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+
+class Span:
+    """One timed region: a node of the trace tree."""
+
+    __slots__ = ("name", "started_s", "ended_s", "attributes", "counters",
+                 "children", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self.started_s: float | None = None
+        self.ended_s: float | None = None
+        self.attributes: dict = {}
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # -- recording ------------------------------------------------------
+    def set(self, **attributes) -> "Span":
+        """Attach free-form attributes (query text, degraded flag, ...)."""
+        self.attributes.update(attributes)
+        return self
+
+    def add(self, counter: str, amount: int = 1) -> "Span":
+        """Bump an integer counter on this span (postings scanned, ...)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+        return self
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._close(self)
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.started_s is None or self.ended_s is None:
+            return 0.0
+        return self.ended_s - self.started_s
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named *name* in this subtree, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering of the subtree."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.name!r} {self.duration_s * 1000:.3f} ms "
+                f"children={len(self.children)}>")
+
+
+class Tracer:
+    """Builds span trees; one tracer may record many root spans.
+
+    Use as::
+
+        tracer = Tracer()
+        with tracer.span("search") as root:
+            with tracer.span("merge") as span:
+                ...
+                span.add("sl_entries", len(sl))
+        print(render_span_tree(tracer.roots[-1]))
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span, nested under the currently open one on entry."""
+        span = Span(name, self)
+        if attributes:
+            span.set(**attributes)
+        return span
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        """Bump a counter on the innermost open span (no-op when none)."""
+        if self._stack:
+            self._stack[-1].add(counter, amount)
+
+    # -- span callbacks -------------------------------------------------
+    def _open(self, span: Span) -> None:
+        span.started_s = self.clock()
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.ended_s = self.clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+
+class _NullSpan:
+    """The do-nothing span the no-op tracer hands out (a singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def add(self, counter: str, amount: int = 1) -> "_NullSpan":
+        return self
+
+    duration_s = 0.0
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same inert object.
+
+    Exposes the same ``clock`` attribute as :class:`Tracer` so the
+    pipeline reads stage timestamps from one injectable source whether or
+    not spans are being recorded.
+    """
+
+    enabled = False
+    roots: tuple = ()
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared default tracer: zero allocation, zero recording.
+NOOP_TRACER = NullTracer()
+
+
+def render_span_tree(span: Span, indent: str = "") -> str:
+    """Pretty-print a span subtree, one line per span::
+
+        search  1.84 ms  keywords=2 s=2
+        |- merge  0.41 ms  sl_entries=7
+        |- lcp  0.22 ms  entries=3
+        |- lce  0.30 ms  nodes=2
+        `- rank  0.55 ms  ranked=4
+    """
+    lines: list[str] = []
+    _render(span, "", "", lines)
+    return "\n".join(lines)
+
+
+def _render(span: Span, lead: str, child_lead: str,
+            lines: list[str]) -> None:
+    details = {**span.counters, **span.attributes}
+    suffix = "  " + " ".join(f"{key}={value}"
+                             for key, value in details.items()) \
+        if details else ""
+    lines.append(f"{lead}{span.name}  {span.duration_s * 1000:.2f} ms"
+                 f"{suffix}")
+    for position, child in enumerate(span.children):
+        last = position == len(span.children) - 1
+        branch = "`- " if last else "|- "
+        extend = "   " if last else "|  "
+        _render(child, child_lead + branch, child_lead + extend, lines)

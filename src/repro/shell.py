@@ -82,7 +82,7 @@ class Shell:
 
     def _cmd_help(self, arguments) -> None:
         self.out("commands: :s N  :di  :refine N  :drill  :explain N  "
-                 ":snippet N  :back  :history  :quit")
+                 ":snippet N  :back  :history  :stats  :quit")
 
     def _cmd_s(self, arguments) -> None:
         self.s = max(1, int(arguments[0]))
@@ -125,6 +125,21 @@ class Shell:
 
     def _cmd_history(self, arguments) -> None:
         self.out(self.session.transcript())
+
+    def _cmd_stats(self, arguments) -> None:
+        """Session observability: searches, cache, slow queries."""
+        searches = self.engine.metrics_registry.counter(
+            "gks_searches_total").total()
+        info = self.engine.cache_info()
+        self.out(f"searches: {searches:.0f}  "
+                 f"cache: {info['hits']} hit(s) / {info['misses']} "
+                 f"miss(es) / {info['evictions']} eviction(s), "
+                 f"{info['size']}/{info['capacity']} entries")
+        slow = self.engine.slow_queries()
+        threshold_ms = self.engine.slow_log.threshold_s * 1000
+        self.out(f"slow queries (>= {threshold_ms:.0f} ms): {len(slow)}")
+        for entry in slow:
+            self.out(f"  {entry.render()}")
 
     def _cmd_quit(self, arguments) -> None:
         self.running = False

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.errors import DocumentLoadError, GKSError, XMLSyntaxError
+from repro.obs.metrics import global_registry
 from repro.xmltree import dewey as dw
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
@@ -55,6 +56,10 @@ def _failure_for(name: str, error: GKSError) -> IngestFailure:
     if isinstance(error, XMLSyntaxError):
         position = error.position_text()
     return IngestFailure(name=name, error=error, position=position)
+
+
+def _ingest_counter(name: str, help: str):
+    return global_registry().counter(f"gks_ingest_{name}_total", help=help)
 
 
 class Repository:
@@ -132,8 +137,19 @@ class Repository:
             if policy is RecoveryPolicy.STRICT:
                 raise
             self.ingest_failures.append(_failure_for(label, error))
+            _ingest_counter("quarantined_documents",
+                            "Documents quarantined during ingestion").inc()
             return None
         self._documents.append(document)
+        _ingest_counter("documents",
+                        "Documents successfully ingested").inc()
+        _ingest_counter("bytes",
+                        "Bytes of document text ingested").inc(len(text))
+        if len(salvage_log):
+            _ingest_counter(
+                "salvage_repairs",
+                "Markup repairs made by the salvaging parser"
+            ).inc(len(salvage_log))
         return document
 
     def parse_json(self, text: str, name: str | None = None,
@@ -145,6 +161,10 @@ class Repository:
         document = parse_json_document(text, doc_id=len(self._documents),
                                        root_tag=root_tag, name=name)
         self._documents.append(document)
+        _ingest_counter("documents",
+                        "Documents successfully ingested").inc()
+        _ingest_counter("bytes",
+                        "Bytes of document text ingested").inc(len(text))
         return document
 
     @classmethod
@@ -186,6 +206,9 @@ class Repository:
                     raise error from exc
                 repository.ingest_failures.append(
                     IngestFailure(name=path.name, error=error))
+                _ingest_counter(
+                    "quarantined_documents",
+                    "Documents quarantined during ingestion").inc()
                 continue
             repository.parse(text, name=path.name, policy=policy)
         return repository

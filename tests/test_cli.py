@@ -66,6 +66,83 @@ class TestIndexAndCategorize:
         assert "AN" in out and "EN" in out and "total nodes" in out
 
 
+class TestCheckIndex:
+    @pytest.fixture
+    def index_path(self, corpus, tmp_path):
+        path = tmp_path / "idx.gz"
+        assert main(["index", str(corpus), "-o", str(path)]) == 0
+        return path
+
+    def test_healthy_index_exits_zero(self, index_path, capsys):
+        assert main(["check-index", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "index OK" in out
+        assert "documents" in out
+
+    def test_corrupt_index_exits_nonzero(self, index_path, capsys):
+        blob = bytearray(index_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        index_path.write_bytes(bytes(blob))
+        assert main(["check-index", str(index_path)]) == 1
+        assert "index BAD" in capsys.readouterr().out
+
+    def test_garbage_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "noise.gz"
+        path.write_bytes(b"this was never an index")
+        assert main(["check-index", str(path)]) == 1
+        assert "index BAD" in capsys.readouterr().out
+
+    def test_missing_file_exits_nonzero(self, tmp_path):
+        assert main(["check-index", str(tmp_path / "absent.gz")]) == 1
+
+    def test_flag_spelling_works(self, index_path):
+        assert main(["--check-index", str(index_path)]) == 0
+
+
+class TestObservabilityCLI:
+    def test_search_trace_prints_span_tree(self, corpus, capsys):
+        assert main(["search", str(corpus), "-q", "karen mike",
+                     "-s", "2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "search" in out
+        for stage in ("merge", "lcp", "lce", "rank"):
+            assert stage in out
+        assert "ms" in out
+
+    def test_search_metrics_json_writes_file(self, corpus, tmp_path,
+                                             capsys):
+        target = tmp_path / "metrics.json"
+        assert main(["search", str(corpus), "-q", "karen",
+                     "--metrics-json", str(target)]) == 0
+        assert target.exists()
+        import json
+        snapshot = json.loads(target.read_text())
+        assert "gks_searches_total" in snapshot
+
+    def test_stats_human_report(self, corpus, capsys):
+        assert main(["stats", str(corpus), "-q", "karen mike",
+                     "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:" in out
+        assert "query 'karen mike'" in out
+        assert "cache:" in out
+        assert "slow queries" in out
+
+    def test_stats_prometheus_exposition(self, corpus, capsys):
+        assert main(["stats", str(corpus), "-q", "karen",
+                     "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gks_searches_total counter" in out
+        assert "gks_ingest_documents_total" in out
+
+    def test_stats_json_exposition(self, corpus, capsys):
+        import json
+
+        assert main(["stats", str(corpus), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "gks_index_builds_total" in snapshot
+
+
 class TestDataset:
     def test_dataset_emits_xml(self, tmp_path, capsys):
         assert main(["dataset", "figure2a", "-o", str(tmp_path)]) == 0

@@ -72,7 +72,11 @@ class TestResponseCache:
         engine = GKSEngine(load_dataset("figure2a"))
         first = engine.search("karen mike", s=2)
         second = engine.search("karen mike", s=2)
-        assert second is first
+        # the ranked nodes are shared (nothing recomputed); only the
+        # stats envelope differs, flagging the hit
+        assert second.nodes is first.nodes
+        assert not first.stats.cache_hit
+        assert second.stats.cache_hit
 
     def test_different_s_not_conflated(self):
         engine = GKSEngine(load_dataset("figure2a"))

@@ -1,0 +1,389 @@
+"""Tests for the observability subsystem (``repro.obs``).
+
+Covers span nesting and ordering (including under budget-degraded
+searches), deterministic FakeClock-driven durations, the no-op tracer's
+overhead guarantees, metrics registry semantics with a Prometheus
+exposition golden test, QueryStats population, the slow-query ring
+buffer, and engine cache accounting.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.engine import GKSEngine
+from repro.core.query import Query
+from repro.core.search import search
+from repro.core.topk import search_top_k
+from repro.datasets.registry import load_dataset
+from repro.index.builder import build_index
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.stats import QueryStats, SlowQueryLog
+from repro.obs.trace import (NOOP_TRACER, NullTracer, Tracer,
+                             render_span_tree)
+from repro.testing.faults import FakeClock
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def engine():
+    return GKSEngine(load_dataset("figure2a"),
+                     metrics=MetricsRegistry())
+
+
+@pytest.fixture
+def index():
+    return build_index(load_dataset("figure2a"))
+
+
+# ----------------------------------------------------------------------
+# Tracer and spans
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_and_ordering(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second") as span:
+                span.add("units", 3)
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["first",
+                                                           "second"]
+        assert root.children[1].counters == {"units": 3}
+
+    def test_fake_clock_durations_are_deterministic(self):
+        clock = FakeClock(auto_advance=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        a = tracer.roots[0]
+        b = a.children[0]
+        # clock ticks: a-enter=0, b-enter=1, b-exit=2, a-exit=3
+        assert b.duration_s == 1.0
+        assert a.duration_s == 3.0
+
+    def test_search_spans_nest_under_root(self, index):
+        tracer = Tracer()
+        search(index, Query.of(["karen", "mike"], s=2), tracer=tracer)
+        root = tracer.roots[0]
+        assert root.name == "search"
+        assert [child.name for child in root.children] == \
+            ["merge", "lcp", "lce", "rank"]
+        assert root.find("merge").counters["sl_entries"] > 0
+
+    def test_stage_durations_sum_to_at_most_total(self, index):
+        tracer = Tracer()
+        search(index, Query.of(["karen", "mike"]), tracer=tracer)
+        root = tracer.roots[0]
+        child_sum = sum(child.duration_s for child in root.children)
+        assert 0 < child_sum <= root.duration_s
+
+    def test_degraded_search_still_emits_ordered_spans(self, index):
+        # an always-expired deadline trips the very first checkpoint
+        tracer = Tracer()
+        budget = SearchBudget(deadline_s=0.5,
+                              clock=FakeClock(auto_advance=1.0))
+        response = search(index, Query.of(["karen", "mike"]),
+                          budget=budget, tracer=tracer)
+        assert response.degraded
+        root = tracer.roots[0]
+        assert [child.name for child in root.children] == \
+            ["merge", "lcp", "lce", "rank"]
+        assert root.attributes["degraded"] is True
+        assert root.attributes["trip_stage"] == "merge"
+        assert root.attributes["trip_reason"] == "deadline"
+
+    def test_render_span_tree(self):
+        tracer = Tracer(clock=FakeClock(auto_advance=0.001))
+        with tracer.span("search", s=1):
+            with tracer.span("merge") as span:
+                span.add("sl_entries", 7)
+        text = render_span_tree(tracer.roots[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("search")
+        assert "s=1" in lines[0]
+        assert lines[1].startswith("`- merge")
+        assert "sl_entries=7" in lines[1]
+        assert "ms" in lines[1]
+
+    def test_topk_span_counts_skipped_tail(self, index):
+        tracer = Tracer()
+        search_top_k(index, Query.of(["karen"]), k=1, tracer=tracer)
+        rank = tracer.roots[0].find("rank")
+        assert rank.counters["ranked"] >= 1
+        assert rank.counters["skipped"] >= 0
+
+
+class TestNoopTracer:
+    def test_null_span_is_a_singleton(self):
+        assert NOOP_TRACER.span("a") is NOOP_TRACER.span("b")
+        assert not NOOP_TRACER.enabled
+        assert NOOP_TRACER.roots == ()
+
+    def test_null_span_operations_are_inert(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set(key="value").add("counter", 5)
+        assert span.duration_s == 0.0
+        assert NOOP_TRACER.current is None
+
+    def test_noop_overhead_guard(self):
+        """The disabled path must cost ~nothing per span."""
+        iterations = 20_000
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with NOOP_TRACER.span("stage") as span:
+                span.add("units", 1)
+        per_span = (time.perf_counter() - started) / iterations
+        assert per_span < 5e-5  # 50 µs: orders of magnitude of slack
+
+    def test_untraced_search_records_no_spans(self, index):
+        tracer = NullTracer()
+        response = search(index, Query.of(["karen"]), tracer=tracer)
+        assert tracer.roots == ()
+        assert response.stats.total_seconds >= 0
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc()
+        registry.counter("requests_total").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency", buckets=(1.0, 2.0)).observe(1.5)
+        assert registry.counter("requests_total").value() == 3
+        assert registry.gauge("depth").value() == 7
+        assert registry.histogram("latency").count() == 1
+        assert registry.histogram("latency").sum() == 1.5
+
+    def test_labelled_counters_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("trips_total")
+        counter.inc(labels={"stage": "merge"})
+        counter.inc(2, labels={"stage": "rank"})
+        assert counter.value(labels={"stage": "merge"}) == 1
+        assert counter.value(labels={"stage": "rank"}) == 2
+        assert counter.total() == 3
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a_total", help="help text").inc()
+        registry.histogram("b_seconds", buckets=(0.1,)).observe(0.05)
+        parsed = json.loads(registry.to_json())
+        assert parsed["a_total"]["values"][""] == 1
+        assert parsed["b_seconds"]["values"][""]["count"] == 1
+
+    def test_prometheus_exposition_golden(self):
+        registry = MetricsRegistry()
+        registry.counter("gks_searches_total",
+                         help="Queries served.").inc(3)
+        registry.counter("gks_budget_trips_total").inc(
+            labels={"stage": "merge", "reason": "deadline"})
+        registry.gauge("gks_index_documents").set(2)
+        histogram = registry.histogram("gks_search_seconds",
+                                       buckets=(0.1, 0.5))
+        histogram.observe(0.05)
+        histogram.observe(0.25)
+        histogram.observe(9.0)
+        expected = "\n".join([
+            "# TYPE gks_budget_trips_total counter",
+            'gks_budget_trips_total{reason="deadline",stage="merge"} 1',
+            "# TYPE gks_index_documents gauge",
+            "gks_index_documents 2",
+            "# TYPE gks_search_seconds histogram",
+            'gks_search_seconds_bucket{le="0.1"} 1',
+            'gks_search_seconds_bucket{le="0.5"} 2',
+            'gks_search_seconds_bucket{le="+Inf"} 3',
+            "gks_search_seconds_sum 9.3",
+            "gks_search_seconds_count 3",
+            "# HELP gks_searches_total Queries served.",
+            "# TYPE gks_searches_total counter",
+            "gks_searches_total 3",
+        ]) + "\n"
+        assert registry.render_prometheus() == expected
+
+
+# ----------------------------------------------------------------------
+# QueryStats on every response
+# ----------------------------------------------------------------------
+class TestQueryStats:
+    def test_search_populates_stats(self, index):
+        response = search(index, Query.of(["karen", "mike"], s=2))
+        stats = response.stats
+        assert stats.postings_scanned == \
+            response.profile.merged_list_size
+        assert stats.nodes_emitted == len(response)
+        assert stats.total_seconds > 0
+        assert 0 < stats.stage_sum() <= stats.total_seconds * 1.001
+        assert not stats.cache_hit and not stats.degraded
+
+    def test_topk_populates_stats(self, index):
+        response = search_top_k(index, Query.of(["karen"]), k=2)
+        assert response.stats.nodes_emitted == len(response)
+        assert response.stats.total_seconds > 0
+
+    def test_degraded_stats_name_the_trip(self, index):
+        budget = SearchBudget(deadline_s=0.5,
+                              clock=FakeClock(auto_advance=1.0))
+        stats = search(index, Query.of(["karen"]), budget=budget).stats
+        assert stats.degraded
+        assert stats.budget_trips == 1
+        assert stats.trip_stage == "merge"
+        assert stats.trip_reason == "deadline"
+
+    def test_cache_hit_flag(self, engine):
+        first = engine.search("karen mike", s=1)
+        second = engine.search("karen mike", s=1)
+        assert not first.stats.cache_hit
+        assert second.stats.cache_hit
+        # the cached object itself must stay pristine for later hits
+        assert engine.search("karen mike", s=1).stats.cache_hit
+
+    def test_stats_to_dict(self):
+        stats = QueryStats(total_seconds=1.0, merge_seconds=0.5,
+                           postings_scanned=4)
+        as_dict = stats.to_dict()
+        assert as_dict["stages"]["merge"] == 0.5
+        assert as_dict["postings_scanned"] == 4
+
+
+# ----------------------------------------------------------------------
+# Engine accounting: cache, metrics, traces, slow log
+# ----------------------------------------------------------------------
+class TestEngineObservability:
+    def test_cache_info_counts_hits_misses(self, engine):
+        engine.search("karen", s=1)
+        engine.search("karen", s=1)
+        engine.search("mike", s=1)
+        info = engine.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+        assert info["size"] == 2
+
+    def test_eviction_accounting(self):
+        engine = GKSEngine(load_dataset("figure2a"), cache_size=2,
+                           metrics=MetricsRegistry())
+        for text in ("karen", "mike", "zoe"):
+            engine.search(text, s=1)
+        info = engine.cache_info()
+        assert info["evictions"] == 1
+        assert info["size"] == 2
+        assert info["capacity"] == 2
+        registry = engine.metrics_registry
+        assert registry.counter("gks_cache_evictions_total").value() == 1
+        assert registry.counter("gks_cache_misses_total").value() == 3
+
+    def test_lru_eviction_drops_least_recent(self):
+        engine = GKSEngine(load_dataset("figure2a"), cache_size=2,
+                           metrics=MetricsRegistry())
+        engine.search("karen", s=1)
+        engine.search("mike", s=1)
+        engine.search("karen", s=1)   # refresh karen: mike is now LRU
+        engine.search("zoe", s=1)     # evicts mike
+        engine.search("karen", s=1)
+        info = engine.cache_info()
+        assert info["hits"] == 2
+        assert info["evictions"] == 1
+
+    def test_search_metrics_recorded(self, engine):
+        engine.search("karen mike", s=1)
+        registry = engine.metrics_registry
+        assert registry.counter("gks_searches_total").value() == 1
+        assert registry.histogram("gks_search_seconds").count() == 1
+        assert registry.histogram("gks_search_stage_seconds").count(
+            labels={"stage": "merge"}) == 1
+        assert registry.counter(
+            "gks_search_postings_scanned_total").value() > 0
+
+    def test_degraded_search_counted(self, engine):
+        budget = SearchBudget(deadline_s=0.5,
+                              clock=FakeClock(auto_advance=1.0))
+        engine.search("karen", budget=budget)
+        assert engine.metrics_registry.counter(
+            "gks_search_degraded_total").value() == 1
+
+    def test_budget_trip_metric_in_global_registry(self, index):
+        counter = global_registry().counter("gks_budget_trips_total")
+        before = counter.value(labels={"stage": "merge",
+                                       "reason": "deadline"})
+        budget = SearchBudget(deadline_s=0.5,
+                              clock=FakeClock(auto_advance=1.0))
+        search(index, Query.of(["karen"]), budget=budget)
+        after = counter.value(labels={"stage": "merge",
+                                      "reason": "deadline"})
+        assert after == before + 1
+
+    def test_recent_traces_ring(self, engine):
+        for _ in range(2):
+            engine.search("karen", s=1, use_cache=False,
+                          tracer=Tracer())
+        engine.search("mike", s=1, use_cache=False)  # untraced
+        traces = engine.recent_traces()
+        assert len(traces) == 2
+        assert all(span.name == "search" for span in traces)
+
+    def test_engine_metrics_snapshot(self, engine):
+        engine.search("karen", s=1)
+        snapshot = engine.metrics()
+        assert "gks_searches_total" in snapshot
+        assert snapshot["gks_searches_total"]["values"][""] == 1
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_s=0.5, capacity=4)
+        assert log.observe("fast", 1, QueryStats(total_seconds=0.1)) \
+            is None
+        entry = log.observe("slow", 1, QueryStats(total_seconds=0.9))
+        assert entry is not None
+        assert len(log) == 1
+        assert log.total_observed == 2
+        assert log.entries()[0].query_text == "slow"
+
+    def test_ring_buffer_caps_memory(self):
+        log = SlowQueryLog(threshold_s=0.0, capacity=3)
+        for position in range(10):
+            log.observe(f"q{position}", 1,
+                        QueryStats(total_seconds=1.0))
+        assert len(log) == 3
+        assert [entry.query_text for entry in log.entries()] == \
+            ["q7", "q8", "q9"]
+
+    def test_engine_files_slow_queries(self):
+        engine = GKSEngine(load_dataset("figure2a"),
+                           metrics=MetricsRegistry(),
+                           slow_query_threshold_s=0.5)
+        # a fake tracer clock makes the measured pipeline time huge
+        engine.search("karen", s=1, use_cache=False,
+                      tracer=Tracer(clock=FakeClock(auto_advance=0.2)))
+        slow = engine.slow_queries()
+        assert len(slow) == 1
+        assert slow[0].stats.total_seconds > 0.5
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)

@@ -307,9 +307,10 @@ class TestEngineCacheLRU:
         engine._cache_size = 2
         first = engine.search("entry1")
         engine.search("entry2")
-        assert engine.search("entry1") is first  # hit; refreshes recency
+        # hit (shared nodes, no recompute); refreshes recency
+        assert engine.search("entry1").nodes is first.nodes
         engine.search("entry3")                  # evicts entry2, not entry1
-        assert engine.search("entry1") is first
+        assert engine.search("entry1").nodes is first.nodes
         keys = {key[0] for key in engine._response_cache}
         assert ("entry2",) not in keys
 
@@ -319,9 +320,10 @@ class TestEngineCacheLRU:
         engine = GKSEngine.from_texts(make_corpus(5))
         by_flow = engine.search("karen", ranker=rank_node)
         by_count = engine.search("karen", ranker=rank_by_keyword_count)
-        assert engine.search("karen", ranker=rank_node) is by_flow
-        assert engine.search("karen",
-                             ranker=rank_by_keyword_count) is by_count
+        assert engine.search("karen", ranker=rank_node).nodes \
+            is by_flow.nodes
+        assert engine.search(
+            "karen", ranker=rank_by_keyword_count).nodes is by_count.nodes
 
 
 # ----------------------------------------------------------------------

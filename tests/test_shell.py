@@ -111,6 +111,23 @@ class TestCommands:
         shell.handle(":di")
         assert any("error" in line for line in lines)
 
+    def test_stats_reports_session_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        # a private registry so other tests' searches don't leak into
+        # the session counter
+        engine = GKSEngine(load_dataset("figure2a"),
+                           metrics=MetricsRegistry())
+        lines: list[str] = []
+        shell = Shell(engine, lines.append)
+        shell.handle("karen mike")
+        shell.handle("karen mike")
+        shell.handle(":stats")
+        text = "\n".join(lines)
+        assert "searches: 2" in text
+        assert "cache: 1 hit(s) / 1 miss(es)" in text
+        assert "slow queries" in text
+
     def test_help_and_quit(self, shell_io):
         shell, lines = shell_io
         shell.handle(":help")
