@@ -1,0 +1,122 @@
+"""Sharded build and scatter-gather serving benchmark.
+
+Measures (a) parallel index build time for workers ∈ {1, 2, 4} over a
+replicated synthetic corpus and (b) query latency (p50/p95) for
+shards ∈ {1, 2, 4}, then writes the record to
+``benchmarks/results/BENCH_sharding.json``.
+
+The speedup numbers are reported honestly against ``os.cpu_count()``:
+on a single-core machine forked workers serialise on the one CPU and no
+build speedup is physically possible — the JSON carries the core count
+so readers can interpret the ratio.  Correctness (sharded == monolithic
+responses) is asserted unconditionally; speedup is recorded, not
+asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.query import Query
+from repro.core.scatter import sharded_search
+from repro.core.search import search
+from repro.datasets.registry import load_dataset
+from repro.index.builder import IndexBuilder
+from repro.index.sharding import ParallelIndexBuilder
+from repro.xmltree.serialize import serialize_document
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sharding.json"
+
+WORKER_COUNTS = (1, 2, 4)
+SHARD_COUNTS = (1, 2, 4)
+CORPUS_DOCUMENTS = 48
+QUERY_ROUNDS = 60
+QUERIES = [("karen mike data mining", 1), ("databases courses", 1),
+           ("karen mining students", 2)]
+
+
+def _corpus_texts() -> list[str]:
+    """A multi-document corpus: the figure2a document replicated."""
+    document = load_dataset("figure2a")[0]
+    text = serialize_document(document)
+    return [text] * CORPUS_DOCUMENTS
+
+
+def _build_times(texts: list[str]) -> dict[str, float]:
+    times = {}
+    for workers in WORKER_COUNTS:
+        builder = ParallelIndexBuilder(shards=4, workers=workers)
+        started = time.perf_counter()
+        builder.build_from_texts(texts)
+        times[str(workers)] = time.perf_counter() - started
+    return times
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+    return {
+        "p50_ms": statistics.median(ordered) * 1000.0,
+        "p95_ms": ordered[min(len(ordered) - 1,
+                              int(0.95 * len(ordered)))] * 1000.0,
+    }
+
+
+def _query_latencies(texts: list[str]) -> dict[str, dict[str, float]]:
+    from repro.xmltree.repository import Repository
+
+    repository = Repository.from_texts(texts)
+    monolithic = IndexBuilder()
+    monolithic.add_repository(repository)
+    mono_index = monolithic.build()
+
+    latencies: dict[str, dict[str, float]] = {}
+    for shards in SHARD_COUNTS:
+        index = ParallelIndexBuilder(shards=shards).build(repository)
+        # correctness gate: every benchmarked configuration must answer
+        # exactly like the monolithic index before its latency counts
+        for text, s in QUERIES:
+            query = Query.parse(text, s=s)
+            expected = search(mono_index, query)
+            actual = sharded_search(index, query)
+            assert [(n.dewey, n.score) for n in actual.nodes] == \
+                [(n.dewey, n.score) for n in expected.nodes], \
+                f"sharded response diverged at shards={shards}"
+        samples = []
+        for _ in range(QUERY_ROUNDS):
+            started = time.perf_counter()
+            for text, s in QUERIES:
+                sharded_search(index, Query.parse(text, s=s))
+            samples.append(time.perf_counter() - started)
+        latencies[str(shards)] = _percentiles(samples)
+    return latencies
+
+
+def test_sharding_benchmark_report():
+    texts = _corpus_texts()
+    build_times = _build_times(texts)
+    speedup_4 = build_times["1"] / max(build_times["4"], 1e-9)
+    record = {
+        "cpu_count": os.cpu_count(),
+        "corpus_documents": CORPUS_DOCUMENTS,
+        "shards": 4,
+        "build_seconds_by_workers": build_times,
+        "speedup_4_workers": speedup_4,
+        "query_latency_by_shards": _query_latencies(texts),
+        "query_rounds": QUERY_ROUNDS,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print()
+    print(f"sharding bench -> {RESULTS_PATH}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    # soft expectation: with >= 4 real cores the parallel build should
+    # win clearly; on fewer cores fork overhead legitimately dominates
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup_4 > 1.2, (
+            f"expected parallel build speedup on {os.cpu_count()} cores, "
+            f"got {speedup_4:.2f}x")

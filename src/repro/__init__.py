@@ -24,13 +24,17 @@ paper-vs-measured record of every table and figure.
 from repro.analytics import aggregate, facets, histogram
 from repro.baselines import (elca, naive_gks, slca_indexed_lookup_eager,
                              slca_scan)
-from repro.core import (DegradationReport, GKSEngine, GKSResponse, Insight,
-                        InsightReport, Query, RankedNode, Refinement,
-                        SearchBudget, search, search_top_k)
+from repro.core import (DegradationReport, EngineConfig, GKSEngine,
+                        GKSResponse, Insight, InsightReport, Paths, Query,
+                        RankedNode, Refinement, SearchBudget, Texts, search,
+                        search_top_k, sharded_search, sharded_top_k)
 from repro.datasets import load_dataset
+from repro.errors import ConfigError, GKSError, SearchTimeout, StorageError
 from repro.index import (GKSIndex, IndexBuilder, NodeCategory,
-                         append_document, build_index, categorize_tree,
-                         load_index, remove_last_document, save_index)
+                         ParallelIndexBuilder, ShardedIndex,
+                         append_document, build_index, build_sharded_index,
+                         categorize_tree, load_index, remove_last_document,
+                         save_index)
 from repro.schema import build_schema_index, infer_schema
 from repro.text import Analyzer
 from repro.xmltree import (IngestFailure, RecoveryPolicy, Repository,
@@ -40,14 +44,19 @@ from repro.xmltree import (IngestFailure, RecoveryPolicy, Repository,
 __version__ = "1.0.0"
 
 __all__ = [
-    "Analyzer", "DegradationReport", "GKSEngine", "GKSIndex",
+    "Analyzer", "ConfigError", "DegradationReport", "EngineConfig",
+    "GKSEngine", "GKSError", "GKSIndex",
     "GKSResponse", "IndexBuilder", "IngestFailure",
-    "Insight", "InsightReport", "NodeCategory", "Query", "RankedNode",
+    "Insight", "InsightReport", "NodeCategory", "ParallelIndexBuilder",
+    "Paths", "Query", "RankedNode",
     "RecoveryPolicy", "Refinement", "Repository", "SearchBudget",
+    "SearchTimeout", "ShardedIndex", "StorageError", "Texts",
     "XMLDocument", "XMLNode", "aggregate",
     "append_document", "build_index", "build_schema_index",
+    "build_sharded_index",
     "categorize_tree", "elca", "facets", "histogram", "infer_schema",
     "load_dataset", "load_index", "naive_gks", "parse_document",
     "parse_json_document", "remove_last_document", "save_index", "search",
-    "search_top_k", "slca_indexed_lookup_eager", "slca_scan",
+    "search_top_k", "sharded_search", "sharded_top_k",
+    "slca_indexed_lookup_eager", "slca_scan",
 ]

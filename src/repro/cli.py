@@ -52,6 +52,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="malformed-input handling: abort (strict, default), "
              "quarantine bad documents (skip_document), or repair "
              "markup in stream (salvage)")
+    _add_sharding_flags(index_cmd)
 
     search_cmd = commands.add_parser("search", help="run a keyword query")
     search_cmd.add_argument("files", nargs="+", help="XML files to search")
@@ -73,6 +74,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument("--metrics-json", metavar="PATH",
                             help="write the metrics registry snapshot "
                                  "as JSON to PATH")
+    _add_sharding_flags(search_cmd)
 
     topk_cmd = commands.add_parser(
         "topk", help="top-k search with early-terminated ranking")
@@ -140,6 +142,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument("--slow-ms", type=float, default=500.0,
                            help="slow-query threshold in milliseconds "
                                 "(default 500)")
+    _add_sharding_flags(stats_cmd)
 
     data_cmd = commands.add_parser("dataset",
                                    help="emit a synthetic corpus as XML")
@@ -149,6 +152,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     data_cmd.add_argument("--scale", type=int, default=1)
     data_cmd.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_sharding_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--shards", type=int, default=1,
+                         help="document shards; >1 builds a sharded "
+                              "index served scatter-gather (default 1)")
+    command.add_argument("--workers", type=int, default=1,
+                         help="processes for parallel shard builds "
+                              "(default 1 = serial)")
+    command.add_argument("--strategy", default="round_robin",
+                         choices=["round_robin", "hash"],
+                         help="document-to-shard partitioning "
+                              "(default round_robin)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -237,6 +253,9 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
                 "entity_nodes", "element_nodes", "keywords",
                 "postings"):
         print(f"  {key:>14}: {summary[key]}")
+    if "shards" in summary:
+        print(f"  {'shards':>14}: {summary['shards']} "
+              f"[{summary['strategy']}]")
     return 0
 
 
@@ -255,20 +274,37 @@ def _load_repository(files: list[str]) -> Repository:
     return repository
 
 
-def _engine(files: list[str]) -> GKSEngine:
-    return GKSEngine(_load_repository(files))
+def _engine(files: list[str],
+            args: argparse.Namespace | None = None, **kwargs) -> GKSEngine:
+    """Build an engine; sharding flags (when present on *args*) apply."""
+    from repro.core.config import EngineConfig
+
+    config = EngineConfig(shards=getattr(args, "shards", 1),
+                          workers=getattr(args, "workers", 1),
+                          shard_strategy=getattr(args, "strategy",
+                                                 "round_robin"))
+    return GKSEngine(_load_repository(files), config=config, **kwargs)
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
     repository = Repository.from_paths(args.files, policy=args.recover)
-    builder = IndexBuilder()
-    builder.add_repository(repository)
-    index = builder.build()
+    if args.shards > 1:
+        from repro.index.sharding import build_sharded_index
+
+        index = build_sharded_index(repository, shards=args.shards,
+                                    workers=args.workers,
+                                    strategy=args.strategy)
+    else:
+        builder = IndexBuilder()
+        builder.add_repository(repository)
+        index = builder.build()
     path = save_index(index, args.output)
     stats = index.stats
+    layout = (f" across {args.shards} shard(s) [{args.strategy}, "
+              f"{args.workers} worker(s)]" if args.shards > 1 else "")
     print(f"indexed {stats.total_nodes} nodes "
           f"({stats.entity_nodes} entities) from {stats.documents} "
-          f"document(s) in {stats.build_seconds:.2f}s -> {path}")
+          f"document(s) in {stats.build_seconds:.2f}s{layout} -> {path}")
     for failure in repository.quarantine:
         print(f"quarantined {failure.render()}")
     return 0
@@ -277,13 +313,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.obs.trace import Tracer, render_span_tree
 
-    engine = _engine(args.files)
+    engine = _engine(args.files, args)
     tracer = Tracer() if args.trace else None
     response = engine.search(args.query, s=args.s, tracer=tracer)
     profile = response.profile
+    layout = (f", {args.shards} shard(s)" if args.shards > 1 else "")
     print(f"{len(response)} node(s) for {response.query}  "
           f"[|SL|={profile.merged_list_size}, "
-          f"{profile.seconds * 1000:.1f} ms]")
+          f"{profile.seconds * 1000:.1f} ms{layout}]")
     for node in response.top(args.top):
         print(" ", engine.describe(node))
         if args.snippets:
@@ -385,8 +422,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # the CLI is a one-shot process, so the process-wide registry holds
     # exactly this invocation's ingest, build and search metrics
     registry = global_registry()
-    engine = GKSEngine(_load_repository(args.files),
-                       slow_query_threshold_s=args.slow_ms / 1000.0)
+    engine = _engine(args.files, args,
+                     slow_query_threshold_s=args.slow_ms / 1000.0)
     responses = [(text, engine.search(text, s=args.s))
                  for text in args.query]
     if args.prom:
@@ -403,6 +440,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"index: {stats.entity_nodes} entities, "
           f"{len(dict(engine.index.inverted.items()))} keywords, "
           f"built in {stats.build_seconds * 1000:.1f} ms")
+    from repro.index.sharding import ShardedIndex
+
+    if isinstance(engine.index, ShardedIndex):
+        rows = engine.index.shard_table()
+        print(f"shards: {engine.index.num_shards} "
+              f"[{engine.index.strategy}]")
+        print(render_table(
+            ["shard", "documents", "nodes", "postings", "vocabulary",
+             "entities"],
+            [(row["shard"], row["documents"], row["nodes"],
+              row["postings"], row["vocabulary"], row["entities"])
+             for row in rows]))
     for text, response in responses:
         print(f"query {text!r}: {len(response)} node(s)")
         print(f"  {response.stats.render()}")

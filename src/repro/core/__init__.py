@@ -2,7 +2,9 @@
 
 from repro.core.budget import DegradationReport, SearchBudget
 from repro.core.chunks import chunk_keep_set, response_chunk
+from repro.core.config import EngineConfig, Paths, Texts
 from repro.core.engine import GKSEngine
+from repro.core.scatter import sharded_search, sharded_top_k
 from repro.core.explain import RankExplanation, explain_rank
 from repro.core.export import (insights_to_dict, node_to_dict,
                                response_to_dict, session_to_dict)
@@ -26,7 +28,8 @@ from repro.core.search import search
 from repro.core.topk import distinct_keyword_count, search_top_k
 
 __all__ = [
-    "DegradationReport", "SearchBudget",
+    "DegradationReport", "EngineConfig", "Paths", "SearchBudget", "Texts",
+    "sharded_search", "sharded_top_k",
     "ExplorationSession", "GKSEngine", "GKSResponse", "Insight",
     "InsightReport", "LCEInfo", "RankExplanation", "ResultGroup",
     "SProfile", "SessionStep", "chunk_keep_set", "dominant_group",

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ConfigError
 from repro.obs.metrics import global_registry
 
 
@@ -90,11 +91,11 @@ class SearchBudget:
                  clock: Callable[[], float] | None = None,
                  recovery_k: int = 50) -> None:
         if deadline_s is not None and deadline_s < 0:
-            raise ValueError(f"deadline_s must be >= 0: {deadline_s}")
+            raise ConfigError(f"deadline_s must be >= 0: {deadline_s}")
         if max_sl is not None and max_sl < 1:
-            raise ValueError(f"max_sl must be >= 1: {max_sl}")
+            raise ConfigError(f"max_sl must be >= 1: {max_sl}")
         if max_nodes is not None and max_nodes < 1:
-            raise ValueError(f"max_nodes must be >= 1: {max_nodes}")
+            raise ConfigError(f"max_nodes must be >= 1: {max_nodes}")
         self.deadline_s = deadline_s
         self.max_sl = max_sl
         self.max_nodes = max_nodes
@@ -118,6 +119,44 @@ class SearchBudget:
         if self._started is None:
             return 0.0
         return self._clock() - self._started
+
+    def subbudget(self) -> "SearchBudget":
+        """A per-shard child sharing this budget's clock *and* start time.
+
+        Scatter-gather execution runs one child budget per shard so each
+        shard pipeline polls the **same** wall-clock deadline the
+        monolithic pipeline would — a query that would have timed out
+        unsharded times out sharded at the same instant.  ``max_sl`` and
+        ``max_nodes`` are deliberately *not* copied: the SL cap is
+        applied globally across shards by the gather step, and ranking
+        runs on the parent budget (see :mod:`repro.core.scatter`), so
+        per-shard children only police the shared deadline.
+        """
+        child = SearchBudget(deadline_s=self.deadline_s,
+                             clock=self._clock,
+                             recovery_k=self.recovery_k)
+        child._started = self._started
+        return child
+
+    def trip(self, stage: str, reason: str, processed: int,
+             total: int | None = None) -> None:
+        """Record a degradation externally observed (first trip wins).
+
+        The gather step uses this when the *global* SL admission cut
+        across shards — the sharded counterpart of :meth:`admit_sl` —
+        so the combined response reports degradation exactly like the
+        monolithic path.  Records the trip metric.
+        """
+        self._trip(stage, reason, processed, total)
+
+    def adopt(self, report: DegradationReport | None) -> None:
+        """Adopt a child budget's trip as this budget's own (first wins).
+
+        Unlike :meth:`trip` this does *not* re-record the trip metric:
+        the child already counted it when it tripped.
+        """
+        if report is not None and self.report is None:
+            self.report = report
 
     def _trip(self, stage: str, reason: str, processed: int,
               total: int | None) -> None:

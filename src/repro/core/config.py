@@ -1,0 +1,144 @@
+"""Unified engine configuration (the `EngineConfig` API).
+
+Engine construction used to thread 8+ kwargs through ``from_texts`` /
+``from_paths`` and the constructor, each copy drifting independently.
+:class:`EngineConfig` is the one frozen record of every tuning knob —
+analysis, search defaults, caching, budgeting, ingestion recovery,
+sharding and index persistence — and :meth:`GKSEngine.open` is the one
+factory that consumes it::
+
+    from repro import EngineConfig, GKSEngine
+
+    config = EngineConfig(s=2, shards=4, workers=2,
+                          index_path="corpus.gksindex")
+    engine = GKSEngine.open(["a.xml", "b.xml"], config=config)
+
+``open`` accepts a :class:`~repro.xmltree.repository.Repository`, a
+single XML text or corpus path, or an iterable of either; wrap the
+iterable in :class:`Texts` / :class:`Paths` to skip sniffing.  The
+legacy ``from_texts`` / ``from_paths`` classmethods remain as thin
+shims over ``open``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.parser import RecoveryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.budget import SearchBudget
+
+
+class Texts(tuple):
+    """Marks an iterable of raw XML strings for :meth:`GKSEngine.open`."""
+
+    def __new__(cls, items=()):
+        return super().__new__(cls, tuple(items))
+
+
+class Paths(tuple):
+    """Marks an iterable of corpus file paths for :meth:`GKSEngine.open`."""
+
+    def __new__(cls, items=()):
+        return super().__new__(cls, tuple(items))
+
+
+def _default_ranker() -> Callable:
+    from repro.core.ranking import rank_node
+
+    return rank_node
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every engine tuning knob in one frozen, validated record.
+
+    Attributes
+    ----------
+    analyzer:
+        Text-normalisation pipeline shared by indexing and querying.
+    s:
+        Default search threshold (``RQ(s)``) when a query names none.
+    ranker:
+        Default ranking function for :meth:`GKSEngine.search`.
+    index_tags:
+        Whether element names are indexed alongside text keywords.
+    cache_size:
+        Capacity of the LRU response cache (0 disables it).
+    budget:
+        Default :class:`~repro.core.budget.SearchBudget` applied to
+        every search that does not bring its own (budgeted responses
+        bypass the cache).
+    recovery:
+        Ingestion :class:`~repro.xmltree.parser.RecoveryPolicy` for
+        text/path sources.
+    shards:
+        Number of document shards; 1 keeps the classic monolithic
+        index, >1 builds a :class:`~repro.index.sharding.ShardedIndex`
+        served scatter-gather.
+    workers:
+        Processes used to build shards (1 = serial in-process build).
+    shard_strategy:
+        ``"round_robin"`` (by document number) or ``"hash"`` (by
+        document name).
+    index_path:
+        Optional persisted-index location: loaded when present and
+        compatible, (re)built and saved otherwise.
+    """
+
+    analyzer: Analyzer = DEFAULT_ANALYZER
+    s: int = 1
+    ranker: Callable = field(default_factory=_default_ranker)
+    index_tags: bool = True
+    cache_size: int = 64
+    budget: "SearchBudget | None" = None
+    recovery: RecoveryPolicy | str = RecoveryPolicy.STRICT
+    shards: int = 1
+    workers: int = 1
+    shard_strategy: str = "round_robin"
+    index_path: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        from repro.index.sharding import PARTITION_STRATEGIES
+
+        if self.s < 1:
+            raise ConfigError(f"s must be >= 1: {self.s}")
+        if self.cache_size < 0:
+            raise ConfigError(
+                f"cache_size must be >= 0: {self.cache_size}")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1: {self.shards}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1: {self.workers}")
+        if self.shard_strategy not in PARTITION_STRATEGIES:
+            raise ConfigError(
+                f"unknown shard strategy {self.shard_strategy!r}; "
+                f"expected one of {PARTITION_STRATEGIES}")
+        if not callable(self.ranker):
+            raise ConfigError(f"ranker must be callable: {self.ranker!r}")
+        # normalise early so a typo'd policy fails at config time, not
+        # at first ingest
+        object.__setattr__(self, "recovery",
+                           _coerce_policy(self.recovery))
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy with *overrides* applied (re-validated)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown EngineConfig field(s): {sorted(unknown)}")
+        return replace(self, **overrides)
+
+
+def _coerce_policy(policy: RecoveryPolicy | str) -> RecoveryPolicy:
+    try:
+        return RecoveryPolicy.coerce(policy)
+    except Exception as exc:
+        raise ConfigError(
+            f"invalid recovery policy {policy!r}: {exc}") from exc

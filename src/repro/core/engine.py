@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.budget import SearchBudget
+from repro.core.config import EngineConfig, Paths, Texts
 from repro.core.insights import (InsightReport, discover_insights,
                                  discover_recursive)
 from repro.core.query import Query
@@ -29,8 +30,9 @@ from repro.core.refinement import Refinement, suggest
 from repro.core.ranking import rank_node
 from repro.core.results import GKSResponse, RankedNode
 from repro.core.search import Ranker, search
-from repro.errors import SearchTimeout, StorageError
+from repro.errors import ConfigError, SearchTimeout, StorageError
 from repro.index.builder import GKSIndex, IndexBuilder
+from repro.index.sharding import ParallelIndexBuilder, ShardedIndex
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.stats import SlowQuery, SlowQueryLog
 from repro.obs.trace import NullTracer, Span, Tracer
@@ -46,16 +48,29 @@ class GKSEngine:
     """Generic Keyword Search over one XML repository."""
 
     def __init__(self, repository: Repository,
-                 analyzer: Analyzer = DEFAULT_ANALYZER,
-                 index: GKSIndex | None = None,
-                 index_tags: bool = True,
-                 cache_size: int = 64,
+                 analyzer: Analyzer | None = None,
+                 index: GKSIndex | ShardedIndex | None = None,
+                 index_tags: bool | None = None,
+                 cache_size: int | None = None,
                  metrics: MetricsRegistry | None = None,
                  slow_query_threshold_s: float = 0.5,
                  slow_log_capacity: int = 128,
-                 trace_capacity: int = 32) -> None:
+                 trace_capacity: int = 32,
+                 config: EngineConfig | None = None) -> None:
+        if config is None:
+            config = EngineConfig()
+        # Explicit constructor arguments override the config record (the
+        # legacy surface); everything unset falls back to the config.
+        if analyzer is not None and analyzer is not config.analyzer:
+            config = config.replace(analyzer=analyzer)
+        if index_tags is not None and index_tags != config.index_tags:
+            config = config.replace(index_tags=index_tags)
+        if cache_size is not None and cache_size != config.cache_size:
+            config = config.replace(cache_size=cache_size)
+        self.config = config
         self.repository = repository
-        self.analyzer = analyzer
+        self.analyzer = config.analyzer
+        self.index_tags = config.index_tags
         # Observability: the shared metrics registry (process-global by
         # default), the slow-query ring buffer, and the recent-trace ring.
         self.metrics_registry = (metrics if metrics is not None
@@ -65,61 +80,99 @@ class GKSEngine:
         self._recent_traces: deque[Span] = deque(maxlen=max(1,
                                                             trace_capacity))
         if index is None:
-            builder = IndexBuilder(analyzer=analyzer, index_tags=index_tags)
-            builder.add_repository(repository)
-            index = builder.build()
+            index = self._build_index(repository, config)
         self.index = index
         # LRU response cache; keyed by (keywords, s, ranker); responses
         # are immutable so sharing them is safe.  Invalidated whenever
         # the corpus changes (add_document).
-        self._cache_size = max(0, cache_size)
+        self._cache_size = max(0, config.cache_size)
         self._response_cache: dict = {}
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
 
+    @staticmethod
+    def _build_index(repository: Repository,
+                     config: EngineConfig) -> GKSIndex | ShardedIndex:
+        if config.shards > 1:
+            return ParallelIndexBuilder(
+                analyzer=config.analyzer, index_tags=config.index_tags,
+                shards=config.shards, workers=config.workers,
+                strategy=config.shard_strategy).build(repository)
+        builder = IndexBuilder(analyzer=config.analyzer,
+                               index_tags=config.index_tags)
+        builder.add_repository(repository)
+        return builder.build()
+
     # ------------------------------------------------------------------
     # Construction conveniences
     # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, source, config: EngineConfig | None = None,
+             **overrides) -> "GKSEngine":
+        """The one engine factory: open *source* under *config*.
+
+        *source* may be a :class:`Repository`, one XML text, one corpus
+        path, or an iterable of texts/paths — strings whose first
+        non-blank character is ``<`` are treated as XML text, everything
+        else as a path; wrap the iterable in
+        :class:`~repro.core.config.Texts` or
+        :class:`~repro.core.config.Paths` to skip the sniffing.
+        Keyword *overrides* are applied to the config
+        (``GKSEngine.open(src, shards=4)``).
+
+        With ``config.index_path`` set, a compatible persisted index is
+        loaded instead of rebuilding; a missing, corrupted or
+        incompatible file (different shard layout, analyzer or corpus)
+        falls back to a rebuild and the cache is rewritten atomically —
+        a cold cache is a slow start, never a failed one.
+        """
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        repository = _resolve_source(source, config)
+
+        index: GKSIndex | ShardedIndex | None = None
+        if config.index_path is not None:
+            from repro.index.storage import load_index, save_index
+
+            try:
+                loaded = load_index(config.index_path)
+            except StorageError:
+                loaded = None  # unreadable cache: rebuild and rewrite
+            if loaded is not None and _index_compatible(loaded, repository,
+                                                        config):
+                index = loaded
+        engine = cls(repository, index=index, config=config)
+        if config.index_path is not None and index is None:
+            save_index(engine.index, config.index_path)
+        return engine
+
     @classmethod
     def from_texts(cls, texts: Iterable[str],
                    analyzer: Analyzer = DEFAULT_ANALYZER,
                    index_tags: bool = True,
                    policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
-                   ) -> "GKSEngine":
-        return cls(Repository.from_texts(texts, policy=policy),
-                   analyzer=analyzer, index_tags=index_tags)
+                   config: EngineConfig | None = None) -> "GKSEngine":
+        """Thin shim over :meth:`open` for raw XML strings."""
+        if config is None:
+            config = EngineConfig(analyzer=analyzer, index_tags=index_tags,
+                                  recovery=policy)
+        return cls.open(Texts(texts), config=config)
 
     @classmethod
     def from_paths(cls, paths: Iterable[str | Path],
                    analyzer: Analyzer = DEFAULT_ANALYZER,
                    index_tags: bool = True,
                    policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
-                   index_path: str | Path | None = None) -> "GKSEngine":
-        """Build an engine from corpus files, optionally via a cached index.
-
-        With ``index_path`` the engine first tries :func:`load_index`;
-        a missing, truncated, corrupted or version-mismatched file makes
-        it fall back to rebuilding the index from the corpus and
-        rewriting the cache (atomically) — a cold cache is a slow start,
-        never a failed one.
-        """
-        repository = Repository.from_paths(paths, policy=policy)
-        if index_path is None:
-            return cls(repository, analyzer=analyzer, index_tags=index_tags)
-
-        from repro.index.storage import load_index, save_index
-
-        index = None
-        try:
-            index = load_index(index_path)
-        except StorageError:
-            pass  # unreadable cache: rebuild below and rewrite it
-        engine = cls(repository, analyzer=analyzer, index=index,
-                     index_tags=index_tags)
-        if index is None:
-            save_index(engine.index, index_path)
-        return engine
+                   index_path: str | Path | None = None,
+                   config: EngineConfig | None = None) -> "GKSEngine":
+        """Thin shim over :meth:`open` for corpus files on disk."""
+        if config is None:
+            config = EngineConfig(analyzer=analyzer, index_tags=index_tags,
+                                  recovery=policy, index_path=index_path)
+        return cls.open(Paths(paths), config=config)
 
     # ------------------------------------------------------------------
     # Search Engine
@@ -127,16 +180,19 @@ class GKSEngine:
     def parse_query(self, raw: str, s: int = 1) -> Query:
         return Query.parse(raw, s=s, analyzer=self.analyzer)
 
-    def search(self, query: str | Query, s: int | None = None,
-               ranker: Ranker = rank_node,
+    def search(self, query: str | Query, s: int | None = None, *,
+               ranker: Ranker | None = None,
                use_cache: bool = True,
                budget: SearchBudget | None = None,
                strict_deadline: bool = False,
                tracer: Tracer | NullTracer | None = None) -> GKSResponse:
-        """Run a keyword query; ``s`` defaults to 1 (any-keyword search).
+        """Run a keyword query; ``s`` defaults to ``config.s``.
 
-        Responses are LRU-cached per (keywords, s, ranker); pass
-        ``use_cache=False`` to force a fresh run (timing harnesses do).
+        Tuning parameters beyond ``s`` are keyword-only; unset ones fall
+        back to the engine's :class:`EngineConfig` (``ranker``,
+        ``budget``).  Responses are LRU-cached per (keywords, s,
+        ranker); pass ``use_cache=False`` to force a fresh run (timing
+        harnesses do).
 
         A :class:`SearchBudget` bounds the query's cost; an exhausted
         budget yields a partial response flagged ``degraded=True``.  With
@@ -152,8 +208,13 @@ class GKSEngine:
         slow-query log and returns a response with populated
         :class:`~repro.obs.stats.QueryStats`.
         """
+        if ranker is None:
+            ranker = self.config.ranker
+        if budget is None:
+            budget = self.config.budget
         if isinstance(query, str):
-            query = self.parse_query(query, s=s if s is not None else 1)
+            query = self.parse_query(query,
+                                     s=s if s is not None else self.config.s)
         elif s is not None:
             query = query.with_s(s)
 
@@ -171,8 +232,14 @@ class GKSEngine:
                 self._record_search(hit, tracer=None)
                 return hit
             self._count_cache("misses")
-        response = search(self.index, query, ranker=ranker, budget=budget,
-                          tracer=tracer)
+        if isinstance(self.index, ShardedIndex):
+            from repro.core.scatter import sharded_search
+
+            response = sharded_search(self.index, query, ranker=ranker,
+                                      budget=budget, tracer=tracer)
+        else:
+            response = search(self.index, query, ranker=ranker,
+                              budget=budget, tracer=tracer)
         self._record_search(response, tracer=tracer)
         if (strict_deadline and response.degraded
                 and response.degradation.reason == "deadline"):
@@ -191,19 +258,35 @@ class GKSEngine:
         return response
 
     def search_top_k(self, query: str | Query, k: int,
-                     s: int | None = None,
+                     s: int | None = None, *,
+                     ranker: Ranker | None = None,
                      budget: SearchBudget | None = None,
                      tracer: Tracer | NullTracer | None = None
                      ) -> GKSResponse:
-        """The ``k`` best nodes only, with early-terminated ranking."""
+        """The ``k`` best nodes only, with early-terminated ranking.
+
+        Tuning parameters beyond ``s`` are keyword-only; unset ones fall
+        back to the engine's :class:`EngineConfig`.
+        """
         from repro.core.topk import search_top_k
 
+        if ranker is None:
+            ranker = self.config.ranker
+        if budget is None:
+            budget = self.config.budget
         if isinstance(query, str):
-            query = self.parse_query(query, s=s if s is not None else 1)
+            query = self.parse_query(query,
+                                     s=s if s is not None else self.config.s)
         elif s is not None:
             query = query.with_s(s)
-        response = search_top_k(self.index, query, k, budget=budget,
-                                tracer=tracer)
+        if isinstance(self.index, ShardedIndex):
+            from repro.core.scatter import sharded_top_k
+
+            response = sharded_top_k(self.index, query, k, ranker=ranker,
+                                     budget=budget, tracer=tracer)
+        else:
+            response = search_top_k(self.index, query, k, ranker=ranker,
+                                    budget=budget, tracer=tracer)
         self._record_search(response, tracer=tracer)
         return response
 
@@ -281,12 +364,24 @@ class GKSEngine:
     # Maintenance
     # ------------------------------------------------------------------
     def add_document(self, text: str, name: str | None = None) -> None:
-        """Append one XML document to the repository and the index."""
+        """Append one XML document to the repository and the index.
+
+        On a sharded index only the shard owning the new document is
+        rebuilt; the others are reused as-is.  The response cache is
+        cleared even when indexing fails partway — the repository has
+        already grown, so any cached response may be stale.
+        """
         from repro.index.incremental import append_document
 
         document = self.repository.parse(text, name=name)
-        self.index = append_document(self.index, document)
-        self._response_cache.clear()  # cached responses are now stale
+        try:
+            if isinstance(self.index, ShardedIndex):
+                self.index = self.index.with_appended(
+                    document, index_tags=self.index_tags)
+            else:
+                self.index = append_document(self.index, document)
+        finally:
+            self._response_cache.clear()  # cached responses are now stale
 
     # ------------------------------------------------------------------
     # Analytics (paper §8 future work)
@@ -396,3 +491,62 @@ class GKSEngine:
         keywords = ", ".join(node.matched_keywords)
         return (f"<{tag}> {node.dewey_text}  score={node.score:.3f}  "
                 f"keywords[{node.distinct_keywords}]={{{keywords}}}")
+
+
+# ----------------------------------------------------------------------
+# GKSEngine.open helpers
+# ----------------------------------------------------------------------
+def _looks_like_xml(item) -> bool:
+    return isinstance(item, str) and item.lstrip().startswith("<")
+
+
+def _resolve_source(source, config: EngineConfig) -> Repository:
+    """Turn an ``open`` *source* into a :class:`Repository`."""
+    if isinstance(source, Repository):
+        return source
+    if isinstance(source, Texts):
+        return Repository.from_texts(source, policy=config.recovery)
+    if isinstance(source, Paths):
+        return Repository.from_paths(source, policy=config.recovery)
+    if isinstance(source, (str, Path)):
+        source = [source]
+    try:
+        items = list(source)
+    except TypeError:
+        raise ConfigError(
+            f"cannot open source of type {type(source).__name__}; "
+            "expected a Repository, XML text(s) or corpus path(s)")
+    if all(_looks_like_xml(item) for item in items):
+        return Repository.from_texts(items, policy=config.recovery)
+    if not any(_looks_like_xml(item) for item in items):
+        return Repository.from_paths(items, policy=config.recovery)
+    raise ConfigError(
+        "source mixes XML texts and paths; wrap it in Texts(...) or "
+        "Paths(...) to state which it is")
+
+
+def _index_compatible(index: GKSIndex | ShardedIndex,
+                      repository: Repository,
+                      config: EngineConfig) -> bool:
+    """Is a persisted index usable for this repository under this config?
+
+    The shard layout must match the config exactly — a monolithic cache
+    cannot serve a sharded engine (and vice versa) because the dispatch
+    path is chosen by the index type.  Document names and the persisted
+    analyzer flags must also match, else the index describes a different
+    corpus.
+    """
+    if config.shards > 1:
+        if not isinstance(index, ShardedIndex):
+            return False
+        if (index.num_shards != config.shards
+                or index.strategy != config.shard_strategy):
+            return False
+    elif isinstance(index, ShardedIndex):
+        return False
+    if tuple(index.document_names) != tuple(
+            document.name for document in repository):
+        return False
+    # storage persists only the analyzer flags, so compare just those
+    return (index.analyzer.use_stopwords == config.analyzer.use_stopwords
+            and index.analyzer.use_stemming == config.analyzer.use_stemming)

@@ -76,8 +76,8 @@ def search(index: GKSIndex, query: Query,
             span.add("nodes", len(lce.lce))
         after_lce = clock()
         with tracer.span("rank") as span:
-            nodes = _rank_response(index, effective, lce, ranker,
-                                   budget=budget)
+            nodes = rank_response(index, effective, lce, ranker,
+                                  budget=budget)
             span.add("ranked", len(nodes))
         finished = clock()
         tripped = budget is not None and budget.tripped
@@ -112,9 +112,15 @@ def search(index: GKSIndex, query: Query,
                        stats=stats)
 
 
-def _rank_response(index: GKSIndex, query: Query, lce: LCEResult,
-                   ranker: Ranker,
-                   budget: SearchBudget | None = None) -> list[RankedNode]:
+def rank_response(index: GKSIndex, query: Query, lce: LCEResult,
+                  ranker: Ranker,
+                  budget: SearchBudget | None = None) -> list[RankedNode]:
+    """Rank the response node set of an already-run LCE stage.
+
+    Public because scatter-gather execution reuses it per shard: rank a
+    shard's own LCE result against the shard's index, then merge the
+    per-shard rankings (see :mod:`repro.core.scatter`).
+    """
     lce_set = set(lce.lce)
     fallback = lce.fallback_candidates()
     deweys = lce.response_deweys()

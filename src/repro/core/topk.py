@@ -33,6 +33,7 @@ from repro.core.query import Query
 from repro.core.ranking import rank_node
 from repro.core.results import GKSResponse, RankedNode, SearchProfile
 from repro.core.search import Ranker
+from repro.errors import ConfigError
 from repro.index.builder import GKSIndex
 from repro.index.postings import subtree_range
 from repro.obs.stats import QueryStats
@@ -65,7 +66,7 @@ def search_top_k(index: GKSIndex, query: Query, k: int,
     :func:`repro.core.search.search`).
     """
     if k < 1:
-        raise ValueError(f"k must be positive: {k}")
+        raise ConfigError(f"k must be positive: {k}")
     if tracer is None:
         tracer = NOOP_TRACER
     clock = tracer.clock

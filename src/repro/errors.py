@@ -3,9 +3,22 @@
 Every error raised by :mod:`repro` derives from :class:`GKSError`, so callers
 can catch the whole family with a single ``except`` clause while still being
 able to distinguish parse problems from index or query problems.
+
+This module is the library's *consolidated* error surface: everything a
+caller may want to catch — including :class:`IngestFailure`, the
+quarantine record that travels alongside the exceptions — is importable
+from here, regardless of which subsystem raises it.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ConfigError", "DatasetError", "DeweyError", "DocumentLoadError",
+    "GKSError", "IndexError_", "IngestFailure", "QueryError",
+    "SearchTimeout", "StorageError", "XMLSyntaxError",
+]
 
 
 class GKSError(Exception):
@@ -119,3 +132,45 @@ class QueryError(GKSError):
 
 class DatasetError(GKSError):
     """Raised by synthetic dataset generators for invalid parameters."""
+
+
+class ConfigError(GKSError, ValueError):
+    """Raised for invalid engine configuration or tuning parameters.
+
+    The typed replacement for the ad-hoc ``ValueError``\\ s the engine
+    entry points used to raise (``k < 1``, negative deadlines, bad shard
+    counts).  It still *is* a ``ValueError``, so legacy ``except
+    ValueError`` call sites keep working, while new code can catch the
+    :class:`GKSError` family alone.
+    """
+
+
+@dataclass(frozen=True)
+class IngestFailure:
+    """One quarantined document: why it failed and where.
+
+    Not an exception — the record a non-strict ingest files in
+    :attr:`repro.xmltree.repository.Repository.quarantine` instead of
+    raising.  Lives here so the whole error surface (exceptions and the
+    quarantine record they produce) imports from one module.
+
+    Attributes
+    ----------
+    name:
+        The document's name (file name for path-based ingest, or a
+        synthetic ``text[i]`` for text-based ingest).
+    error:
+        The :class:`GKSError` that condemned the document.
+    position:
+        Human-readable position of the first problem (``"line 3,
+        column 7, offset 42"``), empty when unknown; the machine-readable
+        offset lives on ``error.offset`` for syntax errors.
+    """
+
+    name: str
+    error: GKSError
+    position: str = ""
+
+    def render(self) -> str:
+        where = f" at {self.position}" if self.position else ""
+        return f"{self.name}: {self.error.args[0]}{where}"

@@ -9,14 +9,19 @@ from repro.index.incremental import append_document, remove_last_document
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import (MergedEntry, count_in_subtree,
                                   merge_posting_lists, subtree_range)
+from repro.index.sharding import (ParallelIndexBuilder, Shard, ShardedIndex,
+                                  build_sharded_index, partition_documents,
+                                  shard_of)
 from repro.index.statistics import IndexStats
 from repro.index.storage import (index_size_bytes, load_index, save_index)
 
 __all__ = [
     "CategoryRecord", "GKSIndex", "IndexBuilder", "IndexStats",
     "InvertedIndex", "MergedEntry", "NodeCategory", "NodeHashes",
+    "ParallelIndexBuilder", "Shard", "ShardedIndex",
     "StreamingCategorizer", "append_document", "build_index",
-    "categorize_tree", "count_in_subtree", "index_size_bytes",
-    "iter_categories", "load_index", "merge_posting_lists",
-    "remove_last_document", "save_index", "subtree_range",
+    "build_sharded_index", "categorize_tree", "count_in_subtree",
+    "index_size_bytes", "iter_categories", "load_index",
+    "merge_posting_lists", "partition_documents", "remove_last_document",
+    "save_index", "shard_of", "subtree_range",
 ]

@@ -110,6 +110,21 @@ class IndexBuilder:
             raise IndexError_(
                 f"document {document.name!r} has doc id {document.doc_id}, "
                 f"expected {len(self._names)}")
+        self._ingest(document)
+
+    def add_document_unchecked(self, document: XMLDocument) -> None:
+        """Index one document *keeping its global doc id*.
+
+        Shard builds use this: a shard holds an arbitrary subset of the
+        repository's documents, so its doc ids are global and
+        non-consecutive — every posting and hash key still carries the
+        repository-wide Dewey id, which is what makes the union of shard
+        search results exactly the monolithic answer.
+        """
+        self._check_open()
+        self._ingest(document)
+
+    def _ingest(self, document: XMLDocument) -> None:
         self._names.append(document.name)
         self._stats.documents += 1
         categorizer = StreamingCategorizer()
@@ -120,10 +135,18 @@ class IndexBuilder:
         for document in repository:
             self.add_document(document)
 
-    def add_xml(self, text: str, name: str | None = None) -> None:
-        """Index raw XML text without materialising the tree."""
+    def add_xml(self, text: str, name: str | None = None,
+                doc_id: int | None = None) -> None:
+        """Index raw XML text without materialising the tree.
+
+        With an explicit *doc_id* the document is indexed under that
+        global document number instead of the next consecutive one —
+        the streaming counterpart of :meth:`add_document_unchecked` that
+        shard builds drive from raw corpus texts.
+        """
         self._check_open()
-        doc_id = len(self._names)
+        if doc_id is None:
+            doc_id = len(self._names)
         self._names.append(name or f"doc{doc_id}")
         self._stats.documents += 1
         categorizer = StreamingCategorizer()

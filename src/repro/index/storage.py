@@ -19,6 +19,16 @@ early, e.g. a torn write of the temp-file-less v1 era), ``"corrupted"``
 (bad gzip/JSON bytes or checksum mismatch) or ``"version-mismatch"``.
 Version-1 files (no checksum) still load.
 
+Sharded indexes (format version 3)
+----------------------------------
+A :class:`~repro.index.sharding.ShardedIndex` is stored as a *shard
+manifest* — partitioning strategy, global document names, analyzer
+settings and one CRC32 per shard — plus the per-shard payloads, all in
+the same single atomic gzip file.  The manifest carries its own CRC32
+(computed over the manifest including the per-shard CRCs), so a flipped
+bit in any shard payload or in the manifest itself is detected on load
+and the file is rejected whole.
+
 Table 4's "Index Size" column is measured with :func:`index_size_bytes`.
 """
 
@@ -35,12 +45,14 @@ from repro.index.builder import GKSIndex
 from repro.obs.metrics import global_registry
 from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
+from repro.index.sharding import Shard, ShardedIndex
 from repro.index.statistics import IndexStats
 from repro.text.analyzer import Analyzer
 from repro.xmltree.dewey import format_dewey, parse_dewey
 
 FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION_SHARDED = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _payload_dict(index: GKSIndex) -> dict:
@@ -66,21 +78,53 @@ def _canonical(payload: dict) -> str:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
-def save_index(index: GKSIndex, path: str | Path) -> Path:
+def _crc(payload: dict) -> int:
+    return zlib.crc32(_canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+
+
+def _sharded_envelope(index: ShardedIndex) -> dict:
+    """The v3 envelope: shard manifest (with per-shard CRCs) + payloads."""
+    payloads = [_payload_dict(shard.index) for shard in index.shards]
+    manifest = {
+        "strategy": index.strategy,
+        "document_names": list(index.document_names),
+        "analyzer": {
+            "use_stopwords": index.analyzer.use_stopwords,
+            "use_stemming": index.analyzer.use_stemming,
+        },
+        "shards": [{
+            "shard_id": shard.shard_id,
+            "doc_ids": list(shard.doc_ids),
+            "crc32": _crc(payload),
+        } for shard, payload in zip(index.shards, payloads)],
+    }
+    return {
+        "version": FORMAT_VERSION_SHARDED,
+        "crc32": _crc(manifest),
+        "manifest": manifest,
+        "shards": payloads,
+    }
+
+
+def save_index(index: GKSIndex | ShardedIndex, path: str | Path) -> Path:
     """Write *index* to *path* atomically (temp file + fsync + rename).
 
     The envelope embeds a CRC32 of the payload so :func:`load_index` can
-    distinguish a clean file from silent corruption.  Returns the path
-    written.
+    distinguish a clean file from silent corruption.  A
+    :class:`ShardedIndex` is written in the v3 sharded format (shard
+    manifest + per-shard CRCs); a plain :class:`GKSIndex` in v2.
+    Returns the path written.
     """
     path = Path(path)
-    payload = _payload_dict(index)
-    canonical = _canonical(payload)
-    envelope = {
-        "version": FORMAT_VERSION,
-        "crc32": zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF,
-        "payload": payload,
-    }
+    if isinstance(index, ShardedIndex):
+        envelope = _sharded_envelope(index)
+    else:
+        payload = _payload_dict(index)
+        envelope = {
+            "version": FORMAT_VERSION,
+            "crc32": _crc(payload),
+            "payload": payload,
+        }
     temp_path = path.with_name(path.name + ".tmp")
     try:
         with open(temp_path, "wb") as raw:
@@ -107,13 +151,15 @@ def save_index(index: GKSIndex, path: str | Path) -> Path:
     return path
 
 
-def load_index(path: str | Path) -> GKSIndex:
+def load_index(path: str | Path) -> GKSIndex | ShardedIndex:
     """Read an index previously written by :func:`save_index`.
 
-    Raises :class:`StorageError` carrying a ``diagnosis`` naming the
-    failure class (truncated / corrupted / version-mismatch /
-    unreadable); a verified index is returned whole or not at all — a
-    torn write can never yield a partially-read index.
+    Returns a :class:`ShardedIndex` for v3 files and a plain
+    :class:`GKSIndex` otherwise.  Raises :class:`StorageError` carrying
+    a ``diagnosis`` naming the failure class (truncated / corrupted /
+    version-mismatch / unreadable); a verified index is returned whole
+    or not at all — a torn write can never yield a partially-read index,
+    and a corrupted shard payload rejects the whole file.
     """
     registry = global_registry()
     try:
@@ -129,7 +175,7 @@ def load_index(path: str | Path) -> GKSIndex:
     return index
 
 
-def _load_index(path: str | Path) -> GKSIndex:
+def _load_index(path: str | Path) -> GKSIndex | ShardedIndex:
     path = Path(path)
     try:
         with gzip.open(path, "rt", encoding="utf-8") as handle:
@@ -156,6 +202,9 @@ def _load_index(path: str | Path) -> GKSIndex:
         raise StorageError(
             f"unsupported index format version {version!r} in {path}",
             diagnosis="version-mismatch", path=path)
+
+    if version == FORMAT_VERSION_SHARDED:
+        return _sharded_from_envelope(envelope, path)
 
     if version == 1:
         payload = envelope  # v1 stored the payload fields at top level
@@ -208,6 +257,52 @@ def _index_from_payload(payload: dict, path: Path) -> GKSIndex:
         document_names=tuple(payload.get("document_names", ())))
 
 
+def _sharded_from_envelope(envelope: dict, path: Path) -> ShardedIndex:
+    """Verify and rebuild a v3 sharded index (manifest CRC first)."""
+    manifest = envelope.get("manifest")
+    payloads = envelope.get("shards")
+    if not isinstance(manifest, dict) or not isinstance(payloads, list):
+        raise StorageError(
+            f"cannot read index from {path}: sharded envelope has no "
+            f"manifest/shards", diagnosis="corrupted", path=path)
+    if envelope.get("crc32") != _crc(manifest):
+        raise StorageError(
+            f"shard manifest checksum mismatch in {path} — the file is "
+            f"corrupted", diagnosis="corrupted", path=path)
+    entries = manifest.get("shards", [])
+    if len(entries) != len(payloads) or not entries:
+        raise StorageError(
+            f"cannot read index from {path}: manifest lists "
+            f"{len(entries)} shards but {len(payloads)} payloads are "
+            f"present", diagnosis="corrupted", path=path)
+
+    shards = []
+    for entry, payload in zip(entries, payloads):
+        if entry.get("crc32") != _crc(payload):
+            raise StorageError(
+                f"checksum mismatch for shard {entry.get('shard_id')!r} "
+                f"in {path} — the file is corrupted",
+                diagnosis="corrupted", path=path)
+        shards.append(Shard(shard_id=int(entry["shard_id"]),
+                            doc_ids=tuple(entry.get("doc_ids", ())),
+                            index=_index_from_payload(payload, path)))
+
+    analyzer_config = manifest.get("analyzer", {})
+    analyzer = Analyzer(
+        use_stopwords=analyzer_config.get("use_stopwords", True),
+        use_stemming=analyzer_config.get("use_stemming", True))
+    strategy = manifest.get("strategy", "round_robin")
+    try:
+        return ShardedIndex(shards, strategy=strategy,
+                            document_names=tuple(
+                                manifest.get("document_names", ())),
+                            analyzer=analyzer)
+    except Exception as exc:  # e.g. an unknown strategy string
+        raise StorageError(
+            f"cannot read index from {path}: invalid shard manifest "
+            f"({exc})", diagnosis="corrupted", path=path) from exc
+
+
 def check_index(path: str | Path) -> dict:
     """Health summary of a persisted index file (``--check-index``).
 
@@ -236,6 +331,8 @@ def check_index(path: str | Path) -> dict:
         entity_nodes=len(index.hashes.entity_table),
         element_nodes=len(index.hashes.element_table),
         total_nodes=index.stats.total_nodes)
+    if isinstance(index, ShardedIndex):
+        summary.update(shards=index.num_shards, strategy=index.strategy)
     return summary
 
 

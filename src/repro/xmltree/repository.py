@@ -11,11 +11,11 @@ and the scalability experiment (Fig. 10) replicates a corpus inside one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import DocumentLoadError, GKSError, XMLSyntaxError
+from repro.errors import (DocumentLoadError, GKSError, IngestFailure,
+                          XMLSyntaxError)
 from repro.obs.metrics import global_registry
 from repro.xmltree import dewey as dw
 from repro.xmltree.dewey import Dewey
@@ -24,31 +24,7 @@ from repro.xmltree.parser import (RecoveryPolicy, SalvageLog,
                                   parse_document)
 from repro.xmltree.tree import XMLDocument
 
-
-@dataclass(frozen=True)
-class IngestFailure:
-    """One quarantined document: why it failed and where.
-
-    Attributes
-    ----------
-    name:
-        The document's name (file name for path-based ingest, or a
-        synthetic ``text[i]`` for text-based ingest).
-    error:
-        The :class:`GKSError` that condemned the document.
-    position:
-        Human-readable position of the first problem (``"line 3,
-        column 7, offset 42"``), empty when unknown; the machine-readable
-        offset lives on ``error.offset`` for syntax errors.
-    """
-
-    name: str
-    error: GKSError
-    position: str = ""
-
-    def render(self) -> str:
-        where = f" at {self.position}" if self.position else ""
-        return f"{self.name}: {self.error.args[0]}{where}"
+__all__ = ["IngestFailure", "Repository"]
 
 
 def _failure_for(name: str, error: GKSError) -> IngestFailure:
