@@ -25,6 +25,44 @@ from repro.xmltree.serialize import serialize_node
 CORPORA = ["dblp", "mondial", "swissprot", "interpro", "nasa"]
 
 
+@pytest.fixture(scope="module", autouse=True)
+def audit_indexes_on_teardown():
+    """After the battering, audit every corpus index deeply.
+
+    A fuzz run that passes against an index violating its own invariants
+    proves nothing, so the module's teardown runs the deep verifier over
+    each ``engine_for`` index and records the audit cost in
+    ``benchmarks/results/BENCH_robustness_audit.json``.
+    """
+    yield
+    import json
+    from pathlib import Path
+
+    from repro.analysis import verify_index
+
+    audit = {"indexes_audited": 0, "violations": 0, "audit_seconds": 0.0,
+             "by_corpus": {}}
+    for dataset in CORPORA:
+        index = engine_for(dataset).index
+        started = time.perf_counter()
+        violations = verify_index(index)
+        elapsed = time.perf_counter() - started
+        audit["indexes_audited"] += 1
+        audit["violations"] += len(violations)
+        audit["audit_seconds"] += elapsed
+        audit["by_corpus"][dataset] = {
+            "violations": [violation.render()
+                           for violation in violations],
+            "audit_seconds": elapsed,
+        }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_robustness_audit.json").write_text(
+        json.dumps(audit, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    assert audit["violations"] == 0, audit["by_corpus"]
+
+
 def _percentile(values: list[float], fraction: float) -> float:
     ordered = sorted(values)
     position = min(int(len(ordered) * fraction), len(ordered) - 1)

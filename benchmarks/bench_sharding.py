@@ -65,7 +65,9 @@ def _percentiles(samples: list[float]) -> dict[str, float]:
     }
 
 
-def _query_latencies(texts: list[str]) -> dict[str, dict[str, float]]:
+def _query_latencies(texts: list[str]
+                     ) -> tuple[dict[str, dict[str, float]], dict]:
+    from repro.analysis import verify_index
     from repro.xmltree.repository import Repository
 
     repository = Repository.from_texts(texts)
@@ -73,9 +75,24 @@ def _query_latencies(texts: list[str]) -> dict[str, dict[str, float]]:
     monolithic.add_repository(repository)
     mono_index = monolithic.build()
 
+    # teardown-style audit: every index this benchmark serves must pass
+    # the deep invariant verifier; audit cost is recorded in the JSON
+    audit = {"indexes_audited": 0, "violations": 0, "audit_seconds": 0.0}
+
+    def audited(index):
+        started = time.perf_counter()
+        violations = verify_index(index)
+        audit["audit_seconds"] += time.perf_counter() - started
+        audit["indexes_audited"] += 1
+        audit["violations"] += len(violations)
+        assert not violations, [v.render() for v in violations]
+        return index
+
+    audited(mono_index)
     latencies: dict[str, dict[str, float]] = {}
     for shards in SHARD_COUNTS:
-        index = ParallelIndexBuilder(shards=shards).build(repository)
+        index = audited(ParallelIndexBuilder(shards=shards)
+                        .build(repository))
         # correctness gate: every benchmarked configuration must answer
         # exactly like the monolithic index before its latency counts
         for text, s in QUERIES:
@@ -92,21 +109,23 @@ def _query_latencies(texts: list[str]) -> dict[str, dict[str, float]]:
                 sharded_search(index, Query.parse(text, s=s))
             samples.append(time.perf_counter() - started)
         latencies[str(shards)] = _percentiles(samples)
-    return latencies
+    return latencies, audit
 
 
 def test_sharding_benchmark_report():
     texts = _corpus_texts()
     build_times = _build_times(texts)
     speedup_4 = build_times["1"] / max(build_times["4"], 1e-9)
+    latencies, audit = _query_latencies(texts)
     record = {
         "cpu_count": os.cpu_count(),
         "corpus_documents": CORPUS_DOCUMENTS,
         "shards": 4,
         "build_seconds_by_workers": build_times,
         "speedup_4_workers": speedup_4,
-        "query_latency_by_shards": _query_latencies(texts),
+        "query_latency_by_shards": latencies,
         "query_rounds": QUERY_ROUNDS,
+        "index_audit": audit,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)

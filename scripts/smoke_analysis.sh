@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Static-analysis smoke test: the lint gate is clean on the real source
+# trees, and the deep invariant audit distinguishes the three health
+# states of a saved index — healthy (exit 0), structurally broken
+# (exit 1), and consistent-but-wrong (exit 2, only --deep can see it).
+#
+# Usage:  bash scripts/smoke_analysis.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "== rule catalog =="
+python -m repro lint --list-rules
+
+echo "== lint gate over src/tests/benchmarks =="
+python -m repro lint src tests benchmarks
+echo "lint clean"
+
+echo "== build a sharded index =="
+python -m repro dataset figure1 -o "$WORKDIR"
+python -m repro dataset figure2a -o "$WORKDIR"
+python -m repro index "$WORKDIR"/figure*.xml \
+    -o "$WORKDIR/sharded.gks" --shards 2
+
+echo "== healthy index: deep audit passes (exit 0) =="
+python -m repro check-index "$WORKDIR/sharded.gks" --deep
+
+echo "== consistent-but-wrong index: deep audit exits 2 =="
+cp "$WORKDIR/sharded.gks" "$WORKDIR/wrong.gks"
+python - "$WORKDIR/wrong.gks" <<'EOF'
+import sys
+from repro.testing.faults import IndexCorruptor
+IndexCorruptor(seed=42).drop_manifest_document(sys.argv[1])
+EOF
+# the shallow check must NOT see the damage (CRCs were resealed) ...
+python -m repro check-index "$WORKDIR/wrong.gks" || {
+    echo "FAIL: shallow check rejected a structurally clean file" >&2
+    exit 1; }
+# ... while --deep exits 2 and names the violated invariant
+set +e
+OUT="$(python -m repro check-index "$WORKDIR/wrong.gks" --deep)"
+CODE=$?
+set -e
+echo "$OUT"
+[ "$CODE" -eq 2 ] || {
+    echo "FAIL: expected exit 2 from --deep, got $CODE" >&2; exit 1; }
+grep -q "invariant violated" <<<"$OUT" || {
+    echo "FAIL: --deep did not name the violated invariant" >&2; exit 1; }
+
+echo "== structurally broken index: exit 1 =="
+python - "$WORKDIR/sharded.gks" <<'EOF'
+import sys
+from repro.testing.faults import TornWriter
+TornWriter(seed=1).tear(sys.argv[1], fraction=0.5)
+EOF
+set +e
+python -m repro check-index "$WORKDIR/sharded.gks" --deep
+CODE=$?
+set -e
+[ "$CODE" -eq 1 ] || {
+    echo "FAIL: expected exit 1 for a torn file, got $CODE" >&2; exit 1; }
+
+echo "smoke_analysis OK"

@@ -1,0 +1,36 @@
+"""The lint report record: one :class:`Finding` per rule violation.
+
+A finding pins a rule to a source position; findings render in the
+classic compiler shape (``path:line: RULE severity: message``) so shells,
+editors and CI annotators can all parse them.  Findings order by
+``(path, line, rule_id)`` — the order ``gks lint`` prints them in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Finding severities, most severe first.  Every severity is fatal to a
+#: ``gks lint`` run (non-zero exit); the distinction exists for report
+#: readers, not for gating.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule_id} "
+                f"{self.severity}: {self.message}")
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """The full lint report, one line per finding, sorted."""
+    return "\n".join(finding.render() for finding in sorted(findings))

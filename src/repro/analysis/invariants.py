@@ -1,0 +1,347 @@
+"""Deep data-level invariant verification for built and saved indexes.
+
+A checksum proves a file holds the bytes that were written; it cannot
+prove the bytes were *right*.  This module audits the semantic
+invariants every GKS correctness argument rests on — the structural
+guarantees that make merge/LCP/LCE binary searches, scatter-gather
+equivalence and ranking potential-flow sound:
+
+``postings-sorted``
+    Every posting list is strictly ascending in Dewey order (strictness
+    also rules out duplicates) — the precondition of every binary
+    search and k-way merge in the pipeline.
+``postings-document``
+    Every posting's leading Dewey component names a known document.
+``hash-cross-consistency``
+    A node present in both ``entityHash`` and ``elementHash`` (a
+    dual-role entity+repeating node) carries the same direct-child
+    count in both; no child count is negative; every entity node's
+    parent is itself indexed.
+``stats-agreement``
+    ``stats.documents`` matches the recorded document names;
+    ``stats.entity_nodes`` matches the entity table; distinct postings
+    never exceed the keyword occurrences counted at build time.
+``shard-partition``
+    The shard manifest partitions the document set exactly once — no
+    document unassigned, none assigned twice (an unassigned document
+    silently vanishes from every query; a doubly-assigned one is
+    double-counted by scatter-gather).
+``shard-routing``
+    Each document lives on the shard its partitioning strategy names.
+``shard-ownership``
+    Every posting and hash key of a shard belongs to a document that
+    shard owns.
+``manifest-crc``
+    Each manifest entry's stored CRC32 matches its shard payload.
+
+:func:`verify_index` audits an in-memory index (monolithic or sharded);
+:func:`verify_store` audits a saved file through the **raw** envelope
+(:func:`repro.index.storage.read_envelope`), catching on-disk rot that
+``load_index`` would silently repair (its ``from_mapping`` re-sorts
+posting lists).  Both return violation lists; empty means sound.
+``gks check-index --deep`` exits 2 when this audit fails — distinct
+from exit 1 for structural/CRC failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.index.builder import GKSIndex
+from repro.index.sharding import (PARTITION_STRATEGIES, ShardedIndex,
+                                  shard_of)
+from repro.index.storage import payload_crc32, read_envelope
+from repro.xmltree.dewey import Dewey, format_dewey, parse_dewey
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated invariant: which one, and the offending detail."""
+
+    invariant: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+#: Cap on violations reported per invariant class, so a wholly rotten
+#: index produces a readable report instead of one line per posting.
+MAX_PER_INVARIANT = 5
+
+
+class _Report:
+    """Accumulates violations with per-invariant caps."""
+
+    def __init__(self) -> None:
+        self.violations: list[InvariantViolation] = []
+        self._counts: dict[str, int] = {}
+
+    def add(self, invariant: str, detail: str) -> None:
+        count = self._counts.get(invariant, 0)
+        self._counts[invariant] = count + 1
+        if count < MAX_PER_INVARIANT:
+            self.violations.append(InvariantViolation(invariant, detail))
+        elif count == MAX_PER_INVARIANT:
+            self.violations.append(InvariantViolation(
+                invariant, "... further violations elided"))
+
+
+# ----------------------------------------------------------------------
+# In-memory audits
+# ----------------------------------------------------------------------
+
+def verify_index(index: GKSIndex | ShardedIndex) -> list[InvariantViolation]:
+    """Audit a built index; empty list means every invariant holds."""
+    report = _Report()
+    if isinstance(index, ShardedIndex):
+        _audit_sharded(index, report)
+    else:
+        _audit_monolithic(index, len(index.document_names), report)
+    return report.violations
+
+
+def _audit_monolithic(index: GKSIndex, documents: int, report: _Report,
+                      owned: Iterable[int] | None = None,
+                      label: str = "") -> None:
+    where = f" [{label}]" if label else ""
+    owned_set = None if owned is None else set(owned)
+
+    for keyword, postings in index.inverted.items():
+        _audit_posting_list(keyword, postings, documents, owned_set,
+                            report, where)
+
+    entity = index.hashes.entity_table
+    element = index.hashes.element_table
+    for table_name, table in (("entityHash", entity),
+                              ("elementHash", element)):
+        for dewey, child_count in table.items():
+            if child_count < 0:
+                report.add("hash-cross-consistency",
+                           f"{table_name}[{format_dewey(dewey)}]{where} "
+                           f"has negative child count {child_count}")
+            if dewey[0] >= documents:
+                report.add("postings-document",
+                           f"{table_name}{where} references unknown "
+                           f"document {dewey[0]}")
+            elif owned_set is not None and dewey[0] not in owned_set:
+                report.add("shard-ownership",
+                           f"{table_name}{where} holds "
+                           f"{format_dewey(dewey)} of unowned document "
+                           f"{dewey[0]}")
+    for dewey in set(entity) & set(element):
+        if entity[dewey] != element[dewey]:
+            report.add("hash-cross-consistency",
+                       f"dual-role node {format_dewey(dewey)}{where} has "
+                       f"child count {entity[dewey]} in entityHash but "
+                       f"{element[dewey]} in elementHash")
+    known = set(entity) | set(element)
+    for dewey in entity:
+        parent = dewey[:-1]
+        if len(parent) >= 1 and parent not in known:
+            report.add("hash-cross-consistency",
+                       f"entity {format_dewey(dewey)}{where} has an "
+                       f"unindexed parent")
+
+    stats = index.stats
+    local_documents = len(index.document_names)
+    if stats.documents != local_documents:
+        report.add("stats-agreement",
+                   f"stats.documents={stats.documents}{where} but "
+                   f"{local_documents} document name(s) recorded")
+    if stats.entity_nodes != len(entity):
+        report.add("stats-agreement",
+                   f"stats.entity_nodes={stats.entity_nodes}{where} but "
+                   f"entityHash holds {len(entity)} node(s)")
+    occurrences = stats.text_keywords + stats.tag_keywords
+    total_postings = index.inverted.total_postings
+    if occurrences and total_postings > occurrences:
+        report.add("stats-agreement",
+                   f"{total_postings} distinct postings{where} exceed "
+                   f"the {occurrences} keyword occurrence(s) counted at "
+                   f"build time")
+
+
+def _audit_posting_list(keyword: str, postings: list[Dewey],
+                        documents: int, owned_set: set[int] | None,
+                        report: _Report, where: str = "") -> None:
+    if not postings:
+        report.add("postings-sorted",
+                   f"empty posting list for {keyword!r}{where}")
+        return
+    for previous, current in zip(postings, postings[1:]):
+        if previous == current:
+            report.add("postings-sorted",
+                       f"duplicate posting {format_dewey(current)} for "
+                       f"{keyword!r}{where}")
+            break
+        if previous > current:
+            report.add("postings-sorted",
+                       f"posting list for {keyword!r}{where} is out of "
+                       f"order at {format_dewey(current)}")
+            break
+    for dewey in postings:
+        if dewey[0] >= documents:
+            report.add("postings-document",
+                       f"posting {format_dewey(dewey)} of {keyword!r}"
+                       f"{where} references unknown document {dewey[0]}")
+            break
+        if owned_set is not None and dewey[0] not in owned_set:
+            report.add("shard-ownership",
+                       f"posting {format_dewey(dewey)} of {keyword!r}"
+                       f"{where} belongs to document {dewey[0]} not "
+                       f"owned by this shard")
+            break
+
+
+def _audit_sharded(index: ShardedIndex, report: _Report) -> None:
+    documents = len(index.document_names)
+    _audit_partition(
+        [(shard.shard_id, shard.doc_ids) for shard in index.shards],
+        list(index.document_names), index.strategy, report)
+    for shard in index.shards:
+        _audit_monolithic(shard.index, documents, report,
+                          owned=shard.doc_ids,
+                          label=f"shard {shard.shard_id}")
+
+
+def _audit_partition(assignments: list[tuple[int, tuple[int, ...]]],
+                     document_names: list[str], strategy: str,
+                     report: _Report) -> None:
+    """Shared by in-memory and raw-store audits: exact partitioning."""
+    documents = len(document_names)
+    shards = len(assignments)
+    owner: dict[int, int] = {}
+    for shard_id, doc_ids in assignments:
+        for doc_id in doc_ids:
+            if doc_id in owner:
+                report.add("shard-partition",
+                           f"document {doc_id} is assigned to both "
+                           f"shard {owner[doc_id]} and shard {shard_id}")
+                continue
+            owner[doc_id] = shard_id
+            if not 0 <= doc_id < documents:
+                report.add("shard-partition",
+                           f"shard {shard_id} claims unknown document "
+                           f"{doc_id}")
+    for doc_id in range(documents):
+        if doc_id not in owner:
+            report.add("shard-partition",
+                       f"document {doc_id} "
+                       f"({document_names[doc_id]!r}) is assigned to no "
+                       f"shard — it would vanish from every query")
+    if strategy not in PARTITION_STRATEGIES:
+        report.add("shard-routing",
+                   f"unknown partitioning strategy {strategy!r}")
+        return
+    for doc_id, shard_id in sorted(owner.items()):
+        if not 0 <= doc_id < documents:
+            continue
+        expected = shard_of(doc_id, document_names[doc_id], shards,
+                            strategy)
+        if expected != shard_id:
+            report.add("shard-routing",
+                       f"document {doc_id} lives on shard {shard_id} "
+                       f"but strategy {strategy!r} routes it to shard "
+                       f"{expected}")
+
+
+# ----------------------------------------------------------------------
+# Raw on-disk audits
+# ----------------------------------------------------------------------
+
+def verify_store(path: str | Path) -> list[InvariantViolation]:
+    """Audit a saved index file through the raw (unrepaired) envelope.
+
+    Structural failures (unreadable, truncated, bad CRC at the envelope
+    level) raise :class:`~repro.errors.StorageError` exactly as
+    ``load_index`` would — callers distinguish *broken file* (exit 1)
+    from *consistent-but-wrong file* (exit 2, the violations returned
+    here).
+    """
+    envelope = read_envelope(path)
+    report = _Report()
+    version = envelope.get("version")
+    if version == 3:
+        _audit_store_sharded(envelope, report)
+    else:
+        payload = envelope if version == 1 else envelope.get("payload", {})
+        documents = len(payload.get("document_names", ()))
+        _audit_store_payload(payload, documents, None, report)
+    return report.violations
+
+
+def _audit_store_sharded(envelope: dict, report: _Report) -> None:
+    manifest = envelope.get("manifest", {})
+    payloads = envelope.get("shards", [])
+    entries = manifest.get("shards", [])
+    document_names = list(manifest.get("document_names", ()))
+    _audit_partition(
+        [(int(entry.get("shard_id", position)),
+          tuple(entry.get("doc_ids", ())))
+         for position, entry in enumerate(entries)],
+        document_names, manifest.get("strategy", "round_robin"), report)
+    for entry, payload in zip(entries, payloads):
+        shard_id = entry.get("shard_id")
+        if entry.get("crc32") != payload_crc32(payload):
+            report.add("manifest-crc",
+                       f"manifest CRC for shard {shard_id} does not "
+                       f"match its payload")
+        _audit_store_payload(payload, len(document_names),
+                             set(entry.get("doc_ids", ())), report,
+                             label=f"shard {shard_id}")
+
+
+def _audit_store_payload(payload: dict, documents: int,
+                         owned: set[int] | None, report: _Report,
+                         label: str = "") -> None:
+    where = f" [{label}]" if label else ""
+    for keyword, raw_postings in payload.get("postings", {}).items():
+        postings = [parse_dewey(text) for text in raw_postings]
+        _audit_posting_list(keyword, postings, documents, owned, report,
+                            where)
+    entity = {parse_dewey(text): count
+              for text, count in payload.get("entity_hash", {}).items()}
+    element = {parse_dewey(text): count
+               for text, count in payload.get("element_hash", {}).items()}
+    for table_name, table in (("entityHash", entity),
+                              ("elementHash", element)):
+        for dewey, child_count in table.items():
+            if child_count < 0:
+                report.add("hash-cross-consistency",
+                           f"{table_name}[{format_dewey(dewey)}]{where} "
+                           f"has negative child count {child_count}")
+            if dewey[0] >= documents:
+                report.add("postings-document",
+                           f"{table_name}{where} references unknown "
+                           f"document {dewey[0]}")
+            elif owned is not None and dewey[0] not in owned:
+                report.add("shard-ownership",
+                           f"{table_name}{where} holds "
+                           f"{format_dewey(dewey)} of unowned document "
+                           f"{dewey[0]}")
+    for dewey in set(entity) & set(element):
+        if entity[dewey] != element[dewey]:
+            report.add("hash-cross-consistency",
+                       f"dual-role node {format_dewey(dewey)}{where} "
+                       f"disagrees on child count between the tables")
+    stats = payload.get("stats", {})
+    local_documents = len(payload.get("document_names", ()))
+    if stats.get("documents", local_documents) != local_documents:
+        report.add("stats-agreement",
+                   f"stats.documents={stats.get('documents')}{where} "
+                   f"but {local_documents} document name(s) recorded")
+    if "entity_nodes" in stats and stats["entity_nodes"] != len(entity):
+        report.add("stats-agreement",
+                   f"stats.entity_nodes={stats['entity_nodes']}{where} "
+                   f"but entityHash holds {len(entity)} node(s)")
+
+
+#: Invariant names, for the docs and the CLI's "what was checked" line.
+INVARIANT_NAMES = (
+    "postings-sorted", "postings-document", "hash-cross-consistency",
+    "stats-agreement", "shard-partition", "shard-routing",
+    "shard-ownership", "manifest-crc",
+)

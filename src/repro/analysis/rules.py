@@ -1,0 +1,308 @@
+"""Project-specific lint rules: timing, error surface, mutability, fork
+safety.
+
+Rule catalog (ids are what ``# gks: ignore[...]`` takes):
+
+========  ==========================================================
+``T001``  Ad-hoc clock: ``time.perf_counter``/``time.time``/
+          ``time.monotonic`` referenced inside ``repro.core`` or
+          ``repro.index`` — timing there must flow through the tracer
+          clock (:data:`repro.obs.trace.DEFAULT_CLOCK` or an injected
+          ``clock`` callable), so every duration in the pipeline
+          answers to one injectable source.
+``E001``  Bare ``except:`` — swallows ``KeyboardInterrupt`` and
+          ``SystemExit``; name the exceptions (any file).
+``E002``  Library code raising bare ``ValueError``/``RuntimeError`` —
+          use the :class:`~repro.errors.GKSError` hierarchy
+          (:class:`~repro.errors.ConfigError` for tuning knobs,
+          :class:`~repro.errors.ValidationError` for argument
+          contracts); both remain ``ValueError`` subclasses.
+``M001``  Mutable default argument (``def f(x=[])``) — shared across
+          calls; default to ``None`` (any file).
+``M002``  ``@dataclass`` in ``repro.core.config`` / ``repro.obs.stats``
+          not declared ``frozen=True`` — config and stats records are
+          part of the cached/hashable surface and must stay immutable.
+``F001``  Module-level mutable state mutated inside a function used as
+          a process-pool worker target — each forked worker mutates
+          its private copy, so the write is silently lost (and under a
+          ``spawn``/``forkserver`` start method the global may not
+          even exist).  Workers may *read* fork-inherited state;
+          mutation belongs to the parent.
+========  ==========================================================
+
+The architecture (layering) rules ``L001``/``L002`` live in
+:mod:`repro.analysis.layering`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import ModuleInfo, Rule, register
+
+#: Packages whose timing must flow through the tracer clock.
+CLOCK_DISCIPLINED_PACKAGES = ("core", "index")
+
+#: ``time`` attributes that read a clock.
+_CLOCK_NAMES = ("perf_counter", "time", "monotonic", "perf_counter_ns",
+                "monotonic_ns", "time_ns")
+
+#: Modules whose dataclasses must be ``frozen=True``.
+FROZEN_DATACLASS_MODULES = ("repro.core.config", "repro.obs.stats")
+
+#: Builtin exception types library code must not raise bare.
+_BANNED_RAISES = ("ValueError", "RuntimeError")
+
+
+@register
+class AdHocClockRule(Rule):
+    """T001 — core/index must time through the tracer clock."""
+
+    rule_id = "T001"
+    title = ("no ad-hoc time.perf_counter/time.time in repro.core or "
+             "repro.index; use repro.obs.trace.DEFAULT_CLOCK or an "
+             "injected clock")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package not in CLOCK_DISCIPLINED_PACKAGES:
+            return
+        for node in module.walk():
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "time"
+                    and node.attr in _CLOCK_NAMES):
+                yield self.finding(
+                    module, node.lineno,
+                    f"ad-hoc clock time.{node.attr} in "
+                    f"{module.module}; timing in repro.core/repro.index "
+                    f"must flow through the tracer clock "
+                    f"(repro.obs.trace.DEFAULT_CLOCK)")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                clocky = [alias.name for alias in node.names
+                          if alias.name in _CLOCK_NAMES]
+                if clocky:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"importing {', '.join(clocky)} from time in "
+                        f"{module.module}; use the tracer clock instead")
+
+
+@register
+class BareExceptRule(Rule):
+    """E001 — no bare ``except:`` clauses anywhere."""
+
+    rule_id = "E001"
+    title = "no bare except: clauses (they swallow KeyboardInterrupt)"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.walk():
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node.lineno,
+                    "bare except: clause; name the exception types "
+                    "(GKSError for the library surface)")
+
+
+@register
+class BuiltinRaiseRule(Rule):
+    """E002 — library code raises typed GKS errors, not bare builtins."""
+
+    rule_id = "E002"
+    title = ("library code must raise the GKSError hierarchy, not bare "
+             "ValueError/RuntimeError")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.role != "library":
+            return
+        for node in module.walk():
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BANNED_RAISES:
+                yield self.finding(
+                    module, node.lineno,
+                    f"raise {name} in library code; use ConfigError / "
+                    f"ValidationError (both GKSError and ValueError) or "
+                    f"another GKSError subclass")
+
+
+@register
+class MutableDefaultRule(Rule):
+    """M001 — no mutable default arguments."""
+
+    rule_id = "M001"
+    title = "no mutable default arguments (shared across calls)"
+
+    _FACTORY_NAMES = ("list", "dict", "set")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default.lineno,
+                        f"mutable default argument in {label}(); "
+                        f"default to None and build inside the body")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._FACTORY_NAMES)
+
+
+@register
+class FrozenDataclassRule(Rule):
+    """M002 — config/stats dataclasses must be frozen."""
+
+    rule_id = "M002"
+    title = ("@dataclass in repro.core.config and repro.obs.stats must "
+             "be frozen=True")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.module not in FROZEN_DATACLASS_MODULES:
+            return
+        for node in module.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if self._is_unfrozen_dataclass(decorator):
+                    yield self.finding(
+                        module, node.lineno,
+                        f"dataclass {node.name} in {module.module} must "
+                        f"be @dataclass(frozen=True)")
+
+    @staticmethod
+    def _is_unfrozen_dataclass(decorator: ast.AST) -> bool:
+        if isinstance(decorator, ast.Name):
+            return decorator.id == "dataclass"        # bare => unfrozen
+        if (isinstance(decorator, ast.Call)
+                and isinstance(decorator.func, ast.Name)
+                and decorator.func.id == "dataclass"):
+            for keyword in decorator.keywords:
+                if (keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True):
+                    return False
+            return True
+        return False
+
+
+_MUTATING_METHODS = ("append", "extend", "insert", "add", "update",
+                     "clear", "pop", "popitem", "setdefault", "remove",
+                     "discard", "sort")
+
+
+@register
+class ForkSafetyRule(Rule):
+    """F001 — pool-worker functions must not mutate module globals."""
+
+    rule_id = "F001"
+    title = ("functions used as process-pool worker targets must not "
+             "mutate module-level mutable state")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.role != "library" or module.tree is None:
+            return
+        mutable_globals = self._module_level_mutables(module.tree)
+        if not mutable_globals:
+            return
+        worker_names = self._worker_targets(module.tree)
+        if not worker_names:
+            return
+        for node in ast.iter_child_nodes(module.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in worker_names):
+                yield from self._mutations_in(module, node,
+                                              mutable_globals)
+
+    @staticmethod
+    def _module_level_mutables(tree: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.iter_child_nodes(tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if isinstance(value, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("list", "dict", "set",
+                                          "defaultdict", "deque")):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _worker_targets(tree: ast.AST) -> set[str]:
+        """Function names handed to pool.map/submit or Process(target=)."""
+        workers: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("map", "submit", "apply_async")
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)):
+                workers.add(node.args[0].id)
+            for keyword in node.keywords:
+                if (keyword.arg == "target"
+                        and isinstance(keyword.value, ast.Name)):
+                    workers.add(keyword.value.id)
+        return workers
+
+    def _mutations_in(self, module: ModuleInfo, function: ast.AST,
+                      globals_: set[str]) -> Iterable[Finding]:
+        for node in ast.walk(function):
+            # NAME.method(...) where method mutates in place
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in globals_):
+                yield self.finding(
+                    module, node.lineno,
+                    f"worker function {function.name}() mutates "
+                    f"module-level {node.func.value.id}."
+                    f"{node.func.attr}(); fork-inherited state is "
+                    f"read-only in workers")
+            # NAME[...] = ... / del NAME[...] / NAME = ... via `global`
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target]
+                           if isinstance(node, ast.AugAssign)
+                           else node.targets)
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (isinstance(base, ast.Name)
+                            and base.id in globals_
+                            and not isinstance(target, ast.Name)):
+                        yield self.finding(
+                            module, node.lineno,
+                            f"worker function {function.name}() assigns "
+                            f"into module-level {base.id}; "
+                            f"fork-inherited state is read-only in "
+                            f"workers")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.errors import ValidationError
 from repro.core.insights import attribute_nodes_of
 from repro.core.results import GKSResponse, RankedNode
 from repro.xmltree.node import XMLNode
@@ -152,7 +153,7 @@ def histogram(repository: Repository, response: GKSResponse,
               ) -> list[HistogramBin]:
     """Equal-width histogram of a numeric context attribute."""
     if bins < 1:
-        raise ValueError(f"bins must be positive: {bins}")
+        raise ValidationError(f"bins must be positive: {bins}")
     values = []
     for node in _records(response):
         text = _record_value(repository, node, column)

@@ -13,6 +13,10 @@ Subcommands mirror the system's three engines (Fig. 3):
 * ``gks dataset NAME -o DIR``          emit a synthetic corpus as XML
 * ``gks stats FILE... [-q QUERY]``     observability report (metrics,
   per-query stats, slow queries; ``--prom``/``--json`` exposition)
+* ``gks check-index INDEX [--deep]``   index health; ``--deep`` audits
+  data-level invariants (exit 2 on violation vs 1 for structural)
+* ``gks lint [PATH...]``               static-analysis rules over the
+  source trees (exit 1 on findings; ``--list-rules`` for the catalog)
 
 ``FILE`` arguments ending in ``.json`` are ingested through the JSON
 adapter; everything else is parsed as XML.
@@ -127,6 +131,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "check-index",
         help="verify an index file's checksum, print a health summary")
     check_cmd.add_argument("index", help="index file to check")
+    check_cmd.add_argument("--deep", action="store_true",
+                           help="additionally audit deep data-level "
+                                "invariants on the raw stored form; a "
+                                "violated invariant exits 2 (structural "
+                                "or checksum failures still exit 1)")
+
+    lint_cmd = commands.add_parser(
+        "lint", help="run the static-analysis rules over source trees")
+    lint_cmd.add_argument("paths", nargs="*",
+                          default=["src", "tests", "benchmarks"],
+                          help="files or directories to lint (default: "
+                               "src tests benchmarks)")
+    lint_cmd.add_argument("--list-rules", action="store_true",
+                          help="print the rule catalog and exit")
 
     stats_cmd = commands.add_parser(
         "stats", help="observability report over a corpus")
@@ -188,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         "shell": _cmd_shell,
         "validate": _cmd_validate,
         "check-index": _cmd_check_index,
+        "lint": _cmd_lint,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
     }
@@ -226,9 +245,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check_index(args: argparse.Namespace) -> int:
-    """Exit 0 only for a healthy index: readable, checksum-clean AND
-    structurally self-consistent.  Any unhealthy state exits non-zero so
-    scripts and CI can gate on the check."""
+    """Exit 0 only for a healthy index.
+
+    Exit-code contract (scripts and CI gate on it):
+
+    * ``0`` — readable, checksum-clean, structurally self-consistent
+      (and, with ``--deep``, every deep invariant holds);
+    * ``1`` — structural failure: unreadable / truncated / checksum
+      mismatch / version mismatch / structural validation problem;
+    * ``2`` — ``--deep`` only: the file is structurally clean but a
+      deep data-level invariant is violated (consistent-but-wrong); the
+      violated invariant is printed by name.
+    """
     from repro.index.storage import check_index, load_index
     from repro.index.validate import validate_index
 
@@ -248,6 +276,16 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"  problem: {problem}")
         return 1
+    if getattr(args, "deep", False):
+        from repro.analysis import verify_store
+
+        violations = verify_store(args.index)
+        if violations:
+            print(f"index BAD: {summary['path']}")
+            print("  diagnosis: invariant-violation")
+            for violation in violations:
+                print(f"  invariant violated: {violation.render()}")
+            return 2
     print(f"index OK: {summary['path']}")
     for key in ("size_bytes", "documents", "total_nodes",
                 "entity_nodes", "element_nodes", "keywords",
@@ -256,6 +294,28 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
     if "shards" in summary:
         print(f"  {'shards':>14}: {summary['shards']} "
               f"[{summary['strategy']}]")
+    if getattr(args, "deep", False):
+        from repro.analysis import INVARIANT_NAMES
+
+        print(f"  {'deep audit':>14}: {len(INVARIANT_NAMES)} "
+              f"invariants OK")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules; exit 1 when any finding survives."""
+    from repro.analysis import lint_paths, rule_catalog
+
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"gks lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -21,12 +21,12 @@ The clock is injectable so deadline tests never sleep (see
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError
 from repro.obs.metrics import global_registry
+from repro.obs.trace import DEFAULT_CLOCK
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ class SearchBudget:
         self.max_sl = max_sl
         self.max_nodes = max_nodes
         self.recovery_k = recovery_k
-        self._clock = clock if clock is not None else time.perf_counter
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
         self._started: float | None = None
         self.report: DegradationReport | None = None
 

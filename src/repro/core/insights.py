@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ValidationError
 from repro.core.query import Query
 from repro.core.results import GKSResponse
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
@@ -88,7 +89,7 @@ def attribute_nodes_of(entity: XMLNode,
     of the subtree), so no index is needed.
     """
     if mode not in ("context", "attributes"):
-        raise ValueError(f"unknown R(e) mode {mode!r}")
+        raise ValidationError(f"unknown R(e) mode {mode!r}")
     attributes: list[XMLNode] = []
     if mode == "attributes":
         _collect_strict(entity, attributes)

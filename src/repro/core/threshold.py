@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.core.query import Query
 from repro.core.search import search
 from repro.index.builder import GKSIndex
@@ -54,7 +55,7 @@ def suggest_s(index: GKSIndex, query: Query,
     returns |Q| (AND semantics), for scattershot keywords it returns 1.
     """
     if min_results < 1:
-        raise ValueError(f"min_results must be positive: {min_results}")
+        raise ValidationError(f"min_results must be positive: {min_results}")
     profile = s_profile(index, query)
     for s in range(len(query.keywords), 0, -1):
         if profile.counts.get(s, 0) >= min_results:

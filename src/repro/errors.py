@@ -17,7 +17,7 @@ from dataclasses import dataclass
 __all__ = [
     "ConfigError", "DatasetError", "DeweyError", "DocumentLoadError",
     "GKSError", "IndexError_", "IngestFailure", "QueryError",
-    "SearchTimeout", "StorageError", "XMLSyntaxError",
+    "SearchTimeout", "StorageError", "ValidationError", "XMLSyntaxError",
 ]
 
 
@@ -142,6 +142,19 @@ class ConfigError(GKSError, ValueError):
     counts).  It still *is* a ``ValueError``, so legacy ``except
     ValueError`` call sites keep working, while new code can catch the
     :class:`GKSError` family alone.
+    """
+
+
+class ValidationError(GKSError, ValueError):
+    """Raised when a caller-supplied argument violates a function contract.
+
+    The typed replacement for the ad-hoc ``ValueError``\\ s library code
+    used to raise for bad arguments (non-positive cutoffs, out-of-range
+    fractions, mismatched doc ids).  Like :class:`ConfigError` it still
+    *is* a ``ValueError``, so legacy ``except ValueError`` call sites
+    keep working, while new code can catch the :class:`GKSError` family
+    alone.  The distinction from :class:`ConfigError`: that one is for
+    engine/tuning configuration, this one for per-call arguments.
     """
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.errors import ValidationError
 from repro.core.results import GKSResponse
 
 
@@ -61,7 +62,7 @@ def overlap_at(left: Sequence[Hashable], right: Sequence[Hashable],
                k: int) -> float:
     """|top-k(L) ∩ top-k(R)| / k."""
     if k < 1:
-        raise ValueError(f"k must be positive: {k}")
+        raise ValidationError(f"k must be positive: {k}")
     head_left = set(list(left)[:k])
     head_right = set(list(right)[:k])
     return len(head_left & head_right) / k

@@ -8,13 +8,14 @@ enough to eyeball linearity and crossovers in ``benchmarks/results``.
 from __future__ import annotations
 
 from typing import Sequence
+from repro.errors import ValidationError
 
 
 def render_bar_chart(title: str, points: Sequence[tuple[object, float]],
                      width: int = 50, y_label: str = "") -> str:
     """One bar per (label, value) pair, scaled to *width* characters."""
     if width < 1:
-        raise ValueError(f"width must be positive: {width}")
+        raise ValidationError(f"width must be positive: {width}")
     lines = [title]
     if not points:
         lines.append("(no data)")

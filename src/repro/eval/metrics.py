@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.errors import ValidationError
 from repro.core.results import GKSResponse
 from repro.xmltree.dewey import Dewey
 
@@ -28,7 +29,7 @@ def rank_score_from_positions(positions: Sequence[int]) -> float:
     if not positions:
         return 0.0
     if min(positions) < 1:
-        raise ValueError(f"positions are 1-based: {sorted(positions)}")
+        raise ValidationError(f"positions are 1-based: {sorted(positions)}")
     worst = max(positions)
     achieved = sum(worst + 1 - position for position in positions)
     ideal = worst * (worst + 1) / 2
@@ -53,7 +54,7 @@ def precision_at(ranked: Sequence[Dewey], relevant: Iterable[Dewey],
                  cutoff: int) -> float:
     """Fraction of the top-*cutoff* results that are relevant."""
     if cutoff <= 0:
-        raise ValueError(f"cutoff must be positive: {cutoff}")
+        raise ValidationError(f"cutoff must be positive: {cutoff}")
     wanted = set(relevant)
     head = list(ranked)[:cutoff]
     if not head:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.core.query import Query
 from repro.index.builder import GKSIndex
 
@@ -42,9 +43,9 @@ def generate_queries(index: GKSIndex,
                      spec: WorkloadSpec = WorkloadSpec()) -> list[Query]:
     """A deterministic batch of queries against *index*'s vocabulary."""
     if spec.min_keywords < 1 or spec.max_keywords < spec.min_keywords:
-        raise ValueError(f"bad keyword bounds in {spec}")
+        raise ValidationError(f"bad keyword bounds in {spec}")
     if not 0.0 <= spec.selectivity <= 1.0:
-        raise ValueError(f"selectivity must be in [0, 1]: {spec}")
+        raise ValidationError(f"selectivity must be in [0, 1]: {spec}")
 
     vocabulary = vocabulary_by_frequency(index)
     if not vocabulary:

@@ -16,8 +16,8 @@ streaming parser — the latter never builds a tree.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import IndexError_
 from repro.index.categorize import StreamingCategorizer
@@ -25,6 +25,7 @@ from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
 from repro.index.statistics import IndexStats
 from repro.obs.metrics import global_registry
+from repro.obs.trace import DEFAULT_CLOCK
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.events import EndElement, StartElement, Text
@@ -87,10 +88,14 @@ class IndexBuilder:
     index_tags:
         Also index element names (default on — the paper's QM2 searches the
         tags ``country`` and ``name``).  The ablation bench A3 turns it off.
+    clock:
+        Injectable time source for ``stats.build_seconds`` (defaults to
+        the tracer clock, :data:`repro.obs.trace.DEFAULT_CLOCK`).
     """
 
     def __init__(self, analyzer: Analyzer = DEFAULT_ANALYZER,
-                 index_tags: bool = True) -> None:
+                 index_tags: bool = True,
+                 clock: Callable[[], float] | None = None) -> None:
         self.analyzer = analyzer
         self.index_tags = index_tags
         self._inverted = InvertedIndex()
@@ -98,7 +103,8 @@ class IndexBuilder:
         self._stats = IndexStats()
         self._names: list[str] = []
         self._built = False
-        self._started = time.perf_counter()
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
+        self._started = self._clock()
 
     # ------------------------------------------------------------------
     # Feeding documents
@@ -228,7 +234,7 @@ class IndexBuilder:
         """Finish and return the index (builder becomes unusable)."""
         self._check_open()
         self._built = True
-        self._stats.build_seconds = time.perf_counter() - self._started
+        self._stats.build_seconds = self._clock() - self._started
         registry = global_registry()
         registry.counter("gks_index_builds_total",
                          help="Indexes built in this process.").inc()

@@ -78,8 +78,18 @@ def _canonical(payload: dict) -> str:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
-def _crc(payload: dict) -> int:
+def payload_crc32(payload: dict) -> int:
+    """CRC32 of the canonical serialization of *payload*.
+
+    Public so the deep invariant verifier
+    (:mod:`repro.analysis.invariants`) and the fault injectors
+    (:class:`repro.testing.faults.IndexCorruptor`) compute byte-identical
+    checksums to the ones embedded at save time.
+    """
     return zlib.crc32(_canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+
+
+_crc = payload_crc32
 
 
 def _sharded_envelope(index: ShardedIndex) -> dict:
@@ -175,7 +185,17 @@ def load_index(path: str | Path) -> GKSIndex | ShardedIndex:
     return index
 
 
-def _load_index(path: str | Path) -> GKSIndex | ShardedIndex:
+def read_envelope(path: str | Path) -> dict:
+    """Read the raw persisted envelope without rebuilding the index.
+
+    This is the *unrepaired* on-disk view: posting lists come back in
+    exactly the stored order (``load_index`` re-sorts them through
+    :meth:`InvertedIndex.from_mapping`, which hides on-disk corruption
+    the CRC alone cannot prove intentional).  The deep invariant
+    verifier audits this raw form.  Raises :class:`StorageError` with
+    the usual ``diagnosis`` for unreadable/truncated/corrupted files
+    and unknown format versions.
+    """
     path = Path(path)
     try:
         with gzip.open(path, "rt", encoding="utf-8") as handle:
@@ -202,6 +222,35 @@ def _load_index(path: str | Path) -> GKSIndex | ShardedIndex:
         raise StorageError(
             f"unsupported index format version {version!r} in {path}",
             diagnosis="version-mismatch", path=path)
+    return envelope
+
+
+def write_envelope(envelope: dict, path: str | Path) -> Path:
+    """Write a raw *envelope* back to *path* (gzip + compact JSON).
+
+    The inverse of :func:`read_envelope`, for tools that edit the
+    persisted form directly — chiefly the fault injector
+    (:class:`repro.testing.faults.IndexCorruptor`), which mutates a
+    payload and recomputes its CRCs so the file stays *structurally*
+    clean while violating a deep invariant.  No atomicity: this is a
+    test/diagnostic surface, not the durability path (`save_index`).
+    """
+    path = Path(path)
+    try:
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+                handle.write(json.dumps(envelope, separators=(",", ":"))
+                             .encode("utf-8"))
+    except OSError as exc:
+        raise StorageError(f"cannot write index to {path}: {exc}",
+                           diagnosis="unwritable", path=path) from exc
+    return path
+
+
+def _load_index(path: str | Path) -> GKSIndex | ShardedIndex:
+    path = Path(path)
+    envelope = read_envelope(path)
+    version = envelope.get("version")
 
     if version == FORMAT_VERSION_SHARDED:
         return _sharded_from_envelope(envelope, path)

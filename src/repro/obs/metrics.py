@@ -15,6 +15,7 @@ values pass their own :class:`MetricsRegistry` or call
 from __future__ import annotations
 
 import json
+from repro.errors import ConfigError, ValidationError
 
 #: Histogram bucket upper bounds for second-valued durations.
 DEFAULT_SECONDS_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -50,7 +51,7 @@ class Counter:
     def inc(self, amount: float = 1,
             labels: dict[str, str] | None = None) -> None:
         if amount < 0:
-            raise ValueError(f"counter {self.name} cannot decrease: "
+            raise ValidationError(f"counter {self.name} cannot decrease: "
                              f"{amount}")
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
@@ -124,7 +125,7 @@ class Histogram:
                  buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
                  ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError(f"histogram {name} buckets must be a sorted "
+            raise ConfigError(f"histogram {name} buckets must be a sorted "
                              f"non-empty sequence: {buckets}")
         self.name = name
         self.help = help
@@ -208,7 +209,7 @@ class MetricsRegistry:
             metric = kind(name, **kwargs)
             self._metrics[name] = metric
         elif not isinstance(metric, kind):
-            raise ValueError(
+            raise ConfigError(
                 f"metric {name!r} already registered as {metric.kind}, "
                 f"requested {kind.kind}")
         return metric

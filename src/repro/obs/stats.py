@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, replace
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -104,9 +105,9 @@ class SlowQueryLog:
     def __init__(self, threshold_s: float = 0.5, capacity: int = 128,
                  wall_clock=None) -> None:
         if threshold_s < 0:
-            raise ValueError(f"threshold_s must be >= 0: {threshold_s}")
+            raise ConfigError(f"threshold_s must be >= 0: {threshold_s}")
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1: {capacity}")
+            raise ConfigError(f"capacity must be >= 1: {capacity}")
         self.threshold_s = threshold_s
         self._entries: deque[SlowQuery] = deque(maxlen=capacity)
         self._wall_clock = wall_clock if wall_clock is not None else time.time

@@ -18,6 +18,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterator
 
+#: The process-wide monotonic clock all pipeline timing flows through.
+#: Core and index code must read time via this name (or an injected
+#: clock) rather than calling ``time.perf_counter`` directly, so every
+#: duration in the system answers to one injectable source — the lint
+#: rule T001 enforces this discipline mechanically.
+DEFAULT_CLOCK: Callable[[], float] = time.perf_counter
+
 
 class Span:
     """One timed region: a node of the trace tree."""
@@ -104,7 +111,7 @@ class Tracer:
     enabled = True
 
     def __init__(self, clock: Callable[[], float] | None = None) -> None:
-        self.clock = clock if clock is not None else time.perf_counter
+        self.clock = clock if clock is not None else DEFAULT_CLOCK
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
@@ -174,7 +181,7 @@ class NullTracer:
     __slots__ = ("clock",)
 
     def __init__(self, clock: Callable[[], float] | None = None) -> None:
-        self.clock = clock if clock is not None else time.perf_counter
+        self.clock = clock if clock is not None else DEFAULT_CLOCK
 
     def span(self, name: str, **attributes) -> _NullSpan:
         return _NULL_SPAN

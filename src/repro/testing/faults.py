@@ -1,8 +1,9 @@
 """Deterministic, seedable fault injectors.
 
 Resilience claims are only testable when the faults are reproducible.
-This module provides the three injectors the ``tests/test_resilience.py``
-suite and ``benchmarks/bench_robustness.py`` build on:
+This module provides the injectors the ``tests/test_resilience.py`` and
+``tests/test_analysis.py`` suites and ``benchmarks/bench_robustness.py``
+build on:
 
 * :class:`XMLCorruptor` — byte-level corruption of XML text that is
   *guaranteed* to make the strict parser reject the document (each
@@ -11,6 +12,9 @@ suite and ``benchmarks/bench_robustness.py`` build on:
 * :class:`TornWriter` — simulates a crash mid-write by truncating a file
   at a deterministic cut point (what a power loss during a non-atomic
   write leaves behind),
+* :class:`IndexCorruptor` — *semantic* corruption of saved index files
+  with every CRC recomputed, producing consistent-but-wrong stores only
+  the deep invariant audit (``gks check-index --deep``) can detect,
 * :class:`FakeClock` — an injectable time source for
   :class:`repro.core.budget.SearchBudget`, so deadline tests never sleep.
 
@@ -23,7 +27,7 @@ from __future__ import annotations
 import random
 from pathlib import Path
 
-from repro.errors import XMLSyntaxError
+from repro.errors import ValidationError, XMLSyntaxError
 from repro.xmltree.parser import iter_events
 
 
@@ -140,7 +144,7 @@ def corrupt_corpus(texts: list[str], fraction: float,
     the seeded RNG, each verified malformed.
     """
     if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        raise ValidationError(f"fraction must be in [0, 1]: {fraction}")
     rng = random.Random(seed)
     count = round(len(texts) * fraction)
     victims = set(rng.sample(range(len(texts)), count))
@@ -148,6 +152,140 @@ def corrupt_corpus(texts: list[str], fraction: float,
     mutated = [corruptor.corrupt(text) if position in victims else text
                for position, text in enumerate(texts)]
     return mutated, victims
+
+
+class IndexCorruptor:
+    """Semantic corruption of saved indexes that checksums cannot see.
+
+    Where :class:`TornWriter` produces *structurally* broken files (bad
+    gzip/CRC — ``load_index`` refuses them, ``gks check-index`` exits 1),
+    this injector produces **consistent-but-wrong** files: it edits the
+    persisted payload and then *recomputes every CRC*, so the file loads
+    cleanly and only the deep invariant audit
+    (:func:`repro.analysis.verify_store`, ``gks check-index --deep``,
+    exit 2) can tell it from a healthy index.
+
+    Deferred imports keep :mod:`repro.testing` importable without the
+    index layer loaded.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _reseal(envelope: dict, path: Path) -> Path:
+        """Recompute all CRCs bottom-up and write the envelope back."""
+        from repro.index.storage import payload_crc32, write_envelope
+        if envelope.get("version") == 3:
+            manifest = envelope["manifest"]
+            for entry, payload in zip(manifest.get("shards", ()),
+                                      envelope.get("shards", ())):
+                entry["crc32"] = payload_crc32(payload)
+            envelope["crc32"] = payload_crc32(manifest)
+        else:
+            envelope["crc32"] = payload_crc32(envelope.get("payload", {}))
+        return write_envelope(envelope, path)
+
+    def _pick_payload(self, envelope: dict,
+                      want: str = "postings") -> dict:
+        """A payload dict holding a non-empty *want* mapping."""
+        if envelope.get("version") == 3:
+            candidates = [payload for payload in envelope.get("shards", ())
+                          if payload.get(want)]
+        else:
+            payload = envelope.get("payload", envelope)
+            candidates = [payload] if payload.get(want) else []
+        if not candidates:
+            raise ValidationError(
+                f"index file has no non-empty {want!r} to corrupt")
+        return self._rng.choice(candidates)
+
+    # -- public API -----------------------------------------------------
+    def corrupt_postings(self, path: str | Path) -> Path:
+        """Break posting-list order in place (CRCs recomputed).
+
+        Picks a posting list with at least two entries and either swaps
+        its first and last entries (order violation) or duplicates an
+        entry (strictness violation) — the seeded RNG decides.  The
+        resulting file still loads (``from_mapping`` would silently
+        re-sort it), but the raw-envelope audit reports
+        ``postings-sorted``.
+        """
+        from repro.index.storage import read_envelope
+        path = Path(path)
+        envelope = read_envelope(path)
+        payload = self._pick_payload(envelope, "postings")
+        postings = payload["postings"]
+        plural = [keyword for keyword, entries in sorted(postings.items())
+                  if len(entries) >= 2]
+        if plural:
+            keyword = self._rng.choice(plural)
+            entries = postings[keyword]
+            if self._rng.random() < 0.5:
+                entries[0], entries[-1] = entries[-1], entries[0]
+                if entries == sorted(entries):   # palindromic swap: force
+                    entries.insert(0, entries[-1])
+            else:
+                entries.append(entries[self._rng.randrange(len(entries))])
+        else:
+            # every list is a singleton: duplicate one entry
+            keyword = self._rng.choice(sorted(postings))
+            postings[keyword].append(postings[keyword][0])
+        return self._reseal(envelope, path)
+
+    def drop_manifest_document(self, path: str | Path) -> Path:
+        """Unassign one document from the v3 shard manifest (CRCs resealed).
+
+        Removes a document id from its owning shard's ``doc_ids`` entry,
+        so the manifest no longer partitions the document set — the
+        classic silent data-loss shape scatter-gather cannot detect at
+        query time.  The deep audit reports ``shard-partition``.
+        """
+        from repro.index.storage import read_envelope
+        path = Path(path)
+        envelope = read_envelope(path)
+        if envelope.get("version") != 3:
+            raise ValidationError(
+                f"{path} is not a sharded (v3) index file")
+        entries = [entry for entry in
+                   envelope["manifest"].get("shards", ())
+                   if entry.get("doc_ids")]
+        if not entries:
+            raise ValidationError(f"{path} assigns no documents to drop")
+        entry = self._rng.choice(entries)
+        doc_ids = list(entry["doc_ids"])
+        doc_ids.pop(self._rng.randrange(len(doc_ids)))
+        entry["doc_ids"] = doc_ids
+        return self._reseal(envelope, path)
+
+    def skew_child_count(self, path: str | Path) -> Path:
+        """Desynchronise a dual-role node's two hash-table counts.
+
+        Finds a node present in both ``entity_hash`` and
+        ``element_hash`` and bumps one side, violating
+        ``hash-cross-consistency``.  When no dual-role node exists it
+        negates a count in whichever table is populated — also a
+        ``hash-cross-consistency`` violation.
+        """
+        from repro.index.storage import read_envelope
+        path = Path(path)
+        envelope = read_envelope(path)
+        try:
+            payload = self._pick_payload(envelope, "entity_hash")
+        except ValidationError:
+            payload = self._pick_payload(envelope, "element_hash")
+        entity = payload.get("entity_hash", {})
+        element = payload.get("element_hash", {})
+        dual = sorted(set(entity) & set(element))
+        if dual:
+            key = self._rng.choice(dual)
+            entity[key] = entity[key] + 1 + self._rng.randrange(3)
+        else:
+            table = entity if entity else element
+            key = self._rng.choice(sorted(table))
+            table[key] = -abs(table[key]) - 1
+        return self._reseal(envelope, path)
 
 
 class TornWriter:
@@ -175,7 +313,7 @@ class TornWriter:
                                       max(2, 3 * len(data) // 4))
         else:
             if not 0.0 < fraction < 1.0:
-                raise ValueError(f"fraction must be in (0, 1): {fraction}")
+                raise ValidationError(f"fraction must be in (0, 1): {fraction}")
             cut = max(1, int(len(data) * fraction))
         path.write_bytes(data[:cut])
         return path

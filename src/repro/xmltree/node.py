@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro.errors import ValidationError
 from repro.xmltree import dewey as dw
 from repro.xmltree.dewey import Dewey
 
@@ -121,10 +122,11 @@ class XMLNode:
     def path_from(self, ancestor: "XMLNode") -> list["XMLNode"]:
         """Nodes on the path *ancestor* → … → self, both ends included.
 
-        Raises ``ValueError`` when *ancestor* is not an ancestor-or-self.
+        Raises :class:`~repro.errors.ValidationError` when *ancestor* is
+        not an ancestor-or-self.
         """
         if not dw.is_ancestor_or_self(ancestor.dewey, self.dewey):
-            raise ValueError(
+            raise ValidationError(
                 f"{dw.format_dewey(ancestor.dewey)} is not an ancestor of "
                 f"{dw.format_dewey(self.dewey)}")
         chain: list[XMLNode] = [self]

@@ -42,7 +42,7 @@ import enum
 
 from typing import Iterable, Iterator
 
-from repro.errors import XMLSyntaxError
+from repro.errors import ConfigError, XMLSyntaxError
 from repro.xmltree.events import (Comment, EndElement, ParseEvent,
                                   ProcessingInstruction, StartElement, Text)
 from repro.xmltree.node import XMLNode
@@ -75,7 +75,7 @@ class RecoveryPolicy(enum.Enum):
             return cls(value)
         except ValueError:
             choices = ", ".join(policy.value for policy in cls)
-            raise ValueError(
+            raise ConfigError(
                 f"unknown recovery policy {value!r} (choose from {choices})")
 
 

@@ -14,7 +14,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import (DocumentLoadError, GKSError, IngestFailure,
+from repro.errors import (DocumentLoadError,
+                          GKSError,
+                          IngestFailure,
+                          ValidationError,
                           XMLSyntaxError)
 from repro.obs.metrics import global_registry
 from repro.xmltree import dewey as dw
@@ -69,7 +72,7 @@ class Repository:
         """Add *document*; its doc number must equal its position."""
         expected = len(self._documents)
         if document.doc_id != expected:
-            raise ValueError(
+            raise ValidationError(
                 f"document {document.name!r} has doc id {document.doc_id}, "
                 f"expected {expected}; use add_root()/parse to renumber")
         self._documents.append(document)
@@ -196,7 +199,7 @@ class Repository:
         three times the size — the Fig. 10 scalability workload.
         """
         if times < 1:
-            raise ValueError(f"replication factor must be >= 1: {times}")
+            raise ValidationError(f"replication factor must be >= 1: {times}")
         replicated = Repository()
         for round_no in range(times):
             for document in self._documents:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import ValidationError
 from repro.xmltree import dewey as dw
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
@@ -19,7 +20,7 @@ class XMLDocument:
 
     def __init__(self, root: XMLNode, name: str | None = None) -> None:
         if len(root.dewey) != 1:
-            raise ValueError(
+            raise ValidationError(
                 f"document root must have a one-component Dewey id, got "
                 f"{dw.format_dewey(root.dewey)}")
         self.root = root
