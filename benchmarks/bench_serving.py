@@ -1,0 +1,137 @@
+"""Concurrent-serving benchmark: capacity, coalescing and overload.
+
+Three stages against a :class:`~repro.serve.core.ServerCore` broker over
+the replicated figure-2a corpus, each with its own private metrics
+registry so the counters can be reconciled against the load report:
+
+1. **Capacity** — closed-loop throughput and p50/p95/p99 latency at
+   concurrency ∈ {1, 4, 8}.
+2. **Coalescing** — an open-loop burst of identical queries against a
+   deliberately slow engine; duplicates must ride the in-flight leader
+   (one engine call, ``gks_serve_coalesced_total`` picks up the rest).
+3. **Overload** — open-loop arrivals well above capacity with a small
+   queue and a per-request deadline; the broker must shed the excess at
+   admission (``gks_serve_shed_total`` accounts for every shed) while
+   the requests it *does* accept still answer within the deadline.
+
+The record lands in ``benchmarks/results/BENCH_serving.json``.
+Throughput numbers are machine-dependent and recorded, not asserted;
+the coalesce/shed/deadline invariants are asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import EngineConfig, GKSEngine, Texts
+from repro.datasets.registry import load_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (LoadGenerator, OpenLoopSchedule, ServeConfig,
+                         ServerCore)
+from repro.testing import SlowEngine
+from repro.xmltree.serialize import serialize_document
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
+
+CORPUS_DOCUMENTS = 24
+CONCURRENCY_LEVELS = (1, 4, 8)
+CLOSED_ITERATIONS = 30
+QUERIES = ["karen mike", "data mining students", "student karen mike john"]
+
+COALESCE_DELAY_S = 0.05
+COALESCE_BURST = 8
+
+OVERLOAD_DELAY_S = 0.02
+OVERLOAD_RATE_RPS = 200.0
+OVERLOAD_COUNT = 40
+OVERLOAD_DEADLINE_S = 0.5
+# scheduler jitter allowance on top of the hard deadline: the budget is
+# checked at stage boundaries, so a request admitted with headroom can
+# overshoot by one OS scheduling quantum, not by a stage
+OVERLOAD_SLACK_S = 0.1
+
+
+def _engine() -> GKSEngine:
+    document = load_dataset("figure2a")[0]
+    texts = [serialize_document(document)] * CORPUS_DOCUMENTS
+    return GKSEngine.open(Texts(texts), config=EngineConfig())
+
+
+def _capacity_stage(engine: GKSEngine) -> dict:
+    levels: dict[str, dict] = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        registry = MetricsRegistry()
+        with ServerCore(engine, ServeConfig(workers=4),
+                        registry=registry) as core:
+            report = LoadGenerator(core).run_closed(
+                QUERIES, concurrency=concurrency,
+                iterations=CLOSED_ITERATIONS, s=1)
+        record = report.to_dict()
+        assert report.completed == concurrency * CLOSED_ITERATIONS, \
+            record  # closed loops never shed: offered load self-limits
+        levels[str(concurrency)] = record
+        print(f"  concurrency {concurrency}: {report.render()}")
+    return levels
+
+
+def _coalesce_stage(engine: GKSEngine) -> dict:
+    registry = MetricsRegistry()
+    slow = SlowEngine(engine, delay_s=COALESCE_DELAY_S)
+    with ServerCore(slow, ServeConfig(workers=1),
+                    registry=registry) as core:
+        schedule = OpenLoopSchedule.uniform(
+            rate_rps=1000.0, count=COALESCE_BURST,
+            queries=[QUERIES[0]], s=1)
+        report = LoadGenerator(core).run_open(schedule)
+        coalesced = registry.counter("gks_serve_coalesced_total").total()
+    assert report.completed == COALESCE_BURST, report.to_dict()
+    assert coalesced >= 1, "duplicate burst produced no coalescing"
+    assert slow.calls + coalesced == COALESCE_BURST, \
+        (slow.calls, coalesced)  # every request: computed or coalesced
+    print(f"  coalesce: {report.render()} | {slow.calls} engine call(s), "
+          f"{coalesced} coalesced")
+    return {"burst": COALESCE_BURST, "engine_calls": slow.calls,
+            "coalesced_total": coalesced, "report": report.to_dict()}
+
+
+def _overload_stage(engine: GKSEngine) -> dict:
+    registry = MetricsRegistry()
+    slow = SlowEngine(engine, delay_s=OVERLOAD_DELAY_S)
+    config = ServeConfig(workers=1, queue_capacity=2, coalesce=False)
+    with ServerCore(slow, config, registry=registry) as core:
+        schedule = OpenLoopSchedule.uniform(
+            rate_rps=OVERLOAD_RATE_RPS, count=OVERLOAD_COUNT,
+            queries=QUERIES, s=1, deadline_s=OVERLOAD_DEADLINE_S)
+        report = LoadGenerator(core).run_open(schedule)
+        shed_total = registry.counter("gks_serve_shed_total").total()
+    assert report.shed > 0, \
+        "offered load 4x capacity must overflow a 2-slot queue"
+    assert shed_total == report.shed, (shed_total, report.shed)
+    p99 = report.latency_percentiles()["p99"]
+    assert p99 <= OVERLOAD_DEADLINE_S + OVERLOAD_SLACK_S, \
+        f"accepted p99 {p99:.3f}s blew the {OVERLOAD_DEADLINE_S}s deadline"
+    print(f"  overload: {report.render()} | shed_total={shed_total}")
+    return {"offered_rps": OVERLOAD_RATE_RPS, "count": OVERLOAD_COUNT,
+            "deadline_s": OVERLOAD_DEADLINE_S, "shed_total": shed_total,
+            "accepted_p99_s": p99, "report": report.to_dict()}
+
+
+def test_serving_benchmark_report():
+    engine = _engine()
+    print()
+    started = time.perf_counter()
+    record = {
+        "cpu_count": os.cpu_count(),
+        "corpus_documents": CORPUS_DOCUMENTS,
+        "closed_loop_by_concurrency": _capacity_stage(engine),
+        "coalesce": _coalesce_stage(engine),
+        "overload": _overload_stage(engine),
+    }
+    record["bench_seconds"] = time.perf_counter() - started
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print(f"serving bench -> {RESULTS_PATH}")

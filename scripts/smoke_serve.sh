@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Serving smoke test: boot `gks serve` on an ephemeral port over the toy
+# corpus (with an injected per-query delay so requests overlap), fire
+# concurrent duplicate queries, and assert from /metrics that the broker
+# coalesced them onto one in-flight computation.  Finish with a SIGTERM
+# and require a clean drain.
+#
+# Usage:  bash scripts/smoke_serve.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== generate toy corpus =="
+python -m repro dataset figure2a -o "$WORKDIR"
+
+echo "== boot gks serve on an ephemeral port =="
+python -m repro serve "$WORKDIR"/figure2a_0.xml \
+    --port 0 --serve-workers 2 --slow-ms 300 \
+    >"$WORKDIR/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$WORKDIR/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q "listening on" "$WORKDIR/serve.log" || {
+    echo "FAIL: server never reported its address" >&2
+    cat "$WORKDIR/serve.log" >&2; exit 1; }
+PORT="$(sed -n 's#.*http://[^:]*:\([0-9]*\).*#\1#p' "$WORKDIR/serve.log")"
+BASE="http://127.0.0.1:$PORT"
+echo "serving on $BASE"
+
+echo "== healthz =="
+curl -fsS "$BASE/healthz"
+echo
+
+echo "== concurrent duplicate queries =="
+for n in 1 2 3 4; do
+    curl -fsS "$BASE/search?q=karen+mike&s=2" >"$WORKDIR/resp.$n" &
+done
+wait %2 %3 %4 %5
+for n in 1 2 3 4; do
+    grep -q '"nodes"' "$WORKDIR/resp.$n" || {
+        echo "FAIL: response $n carried no nodes payload" >&2; exit 1; }
+done
+cmp -s "$WORKDIR/resp.1" "$WORKDIR/resp.2" || {
+    echo "FAIL: duplicate queries answered differently" >&2; exit 1; }
+
+echo "== coalescing visible in /metrics =="
+METRICS="$(curl -fsS "$BASE/metrics")"
+COALESCED="$(awk '/^gks_serve_coalesced_total/ {print int($2)}' \
+    <<<"$METRICS" | tail -1)"
+echo "gks_serve_coalesced_total = ${COALESCED:-absent}"
+[ "${COALESCED:-0}" -gt 0 ] || {
+    echo "FAIL: concurrent duplicates were not coalesced" >&2
+    grep "^gks_serve" <<<"$METRICS" >&2; exit 1; }
+
+echo "== SIGTERM drains cleanly =="
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || {
+    echo "FAIL: server exited with status $STATUS" >&2
+    cat "$WORKDIR/serve.log" >&2; exit 1; }
+grep -q "drained" "$WORKDIR/serve.log" || {
+    echo "FAIL: server never printed its drain summary" >&2; exit 1; }
+tail -1 "$WORKDIR/serve.log"
+
+echo "smoke_serve OK"

@@ -29,13 +29,15 @@ from repro.core import (DegradationReport, EngineConfig, GKSEngine,
                         RankedNode, Refinement, SearchBudget, Texts, search,
                         search_top_k, sharded_search, sharded_top_k)
 from repro.datasets import load_dataset
-from repro.errors import ConfigError, GKSError, SearchTimeout, StorageError
+from repro.errors import (ConfigError, GKSError, Overloaded, SearchTimeout,
+                          StorageError)
 from repro.index import (GKSIndex, IndexBuilder, NodeCategory,
                          ParallelIndexBuilder, ShardedIndex,
                          append_document, build_index, build_sharded_index,
                          categorize_tree, load_index, remove_last_document,
                          save_index)
 from repro.schema import build_schema_index, infer_schema
+from repro.serve import ServeConfig, ServerCore
 from repro.text import Analyzer
 from repro.xmltree import (IngestFailure, RecoveryPolicy, Repository,
                            XMLDocument, XMLNode, parse_document,
@@ -48,9 +50,10 @@ __all__ = [
     "GKSEngine", "GKSError", "GKSIndex",
     "GKSResponse", "IndexBuilder", "IngestFailure",
     "Insight", "InsightReport", "NodeCategory", "ParallelIndexBuilder",
-    "Paths", "Query", "RankedNode",
+    "Overloaded", "Paths", "Query", "RankedNode",
     "RecoveryPolicy", "Refinement", "Repository", "SearchBudget",
-    "SearchTimeout", "ShardedIndex", "StorageError", "Texts",
+    "SearchTimeout", "ServeConfig", "ServerCore",
+    "ShardedIndex", "StorageError", "Texts",
     "XMLDocument", "XMLNode", "aggregate",
     "append_document", "build_index", "build_schema_index",
     "build_sharded_index",

@@ -3,7 +3,7 @@
 The repository's layering (DESIGN.md §5.4)::
 
     errors  →  text, xmltree  →  index, schema  →  core, obs
-            →  baselines, eval  →  cli, shell
+            →  serve, baselines, eval  →  cli, shell
 
 ``L001`` flags a module whose *top-level* imports reach a higher layer
 than its own; ``L002`` flags import cycles between packages.  Two
@@ -23,7 +23,7 @@ documented refinements:
 
 Packages the original DAG statement does not name are slotted where
 their dependencies put them: ``datasets``/``testing`` with
-``index``/``schema``; ``analytics``/``analysis`` with
+``index``/``schema``; ``analytics``/``analysis``/``serve`` with
 ``baselines``/``eval``; the ``__init__``/``__main__`` facades with the
 CLI.
 """
@@ -44,6 +44,7 @@ LAYER_OF = {
     "index": 2, "schema": 2, "datasets": 2, "testing": 2,
     "core": 3, "obs": 3,
     "baselines": 4, "eval": 4, "analytics": 4, "analysis": 4,
+    "serve": 4,
     "cli": 5, "shell": 5, "__init__": 5, "__main__": 5,
 }
 

@@ -17,6 +17,9 @@ Subcommands mirror the system's three engines (Fig. 3):
   data-level invariants (exit 2 on violation vs 1 for structural)
 * ``gks lint [PATH...]``               static-analysis rules over the
   source trees (exit 1 on findings; ``--list-rules`` for the catalog)
+* ``gks serve FILE... --port N``       JSON-over-HTTP query serving
+  (``/search``, ``/healthz``, ``/metrics``) with bounded admission and
+  request coalescing; SIGTERM drains gracefully
 
 ``FILE`` arguments ending in ``.json`` are ingested through the JSON
 adapter; everything else is parsed as XML.
@@ -78,7 +81,40 @@ def build_arg_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument("--metrics-json", metavar="PATH",
                             help="write the metrics registry snapshot "
                                  "as JSON to PATH")
+    search_cmd.add_argument("--deadline-ms", type=float, default=None,
+                            help="per-query deadline in milliseconds; an "
+                                 "exhausted deadline degrades the "
+                                 "response rather than failing it")
     _add_sharding_flags(search_cmd)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve queries over JSON/HTTP "
+                      "(/search, /healthz, /metrics)")
+    serve_cmd.add_argument("files", nargs="+", help="XML files to serve")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="listen port (0 picks an ephemeral one; "
+                                "default 8080)")
+    serve_cmd.add_argument("--serve-workers", type=int, default=4,
+                           help="search worker threads (default 4)")
+    serve_cmd.add_argument("--queue-capacity", type=int, default=64,
+                           help="bounded admission queue size; arrivals "
+                                "beyond it are shed with HTTP 429 "
+                                "(default 64)")
+    serve_cmd.add_argument("--deadline-ms", type=float, default=None,
+                           help="default per-request deadline in "
+                                "milliseconds (none by default)")
+    serve_cmd.add_argument("--ttl-s", type=float, default=None,
+                           help="serve-side TTL result cache lifetime "
+                                "in seconds (cache off by default)")
+    serve_cmd.add_argument("--no-coalesce", action="store_true",
+                           help="disable singleflight coalescing of "
+                                "identical in-flight requests")
+    serve_cmd.add_argument("--slow-ms", type=float, default=0.0,
+                           help="testing hook: delay every engine "
+                                "search by this many milliseconds "
+                                "(makes coalescing observable)")
+    _add_sharding_flags(serve_cmd)
 
     topk_cmd = commands.add_parser(
         "topk", help="top-k search with early-terminated ranking")
@@ -197,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "index": _cmd_index,
         "search": _cmd_search,
+        "serve": _cmd_serve,
         "topk": _cmd_topk,
         "di": _cmd_di,
         "categorize": _cmd_categorize,
@@ -375,7 +412,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
     engine = _engine(args.files, args)
     tracer = Tracer() if args.trace else None
-    response = engine.search(args.query, s=args.s, tracer=tracer)
+    budget = None
+    if args.deadline_ms is not None:
+        from repro.core.budget import SearchBudget
+
+        budget = SearchBudget(deadline_s=args.deadline_ms / 1000.0)
+    response = engine.search(args.query, s=args.s, tracer=tracer,
+                             budget=budget)
+    if response.degraded:
+        print(f"warning: {response.degradation.render()}",
+              file=sys.stderr)
     profile = response.profile
     layout = (f", {args.shards} shard(s)" if args.shards > 1 else "")
     print(f"{len(response)} node(s) for {response.query}  "
@@ -398,6 +444,59 @@ def _cmd_search(args: argparse.Namespace) -> int:
             _json.dumps(engine.metrics(), indent=2, sort_keys=True),
             encoding="utf-8")
         print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the JSON/HTTP front end and block until SIGTERM/SIGINT.
+
+    Shutdown contract (scripts/smoke_serve.sh relies on it): on signal
+    the listener stops accepting, the broker drains queued requests,
+    and the process exits 0 after printing a final accounting line.
+    ``httpd.shutdown()`` must run on a *different* thread than
+    ``serve_forever()`` — calling it from the signal handler on the
+    serving thread deadlocks — so the handler spawns one.
+    """
+    import signal
+    import threading
+
+    from repro.serve import ServeConfig, ServerCore, serve_http
+
+    engine = _engine(args.files, args)
+    if args.slow_ms > 0:
+        from repro.testing.faults import SlowEngine
+
+        engine = SlowEngine(engine, delay_s=args.slow_ms / 1000.0)
+    config = ServeConfig(
+        workers=args.serve_workers,
+        queue_capacity=args.queue_capacity,
+        deadline_s=(args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None else None),
+        ttl_s=args.ttl_s,
+        coalesce=not args.no_coalesce)
+    core = ServerCore(engine, config)
+    httpd = serve_http(core, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    print(f"gks serve: listening on http://{host}:{port} "
+          f"({config.workers} worker(s), queue {config.queue_capacity})",
+          flush=True)
+
+    def _shutdown(signum, frame) -> None:
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        httpd.serve_forever()
+    finally:
+        httpd.server_close()
+        core.close()
+        stats = core.stats()
+        print(f"gks serve: drained; {stats['ok']:.0f} ok, "
+              f"{stats['shed']:.0f} shed, "
+              f"{stats['coalesced']:.0f} coalesced, "
+              f"{stats['ttl_hits']:.0f} ttl hit(s), "
+              f"{stats['timeouts']:.0f} timeout(s)", flush=True)
     return 0
 
 

@@ -49,6 +49,12 @@ class DegradationReport:
         Units the stage would have processed unbudgeted, when known.
     elapsed_s:
         Seconds elapsed (by the budget's clock) when the trip happened.
+    remaining_s:
+        Deadline headroom left at the trip
+        (:meth:`SearchBudget.remaining_s`); ``None`` when the budget has
+        no deadline.  A ``max_sl``/``max_nodes`` trip with plenty of
+        ``remaining_s`` tells the serving layer the query was
+        resource-bound, not time-bound.
     """
 
     stage: str
@@ -56,6 +62,7 @@ class DegradationReport:
     processed: int
     total: int | None = None
     elapsed_s: float = 0.0
+    remaining_s: float | None = None
 
     def render(self) -> str:
         of_total = f"/{self.total}" if self.total is not None else ""
@@ -120,18 +127,48 @@ class SearchBudget:
             return 0.0
         return self._clock() - self._started
 
-    def subbudget(self) -> "SearchBudget":
-        """A per-shard child sharing this budget's clock *and* start time.
+    def remaining_s(self) -> float | None:
+        """Deadline headroom: ``deadline_s - elapsed()``, clamped at 0.
 
-        Scatter-gather execution runs one child budget per shard so each
-        shard pipeline polls the **same** wall-clock deadline the
-        monolithic pipeline would — a query that would have timed out
-        unsharded times out sharded at the same instant.  ``max_sl`` and
-        ``max_nodes`` are deliberately *not* copied: the SL cap is
-        applied globally across shards by the gather step, and ranking
-        runs on the parent budget (see :mod:`repro.core.scatter`), so
-        per-shard children only police the shared deadline.
+        ``None`` when the budget has no deadline.  This is the one place
+        deadline arithmetic lives — serve admission polls it to shed
+        already-expired requests before any engine work, scatter-gather
+        children derive their deadlines from it (via
+        :meth:`subbudget`), and every :class:`DegradationReport` carries
+        the value observed at its trip.
         """
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - self.elapsed())
+
+    def subbudget(self, *, rebase: bool = False) -> "SearchBudget":
+        """A child budget policing this budget's deadline.
+
+        With ``rebase=False`` (the scatter-gather default) the child
+        shares this budget's clock *and* start time: each shard pipeline
+        polls the **same** wall-clock deadline the monolithic pipeline
+        would — a query that would have timed out unsharded times out
+        sharded at the same instant.  ``max_sl`` and ``max_nodes`` are
+        deliberately *not* copied: the SL cap is applied globally across
+        shards by the gather step, and ranking runs on the parent budget
+        (see :mod:`repro.core.scatter`), so per-shard children only
+        police the shared deadline.
+
+        With ``rebase=True`` the child's deadline is this budget's
+        :meth:`remaining_s` and it arms fresh at its own
+        :meth:`start` — the shape the serving layer needs: an admission
+        budget starts at arrival, and the engine call receives a rebased
+        child whose deadline already has the queue wait subtracted, so
+        ``engine.search``'s own ``start()`` cannot erase time the
+        request spent waiting.  Resource caps *are* copied here (there
+        is no gather step to apply them globally).
+        """
+        if rebase:
+            return SearchBudget(deadline_s=self.remaining_s(),
+                                max_sl=self.max_sl,
+                                max_nodes=self.max_nodes,
+                                clock=self._clock,
+                                recovery_k=self.recovery_k)
         child = SearchBudget(deadline_s=self.deadline_s,
                              clock=self._clock,
                              recovery_k=self.recovery_k)
@@ -161,9 +198,15 @@ class SearchBudget:
     def _trip(self, stage: str, reason: str, processed: int,
               total: int | None) -> None:
         if self.report is None:  # first trip wins: it names the stage
+            # one clock read for both fields: a second elapsed() call
+            # would advance injected FakeClocks and skew deterministic
+            # deadline tests
+            elapsed = self.elapsed()
+            remaining = (None if self.deadline_s is None
+                         else max(0.0, self.deadline_s - elapsed))
             self.report = DegradationReport(
                 stage=stage, reason=reason, processed=processed,
-                total=total, elapsed_s=self.elapsed())
+                total=total, elapsed_s=elapsed, remaining_s=remaining)
             global_registry().counter(
                 "gks_budget_trips_total",
                 help="Search budget checkpoint trips by stage and reason."

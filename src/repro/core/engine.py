@@ -16,6 +16,7 @@ API::
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import replace
 from pathlib import Path
@@ -84,9 +85,13 @@ class GKSEngine:
         self.index = index
         # LRU response cache; keyed by (keywords, s, ranker); responses
         # are immutable so sharing them is safe.  Invalidated whenever
-        # the corpus changes (add_document).
+        # the corpus changes (add_document).  The lock makes the
+        # pop/evict/insert sequences atomic — the serving layer runs
+        # searches from a worker thread pool, and two threads evicting
+        # the same oldest key would otherwise race into a KeyError.
         self._cache_size = max(0, config.cache_size)
         self._response_cache: dict = {}
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
@@ -223,15 +228,18 @@ class GKSEngine:
         # after GC, which can silently serve another ranker's response).
         cache_key = (query.keywords, query.effective_s, ranker)
         if use_cache:
-            cached = self._response_cache.pop(cache_key, None)
+            with self._cache_lock:
+                cached = self._response_cache.pop(cache_key, None)
+                if cached is not None:
+                    # re-insert to refresh recency: true LRU, not FIFO
+                    self._response_cache[cache_key] = cached
+                    self._count_cache("hits")
+                else:
+                    self._count_cache("misses")
             if cached is not None:
-                # re-insert to refresh recency: true LRU, not FIFO
-                self._response_cache[cache_key] = cached
-                self._count_cache("hits")
                 hit = replace(cached, stats=cached.stats.as_cache_hit())
                 self._record_search(hit, tracer=None)
                 return hit
-            self._count_cache("misses")
         if isinstance(self.index, ShardedIndex):
             from repro.core.scatter import sharded_search
 
@@ -248,13 +256,15 @@ class GKSEngine:
                 f"{response.degradation.render()}",
                 report=response.degradation)
         if use_cache and self._cache_size:
-            if len(self._response_cache) >= self._cache_size:
-                # drop the least recently used entry (dict preserves
-                # insertion order; hits re-insert at the end)
-                oldest = next(iter(self._response_cache))
-                del self._response_cache[oldest]
-                self._count_cache("evictions")
-            self._response_cache[cache_key] = response
+            with self._cache_lock:
+                if (cache_key not in self._response_cache
+                        and len(self._response_cache) >= self._cache_size):
+                    # drop the least recently used entry (dict preserves
+                    # insertion order; hits re-insert at the end)
+                    oldest = next(iter(self._response_cache))
+                    del self._response_cache[oldest]
+                    self._count_cache("evictions")
+                self._response_cache[cache_key] = response
         return response
 
     def search_top_k(self, query: str | Query, k: int,
@@ -361,6 +371,26 @@ class GKSEngine:
         }
 
     # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, config=None, **overrides):
+        """A started :class:`repro.serve.ServerCore` wrapping this engine.
+
+        ``config`` is a :class:`repro.serve.ServeConfig` (defaults used
+        when omitted); keyword ``overrides`` are applied on top via
+        ``ServeConfig.replace``.  Deferred import: serve sits *above*
+        core in the layer DAG, so this plug-point must not import it at
+        module scope.
+        """
+        from repro.serve import ServeConfig, ServerCore
+
+        if config is None:
+            config = ServeConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        return ServerCore(self, config)
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def add_document(self, text: str, name: str | None = None) -> None:
@@ -381,7 +411,8 @@ class GKSEngine:
             else:
                 self.index = append_document(self.index, document)
         finally:
-            self._response_cache.clear()  # cached responses are now stale
+            with self._cache_lock:
+                self._response_cache.clear()  # cached responses now stale
 
     # ------------------------------------------------------------------
     # Analytics (paper §8 future work)

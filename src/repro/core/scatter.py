@@ -27,11 +27,14 @@ admission exactly as :func:`repro.core.search.search` would, and sorts
 by the same total ranking key.
 
 Budget semantics: ``deadline`` is policed per shard by child budgets
-sharing the parent's clock **and start time**; ``max_sl`` is applied
-globally across the shard SLs (the kept prefix is the same
-document-order prefix the monolithic cap keeps); ``max_nodes`` caps the
-single global rank loop.  The first trip — a shard's or the global
-admission's — becomes the combined response's degradation report.
+(:meth:`SearchBudget.subbudget`) sharing the parent's clock **and start
+time**, so every child's :meth:`SearchBudget.remaining_s` reads the same
+headroom the monolithic pipeline would see — all deadline arithmetic
+lives in the budget, none here; ``max_sl`` is applied globally across
+the shard SLs (the kept prefix is the same document-order prefix the
+monolithic cap keeps); ``max_nodes`` caps the single global rank loop.
+The first trip — a shard's or the global admission's — becomes the
+combined response's degradation report.
 """
 
 from __future__ import annotations

@@ -16,8 +16,9 @@ from dataclasses import dataclass
 
 __all__ = [
     "ConfigError", "DatasetError", "DeweyError", "DocumentLoadError",
-    "GKSError", "IndexError_", "IngestFailure", "QueryError",
-    "SearchTimeout", "StorageError", "ValidationError", "XMLSyntaxError",
+    "GKSError", "IndexError_", "IngestFailure", "Overloaded",
+    "QueryError", "SearchTimeout", "StorageError", "ValidationError",
+    "XMLSyntaxError",
 ]
 
 
@@ -123,6 +124,31 @@ class SearchTimeout(GKSError):
 
     def __init__(self, message: str, report=None) -> None:
         self.report = report
+        super().__init__(message)
+
+
+class Overloaded(GKSError):
+    """Raised by the serving layer when a request is load-shed.
+
+    Typed rejection from :class:`repro.serve.ServerCore` admission
+    control: the bounded queue is full, the broker is draining, or the
+    request arrived with no deadline budget left.  Raised *before* any
+    engine work runs — shedding is the cheapest query the server answers.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable rejection class: ``"queue-full"``,
+        ``"draining"`` or ``"deadline"``.
+    retry_after_s:
+        Suggested back-off for the client, when the server can estimate
+        one (the HTTP front end renders it as ``Retry-After``).
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full",
+                 retry_after_s: float | None = None) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
         super().__init__(message)
 
 

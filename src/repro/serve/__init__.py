@@ -1,0 +1,37 @@
+"""Concurrent query serving over a :class:`~repro.core.engine.GKSEngine`.
+
+The serving subsystem in three parts, each importable from here:
+
+* :class:`ServerCore` (:mod:`repro.serve.core`) — the transport-agnostic
+  request broker: worker pool, bounded admission with typed load
+  shedding, per-request deadlines, singleflight coalescing, TTL result
+  cache, graceful drain.
+* :func:`serve_http` (:mod:`repro.serve.http`) — the stdlib JSON/HTTP
+  front end (``/search``, ``/healthz``, ``/metrics``) wired up as
+  ``gks serve``.
+* :class:`LoadGenerator` (:mod:`repro.serve.loadgen`) — open/closed-loop
+  load generation with deterministic arrival schedules, driving
+  ``benchmarks/bench_serving.py``.
+
+Quickstart::
+
+    from repro import GKSEngine
+    from repro.serve import ServeConfig, ServerCore
+
+    engine = GKSEngine.from_texts(corpus)
+    with ServerCore(engine, ServeConfig(workers=4)) as core:
+        response = core.search("keyword query", deadline_s=0.2)
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.core import ServerCore
+from repro.serve.http import ServeHTTPServer, serve_http
+from repro.serve.loadgen import (LoadGenerator, LoadReport, LoadRequest,
+                                 OpenLoopSchedule, RequestOutcome,
+                                 percentile)
+
+__all__ = [
+    "LoadGenerator", "LoadReport", "LoadRequest", "OpenLoopSchedule",
+    "RequestOutcome", "ServeConfig", "ServeHTTPServer", "ServerCore",
+    "percentile", "serve_http",
+]

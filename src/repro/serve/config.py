@@ -1,0 +1,77 @@
+"""Serving configuration (the :class:`ServeConfig` API).
+
+The serving layer mirrors :class:`repro.core.config.EngineConfig`'s
+shape: one frozen, validated record of every tuning knob, with a
+``replace`` that rejects typo'd field names at call time instead of
+silently ignoring them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving tuning knob in one frozen, validated record.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads executing searches off the admission queue.
+    queue_capacity:
+        Bound on requests waiting for a worker.  Admission beyond it is
+        load-shed with :class:`~repro.errors.Overloaded` — the broker
+        never buffers unbounded backlog.
+    deadline_s:
+        Default per-request deadline applied when a request brings none;
+        ``None`` leaves deadline-less requests unbudgeted (they then use
+        the engine's own ``config.budget``, exactly like a direct call).
+    ttl_s:
+        Lifetime of entries in the serve-side TTL result cache; ``None``
+        disables the cache.  The TTL cache sits *above* the engine LRU:
+        it absorbs repeat traffic without even dispatching to a worker.
+    ttl_capacity:
+        Maximum entries in the TTL cache (oldest evicted first).
+    coalesce:
+        Whether identical in-flight requests share one engine search
+        (singleflight).  Disable for timing harnesses that need every
+        submission to do real work.
+    trace:
+        Capture a per-request span tree for every served search (the
+        engine retains them in :meth:`GKSEngine.recent_traces`).
+    """
+
+    workers: int = 4
+    queue_capacity: int = 64
+    deadline_s: float | None = None
+    ttl_s: float | None = None
+    ttl_capacity: int = 256
+    coalesce: bool = True
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1: {self.workers}")
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1: {self.queue_capacity}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be > 0: {self.deadline_s}")
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ConfigError(f"ttl_s must be > 0: {self.ttl_s}")
+        if self.ttl_capacity < 1:
+            raise ConfigError(
+                f"ttl_capacity must be >= 1: {self.ttl_capacity}")
+
+    def replace(self, **overrides) -> "ServeConfig":
+        """A copy with *overrides* applied (re-validated)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown ServeConfig field(s): {sorted(unknown)}")
+        return replace(self, **overrides)

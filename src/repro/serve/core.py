@@ -1,0 +1,403 @@
+"""The transport-agnostic request broker: :class:`ServerCore`.
+
+Every front end (the JSON-over-HTTP server in :mod:`repro.serve.http`,
+the load generator in :mod:`repro.serve.loadgen`, embedding callers via
+:meth:`GKSEngine.serve`) talks to one :class:`ServerCore`, which owns the
+serving-side concerns the engine deliberately does not:
+
+* **Bounded admission.**  Requests wait in a queue of at most
+  ``queue_capacity``; anything beyond is rejected *synchronously* with
+  :class:`~repro.errors.Overloaded` before a single byte of engine work
+  — shedding is the cheapest query the server answers.
+* **Deadlines.**  A request's deadline becomes an *admission budget*
+  armed at arrival; the engine call receives
+  ``admission.subbudget(rebase=True)``, whose deadline is the admission
+  budget's :meth:`~repro.core.budget.SearchBudget.remaining_s` — so time
+  spent waiting in the queue counts against the request, and a request
+  that waited out its whole deadline is failed with
+  :class:`~repro.errors.SearchTimeout` without touching the engine.
+* **Singleflight coalescing.**  N concurrent identical requests
+  (same keywords, ``s``, ranker and ``k``) share one engine search:
+  followers attach to the leader's future.  Only deadline-less requests
+  participate — budgeted responses are request-specific (their degraded
+  shape depends on the budget), mirroring the engine LRU's rule that
+  budgeted responses bypass the cache.
+* **TTL result cache.**  A small time-bounded cache above the engine
+  LRU absorbs repeat traffic without dispatching to a worker at all.
+  Same eligibility rule: deadline-less, non-degraded responses only.
+* **Graceful drain.**  :meth:`drain` sheds new arrivals (reason
+  ``"draining"``) while letting queued work finish; :meth:`close` then
+  stops the workers.
+
+Equivalence contract: a request with no deadline is executed as
+``engine.search(query, ranker=..., budget=None)`` — byte-for-byte the
+same call a direct caller makes — so a served response (cold cache, no
+coalesce hit) is node-for-node identical to the direct one, including
+every budget-degraded path of the engine's own ``config.budget``.
+
+Thread-safety: one lock guards the queue accounting, the in-flight
+table, the TTL cache and every exact-count metric increment, so
+``gks_serve_shed_total`` accounts for *every* rejection with no
+read-modify-write races.  The lock is never held across an engine call.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.core.budget import SearchBudget
+from repro.core.query import Query
+from repro.core.results import GKSResponse
+from repro.errors import Overloaded, SearchTimeout
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import DEFAULT_CLOCK, Tracer
+from repro.serve.config import ServeConfig
+
+_SENTINEL = object()  # wakes one worker for shutdown
+
+
+class _Request:
+    """One admitted request travelling from submit to finish."""
+
+    __slots__ = ("query", "ranker", "k", "key", "admission", "future",
+                 "arrived_s")
+
+    def __init__(self, query: Query, ranker, k: int | None, key: tuple,
+                 admission: SearchBudget | None, arrived_s: float) -> None:
+        self.query = query
+        self.ranker = ranker
+        self.k = k
+        self.key = key
+        self.admission = admission
+        self.future: Future = Future()
+        self.arrived_s = arrived_s
+
+
+class ServerCore:
+    """A worker-pool request broker over one :class:`GKSEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.core.engine.GKSEngine` to serve.
+    config:
+        :class:`~repro.serve.config.ServeConfig`; defaults when omitted.
+    registry:
+        Metrics registry for the ``gks_serve_*`` family; the process
+        :func:`~repro.obs.metrics.global_registry` by default.  Tests
+        asserting exact counts pass their own.
+    clock:
+        Monotonic time source (arrival stamps, latency, TTL expiry,
+        admission budgets); injectable for deterministic tests.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with ServerCore(engine, ServeConfig(workers=2)) as core:
+            response = core.search("xml keyword")
+    """
+
+    def __init__(self, engine, config: ServeConfig | None = None, *,
+                 registry: MetricsRegistry | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry if registry is not None else global_registry()
+        self._clock = clock if clock is not None else DEFAULT_CLOCK
+
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._queued = 0          # waiting for a worker (capacity bound)
+        self._running = 0         # dequeued, executing in the engine
+        self._draining = False
+        self._closed = False
+        self._inflight: dict[tuple, _Request] = {}
+        self._ttl_cache: OrderedDict[tuple, tuple[float, GKSResponse]] = \
+            OrderedDict()
+
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "gks_serve_requests_total",
+            help="Served requests by final outcome.")
+        self._m_shed = reg.counter(
+            "gks_serve_shed_total",
+            help="Requests rejected by admission control, by reason.")
+        self._m_coalesced = reg.counter(
+            "gks_serve_coalesced_total",
+            help="Requests that joined an identical in-flight search.")
+        self._m_ttl_hits = reg.counter(
+            "gks_serve_ttl_hits_total",
+            help="Requests answered from the serve-side TTL cache.")
+        self._m_timeouts = reg.counter(
+            "gks_serve_timeouts_total",
+            help="Requests whose deadline expired while queued.")
+        self._m_queue_depth = reg.gauge(
+            "gks_serve_queue_depth",
+            help="Requests currently waiting for a worker.")
+        self._m_inflight = reg.gauge(
+            "gks_serve_inflight",
+            help="Requests currently executing in the engine.")
+        self._m_latency = reg.histogram(
+            "gks_serve_latency_seconds",
+            help="Arrival-to-completion latency of accepted requests.")
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"gks-serve-{n}", daemon=True)
+            for n in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: str | Query, s: int | None = None, *,
+               k: int | None = None,
+               ranker=None,
+               deadline_s: float | None = None) -> Future:
+        """Admit one request; returns a future for its response.
+
+        Raises :class:`~repro.errors.Overloaded` synchronously when the
+        request is shed (queue full, broker draining, or no deadline
+        budget left) — by contract *before* any engine work.  Query
+        parse errors also raise synchronously.  Engine-side failures
+        (including ``SearchTimeout`` for a deadline that expired in the
+        queue) surface through the future.
+        """
+        if ranker is None:
+            ranker = self.engine.config.ranker
+        if isinstance(query, str):
+            query = self.engine.parse_query(
+                query, s=s if s is not None else self.engine.config.s)
+        elif s is not None:
+            query = query.with_s(s)
+        if deadline_s is None:
+            deadline_s = self.config.deadline_s
+        key = (query.keywords, query.effective_s, ranker, k)
+        arrived = self._clock()
+
+        with self._lock:
+            if self._draining or self._closed:
+                self._count_shed("draining")
+                raise Overloaded("server is draining; not accepting "
+                                 "requests", reason="draining")
+            if deadline_s is not None and deadline_s <= 0:
+                self._count_shed("deadline")
+                raise Overloaded(
+                    f"request arrived with no deadline budget left "
+                    f"({deadline_s}s)", reason="deadline")
+            if deadline_s is None:
+                cached = self._ttl_get(key, now=arrived)
+                if cached is not None:
+                    self._m_ttl_hits.inc()
+                    self._m_requests.inc(labels={"outcome": "ttl-hit"})
+                    future: Future = Future()
+                    future.set_result(cached)
+                    return future
+                if self.config.coalesce:
+                    leader = self._inflight.get(key)
+                    if leader is not None:
+                        self._m_coalesced.inc()
+                        self._m_requests.inc(
+                            labels={"outcome": "coalesced"})
+                        return leader.future
+            if self._queued >= self.config.queue_capacity:
+                self._count_shed("queue-full")
+                raise Overloaded(
+                    f"admission queue full "
+                    f"({self._queued}/{self.config.queue_capacity})",
+                    reason="queue-full",
+                    retry_after_s=deadline_s)
+            admission = None
+            if deadline_s is not None:
+                caps = self.engine.config.budget
+                admission = SearchBudget(
+                    deadline_s=deadline_s,
+                    max_sl=caps.max_sl if caps is not None else None,
+                    max_nodes=caps.max_nodes if caps is not None else None,
+                    clock=self._clock)
+                # arm at the arrival stamp already taken: a second clock
+                # read here would skew injected FakeClock timelines
+                admission._started = arrived
+            request = _Request(query, ranker, k, key, admission, arrived)
+            if deadline_s is None and self.config.coalesce:
+                self._inflight[key] = request
+            self._queued += 1
+            self._m_queue_depth.set(self._queued)
+        self._queue.put(request)
+        return request.future
+
+    def search(self, query: str | Query, s: int | None = None, *,
+               k: int | None = None,
+               ranker=None,
+               deadline_s: float | None = None) -> GKSResponse:
+        """Blocking convenience over :meth:`submit`."""
+        return self.submit(query, s, k=k, ranker=ranker,
+                           deadline_s=deadline_s).result()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                self._queue.task_done()
+                return
+            with self._lock:
+                self._queued -= 1
+                self._running += 1
+                self._m_queue_depth.set(self._queued)
+                self._m_inflight.set(self._running)
+            try:
+                self._execute(request)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, request: _Request) -> None:
+        try:
+            admission = request.admission
+            if admission is not None and admission.remaining_s() == 0.0:
+                raise SearchTimeout(
+                    f"request waited out its {admission.deadline_s}s "
+                    f"deadline in the admission queue")
+            budget = (admission.subbudget(rebase=True)
+                      if admission is not None else None)
+            tracer = Tracer(clock=self._clock) if self.config.trace else None
+            if request.k is not None:
+                response = self.engine.search_top_k(
+                    request.query, request.k, ranker=request.ranker,
+                    budget=budget, tracer=tracer)
+            else:
+                response = self.engine.search(
+                    request.query, ranker=request.ranker,
+                    budget=budget, tracer=tracer)
+        except Exception as exc:  # worker threads must never die
+            self._finish(request, error=exc)
+        else:
+            self._finish(request, response=response)
+
+    def _finish(self, request: _Request, response: GKSResponse | None = None,
+                error: Exception | None = None) -> None:
+        finished = self._clock()
+        with self._lock:
+            self._running -= 1
+            self._m_inflight.set(self._running)
+            # remove from the in-flight table BEFORE resolving the
+            # future: a duplicate arriving after resolution must start a
+            # fresh search, not join a finished one
+            if self._inflight.get(request.key) is request:
+                del self._inflight[request.key]
+            self._m_latency.observe(finished - request.arrived_s)
+            if error is None:
+                if (request.admission is None
+                        and self.config.ttl_s is not None
+                        and not response.degraded):
+                    self._ttl_put(request.key, response, now=finished)
+                self._m_requests.inc(labels={"outcome": "ok"})
+            elif isinstance(error, SearchTimeout):
+                self._m_timeouts.inc()
+                self._m_requests.inc(labels={"outcome": "timeout"})
+            else:
+                self._m_requests.inc(labels={"outcome": "error"})
+        if error is None:
+            request.future.set_result(response)
+        else:
+            request.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # TTL cache (call with the lock held)
+    # ------------------------------------------------------------------
+    def _ttl_get(self, key: tuple, now: float) -> GKSResponse | None:
+        if self.config.ttl_s is None:
+            return None
+        entry = self._ttl_cache.get(key)
+        if entry is None:
+            return None
+        expires_at, response = entry
+        if now >= expires_at:
+            del self._ttl_cache[key]
+            return None
+        return response
+
+    def _ttl_put(self, key: tuple, response: GKSResponse,
+                 now: float) -> None:
+        if key in self._ttl_cache:
+            del self._ttl_cache[key]
+        elif len(self._ttl_cache) >= self.config.ttl_capacity:
+            self._ttl_cache.popitem(last=False)
+        self._ttl_cache[key] = (now + self.config.ttl_s, response)
+
+    def _count_shed(self, reason: str) -> None:
+        self._m_shed.inc(labels={"reason": reason})
+        self._m_requests.inc(labels={"outcome": "shed"})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict:
+        """JSON-able accounting snapshot of the broker."""
+        with self._lock:
+            return {
+                "queued": self._queued,
+                "running": self._running,
+                "inflight_keys": len(self._inflight),
+                "ttl_entries": len(self._ttl_cache),
+                "draining": self._draining,
+                "workers": self.config.workers,
+                "queue_capacity": self.config.queue_capacity,
+                "ok": self._m_requests.value({"outcome": "ok"}),
+                "shed": self._m_shed.total(),
+                "coalesced": self._m_coalesced.total(),
+                "ttl_hits": self._m_ttl_hits.total(),
+                "timeouts": self._m_timeouts.total(),
+                "errors": self._m_requests.value({"outcome": "error"}),
+            }
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` payload."""
+        with self._lock:
+            status = "draining" if (self._draining or self._closed) else "ok"
+            return {"status": status, "queued": self._queued,
+                    "running": self._running,
+                    "workers": self.config.workers}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop admitting; block until every queued request finishes.
+
+        New submissions are shed with ``Overloaded(reason="draining")``
+        the moment this is called; already-admitted requests run to
+        completion.  Idempotent.
+        """
+        with self._lock:
+            self._draining = True
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain, then stop the worker threads.  Idempotent."""
+        self.drain()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "ServerCore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,184 @@
+"""Thin JSON-over-HTTP front end over :class:`ServerCore`.
+
+Standard library only: :class:`http.server.ThreadingHTTPServer` gives
+one handler thread per connection; every handler immediately delegates
+to the shared :class:`~repro.serve.core.ServerCore`, so concurrency,
+admission and coalescing semantics live in one place regardless of
+transport.
+
+Routes
+------
+``GET /search?q=...&s=...&k=...&deadline_ms=...``
+    Run a keyword query; also accepts ``POST /search`` with the same
+    fields as a JSON body.  Responds with the
+    :func:`repro.core.export.response_to_dict` payload plus a ``serve``
+    envelope (degradation report, cache/coalesce provenance).
+``GET /healthz``
+    Liveness + drain state.
+``GET /metrics``
+    The metrics registry in Prometheus text exposition format.
+
+Error mapping: client errors (bad query, bad parameters) are 400;
+:class:`~repro.errors.Overloaded` is 429 with a ``Retry-After`` header
+when the broker can suggest one; :class:`~repro.errors.SearchTimeout`
+is 504; any other :class:`~repro.errors.GKSError` is 500.  Bodies are
+always JSON: ``{"error": ..., "type": ..., "reason"?: ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.export import response_to_dict
+from repro.errors import (GKSError, Overloaded, QueryError, SearchTimeout,
+                          ValidationError)
+from repro.serve.core import ServerCore
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the shared broker."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], core: ServerCore) -> None:
+        self.core = core
+        super().__init__(address, GKSRequestHandler)
+
+
+class GKSRequestHandler(BaseHTTPRequestHandler):
+    # quiet by default: one log line per request on stderr does not
+    # belong in a library; front ends scrape /metrics instead
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    @property
+    def core(self) -> ServerCore:
+        return self.server.core  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: Exception,
+                         headers: dict[str, str] | None = None) -> None:
+        payload = {"error": str(exc), "type": type(exc).__name__}
+        if isinstance(exc, Overloaded):
+            payload["reason"] = exc.reason
+        self._send_json(status, payload, headers=headers)
+
+    def _params(self) -> dict:
+        """Merged query-string + JSON-body parameters."""
+        split = urlsplit(self.path)
+        params = {name: values[-1]
+                  for name, values in parse_qs(split.query).items()}
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            body = json.loads(raw.decode("utf-8"))
+            if not isinstance(body, dict):
+                raise ValidationError("request body must be a JSON object")
+            params.update(body)
+        return params
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:
+        route = urlsplit(self.path).path
+        if route == "/healthz":
+            payload = self.core.healthz()
+            status = 200 if payload["status"] == "ok" else 503
+            self._send_json(status, payload)
+        elif route == "/metrics":
+            text = self.core.registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+        elif route == "/search":
+            self._search()
+        else:
+            self._send_json(404, {"error": f"no route {route!r}",
+                                  "type": "NotFound"})
+
+    def do_POST(self) -> None:
+        route = urlsplit(self.path).path
+        if route == "/search":
+            self._search()
+        else:
+            self._send_json(404, {"error": f"no route {route!r}",
+                                  "type": "NotFound"})
+
+    def _search(self) -> None:
+        try:
+            params = self._params()
+            raw = params.get("q") or params.get("query")
+            if not raw:
+                raise ValidationError("missing required parameter 'q'")
+            s = int(params["s"]) if "s" in params else None
+            k = int(params["k"]) if "k" in params else None
+            deadline_s = (float(params["deadline_ms"]) / 1000.0
+                          if "deadline_ms" in params else None)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, exc)
+            return
+        try:
+            response = self.core.search(raw, s, k=k, deadline_s=deadline_s)
+        except Overloaded as exc:
+            headers = {}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            self._send_error_json(429, exc, headers=headers)
+            return
+        except SearchTimeout as exc:
+            self._send_error_json(504, exc)
+            return
+        except GKSError as exc:
+            # bad queries are the client's fault; the rest are ours
+            status = 400 if isinstance(exc, (QueryError, ValidationError)) \
+                else 500
+            self._send_error_json(status, exc)
+            return
+        payload = response_to_dict(response,
+                                   repository=self.core.engine.repository)
+        payload["serve"] = _serve_envelope(response)
+        self._send_json(200, payload)
+
+
+def _serve_envelope(response) -> dict:
+    envelope: dict = {
+        "degraded": response.degraded,
+        "cache_hit": response.stats.cache_hit,
+    }
+    if response.degradation is not None:
+        report = response.degradation
+        envelope["degradation"] = {
+            "stage": report.stage,
+            "reason": report.reason,
+            "processed": report.processed,
+            "total": report.total,
+            "elapsed_s": report.elapsed_s,
+            "remaining_s": report.remaining_s,
+        }
+    return envelope
+
+
+def serve_http(core: ServerCore, host: str = "127.0.0.1",
+               port: int = 0) -> ServeHTTPServer:
+    """Bind a :class:`ServeHTTPServer`; port 0 picks an ephemeral one.
+
+    Returns the bound (not yet serving) server — call
+    ``server.serve_forever()`` (the CLI does) or drive it from a thread
+    in tests.  The chosen port is ``server.server_address[1]``.
+    """
+    return ServeHTTPServer((host, port), core)

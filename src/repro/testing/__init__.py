@@ -1,6 +1,7 @@
 """Deterministic fault injection for resilience tests and benchmarks."""
 
-from repro.testing.faults import (FakeClock, TornWriter, XMLCorruptor,
-                                  corrupt_corpus)
+from repro.testing.faults import (BurstyArrivals, FakeClock, SlowEngine,
+                                  TornWriter, XMLCorruptor, corrupt_corpus)
 
-__all__ = ["FakeClock", "TornWriter", "XMLCorruptor", "corrupt_corpus"]
+__all__ = ["BurstyArrivals", "FakeClock", "SlowEngine", "TornWriter",
+           "XMLCorruptor", "corrupt_corpus"]

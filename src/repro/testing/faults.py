@@ -16,7 +16,13 @@ build on:
   with every CRC recomputed, producing consistent-but-wrong stores only
   the deep invariant audit (``gks check-index --deep``) can detect,
 * :class:`FakeClock` — an injectable time source for
-  :class:`repro.core.budget.SearchBudget`, so deadline tests never sleep.
+  :class:`repro.core.budget.SearchBudget`, so deadline tests never sleep,
+* :class:`SlowEngine` — a delegating engine wrapper with injectable
+  sleep, for serve-layer coalescing/overload tests that need a search to
+  predictably dawdle,
+* :class:`BurstyArrivals` — deterministic bursty arrival offsets for
+  driving :class:`repro.serve.loadgen.OpenLoopSchedule`-style overload
+  scenarios.
 
 Everything is driven by :class:`random.Random` seeded explicitly; the same
 seed always injects the same faults.
@@ -57,6 +63,89 @@ class FakeClock:
     @property
     def now(self) -> float:
         return self._now
+
+
+class SlowEngine:
+    """A delegating engine wrapper that dawdles before every search.
+
+    Duck-types :class:`~repro.core.engine.GKSEngine` by forwarding every
+    attribute; only ``search`` / ``search_top_k`` are intercepted to
+    sleep ``delay_s`` first and count the call.  The sleeper is
+    injectable: pass ``sleeper=fake.advance`` with a :class:`FakeClock`
+    to make "slowness" advance virtual time instantly, so serve-layer
+    deadline and coalescing tests are deterministic and never block.
+
+    ``calls`` counts *engine executions* — the observable singleflight
+    coalescing guarantee is that N concurrent identical requests leave
+    ``calls == 1``.
+    """
+
+    def __init__(self, engine, delay_s: float = 0.0,
+                 sleeper=None) -> None:
+        if delay_s < 0:
+            raise ValidationError(f"delay_s must be >= 0: {delay_s}")
+        if sleeper is None:
+            import time
+
+            sleeper = time.sleep
+        self._engine = engine
+        self.delay_s = delay_s
+        self._sleep = sleeper
+        self.calls = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine, name)
+
+    def search(self, *args, **kwargs):
+        self.calls += 1
+        if self.delay_s:
+            self._sleep(self.delay_s)
+        return self._engine.search(*args, **kwargs)
+
+    def search_top_k(self, *args, **kwargs):
+        self.calls += 1
+        if self.delay_s:
+            self._sleep(self.delay_s)
+        return self._engine.search_top_k(*args, **kwargs)
+
+
+class BurstyArrivals:
+    """Deterministic bursty arrival offsets for overload tests.
+
+    Produces ``bursts`` clusters of ``burst_size`` arrivals each: the
+    arrivals inside a cluster land ``jitter_s`` apart (effectively
+    simultaneous relative to service time), clusters start ``gap_s``
+    apart.  The seeded RNG only perturbs *which* cluster each jitter
+    draw lands in — the same seed always yields the same offsets, so a
+    test asserting "exactly N requests shed" replays identically.
+    """
+
+    def __init__(self, bursts: int, burst_size: int, gap_s: float,
+                 jitter_s: float = 0.0, seed: int = 0) -> None:
+        if bursts < 1:
+            raise ValidationError(f"bursts must be >= 1: {bursts}")
+        if burst_size < 1:
+            raise ValidationError(f"burst_size must be >= 1: {burst_size}")
+        if gap_s < 0:
+            raise ValidationError(f"gap_s must be >= 0: {gap_s}")
+        if jitter_s < 0:
+            raise ValidationError(f"jitter_s must be >= 0: {jitter_s}")
+        self.bursts = bursts
+        self.burst_size = burst_size
+        self.gap_s = gap_s
+        self.jitter_s = jitter_s
+        self._rng = random.Random(seed)
+
+    def offsets(self) -> list[float]:
+        """All arrival offsets from t=0, sorted ascending."""
+        arrivals = []
+        for burst in range(self.bursts):
+            base = burst * self.gap_s
+            for position in range(self.burst_size):
+                jitter = (self._rng.uniform(0, self.jitter_s)
+                          if self.jitter_s else 0.0)
+                arrivals.append(base + position * 1e-9 + jitter)
+        return sorted(arrivals)
 
 
 class XMLCorruptor:

@@ -38,6 +38,22 @@ class TestSearch:
         out = capsys.readouterr().out
         assert out.count("score=") == 1
 
+    def test_generous_deadline_stays_exact(self, corpus, capsys):
+        assert main(["search", str(corpus), "-q", "karen mike",
+                     "-s", "2", "--deadline-ms", "60000"]) == 0
+        captured = capsys.readouterr()
+        assert "node(s) for" in captured.out
+        assert "warning:" not in captured.err
+
+    def test_exhausted_deadline_warns_on_stderr(self, corpus, capsys):
+        # 1 ns of budget trips on the first checkpoint; the query still
+        # answers (degraded), so the exit code stays 0
+        assert main(["search", str(corpus), "-q", "karen mike",
+                     "-s", "2", "--deadline-ms", "0.000001"]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "deadline" in captured.err
+
 
 class TestDI:
     def test_di_prints_insights(self, corpus, capsys):

@@ -1,0 +1,749 @@
+"""The serving subsystem: broker semantics, HTTP front end, loadgen.
+
+Concurrency here is deterministic, not sleepy: engine executions are
+blocked on events (``GateEngine``), slowness is virtual
+(:class:`~repro.testing.faults.SlowEngine` with a
+:class:`~repro.testing.faults.FakeClock` sleeper), and deadlines advance
+by ``fake.advance`` — no test in this file waits on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import SearchBudget
+from repro.core.config import EngineConfig, Texts
+from repro.core.engine import GKSEngine
+from repro.errors import ConfigError, Overloaded, QueryError, SearchTimeout
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (LoadGenerator, OpenLoopSchedule, ServeConfig,
+                         ServeHTTPServer, ServerCore, percentile,
+                         serve_http)
+from repro.testing import BurstyArrivals, FakeClock, SlowEngine
+
+pytestmark = pytest.mark.serve
+
+WORDS = ["apple", "banana", "cherry", "date", "elder", "fig"]
+
+
+def _corpus(documents: int = 6, items: int = 4, seed: int = 7) -> list[str]:
+    rng = random.Random(seed)
+    docs = []
+    for _ in range(documents):
+        parts = []
+        for _ in range(items):
+            first, second, third = rng.sample(WORDS, 3)
+            parts.append(f"<item><name>{first} {second}</name>"
+                         f"<tag>{third}</tag></item>")
+        docs.append(f"<doc>{''.join(parts)}</doc>")
+    return docs
+
+
+def _engine(shards: int = 1, **config_kwargs) -> GKSEngine:
+    config = EngineConfig(shards=shards, **config_kwargs)
+    return GKSEngine.open(Texts(_corpus()), config=config)
+
+
+class GateEngine:
+    """Blocks every search on an event — deterministic concurrency."""
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self.entered = threading.Semaphore(0)
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def _gate(self) -> None:
+        with self._lock:
+            self.calls += 1
+        self.entered.release()
+        assert self.release.wait(timeout=10), "gate never released"
+
+    def search(self, *args, **kwargs):
+        self._gate()
+        return self._engine.search(*args, **kwargs)
+
+    def search_top_k(self, *args, **kwargs):
+        self._gate()
+        return self._engine.search_top_k(*args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# SearchBudget.remaining_s / subbudget(rebase=True)
+# ---------------------------------------------------------------------------
+class TestRemainingS:
+    def test_none_without_deadline(self):
+        assert SearchBudget().remaining_s() is None
+
+    def test_counts_down_and_clamps(self):
+        fake = FakeClock()
+        budget = SearchBudget(deadline_s=2.0, clock=fake).start()
+        fake.advance(0.5)
+        assert budget.remaining_s() == pytest.approx(1.5)
+        fake.advance(5.0)
+        assert budget.remaining_s() == 0.0
+
+    def test_unstarted_budget_has_full_deadline(self):
+        budget = SearchBudget(deadline_s=3.0, clock=FakeClock())
+        assert budget.remaining_s() == pytest.approx(3.0)
+
+    def test_report_carries_remaining(self):
+        fake = FakeClock()
+        budget = SearchBudget(deadline_s=1.0, clock=fake).start()
+        fake.advance(2.0)
+        assert budget.checkpoint("merge", 1)
+        assert budget.report.elapsed_s == pytest.approx(2.0)
+        assert budget.report.remaining_s == 0.0
+
+    def test_resource_trip_reports_headroom(self):
+        fake = FakeClock()
+        budget = SearchBudget(deadline_s=10.0, max_sl=2, clock=fake).start()
+        kept = budget.admit_sl([1, 2, 3])
+        assert kept == [1, 2]
+        assert budget.report.reason == "max_sl"
+        assert budget.report.remaining_s == pytest.approx(10.0)
+
+    def test_trip_without_deadline_reports_none(self):
+        budget = SearchBudget(max_sl=1, clock=FakeClock()).start()
+        budget.admit_sl([1, 2])
+        assert budget.report.remaining_s is None
+
+
+class TestRebasedSubbudget:
+    def test_rebase_deadline_is_parent_remaining(self):
+        fake = FakeClock()
+        parent = SearchBudget(deadline_s=2.0, clock=fake).start()
+        fake.advance(0.75)
+        child = parent.subbudget(rebase=True)
+        assert child.deadline_s == pytest.approx(1.25)
+
+    def test_rebase_copies_caps_and_arms_fresh(self):
+        fake = FakeClock()
+        parent = SearchBudget(deadline_s=4.0, max_sl=9, max_nodes=3,
+                              clock=fake).start()
+        fake.advance(1.0)
+        child = parent.subbudget(rebase=True).start()
+        assert (child.max_sl, child.max_nodes) == (9, 3)
+        fake.advance(0.5)
+        assert child.elapsed() == pytest.approx(0.5)
+        assert child.remaining_s() == pytest.approx(2.5)
+
+    def test_default_subbudget_shares_start_and_drops_caps(self):
+        fake = FakeClock()
+        parent = SearchBudget(deadline_s=2.0, max_sl=9, clock=fake).start()
+        fake.advance(1.5)
+        child = parent.subbudget()
+        assert child.max_sl is None
+        assert child.elapsed() == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: served == direct, across shard counts
+# ---------------------------------------------------------------------------
+def _assert_equivalent(served, direct):
+    assert served.nodes == direct.nodes
+    assert served.degraded == direct.degraded
+    if direct.degradation is None:
+        assert served.degradation is None
+    else:
+        assert served.degradation.stage == direct.degradation.stage
+        assert served.degradation.reason == direct.degradation.reason
+        assert (served.degradation.processed
+                == direct.degradation.processed)
+    for counter in ("postings_scanned", "lcp_entries", "lce_nodes",
+                    "nodes_emitted", "cache_hit", "degraded"):
+        assert (getattr(served.stats, counter)
+                == getattr(direct.stats, counter)), counter
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+class TestEquivalence:
+    def test_cold_cache_responses_identical(self, shards):
+        served_engine = _engine(shards=shards)
+        direct_engine = _engine(shards=shards)
+        queries = ["apple banana", "cherry", "banana cherry fig",
+                   "date elder"]
+        with ServerCore(served_engine,
+                        registry=MetricsRegistry()) as core:
+            for text in queries:
+                _assert_equivalent(core.search(text),
+                                   direct_engine.search(text))
+
+    def test_engine_budget_degraded_paths_identical(self, shards):
+        served_engine = _engine(
+            shards=shards, budget=SearchBudget(max_sl=2, max_nodes=1))
+        direct_engine = _engine(
+            shards=shards, budget=SearchBudget(max_sl=2, max_nodes=1))
+        with ServerCore(served_engine, ServeConfig(workers=1),
+                        registry=MetricsRegistry()) as core:
+            served = core.search("apple banana cherry")
+            direct = direct_engine.search("apple banana cherry")
+        assert served.degraded and direct.degraded
+        _assert_equivalent(served, direct)
+
+    def test_top_k_identical(self, shards):
+        served_engine = _engine(shards=shards)
+        direct_engine = _engine(shards=shards)
+        with ServerCore(served_engine,
+                        registry=MetricsRegistry()) as core:
+            served = core.search("apple banana", k=2)
+            direct = direct_engine.search_top_k("apple banana", k=2)
+        _assert_equivalent(served, direct)
+
+
+@settings(max_examples=20, deadline=None)
+@given(keywords=st.lists(st.sampled_from(WORDS), min_size=1, max_size=4,
+                         unique=True),
+       s=st.integers(min_value=1, max_value=3))
+def test_equivalence_property(keywords, s, served_cores, direct_engines):
+    text = " ".join(keywords)
+    for shards in (1, 2, 4):
+        served = served_cores[shards].search(text, s)
+        direct = direct_engines[shards].search(text, s=s)
+        _assert_equivalent(served, direct)
+
+
+@pytest.fixture(scope="module")
+def direct_engines():
+    return {shards: _engine(shards=shards) for shards in (1, 2, 4)}
+
+
+@pytest.fixture(scope="module")
+def served_cores():
+    cores = {shards: ServerCore(_engine(shards=shards),
+                                registry=MetricsRegistry())
+             for shards in (1, 2, 4)}
+    yield cores
+    for core in cores.values():
+        core.close()
+
+
+# ---------------------------------------------------------------------------
+# Singleflight coalescing
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_duplicates_share_one_search(self):
+        registry = MetricsRegistry()
+        gate = GateEngine(_engine())
+        with ServerCore(gate, ServeConfig(workers=2),
+                        registry=registry) as core:
+            leader = core.submit("apple banana")
+            assert gate.entered.acquire(timeout=10)
+            followers = [core.submit("apple banana") for _ in range(3)]
+            assert all(f is leader for f in followers)
+            gate.release.set()
+            response = leader.result(timeout=10)
+        assert gate.calls == 1
+        assert registry.counter("gks_serve_coalesced_total").total() == 3
+        assert registry.counter("gks_serve_requests_total").value(
+            {"outcome": "coalesced"}) == 3
+        assert len(response.nodes) > 0
+
+    def test_different_queries_do_not_coalesce(self):
+        gate = GateEngine(_engine())
+        with ServerCore(gate, ServeConfig(workers=2),
+                        registry=MetricsRegistry()) as core:
+            first = core.submit("apple banana")
+            assert gate.entered.acquire(timeout=10)
+            second = core.submit("cherry")
+            assert second is not first
+            gate.release.set()
+            first.result(timeout=10)
+            second.result(timeout=10)
+        assert gate.calls == 2
+
+    def test_completion_ends_the_flight(self):
+        gate = GateEngine(_engine())
+        gate.release.set()  # no blocking: searches run straight through
+        with ServerCore(gate, ServeConfig(workers=1),
+                        registry=MetricsRegistry()) as core:
+            core.search("apple banana")
+            core.search("apple banana")
+        # second submission found no in-flight leader (the first had
+        # finished) — it ran its own search (an engine LRU hit, but an
+        # engine call nonetheless)
+        assert gate.calls == 2
+
+    def test_coalesce_disabled(self):
+        gate = GateEngine(_engine())
+        registry = MetricsRegistry()
+        with ServerCore(gate, ServeConfig(workers=2, coalesce=False),
+                        registry=registry) as core:
+            first = core.submit("apple banana")
+            assert gate.entered.acquire(timeout=10)
+            second = core.submit("apple banana")
+            assert second is not first
+            gate.release.set()
+            first.result(timeout=10)
+            second.result(timeout=10)
+        assert gate.calls == 2
+        assert registry.counter("gks_serve_coalesced_total").total() == 0
+
+    def test_deadlined_requests_do_not_coalesce(self):
+        # budgeted responses are request-specific; they must not share
+        gate = GateEngine(_engine())
+        with ServerCore(gate, ServeConfig(workers=2),
+                        registry=MetricsRegistry()) as core:
+            first = core.submit("apple banana", deadline_s=30.0)
+            assert gate.entered.acquire(timeout=10)
+            second = core.submit("apple banana", deadline_s=30.0)
+            assert second is not first
+            gate.release.set()
+            first.result(timeout=10)
+            second.result(timeout=10)
+        assert gate.calls == 2
+
+
+# ---------------------------------------------------------------------------
+# Admission control and load shedding
+# ---------------------------------------------------------------------------
+class TestShedding:
+    def test_queue_full_sheds_before_engine_work(self):
+        registry = MetricsRegistry()
+        gate = GateEngine(_engine())
+        config = ServeConfig(workers=1, queue_capacity=2, coalesce=False)
+        with ServerCore(gate, config, registry=registry) as core:
+            running = core.submit("apple")
+            assert gate.entered.acquire(timeout=10)  # worker busy
+            queued = [core.submit("banana"), core.submit("cherry")]
+            calls_before = gate.calls
+            for _ in range(3):
+                with pytest.raises(Overloaded) as caught:
+                    core.submit("date")
+                assert caught.value.reason == "queue-full"
+            assert gate.calls == calls_before  # shed did no engine work
+            gate.release.set()
+            running.result(timeout=10)
+            for future in queued:
+                future.result(timeout=10)
+        assert registry.counter("gks_serve_shed_total").value(
+            {"reason": "queue-full"}) == 3
+        assert registry.counter("gks_serve_shed_total").total() == 3
+        assert registry.counter("gks_serve_requests_total").value(
+            {"outcome": "shed"}) == 3
+
+    def test_expired_deadline_shed_at_admission(self):
+        registry = MetricsRegistry()
+        with ServerCore(_engine(), registry=registry) as core:
+            with pytest.raises(Overloaded) as caught:
+                core.submit("apple", deadline_s=0.0)
+            assert caught.value.reason == "deadline"
+        assert registry.counter("gks_serve_shed_total").value(
+            {"reason": "deadline"}) == 1
+
+    def test_draining_sheds_new_arrivals(self):
+        registry = MetricsRegistry()
+        core = ServerCore(_engine(), registry=registry)
+        accepted = core.search("apple banana")
+        core.drain()
+        with pytest.raises(Overloaded) as caught:
+            core.submit("apple banana")
+        assert caught.value.reason == "draining"
+        assert registry.counter("gks_serve_shed_total").value(
+            {"reason": "draining"}) == 1
+        core.close()  # idempotent with drain already done
+        assert len(accepted.nodes) > 0
+
+    def test_queued_deadline_expiry_times_out_without_engine_work(self):
+        fake = FakeClock()
+        registry = MetricsRegistry()
+        gate = GateEngine(_engine())
+        config = ServeConfig(workers=1, queue_capacity=8, coalesce=False)
+        with ServerCore(gate, config, registry=registry,
+                        clock=fake) as core:
+            running = core.submit("apple")
+            assert gate.entered.acquire(timeout=10)
+            doomed = core.submit("banana", deadline_s=0.5)
+            fake.advance(1.0)  # its whole deadline passes in the queue
+            calls_before = gate.calls
+            gate.release.set()
+            running.result(timeout=10)
+            with pytest.raises(SearchTimeout):
+                doomed.result(timeout=10)
+            assert gate.calls == calls_before  # never reached the engine
+        assert registry.counter("gks_serve_timeouts_total").total() == 1
+        assert registry.counter("gks_serve_requests_total").value(
+            {"outcome": "timeout"}) == 1
+
+    def test_queue_wait_rebases_the_engine_deadline(self):
+        fake = FakeClock()
+        engine = _engine()
+        captured = {}
+        original = engine.search
+
+        def spy(*args, **kwargs):
+            captured["budget"] = kwargs.get("budget")
+            return original(*args, **kwargs)
+
+        engine.search = spy  # type: ignore[method-assign]
+        gate = GateEngine(engine)
+        config = ServeConfig(workers=1, queue_capacity=8, coalesce=False)
+        with ServerCore(gate, config, registry=MetricsRegistry(),
+                        clock=fake) as core:
+            running = core.submit("apple")
+            assert gate.entered.acquire(timeout=10)
+            waiting = core.submit("banana", deadline_s=2.0)
+            fake.advance(0.5)  # spends half a second queued
+            gate.release.set()
+            running.result(timeout=10)
+            waiting.result(timeout=10)
+        budget = captured["budget"]
+        assert budget is not None
+        assert budget.deadline_s == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------------------
+# TTL cache
+# ---------------------------------------------------------------------------
+class TestTTLCache:
+    def test_hit_within_ttl_and_expiry_after(self):
+        fake = FakeClock()
+        registry = MetricsRegistry()
+        gate = GateEngine(_engine())
+        gate.release.set()
+        config = ServeConfig(workers=1, ttl_s=10.0)
+        with ServerCore(gate, config, registry=registry,
+                        clock=fake) as core:
+            first = core.search("apple banana")
+            second = core.search("apple banana")   # TTL hit: no dispatch
+            assert gate.calls == 1
+            assert second.nodes == first.nodes
+            fake.advance(11.0)
+            third = core.search("apple banana")    # expired: real search
+            assert gate.calls == 2
+            assert third.nodes == first.nodes
+        assert registry.counter("gks_serve_ttl_hits_total").total() == 1
+        assert registry.counter("gks_serve_requests_total").value(
+            {"outcome": "ttl-hit"}) == 1
+
+    def test_capacity_evicts_oldest(self):
+        fake = FakeClock()
+        gate = GateEngine(_engine())
+        gate.release.set()
+        config = ServeConfig(workers=1, ttl_s=100.0, ttl_capacity=2)
+        with ServerCore(gate, config, registry=MetricsRegistry(),
+                        clock=fake) as core:
+            core.search("apple")
+            core.search("banana")
+            core.search("cherry")   # evicts "apple"
+            calls = gate.calls
+            core.search("banana")   # still cached
+            assert gate.calls == calls
+            core.search("apple")    # evicted: searches again
+            assert gate.calls == calls + 1
+
+    def test_deadlined_requests_bypass_ttl(self):
+        fake = FakeClock()
+        gate = GateEngine(_engine())
+        gate.release.set()
+        config = ServeConfig(workers=1, ttl_s=100.0)
+        with ServerCore(gate, config, registry=MetricsRegistry(),
+                        clock=fake) as core:
+            core.search("apple banana", deadline_s=50.0)
+            core.search("apple banana", deadline_s=50.0)
+            assert gate.calls == 2  # budgeted: never stored, never hit
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_is_idempotent_and_submissions_fail_after(self):
+        core = ServerCore(_engine(), registry=MetricsRegistry())
+        core.close()
+        core.close()
+        with pytest.raises(Overloaded):
+            core.submit("apple")
+
+    def test_drain_completes_queued_work(self):
+        gate = GateEngine(_engine())
+        config = ServeConfig(workers=1, queue_capacity=8, coalesce=False)
+        core = ServerCore(gate, config, registry=MetricsRegistry())
+        first = core.submit("apple")
+        assert gate.entered.acquire(timeout=10)
+        second = core.submit("banana")
+        drained = threading.Event()
+
+        def drain() -> None:
+            core.drain()
+            drained.set()
+
+        thread = threading.Thread(target=drain, daemon=True)
+        thread.start()
+        assert not drained.wait(timeout=0.2)  # blocked on queued work
+        gate.release.set()
+        assert drained.wait(timeout=10)
+        assert first.result(timeout=1).nodes is not None
+        assert second.result(timeout=1).nodes is not None
+        core.close()
+
+    def test_healthz_reflects_drain(self):
+        core = ServerCore(_engine(), registry=MetricsRegistry())
+        assert core.healthz()["status"] == "ok"
+        core.drain()
+        assert core.healthz()["status"] == "draining"
+        core.close()
+
+    def test_query_errors_raise_synchronously(self):
+        with ServerCore(_engine(), registry=MetricsRegistry()) as core:
+            with pytest.raises(QueryError):
+                core.submit("")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(queue_capacity=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(ttl_s=0.0)
+        with pytest.raises(ConfigError):
+            ServeConfig(deadline_s=-1.0)
+        with pytest.raises(ConfigError):
+            ServeConfig().replace(no_such_knob=1)
+        assert ServeConfig().replace(workers=2).workers == 2
+
+    def test_engine_serve_hook(self):
+        engine = _engine()
+        core = engine.serve(workers=2)
+        try:
+            assert isinstance(core, ServerCore)
+            assert core.config.workers == 2
+            assert core.engine is engine
+        finally:
+            core.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def http_server():
+    engine = _engine()
+    core = ServerCore(engine, ServeConfig(workers=2),
+                      registry=MetricsRegistry())
+    server = serve_http(core)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield f"http://127.0.0.1:{port}", core
+    server.shutdown()
+    server.server_close()
+    core.close()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+class TestHTTP:
+    def test_search_matches_direct_engine(self, http_server):
+        base, core = http_server
+        status, payload = _get(f"{base}/search?q=apple+banana")
+        assert status == 200
+        direct = _engine().search("apple banana")
+        assert len(payload["nodes"]) == len(direct.nodes)
+        assert payload["serve"]["degraded"] is False
+        assert payload["query"]["keywords"] == \
+            list(direct.query.keywords)
+
+    def test_post_body_search(self, http_server):
+        base, _ = http_server
+        body = json.dumps({"q": "cherry", "k": 1}).encode()
+        request = urllib.request.Request(
+            f"{base}/search", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.load(response)
+        assert response.status == 200
+        assert len(payload["nodes"]) <= 1
+
+    def test_healthz_and_metrics(self, http_server):
+        base, _ = http_server
+        status, payload = _get(f"{base}/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        _get(f"{base}/search?q=apple")
+        with urllib.request.urlopen(f"{base}/metrics",
+                                    timeout=10) as response:
+            text = response.read().decode()
+        assert "gks_serve_requests_total" in text
+        assert 'outcome="ok"' in text
+
+    def test_missing_query_is_400(self, http_server):
+        base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _get(f"{base}/search")
+        assert caught.value.code == 400
+
+    def test_unknown_route_is_404(self, http_server):
+        base, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _get(f"{base}/nope")
+        assert caught.value.code == 404
+
+    def test_overload_maps_to_429(self):
+        engine = _engine()
+        gate = GateEngine(engine)
+        config = ServeConfig(workers=1, queue_capacity=1, coalesce=False)
+        core = ServerCore(gate, config, registry=MetricsRegistry())
+        server = serve_http(core)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            results: list = []
+
+            def fetch(query: str) -> None:
+                try:
+                    results.append(_get(f"{base}/search?q={query}")[0])
+                except urllib.error.HTTPError as error:
+                    results.append(error.code)
+
+            first = threading.Thread(target=fetch, args=("apple",),
+                                     daemon=True)
+            first.start()
+            assert gate.entered.acquire(timeout=10)  # worker occupied
+            second = threading.Thread(target=fetch, args=("banana",),
+                                      daemon=True)
+            second.start()
+            # wait until the second request is queued, then overflow
+            deadline = threading.Event()
+            for _ in range(100):
+                if core.stats()["queued"] >= 1:
+                    break
+                deadline.wait(0.05)
+            assert core.stats()["queued"] >= 1
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{base}/search?q=cherry")
+            assert caught.value.code == 429
+            assert json.load(caught.value)["reason"] == "queue-full"
+            gate.release.set()
+            first.join(timeout=10)
+            second.join(timeout=10)
+            assert results.count(200) == 2
+        finally:
+            gate.release.set()
+            server.shutdown()
+            server.server_close()
+            core.close()
+
+    def test_server_carries_the_broker(self, http_server):
+        _, core = http_server
+        server = serve_http(core)
+        try:
+            assert isinstance(server, ServeHTTPServer)
+            assert server.core is core
+        finally:
+            server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Load generation
+# ---------------------------------------------------------------------------
+class TestLoadgen:
+    def test_uniform_schedule_spacing(self):
+        schedule = OpenLoopSchedule.uniform(10.0, 5, ["a", "b"])
+        offsets = [request.at_s for request in schedule.requests]
+        assert offsets == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+        queries = [request.query for request in schedule.requests]
+        assert queries == ["a", "b", "a", "b", "a"]
+
+    def test_poisson_schedule_is_seed_deterministic(self):
+        first = OpenLoopSchedule.poisson(50.0, 20, ["q"], seed=42)
+        second = OpenLoopSchedule.poisson(50.0, 20, ["q"], seed=42)
+        other = OpenLoopSchedule.poisson(50.0, 20, ["q"], seed=43)
+        assert first.requests == second.requests
+        assert first.requests != other.requests
+        offsets = [request.at_s for request in first.requests]
+        assert offsets == sorted(offsets)
+
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 95) == 40.0
+        assert percentile(values, 0) == 10.0
+        assert percentile([], 99) == 0.0
+
+    def test_open_loop_accounts_every_request(self):
+        core = ServerCore(_engine(), ServeConfig(workers=2),
+                          registry=MetricsRegistry())
+        generator = LoadGenerator(core)
+        schedule = OpenLoopSchedule.uniform(
+            2000.0, 12, ["apple banana", "cherry", "date"])
+        try:
+            report = generator.run_open(schedule)
+        finally:
+            core.close()
+        assert report.submitted == 12
+        assert report.completed + report.shed + report.timeouts \
+            + report.errors == 12
+        assert report.completed > 0
+        stats = report.to_dict()
+        assert stats["latency_s"]["p50"] <= stats["latency_s"]["p99"]
+
+    def test_open_loop_sheds_under_overload(self):
+        registry = MetricsRegistry()
+        gate = GateEngine(_engine())
+        gate.release.set()
+        config = ServeConfig(workers=1, queue_capacity=1, coalesce=False)
+        core = ServerCore(gate, config, registry=registry)
+        generator = LoadGenerator(core)
+        # 200 near-simultaneous arrivals against one worker and a
+        # one-slot queue: most must shed
+        schedule = OpenLoopSchedule.uniform(
+            1_000_000.0, 200, ["apple banana", "cherry", "banana fig"])
+        try:
+            report = generator.run_open(schedule)
+        finally:
+            core.close()
+        assert report.shed > 0
+        assert report.completed >= 1
+        shed_metric = registry.counter("gks_serve_shed_total").total()
+        assert shed_metric == report.shed
+
+    def test_closed_loop_totals(self):
+        core = ServerCore(_engine(), ServeConfig(workers=2),
+                          registry=MetricsRegistry())
+        generator = LoadGenerator(core)
+        try:
+            report = generator.run_closed(
+                ["apple banana", "cherry"], concurrency=3, iterations=4)
+        finally:
+            core.close()
+        assert report.submitted == 12
+        assert report.completed == 12
+        assert report.mode == "closed"
+        assert report.throughput_rps > 0
+
+    def test_bursty_arrivals_deterministic(self):
+        first = BurstyArrivals(bursts=3, burst_size=4, gap_s=0.1,
+                               jitter_s=0.01, seed=5).offsets()
+        second = BurstyArrivals(bursts=3, burst_size=4, gap_s=0.1,
+                                jitter_s=0.01, seed=5).offsets()
+        assert first == second
+        assert len(first) == 12
+        assert first == sorted(first)
+
+    def test_bursty_arrivals_drive_a_schedule(self):
+        offsets = BurstyArrivals(bursts=2, burst_size=3,
+                                 gap_s=0.05).offsets()
+        from repro.serve import LoadRequest
+
+        schedule = OpenLoopSchedule(tuple(
+            LoadRequest(at_s=offset, query="apple banana")
+            for offset in offsets))
+        assert schedule.duration_s == pytest.approx(offsets[-1])
+        assert len(schedule.requests) == 6

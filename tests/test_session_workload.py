@@ -1,0 +1,205 @@
+"""Exploration-session state transitions and workload determinism.
+
+:class:`repro.core.session.ExplorationSession` drives the paper's §6
+refine-and-requery loop; these tests pin its state machine (run →
+refine/drill_down/back, transcript rendering, and every QueryError
+path).  :mod:`repro.eval.workload` is the Table 6 workload — its
+integrity and the determinism of the synthetic corpora it targets are
+what makes the eval harness reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.session import ExplorationSession, SessionStep
+from repro.datasets import load_dataset
+from repro.errors import QueryError
+from repro.eval import workload
+from repro.xmltree.serialize import serialize_document
+
+
+# ---------------------------------------------------------------------------
+# ExplorationSession
+# ---------------------------------------------------------------------------
+class TestSessionTransitions:
+    def test_empty_session_has_no_current(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        assert len(session) == 0
+        with pytest.raises(QueryError):
+            session.current
+
+    def test_run_pushes_a_step(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        step = session.run(Query.of(["a", "b", "c", "d"], s=2))
+        assert isinstance(step, SessionStep)
+        assert len(session) == 1
+        assert session.current is step
+        assert step.query.keywords == ("a", "b", "c", "d")
+        assert step.result_count == len(step.response)
+
+    def test_refine_applies_subset_and_records_note(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        first = session.run(Query.of(["a", "b", "c", "d"], s=2))
+        assert first.refinements, "Fig. 1 Q3 must offer refinements"
+        second = session.refine(0)
+        assert len(session) == 2
+        assert second.note.startswith("refined[")
+        # the refined query is the chosen refinement's keyword set
+        chosen = first.refinements[0]
+        assert second.query.keywords == tuple(chosen.keywords)
+
+    def test_refine_out_of_range(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        step = session.run(Query.of(["a", "b", "c", "d"], s=2))
+        with pytest.raises(QueryError):
+            session.refine(len(step.refinements))
+        with pytest.raises(QueryError):
+            session.refine(-1)
+
+    def test_refine_without_offers(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        step = session.run("zzz-nowhere")
+        assert not step.refinements
+        with pytest.raises(QueryError):
+            session.refine()
+
+    def test_expansion_bumps_s_by_one(self, figure2a_engine):
+        from repro.core.refinement import RefinementKind
+
+        session = ExplorationSession(figure2a_engine)
+        step = session.run("karen mike", s=1)
+        expansions = [number for number, refinement
+                      in enumerate(step.refinements)
+                      if refinement.kind is RefinementKind.EXPANSION]
+        if not expansions:
+            pytest.skip("corpus offered no expansion refinement")
+        refined = session.refine(expansions[0])
+        chosen = step.refinements[expansions[0]]
+        assert refined.query.s == min(step.query.s + 1,
+                                      len(chosen.keywords))
+
+    def test_drill_down_uses_insight_keywords(self, figure2a_engine):
+        session = ExplorationSession(figure2a_engine)
+        step = session.run("karen mike", s=1)
+        assert step.insights.top_keywords(5), \
+            "Fig. 2(a) karen+mike must yield DI keywords"
+        drilled = session.drill_down()
+        assert drilled.note.startswith("DI drill-down")
+        assert set(drilled.query.keywords) <= \
+            set(step.insights.top_keywords(5))
+
+    def test_drill_down_without_insights(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        session.run("zzz-nowhere")
+        with pytest.raises(QueryError):
+            session.drill_down()
+
+    def test_back_rewinds_to_previous_step(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        first = session.run(Query.of(["a", "b", "c", "d"], s=2))
+        session.refine(0)
+        restored = session.back()
+        assert restored is first
+        assert len(session) == 1
+
+    def test_back_on_single_step_fails(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        session.run(Query.of(["a", "b", "c", "d"], s=2))
+        with pytest.raises(QueryError):
+            session.back()
+        with pytest.raises(QueryError):
+            ExplorationSession(figure1_engine).back()
+
+    def test_transcript_lists_every_step(self, figure1_engine):
+        session = ExplorationSession(figure1_engine)
+        session.run(Query.of(["a", "b", "c", "d"], s=2), note="start")
+        session.refine(0)
+        text = session.transcript()
+        lines = text.splitlines()
+        assert lines[0].startswith("step 1:")
+        assert "[start]" in lines[0]
+        assert any(line.startswith("step 2:") for line in lines)
+        assert any("refine[" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 6 workload
+# ---------------------------------------------------------------------------
+class TestWorkloadTable:
+    def test_table6_ids_unique_and_complete(self):
+        ids = [query.qid for query in workload.TABLE6]
+        assert len(ids) == len(set(ids)) == 14
+        assert ids == sorted(
+            ids, key=lambda qid: ("SDMI".index(qid[1]), qid))
+
+    def test_every_query_names_a_known_dataset(self):
+        from repro.datasets.registry import dataset_names
+
+        known = set(dataset_names())
+        for query in workload.TABLE6:
+            assert query.dataset in known, query.qid
+
+    def test_by_id_roundtrip_and_unknown(self):
+        for query in workload.TABLE6:
+            assert workload.by_id(query.qid) is query
+        with pytest.raises(KeyError):
+            workload.by_id("QX9")
+
+    def test_for_dataset_partitions_the_table(self):
+        datasets = {query.dataset for query in workload.TABLE6}
+        recovered = [query for dataset in sorted(datasets)
+                     for query in workload.for_dataset(dataset)]
+        assert sorted(q.qid for q in recovered) == \
+            sorted(q.qid for q in workload.TABLE6)
+
+    def test_half_s_is_paper_setting(self):
+        assert workload.by_id("QS1").half_s() == 1
+        assert workload.by_id("QS4").half_s() == 4
+        assert workload.by_id("QM2").half_s() == 1
+        for query in workload.TABLE6:
+            assert query.half_s() >= 1
+
+    def test_size_matches_term_count(self):
+        # |Q| counts query *terms*: each quoted author is one term
+        for query in workload.TABLE6:
+            if query.qid.startswith(("QS", "QD")):
+                assert query.text.count('"') == 2 * query.size, query.qid
+
+    def test_hybrid_query_merges_both_author_pools(self):
+        from repro.datasets import names
+
+        for author in (names.HYBRID_DBLP_AUTHORS
+                       + names.HYBRID_SIGMOD_AUTHORS):
+            assert f'"{author}"' in workload.HYBRID_QUERY
+
+    def test_queries_parse_against_their_corpus(self):
+        query = workload.by_id("QM1")
+        assert Query.parse(query.text, s=query.half_s()).keywords
+
+
+class TestWorkloadDeterminism:
+    @pytest.mark.parametrize("dataset", ["sigmod", "mondial"])
+    def test_same_seed_same_corpus(self, dataset):
+        first = load_dataset(dataset, scale=1, seed=11)
+        second = load_dataset(dataset, scale=1, seed=11)
+        assert len(first) == len(second)
+        for left, right in zip(first, second):
+            assert serialize_document(left) == serialize_document(right)
+
+    def test_different_seed_different_corpus(self):
+        first = load_dataset("sigmod", scale=1, seed=1)
+        second = load_dataset("sigmod", scale=1, seed=2)
+        texts_first = [serialize_document(doc) for doc in first]
+        texts_second = [serialize_document(doc) for doc in second]
+        assert texts_first != texts_second
+
+    def test_workload_queries_hit_their_seeded_corpus(self):
+        from repro.core.engine import GKSEngine
+
+        repository = load_dataset("sigmod", scale=1, seed=0)
+        engine = GKSEngine(repository)
+        query = workload.by_id("QS1")
+        response = engine.search(query.text, s=query.half_s())
+        assert len(response) > 0
