@@ -1,0 +1,197 @@
+"""Durability benchmark: WAL throughput, recovery latency, hot swap.
+
+Four stages over a replicated figure-2a corpus, recorded to
+``benchmarks/results/BENCH_durability.json``:
+
+1. **WAL append** — fsync'd append throughput and per-record latency.
+2. **Ingest** — durable ``add_document`` throughput through the engine
+   (WAL + memtable + periodic segment flush), ending in a compaction.
+3. **Recovery** — cold-open latency of the store written by stage 2
+   versus a from-scratch rebuild of the same corpus, asserting the
+   recovered index answers node-for-node identically.
+4. **Swap under load** — a closed loop drives search traffic while the
+   engine is hot-swapped repeatedly; the run must finish with **zero**
+   failed, shed or timed-out requests attributable to the swaps.
+
+Timing numbers are machine-dependent and recorded, not asserted; the
+equivalence and zero-downtime invariants are asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.core import EngineConfig, GKSEngine, Texts
+from repro.datasets.registry import load_dataset
+from repro.index.segments import read_manifest
+from repro.index.wal import WriteAheadLog, replay_wal
+from repro.serve import LoadGenerator, ServeConfig, ServerCore
+from repro.xmltree.serialize import serialize_document
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_durability.json"
+
+BASE_DOCUMENTS = 8
+INGEST_DOCUMENTS = 24
+MEMTABLE_DOCS = 4
+COMPACT_SEGMENTS = 3
+WAL_RECORDS = 200
+QUERIES = ["karen mike", "data mining students", "student karen mike john"]
+SWAP_CONCURRENCY = 4
+SWAP_ITERATIONS = 30
+
+
+def _corpus() -> list[str]:
+    document = load_dataset("figure2a")[0]
+    return [serialize_document(document)] * BASE_DOCUMENTS
+
+
+def _ingest_texts() -> list[str]:
+    document = load_dataset("figure2a")[0]
+    text = serialize_document(document)
+    return [text] * INGEST_DOCUMENTS
+
+
+def _signature(engine) -> list:
+    out = []
+    for query in QUERIES:
+        response = engine.search(query, s=1)
+        out.append(sorted((node.dewey, node.score)
+                          for node in response.nodes))
+    return out
+
+
+def _wal_stage(tmp_dir: Path) -> dict:
+    path = tmp_dir / "bench-wal.log"
+    wal = WriteAheadLog.create(path)
+    record = {"op": "add", "doc_id": 0, "name": "bench.xml",
+              "text": "<dblp><article><title>x</title></article></dblp>"}
+    started = time.perf_counter()
+    for i in range(WAL_RECORDS):
+        wal.append(dict(record, doc_id=i))
+    elapsed = time.perf_counter() - started
+    wal.close()
+    replay_started = time.perf_counter()
+    replay = replay_wal(path)
+    replay_elapsed = time.perf_counter() - replay_started
+    assert len(replay.frames) == WAL_RECORDS
+    path.unlink()
+    print(f"  wal: {WAL_RECORDS} fsync'd appends in {elapsed:.3f}s "
+          f"({WAL_RECORDS / elapsed:.0f}/s), replay {replay_elapsed:.3f}s")
+    return {"records": WAL_RECORDS, "append_seconds": elapsed,
+            "appends_per_second": WAL_RECORDS / elapsed,
+            "append_fsync_ms": elapsed / WAL_RECORDS * 1000.0,
+            "replay_seconds": replay_elapsed}
+
+
+def _ingest_stage(store_dir: Path) -> dict:
+    config = EngineConfig(store_path=store_dir,
+                          memtable_docs=MEMTABLE_DOCS,
+                          compact_segments=COMPACT_SEGMENTS)
+    engine = GKSEngine.open(Texts(_corpus()), config=config)
+    texts = _ingest_texts()
+    started = time.perf_counter()
+    flushes = 0
+    for i, text in enumerate(texts):
+        info = engine.add_document(text, name=f"ingest{i}.xml")
+        flushes += int(info["flushed"])
+    engine.flush()
+    ingest_elapsed = time.perf_counter() - started
+    compact_started = time.perf_counter()
+    compacted = engine.compact()
+    compact_elapsed = time.perf_counter() - compact_started
+    engine.close()
+    manifest = read_manifest(store_dir)
+    print(f"  ingest: {INGEST_DOCUMENTS} docs in {ingest_elapsed:.3f}s "
+          f"({INGEST_DOCUMENTS / ingest_elapsed:.0f}/s, {flushes} "
+          f"auto-flushes), compact {compact_elapsed:.3f}s "
+          f"-> generation {manifest.generation}")
+    return {"documents": INGEST_DOCUMENTS,
+            "memtable_docs": MEMTABLE_DOCS,
+            "ingest_seconds": ingest_elapsed,
+            "documents_per_second": INGEST_DOCUMENTS / ingest_elapsed,
+            "auto_flushes": flushes,
+            "compact_seconds": compact_elapsed,
+            "compacted_shards": compacted["compacted_shards"],
+            "final_generation": manifest.generation}
+
+
+def _recovery_stage(store_dir: Path) -> dict:
+    config = EngineConfig(store_path=store_dir,
+                          memtable_docs=MEMTABLE_DOCS,
+                          compact_segments=COMPACT_SEGMENTS)
+    started = time.perf_counter()
+    recovered = GKSEngine.open(Texts(_corpus()), config=config)
+    recover_elapsed = time.perf_counter() - started
+
+    rebuild_started = time.perf_counter()
+    reference = GKSEngine.open(Texts(_corpus() + _ingest_texts()),
+                               config=EngineConfig(cache_size=0))
+    rebuild_elapsed = time.perf_counter() - rebuild_started
+
+    assert _signature(recovered) == _signature(reference), \
+        "recovered index diverges from a from-scratch rebuild"
+    documents = len(recovered.repository)
+    recovered.close()
+    print(f"  recovery: cold open {recover_elapsed:.3f}s vs rebuild "
+          f"{rebuild_elapsed:.3f}s ({documents} documents, "
+          f"node-for-node identical)")
+    return {"documents": documents,
+            "cold_open_seconds": recover_elapsed,
+            "rebuild_seconds": rebuild_elapsed,
+            "speedup_vs_rebuild": rebuild_elapsed / recover_elapsed
+            if recover_elapsed > 0 else None}
+
+
+def _swap_stage() -> dict:
+    engine = GKSEngine.open(Texts(_corpus()), config=EngineConfig())
+    with ServerCore(engine, ServeConfig(workers=4,
+                                        queue_capacity=256)) as core:
+        stop = threading.Event()
+        swaps: list[int] = []
+
+        def swapper() -> None:
+            while not stop.is_set():
+                replacement = GKSEngine.open(Texts(_corpus()),
+                                             config=EngineConfig())
+                swaps.append(core.swap_engine(replacement))
+
+        thread = threading.Thread(target=swapper, daemon=True)
+        thread.start()
+        try:
+            report = LoadGenerator(core).run_closed(
+                QUERIES, concurrency=SWAP_CONCURRENCY,
+                iterations=SWAP_ITERATIONS, s=1)
+        finally:
+            stop.set()
+            thread.join()
+    assert report.errors == 0, report.to_dict()
+    assert report.shed == 0, report.to_dict()
+    assert report.timeouts == 0, report.to_dict()
+    assert report.completed == report.submitted, report.to_dict()
+    assert swaps, "swap thread never published a generation"
+    print(f"  swap: {report.render()} | {len(swaps)} engine swap(s), "
+          f"zero swap-attributable failures")
+    return {"swaps": len(swaps), "report": report.to_dict()}
+
+
+def test_durability_benchmark_report(tmp_path):
+    print()
+    started = time.perf_counter()
+    store_dir = tmp_path / "store"
+    record = {
+        "cpu_count": os.cpu_count(),
+        "base_documents": BASE_DOCUMENTS,
+        "wal": _wal_stage(tmp_path),
+        "ingest": _ingest_stage(store_dir),
+        "recovery": _recovery_stage(store_dir),
+        "swap_under_load": _swap_stage(),
+    }
+    record["bench_seconds"] = time.perf_counter() - started
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print(f"durability bench -> {RESULTS_PATH}")

@@ -14,7 +14,8 @@ CLI entry points: ``gks lint`` and ``gks check-index --deep``.
 
 from repro.analysis.findings import Finding, render_findings
 from repro.analysis.invariants import (INVARIANT_NAMES, InvariantViolation,
-                                       verify_index, verify_store)
+                                       verify_index, verify_segmented_store,
+                                       verify_store)
 from repro.analysis.lint import (ModuleInfo, Rule, default_rules,
                                  lint_modules, lint_paths, register,
                                  rule_catalog)
@@ -23,6 +24,6 @@ __all__ = [
     "Finding", "render_findings",
     "ModuleInfo", "Rule", "register", "default_rules", "rule_catalog",
     "lint_modules", "lint_paths",
-    "InvariantViolation", "verify_index", "verify_store",
-    "INVARIANT_NAMES",
+    "InvariantViolation", "verify_index", "verify_segmented_store",
+    "verify_store", "INVARIANT_NAMES",
 ]

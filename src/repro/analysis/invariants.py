@@ -209,31 +209,41 @@ def _audit_sharded(index: ShardedIndex, report: _Report) -> None:
 
 def _audit_partition(assignments: list[tuple[int, tuple[int, ...]]],
                      document_names: list[str], strategy: str,
-                     report: _Report) -> None:
-    """Shared by in-memory and raw-store audits: exact partitioning."""
+                     report: _Report, *,
+                     invariants: tuple[str, str] = ("shard-partition",
+                                                    "shard-routing"),
+                     shards: int | None = None) -> None:
+    """Shared by in-memory, raw-store and segmented-store audits.
+
+    ``shards`` defaults to one shard per assignment row; segmented
+    stores pass the manifest's shard count explicitly (several segment
+    records share a shard there).
+    """
+    partition_inv, routing_inv = invariants
     documents = len(document_names)
-    shards = len(assignments)
+    if shards is None:
+        shards = len(assignments)
     owner: dict[int, int] = {}
     for shard_id, doc_ids in assignments:
         for doc_id in doc_ids:
             if doc_id in owner:
-                report.add("shard-partition",
+                report.add(partition_inv,
                            f"document {doc_id} is assigned to both "
                            f"shard {owner[doc_id]} and shard {shard_id}")
                 continue
             owner[doc_id] = shard_id
             if not 0 <= doc_id < documents:
-                report.add("shard-partition",
+                report.add(partition_inv,
                            f"shard {shard_id} claims unknown document "
                            f"{doc_id}")
     for doc_id in range(documents):
         if doc_id not in owner:
-            report.add("shard-partition",
+            report.add(partition_inv,
                        f"document {doc_id} "
                        f"({document_names[doc_id]!r}) is assigned to no "
                        f"shard — it would vanish from every query")
     if strategy not in PARTITION_STRATEGIES:
-        report.add("shard-routing",
+        report.add(routing_inv,
                    f"unknown partitioning strategy {strategy!r}")
         return
     for doc_id, shard_id in sorted(owner.items()):
@@ -242,7 +252,7 @@ def _audit_partition(assignments: list[tuple[int, tuple[int, ...]]],
         expected = shard_of(doc_id, document_names[doc_id], shards,
                             strategy)
         if expected != shard_id:
-            report.add("shard-routing",
+            report.add(routing_inv,
                        f"document {doc_id} lives on shard {shard_id} "
                        f"but strategy {strategy!r} routes it to shard "
                        f"{expected}")
@@ -339,9 +349,176 @@ def _audit_store_payload(payload: dict, documents: int,
                    f"but entityHash holds {len(entity)} node(s)")
 
 
+# ----------------------------------------------------------------------
+# Segmented-store audits
+# ----------------------------------------------------------------------
+
+def verify_segmented_store(directory: str | Path
+                           ) -> list[InvariantViolation]:
+    """Audit a segmented store directory (manifest + segments + WAL).
+
+    Covers the durability-specific invariants on top of the per-segment
+    payload audit:
+
+    ``manifest-generation``
+        The manifest generation is positive, no segment or texts file
+        claims a newer generation than the manifest, and every record's
+        generation agrees with its file name — a regressed manifest
+        would resurrect deleted documents after the next compaction.
+    ``segment-orphan`` / ``segment-missing`` / ``segment-crc``
+        Every file the manifest names exists with the recorded CRC32,
+        and no unreferenced segment/texts/temp file lingers (an orphan
+        is a crash residue the store should have cleaned, or worse, a
+        manifest that lost a reference).
+    ``segment-partition`` / ``segment-routing``
+        The segment records partition the document set exactly once per
+        shard strategy, and the texts sidecars cover each appended
+        document exactly once.
+    ``wal-consistency``
+        The WAL exists, replays (a torn tail is legal crash residue),
+        and its post-checkpoint tail continues the manifest: frames
+        numbered from ``wal_lsn + 1`` appending documents numbered from
+        ``len(document_names)``.
+
+    Structural manifest failures raise :class:`StorageError` (exit 1 in
+    the CLI); the returned violations are exit 2.
+    """
+    from repro.index.segments import (SEGMENT_PATTERN, TEXTS_PATTERN,
+                                      WAL_NAME, file_crc32, read_manifest)
+
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    report = _Report()
+
+    if manifest.generation < 1:
+        report.add("manifest-generation",
+                   f"manifest generation {manifest.generation} is not "
+                   f"positive")
+    referenced: set[str] = set()
+    for record in manifest.segments:
+        referenced.add(record.file)
+        if record.generation > manifest.generation:
+            report.add("manifest-generation",
+                       f"segment {record.file} claims generation "
+                       f"{record.generation} newer than the manifest's "
+                       f"{manifest.generation}")
+        match = SEGMENT_PATTERN.match(record.file)
+        if match and (int(match.group(1)) != record.generation
+                      or int(match.group(2)) != record.shard_id):
+            report.add("manifest-generation",
+                       f"segment {record.file} disagrees with its record "
+                       f"(generation {record.generation}, shard "
+                       f"{record.shard_id})")
+    for record in manifest.texts:
+        referenced.add(record.file)
+        match = TEXTS_PATTERN.match(record.file)
+        if match and int(match.group(1)) > manifest.generation:
+            report.add("manifest-generation",
+                       f"texts file {record.file} is newer than the "
+                       f"manifest generation {manifest.generation}")
+
+    for entry in sorted(directory.iterdir()):
+        name = entry.name
+        if name in referenced or name in ("MANIFEST", WAL_NAME):
+            continue
+        if (name.endswith(".tmp") or SEGMENT_PATTERN.match(name)
+                or TEXTS_PATTERN.match(name)):
+            report.add("segment-orphan",
+                       f"unreferenced file {name} in {directory}")
+
+    documents = len(manifest.document_names)
+    for record in list(manifest.segments) + list(manifest.texts):
+        path = directory / record.file
+        if not path.exists():
+            report.add("segment-missing",
+                       f"manifest references missing file {record.file}")
+            continue
+        if file_crc32(path) != record.crc32:
+            report.add("segment-crc",
+                       f"{record.file} does not match its manifest CRC32")
+
+    _audit_partition(
+        [(record.shard_id, record.doc_ids)
+         for record in manifest.segments],
+        list(manifest.document_names), manifest.strategy, report,
+        invariants=("segment-partition", "segment-routing"),
+        shards=manifest.shards)
+    appended = set(range(manifest.base_documents, documents))
+    texts_seen: dict[int, str] = {}
+    for record in manifest.texts:
+        for doc_id in record.doc_ids:
+            if doc_id in texts_seen:
+                report.add("segment-partition",
+                           f"appended document {doc_id} appears in both "
+                           f"{texts_seen[doc_id]} and {record.file}")
+            texts_seen[doc_id] = record.file
+            if doc_id not in appended:
+                report.add("segment-partition",
+                           f"texts file {record.file} covers {doc_id}, "
+                           f"which is not an appended document")
+    for doc_id in sorted(appended - set(texts_seen)):
+        report.add("segment-partition",
+                   f"appended document {doc_id} has no texts sidecar — "
+                   f"it cannot be recovered")
+
+    _audit_wal_tail(directory / WAL_NAME, manifest, report)
+
+    # deep payload audit of every intact segment
+    for record in manifest.segments:
+        path = directory / record.file
+        if not path.exists():
+            continue
+        try:
+            envelope = read_envelope(path)
+        except Exception:  # noqa: BLE001 - broken file already reported
+            continue
+        payload = (envelope if envelope.get("version") == 1
+                   else envelope.get("payload", {}))
+        _audit_store_payload(payload, documents, set(record.doc_ids),
+                             report, label=record.file)
+    return report.violations
+
+
+def _audit_wal_tail(path: Path, manifest, report: _Report) -> None:
+    from repro.errors import StorageError
+    from repro.index.wal import replay_wal
+
+    if not path.exists():
+        report.add("wal-consistency",
+                   f"missing WAL {path.name}: acknowledged writes may "
+                   f"be lost")
+        return
+    try:
+        replay = replay_wal(path)
+    except StorageError as exc:
+        report.add("wal-consistency", f"WAL does not replay: {exc}")
+        return
+    tail = [frame for frame in replay.frames
+            if frame.lsn > manifest.wal_lsn]
+    if tail and tail[0].lsn != manifest.wal_lsn + 1:
+        report.add("wal-consistency",
+                   f"WAL tail starts at lsn {tail[0].lsn} but the "
+                   f"manifest checkpointed lsn {manifest.wal_lsn} — "
+                   f"frames in between are lost")
+        return
+    doc_id = len(manifest.document_names)
+    for frame in tail:
+        record = frame.record
+        if (not isinstance(record, dict) or record.get("op") != "add"
+                or record.get("doc_id") != doc_id
+                or not isinstance(record.get("text"), str)):
+            report.add("wal-consistency",
+                       f"WAL frame {frame.lsn} does not continue the "
+                       f"manifest (expected add of document {doc_id})")
+            return
+        doc_id += 1
+
+
 #: Invariant names, for the docs and the CLI's "what was checked" line.
 INVARIANT_NAMES = (
     "postings-sorted", "postings-document", "hash-cross-consistency",
     "stats-agreement", "shard-partition", "shard-routing",
-    "shard-ownership", "manifest-crc",
+    "shard-ownership", "manifest-crc", "manifest-generation",
+    "segment-orphan", "segment-missing", "segment-crc",
+    "segment-partition", "segment-routing", "wal-consistency",
 )

@@ -114,6 +114,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            help="testing hook: delay every engine "
                                 "search by this many milliseconds "
                                 "(makes coalescing observable)")
+    serve_cmd.add_argument("--store", default=None,
+                           help="segmented store directory; enables the "
+                                "durable write path (POST /documents is "
+                                "WAL'd and crash-safe, /admin/flush and "
+                                "/admin/compact manage segments)")
+    serve_cmd.add_argument("--memtable-docs", type=int, default=64,
+                           help="pending documents that trigger an "
+                                "automatic flush (default 64)")
+    serve_cmd.add_argument("--compact-segments", type=int, default=4,
+                           help="per-shard segment runs that trigger "
+                                "automatic compaction (default 4)")
     _add_sharding_flags(serve_cmd)
 
     topk_cmd = commands.add_parser(
@@ -166,7 +177,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     check_cmd = commands.add_parser(
         "check-index",
         help="verify an index file's checksum, print a health summary")
-    check_cmd.add_argument("index", help="index file to check")
+    check_cmd.add_argument("index",
+                           help="index file — or segmented store "
+                                "directory — to check")
     check_cmd.add_argument("--deep", action="store_true",
                            help="additionally audit deep data-level "
                                 "invariants on the raw stored form; a "
@@ -297,6 +310,11 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
     from repro.index.storage import check_index, load_index
     from repro.index.validate import validate_index
 
+    target = Path(args.index)
+    if target.is_dir() or target.name == "MANIFEST":
+        directory = target if target.is_dir() else target.parent
+        return _check_segmented_store(directory,
+                                      deep=getattr(args, "deep", False))
     summary = check_index(args.index)
     if not summary["ok"]:
         print(f"index BAD: {summary['path']}")
@@ -332,6 +350,78 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
         print(f"  {'shards':>14}: {summary['shards']} "
               f"[{summary['strategy']}]")
     if getattr(args, "deep", False):
+        from repro.analysis import INVARIANT_NAMES
+
+        print(f"  {'deep audit':>14}: {len(INVARIANT_NAMES)} "
+              f"invariants OK")
+    return 0
+
+
+def _check_segmented_store(directory: Path, deep: bool) -> int:
+    """check-index for a segmented store directory (same exit contract).
+
+    Structural pass (exit 1 on failure): the manifest reads and
+    checksums, every referenced segment/texts file exists with its
+    recorded CRC32 and loads, and the WAL replays (a torn tail is legal
+    crash residue and is reported, not failed).  ``--deep`` (exit 2)
+    then runs :func:`repro.analysis.verify_segmented_store`.
+    """
+    from repro.errors import StorageError
+    from repro.index.segments import file_crc32, read_manifest
+    from repro.index.storage import load_index
+    from repro.index.wal import replay_wal
+
+    def bad(diagnosis: str, error: str) -> int:
+        print(f"store BAD: {directory}")
+        print(f"  diagnosis: {diagnosis}")
+        print(f"  error: {error}")
+        return 1
+
+    try:
+        manifest = read_manifest(directory)
+    except StorageError as exc:
+        return bad(exc.diagnosis or "corrupted", str(exc))
+    for record in list(manifest.segments) + list(manifest.texts):
+        path = directory / record.file
+        try:
+            if file_crc32(path) != record.crc32:
+                return bad("corrupted",
+                           f"{record.file} does not match its manifest "
+                           f"CRC32")
+        except StorageError as exc:
+            return bad(exc.diagnosis or "unreadable", str(exc))
+    for record in manifest.segments:
+        try:
+            load_index(directory / record.file)
+        except StorageError as exc:
+            return bad(exc.diagnosis or "corrupted",
+                       f"segment {record.file}: {exc}")
+    wal_path = directory / "wal.log"
+    try:
+        replay = replay_wal(wal_path)
+    except StorageError as exc:
+        return bad(exc.diagnosis or "corrupted", f"WAL: {exc}")
+    if deep:
+        from repro.analysis import verify_segmented_store
+
+        violations = verify_segmented_store(directory)
+        if violations:
+            print(f"store BAD: {directory}")
+            print("  diagnosis: invariant-violation")
+            for violation in violations:
+                print(f"  invariant violated: {violation.render()}")
+            return 2
+    tail = [frame for frame in replay.frames
+            if frame.lsn > manifest.wal_lsn]
+    print(f"store OK: {directory}")
+    print(f"  {'generation':>14}: {manifest.generation}")
+    print(f"  {'documents':>14}: {len(manifest.document_names)} "
+          f"(+{len(tail)} in WAL tail)")
+    print(f"  {'segments':>14}: {len(manifest.segments)}")
+    print(f"  {'shards':>14}: {manifest.shards} [{manifest.strategy}]")
+    print(f"  {'wal':>14}: {len(replay.frames)} frame(s), "
+          f"{replay.torn_bytes} torn byte(s)")
+    if deep:
         from repro.analysis import INVARIANT_NAMES
 
         print(f"  {'deep audit':>14}: {len(INVARIANT_NAMES)} "
@@ -379,7 +469,15 @@ def _engine(files: list[str],
     config = EngineConfig(shards=getattr(args, "shards", 1),
                           workers=getattr(args, "workers", 1),
                           shard_strategy=getattr(args, "strategy",
-                                                 "round_robin"))
+                                                 "round_robin"),
+                          store_path=getattr(args, "store", None),
+                          memtable_docs=getattr(args, "memtable_docs", 64),
+                          compact_segments=getattr(args, "compact_segments",
+                                                   4))
+    if config.store_path is not None:
+        # the durable open path: initialise or recover the store
+        return GKSEngine.open(_load_repository(files), config=config,
+                              **kwargs)
     return GKSEngine(_load_repository(files), config=config, **kwargs)
 
 

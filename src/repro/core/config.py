@@ -89,6 +89,19 @@ class EngineConfig:
     index_path:
         Optional persisted-index location: loaded when present and
         compatible, (re)built and saved otherwise.
+    store_path:
+        Optional segmented-store directory.  When set, the engine opens
+        (or initialises) a durable write path there: every
+        ``add_document`` is write-ahead logged before it is applied, the
+        memtable flushes to immutable segments, and ``open`` recovers
+        the exact index after a crash at any byte offset.  Mutually
+        exclusive with ``index_path`` (the store owns persistence).
+    memtable_docs:
+        Memtable flush threshold — pending documents are flushed to a
+        new on-disk segment once this many accumulate.
+    compact_segments:
+        Auto-compaction threshold — after a flush, any shard whose
+        segment chain reaches this length is compacted down to one run.
     """
 
     analyzer: Analyzer = DEFAULT_ANALYZER
@@ -102,6 +115,9 @@ class EngineConfig:
     workers: int = 1
     shard_strategy: str = "round_robin"
     index_path: str | Path | None = None
+    store_path: str | Path | None = None
+    memtable_docs: int = 64
+    compact_segments: int = 4
 
     def __post_init__(self) -> None:
         from repro.index.sharding import PARTITION_STRATEGIES
@@ -121,6 +137,16 @@ class EngineConfig:
                 f"expected one of {PARTITION_STRATEGIES}")
         if not callable(self.ranker):
             raise ConfigError(f"ranker must be callable: {self.ranker!r}")
+        if self.memtable_docs < 1:
+            raise ConfigError(
+                f"memtable_docs must be >= 1: {self.memtable_docs}")
+        if self.compact_segments < 2:
+            raise ConfigError(
+                f"compact_segments must be >= 2: {self.compact_segments}")
+        if self.store_path is not None and self.index_path is not None:
+            raise ConfigError(
+                "store_path and index_path are mutually exclusive: the "
+                "segmented store owns persistence")
         # normalise early so a typo'd policy fails at config time, not
         # at first ingest
         object.__setattr__(self, "recovery",

@@ -1,0 +1,213 @@
+"""Durable-engine glue: opening, recovering and composing a store.
+
+:class:`~repro.core.engine.GKSEngine` stays the facade; this module owns
+the mechanics of the segmented write path — turning a
+:class:`~repro.index.segments.SegmentStore` back into a serving index
+and vice versa:
+
+* **open** — no manifest yet: build the base index as usual, seed the
+  store with generation-1 segments and an empty WAL.
+* **recover** — manifest present: verify compatibility with the engine
+  config and the base corpus (never silently serve a different corpus),
+  re-parse the flushed appended documents from the texts sidecars,
+  load the verified segment runs, then re-apply the WAL tail.  The
+  composed index is node-for-node the one a from-scratch rebuild over
+  the same documents would produce.
+* **compose** — wrap the per-shard unit runs (segments + memtable
+  mini-indexes) into :class:`~repro.index.segments.StackedIndex` stacks:
+  one stack for a monolithic engine, a stack per shard inside a
+  :class:`~repro.index.sharding.ShardedIndex` for scatter-gather.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.config import EngineConfig
+from repro.errors import StorageError, XMLSyntaxError
+from repro.index.builder import GKSIndex, IndexBuilder
+from repro.index.segments import (MANIFEST_NAME, PendingDocument,
+                                  SegmentStore, StackedIndex, StoreManifest)
+from repro.index.sharding import Shard, ShardedIndex, shard_of
+from repro.text.analyzer import Analyzer
+from repro.xmltree.parser import parse_document
+from repro.xmltree.repository import Repository
+from repro.xmltree.tree import XMLDocument
+
+# per shard: the ordered run chain, each run = (owned doc ids, unit index)
+UnitRuns = dict[int, list[tuple[tuple[int, ...], GKSIndex]]]
+
+
+def build_unit(document: XMLDocument, analyzer: Analyzer,
+               index_tags: bool) -> GKSIndex:
+    """Index a single document as an immutable memtable unit.
+
+    The unit keeps the document's **global** Dewey ids, so stacking it
+    onto the serving index is a disjoint sorted union — the same
+    guarantee shard builds rely on.
+    """
+    builder = IndexBuilder(analyzer=analyzer, index_tags=index_tags)
+    builder.add_document_unchecked(document)
+    return builder.build()
+
+
+def compose_serving(durable_units: UnitRuns,
+                    pending: Sequence[PendingDocument],
+                    config: EngineConfig,
+                    names: Sequence[str]
+                    ) -> StackedIndex | ShardedIndex:
+    """The serving index over *durable_units* plus the memtable tail.
+
+    Monolithic configs get the shard-0 stack directly (plain dispatch);
+    sharded configs get a :class:`ShardedIndex` whose shard indexes are
+    stacks — scatter-gather works unchanged through duck typing.
+    """
+    per_shard: dict[int, list[tuple[tuple[int, ...], GKSIndex]]] = {
+        shard_id: list(durable_units.get(shard_id, ()))
+        for shard_id in range(config.shards)}
+    for doc in pending:
+        per_shard[doc.shard_id].append(((doc.doc_id,), doc.unit))
+    stacks = {
+        shard_id: StackedIndex([unit for _, unit in runs],
+                               [doc_ids for doc_ids, _ in runs],
+                               analyzer=config.analyzer)
+        for shard_id, runs in per_shard.items()}
+    if config.shards == 1:
+        return stacks[0]
+    shards = [Shard(shard_id=shard_id, doc_ids=stacks[shard_id].doc_ids,
+                    index=stacks[shard_id])
+              for shard_id in range(config.shards)]
+    return ShardedIndex(shards, strategy=config.shard_strategy,
+                        document_names=tuple(names),
+                        analyzer=config.analyzer)
+
+
+def units_from_base(base: GKSIndex | ShardedIndex,
+                    config: EngineConfig) -> UnitRuns:
+    """Seed the per-shard run chains from a freshly built base index."""
+    if isinstance(base, ShardedIndex):
+        return {shard.shard_id: [(shard.doc_ids, shard.index)]
+                for shard in base.shards if shard.doc_ids}
+    count = len(base.document_names)
+    return {0: [(tuple(range(count)), base)]} if count else {}
+
+
+def check_compatible(manifest: StoreManifest, repository: Repository,
+                     config: EngineConfig) -> None:
+    """Refuse to open a store that describes a different engine/corpus.
+
+    Silent acceptance would be silent data loss: a store flushed under
+    three shards cannot be recovered under two, and a store whose base
+    documents differ from the source corpus is somebody else's index.
+    Raises :class:`StorageError` (``diagnosis="incompatible"``).
+    """
+    problems = []
+    if manifest.shards != config.shards:
+        problems.append(f"store has {manifest.shards} shards, "
+                        f"config wants {config.shards}")
+    if manifest.strategy != config.shard_strategy:
+        problems.append(f"store strategy {manifest.strategy!r}, "
+                        f"config wants {config.shard_strategy!r}")
+    if manifest.index_tags != config.index_tags:
+        problems.append(f"store index_tags={manifest.index_tags}, "
+                        f"config wants {config.index_tags}")
+    if (manifest.use_stopwords != config.analyzer.use_stopwords
+            or manifest.use_stemming != config.analyzer.use_stemming):
+        problems.append("analyzer flags differ")
+    if manifest.base_documents != len(repository):
+        problems.append(f"store built over {manifest.base_documents} "
+                        f"base documents, source has {len(repository)}")
+    else:
+        base_names = manifest.document_names[:manifest.base_documents]
+        source_names = tuple(document.name for document in repository)
+        if base_names != source_names:
+            problems.append("base document names differ from the source "
+                            "corpus")
+    if problems:
+        raise StorageError(
+            f"segmented store is incompatible with this engine: "
+            f"{'; '.join(problems)}", diagnosis="incompatible")
+
+
+def open_durable(repository: Repository, config: EngineConfig,
+                 build_index: Callable[[Repository, EngineConfig],
+                                       GKSIndex | ShardedIndex]
+                 ) -> tuple[StackedIndex | ShardedIndex, SegmentStore,
+                            UnitRuns, list[PendingDocument]]:
+    """Open or recover the segmented store named by ``config.store_path``.
+
+    Returns ``(serving_index, store, durable_units, pending)``.  The
+    repository is extended in place with every recovered post-base
+    document (sidecar texts first, then the WAL tail) so snippets and
+    exports see the full corpus.
+    """
+    directory = Path(config.store_path)
+    if not (directory / MANIFEST_NAME).exists():
+        base = build_index(repository, config)
+        store = SegmentStore.create(
+            directory, base, shards=config.shards,
+            strategy=config.shard_strategy, index_tags=config.index_tags)
+        durable_units = units_from_base(base, config)
+        serving = compose_serving(
+            durable_units, [], config,
+            names=tuple(document.name for document in repository))
+        return serving, store, durable_units, []
+
+    store = SegmentStore.open(directory)
+    manifest = store.manifest
+    check_compatible(manifest, repository, config)
+    for doc_id, name, text in store.appended_documents():
+        document = _replay_parse(text, doc_id, name, store)
+        repository.add(document)
+    runs = store.load_segment_units()
+    durable_units: UnitRuns = {
+        shard_id: [(record.doc_ids, unit) for record, unit in chain]
+        for shard_id, chain in runs.items()}
+    covered = sorted(doc_id
+                     for chain in durable_units.values()
+                     for doc_ids, _ in chain
+                     for doc_id in doc_ids)
+    if covered != list(range(len(manifest.document_names))):
+        raise StorageError(
+            f"segments of {directory} cover documents {covered} but the "
+            f"manifest names {len(manifest.document_names)}",
+            diagnosis="corrupted", path=directory / MANIFEST_NAME)
+    pending: list[PendingDocument] = []
+    for frame in store.pending_frames():
+        record = frame.record
+        doc_id = len(repository)
+        if (not isinstance(record, dict) or record.get("op") != "add"
+                or record.get("doc_id") != doc_id
+                or not isinstance(record.get("text"), str)):
+            raise StorageError(
+                f"WAL frame {frame.lsn} of {directory} does not continue "
+                f"the manifest (expected add of document {doc_id})",
+                diagnosis="corrupted", path=directory / MANIFEST_NAME)
+        document = _replay_parse(record["text"], doc_id,
+                                 record.get("name"), store)
+        repository.add(document)
+        unit = build_unit(document, config.analyzer, config.index_tags)
+        pending.append(PendingDocument(
+            lsn=frame.lsn, doc_id=doc_id,
+            shard_id=shard_of(doc_id, document.name, config.shards,
+                              config.shard_strategy),
+            name=document.name, text=record["text"], unit=unit))
+    serving = compose_serving(
+        durable_units, pending, config,
+        names=tuple(document.name for document in repository))
+    return serving, store, durable_units, pending
+
+
+def _replay_parse(text: str, doc_id: int, name: str | None,
+                  store: SegmentStore) -> XMLDocument:
+    """Parse a recovered document; it was valid when acknowledged, so a
+    parse failure now means the stored bytes rotted."""
+    try:
+        return parse_document(text, doc_id=doc_id,
+                              attributes_as_children=True, name=name)
+    except XMLSyntaxError as exc:
+        raise StorageError(
+            f"recovered document {doc_id} of {store.directory} no longer "
+            f"parses ({exc}) — the store is corrupted",
+            diagnosis="corrupted", path=store.directory) from exc

@@ -31,16 +31,18 @@ from repro.core.refinement import Refinement, suggest
 from repro.core.ranking import rank_node
 from repro.core.results import GKSResponse, RankedNode
 from repro.core.search import Ranker, search
+from repro.core.durable import build_unit, compose_serving, open_durable
 from repro.errors import ConfigError, SearchTimeout, StorageError
 from repro.index.builder import GKSIndex, IndexBuilder
-from repro.index.sharding import ParallelIndexBuilder, ShardedIndex
+from repro.index.segments import PendingDocument, SegmentStore
+from repro.index.sharding import ParallelIndexBuilder, ShardedIndex, shard_of
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.stats import SlowQuery, SlowQueryLog
 from repro.obs.trace import NullTracer, Span, Tracer
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey, format_dewey
 from repro.xmltree.node import XMLNode
-from repro.xmltree.parser import RecoveryPolicy
+from repro.xmltree.parser import RecoveryPolicy, parse_document
 from repro.xmltree.repository import Repository
 from repro.xmltree.serialize import serialize_node
 
@@ -95,6 +97,15 @@ class GKSEngine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        # Durable write path (attached by open() when config.store_path
+        # is set).  The RLock serializes mutations — an add_document that
+        # crosses the memtable threshold flushes inside the same hold.
+        self._mutation_lock = threading.RLock()
+        self._mutation_listeners: list = []
+        self._generation = 0
+        self._store: SegmentStore | None = None
+        self._durable_units: dict = {}
+        self._pending: list[PendingDocument] = []
 
     @staticmethod
     def _build_index(repository: Repository,
@@ -131,12 +142,32 @@ class GKSEngine:
         incompatible file (different shard layout, analyzer or corpus)
         falls back to a rebuild and the cache is rewritten atomically —
         a cold cache is a slow start, never a failed one.
+
+        With ``config.store_path`` set, the engine opens a durable
+        segmented store there instead: an empty directory is initialised
+        from a fresh build, an existing one is *recovered* — segments
+        verified, appended documents re-parsed, the WAL tail re-applied
+        — and ``add_document`` becomes crash-safe (write-ahead logged,
+        flushed to immutable segments, compacted per shard).  Unlike the
+        ``index_path`` cache, a corrupted or incompatible store raises
+        :class:`~repro.errors.StorageError` rather than rebuilding:
+        the store holds documents the source corpus does not, so
+        silently starting over would be data loss.
         """
         if config is None:
             config = EngineConfig()
         if overrides:
             config = config.replace(**overrides)
         repository = _resolve_source(source, config)
+
+        if config.store_path is not None:
+            serving, store, durable_units, pending = open_durable(
+                repository, config, cls._build_index)
+            engine = cls(repository, index=serving, config=config)
+            engine._store = store
+            engine._durable_units = durable_units
+            engine._pending = pending
+            return engine
 
         index: GKSIndex | ShardedIndex | None = None
         if config.index_path is not None:
@@ -240,13 +271,18 @@ class GKSEngine:
                 hit = replace(cached, stats=cached.stats.as_cache_hit())
                 self._record_search(hit, tracer=None)
                 return hit
-        if isinstance(self.index, ShardedIndex):
+        # One read of the index reference: a concurrent add_document
+        # swaps in a new immutable snapshot, and this search must run
+        # wholly on whichever snapshot it captured.
+        index = self.index
+        generation = self._generation
+        if isinstance(index, ShardedIndex):
             from repro.core.scatter import sharded_search
 
-            response = sharded_search(self.index, query, ranker=ranker,
+            response = sharded_search(index, query, ranker=ranker,
                                       budget=budget, tracer=tracer)
         else:
-            response = search(self.index, query, ranker=ranker,
+            response = search(index, query, ranker=ranker,
                               budget=budget, tracer=tracer)
         self._record_search(response, tracer=tracer)
         if (strict_deadline and response.degraded
@@ -255,7 +291,9 @@ class GKSEngine:
                 f"query {query} exceeded its deadline: "
                 f"{response.degradation.render()}",
                 report=response.degradation)
-        if use_cache and self._cache_size:
+        # the generation guard keeps a response computed on a pre-swap
+        # snapshot from re-entering the cache after invalidation
+        if use_cache and self._cache_size and generation == self._generation:
             with self._cache_lock:
                 if (cache_key not in self._response_cache
                         and len(self._response_cache) >= self._cache_size):
@@ -289,13 +327,14 @@ class GKSEngine:
                                      s=s if s is not None else self.config.s)
         elif s is not None:
             query = query.with_s(s)
-        if isinstance(self.index, ShardedIndex):
+        index = self.index  # one read: run wholly on one snapshot
+        if isinstance(index, ShardedIndex):
             from repro.core.scatter import sharded_top_k
 
-            response = sharded_top_k(self.index, query, k, ranker=ranker,
+            response = sharded_top_k(index, query, k, ranker=ranker,
                                      budget=budget, tracer=tracer)
         else:
-            response = search_top_k(self.index, query, k, ranker=ranker,
+            response = search_top_k(index, query, k, ranker=ranker,
                                     budget=budget, tracer=tracer)
         self._record_search(response, tracer=tracer)
         return response
@@ -393,14 +432,64 @@ class GKSEngine:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def add_document(self, text: str, name: str | None = None) -> None:
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every serving-index publication."""
+        return self._generation
+
+    def add_mutation_listener(self, listener) -> None:
+        """Register ``listener(info)`` to run after every mutation.
+
+        The serve layer uses this to invalidate its TTL cache the moment
+        the corpus changes.  Listeners run outside the mutation lock and
+        must not raise (exceptions are swallowed — a broken observer must
+        not fail an acknowledged write).
+        """
+        with self._mutation_lock:
+            if listener not in self._mutation_listeners:
+                self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        with self._mutation_lock:
+            try:
+                self._mutation_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_mutation(self, info: dict) -> None:
+        for listener in list(self._mutation_listeners):
+            try:
+                listener(info)
+            except Exception:  # noqa: BLE001 - observer must not fail writes
+                pass
+
+    def add_document(self, text: str, name: str | None = None) -> dict:
         """Append one XML document to the repository and the index.
 
-        On a sharded index only the shard owning the new document is
-        rebuilt; the others are reused as-is.  The response cache is
-        cleared even when indexing fails partway — the repository has
-        already grown, so any cached response may be stale.
+        On a durable engine (``config.store_path``) the write is
+        crash-safe: the document is parsed (validated) first, appended
+        to the fsync'd write-ahead log, *then* applied to the memtable
+        and published as a new immutable serving snapshot; crossing
+        ``memtable_docs`` pending documents triggers a flush (and, past
+        ``compact_segments`` runs per shard, a compaction) inside the
+        same mutation hold.  On a legacy engine only the shard owning
+        the new document is rebuilt; the others are reused as-is.
+
+        Either way the response cache is cleared — the repository has
+        already grown, so any cached response may be stale — and the
+        returned info dict (``doc_id``, ``name``, ``generation``, plus
+        ``lsn``/``pending``/``flushed`` when durable) is passed to the
+        mutation listeners.
         """
+        with self._mutation_lock:
+            if self._store is not None:
+                info = self._add_durable(text, name)
+            else:
+                info = self._add_legacy(text, name)
+        self._notify_mutation(info)
+        return info
+
+    def _add_legacy(self, text: str, name: str | None) -> dict:
         from repro.index.incremental import append_document
 
         document = self.repository.parse(text, name=name)
@@ -410,9 +499,119 @@ class GKSEngine:
                     document, index_tags=self.index_tags)
             else:
                 self.index = append_document(self.index, document)
+            self._generation += 1
         finally:
             with self._cache_lock:
                 self._response_cache.clear()  # cached responses now stale
+        return {"doc_id": document.doc_id, "name": document.name,
+                "generation": self._generation, "durable": False}
+
+    def _add_durable(self, text: str, name: str | None) -> dict:
+        doc_id = len(self.repository)
+        # Parse *before* the WAL append: a malformed document must fail
+        # the caller, never poison the log that recovery replays.
+        document = parse_document(text, doc_id=doc_id,
+                                  attributes_as_children=True, name=name)
+        lsn = self._store.append(doc_id, document.name, text)
+        # From here the write is durable; apply it to memory.
+        self.repository.add(document)
+        unit = build_unit(document, self.config.analyzer,
+                          self.config.index_tags)
+        self._pending.append(PendingDocument(
+            lsn=lsn, doc_id=doc_id,
+            shard_id=shard_of(doc_id, document.name, self.config.shards,
+                              self.config.shard_strategy),
+            name=document.name, text=text, unit=unit))
+        self._recompose()
+        flushed = False
+        if len(self._pending) >= self.config.memtable_docs:
+            self._flush_locked()
+            flushed = True
+        return {"doc_id": doc_id, "name": document.name, "lsn": lsn,
+                "generation": self._generation,
+                "pending": len(self._pending), "flushed": flushed,
+                "durable": True}
+
+    def flush(self) -> dict:
+        """Flush the memtable to an immutable on-disk segment.
+
+        No-op (``{"flushed": 0, ...}``) when nothing is pending.  After
+        the flush, any shard whose segment chain reached
+        ``config.compact_segments`` is compacted.  Raises
+        :class:`~repro.errors.StorageError` on a non-durable engine.
+        """
+        with self._mutation_lock:
+            self._require_store("flush")
+            count = len(self._pending)
+            if count:
+                self._flush_locked()
+            info = {"flushed": count, "generation": self._generation,
+                    "store_generation": self._store.manifest.generation}
+        if count:
+            self._notify_mutation(info)
+        return info
+
+    def compact(self) -> dict:
+        """Merge multi-run shards down to one segment each.
+
+        Returns the shards compacted (possibly none).  Raises
+        :class:`~repro.errors.StorageError` on a non-durable engine.
+        """
+        with self._mutation_lock:
+            self._require_store("compact")
+            compacted = self._compact_locked()
+            info = {"compacted_shards": sorted(compacted),
+                    "generation": self._generation,
+                    "store_generation": self._store.manifest.generation}
+        if compacted:
+            self._notify_mutation(info)
+        return info
+
+    def close(self) -> None:
+        """Release the store's file handles (durable engines only)."""
+        with self._mutation_lock:
+            if self._store is not None:
+                self._store.close()
+
+    def _require_store(self, operation: str) -> None:
+        if self._store is None:
+            raise StorageError(
+                f"cannot {operation}: engine has no segmented store "
+                f"(open it with config.store_path)", diagnosis="unwritable")
+
+    def _flush_locked(self) -> None:
+        """Flush pending docs; caller holds the mutation lock."""
+        merged = self._store.flush(self._pending)
+        for shard_id, (record, unit) in merged.items():
+            self._durable_units.setdefault(shard_id, []).append(
+                (record.doc_ids, unit))
+        self._pending = []
+        self._recompose()
+        if any(len(chain) >= self.config.compact_segments
+               for chain in self._durable_units.values()):
+            self._compact_locked()
+
+    def _compact_locked(self) -> set[int]:
+        """Compact multi-run shards; caller holds the mutation lock."""
+        merged = self._store.compact()
+        if not merged:
+            return set()
+        for shard_id, (record, unit) in merged.items():
+            self._durable_units[shard_id] = [(record.doc_ids, unit)]
+        self._recompose()
+        return set(merged)
+
+    def _recompose(self) -> None:
+        """Publish a fresh immutable serving snapshot (caller holds the
+        mutation lock).  In-flight searches finish on the snapshot they
+        captured; the generation bump keeps their responses out of the
+        cache."""
+        self.index = compose_serving(
+            self._durable_units, self._pending, self.config,
+            names=tuple(document.name for document in self.repository))
+        self._generation += 1
+        with self._cache_lock:
+            self._response_cache.clear()
 
     # ------------------------------------------------------------------
     # Analytics (paper §8 future work)

@@ -1,4 +1,5 @@
-"""Indexing engine: node categorization, inverted index, hash tables."""
+"""Indexing engine: node categorization, inverted index, hash tables,
+and the durable write path (WAL + segmented store)."""
 
 from repro.index.builder import GKSIndex, IndexBuilder, build_index
 from repro.index.categorize import (CategoryRecord, NodeCategory,
@@ -12,16 +13,26 @@ from repro.index.postings import (MergedEntry, count_in_subtree,
 from repro.index.sharding import (ParallelIndexBuilder, Shard, ShardedIndex,
                                   build_sharded_index, partition_documents,
                                   shard_of)
+from repro.index.segments import (PendingDocument, SegmentRecord,
+                                  SegmentStore, StackedIndex, StoreManifest,
+                                  TextsRecord, merge_indexes, read_manifest,
+                                  write_manifest)
 from repro.index.statistics import IndexStats
-from repro.index.storage import (index_size_bytes, load_index, save_index)
+from repro.index.storage import (atomic_write_json_gz, index_size_bytes,
+                                 load_index, save_index)
+from repro.index.wal import (WALFrame, WALReplay, WriteAheadLog, replay_wal)
 
 __all__ = [
     "CategoryRecord", "GKSIndex", "IndexBuilder", "IndexStats",
     "InvertedIndex", "MergedEntry", "NodeCategory", "NodeHashes",
-    "ParallelIndexBuilder", "Shard", "ShardedIndex",
-    "StreamingCategorizer", "append_document", "build_index",
-    "build_sharded_index", "categorize_tree", "count_in_subtree",
-    "index_size_bytes", "iter_categories", "load_index",
-    "merge_posting_lists", "partition_documents", "remove_last_document",
-    "save_index", "shard_of", "subtree_range",
+    "ParallelIndexBuilder", "PendingDocument", "SegmentRecord",
+    "SegmentStore", "Shard", "ShardedIndex", "StackedIndex",
+    "StoreManifest", "StreamingCategorizer", "TextsRecord", "WALFrame",
+    "WALReplay", "WriteAheadLog", "append_document",
+    "atomic_write_json_gz", "build_index", "build_sharded_index",
+    "categorize_tree", "count_in_subtree", "index_size_bytes",
+    "iter_categories", "load_index", "merge_indexes",
+    "merge_posting_lists", "partition_documents", "read_manifest",
+    "remove_last_document", "replay_wal", "save_index", "shard_of",
+    "subtree_range", "write_manifest",
 ]

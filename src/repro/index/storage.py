@@ -92,6 +92,38 @@ def payload_crc32(payload: dict) -> int:
 _crc = payload_crc32
 
 
+def atomic_write_json_gz(envelope: dict, path: str | Path) -> Path:
+    """Write *envelope* as gzip + compact JSON, atomically.
+
+    The shared durability primitive of every on-disk artefact: the bytes
+    go to a temporary file in the target directory, are fsynced, and the
+    temp file is renamed over the destination — a crash mid-write can
+    never leave a truncated file under the final name.  ``mtime=0``
+    keeps the gzip bytes deterministic so file-level CRCs are stable.
+    Raises :class:`StorageError` (``diagnosis="unwritable"``) on any OS
+    failure; the temp file is cleaned up best-effort.
+    """
+    path = Path(path)
+    temp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(temp_path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+                handle.write(
+                    json.dumps(envelope, separators=(",", ":"))
+                    .encode("utf-8"))
+            raw.flush()
+            os.fsync(raw.fileno())
+        os.replace(temp_path, path)
+    except OSError as exc:
+        try:
+            temp_path.unlink()
+        except OSError:
+            pass
+        raise StorageError(f"cannot write {path}: {exc}",
+                           diagnosis="unwritable", path=path) from exc
+    return path
+
+
 def _sharded_envelope(index: ShardedIndex) -> dict:
     """The v3 envelope: shard manifest (with per-shard CRCs) + payloads."""
     payloads = [_payload_dict(shard.index) for shard in index.shards]
@@ -135,23 +167,7 @@ def save_index(index: GKSIndex | ShardedIndex, path: str | Path) -> Path:
             "crc32": _crc(payload),
             "payload": payload,
         }
-    temp_path = path.with_name(path.name + ".tmp")
-    try:
-        with open(temp_path, "wb") as raw:
-            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
-                handle.write(
-                    json.dumps(envelope, separators=(",", ":"))
-                    .encode("utf-8"))
-            raw.flush()
-            os.fsync(raw.fileno())
-        os.replace(temp_path, path)
-    except OSError as exc:
-        try:
-            temp_path.unlink()
-        except OSError:
-            pass
-        raise StorageError(f"cannot write index to {path}: {exc}",
-                           diagnosis="unwritable", path=path) from exc
+    atomic_write_json_gz(envelope, path)
     registry = global_registry()
     registry.counter("gks_index_saves_total",
                      help="Indexes persisted to disk.").inc()

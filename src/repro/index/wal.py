@@ -1,0 +1,287 @@
+"""CRC-framed write-ahead log for the durable mutation path.
+
+Every ``add_document`` against a durable engine is appended here —
+framed, checksummed and fsynced — *before* it touches the in-memory
+index, so a crash at any byte offset loses at most the write that was
+still in flight, never an acknowledged one.
+
+Frame format
+------------
+The file opens with an 8-byte magic (``GKSWAL1\\n``).  Each frame is::
+
+    <u32 payload length> <u64 lsn> <u32 crc32> <payload bytes>
+
+(little-endian header, compact-JSON payload).  The CRC covers the LSN
+bytes *and* the payload, so a frame can neither be truncated nor spliced
+under a different sequence number without detection.  LSNs are explicit
+and strictly consecutive: checkpoint truncation rewrites the log keeping
+the surviving frames' numbers, so a frame's identity never depends on
+its byte position.
+
+Torn-tail tolerance
+-------------------
+:func:`replay_wal` reads frames until the first one that is incomplete
+or fails its CRC and treats everything from there on as a torn tail —
+the expected residue of a crash mid-append.  A torn tail is reported,
+not raised; only structural impossibilities (bad magic, non-consecutive
+LSNs behind a *valid* CRC) raise :class:`~repro.errors.StorageError`,
+because those cannot result from a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+
+WAL_MAGIC = b"GKSWAL1\n"
+_FRAME_HEADER = struct.Struct("<IQI")  # payload length, lsn, crc32
+_LSN_BYTES = struct.Struct("<Q")
+
+
+def _frame_crc(lsn: int, payload: bytes) -> int:
+    return zlib.crc32(_LSN_BYTES.pack(lsn) + payload) & 0xFFFFFFFF
+
+
+def _encode_frame(lsn: int, record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    header = _FRAME_HEADER.pack(len(payload), lsn, _frame_crc(lsn, payload))
+    return header + payload
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry (rename durability on POSIX).
+
+    Best-effort: some filesystems refuse to fsync a directory handle;
+    the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class WALFrame:
+    """One durably acknowledged log record."""
+
+    lsn: int
+    record: dict
+
+
+@dataclass(frozen=True)
+class WALReplay:
+    """The outcome of scanning a log: valid frames plus tail accounting.
+
+    ``valid_bytes`` is the offset of the first byte *not* covered by a
+    valid frame; ``torn_bytes`` counts the discarded tail beyond it.
+    """
+
+    frames: tuple[WALFrame, ...]
+    valid_bytes: int
+    torn_bytes: int
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the last valid frame (0 for an empty log)."""
+        return self.frames[-1].lsn if self.frames else 0
+
+
+def replay_wal(path: str | Path) -> WALReplay:
+    """Scan the log at *path*, tolerating a torn tail.
+
+    Frames are accepted until the first short header, short payload or
+    CRC mismatch; the remainder is reported as ``torn_bytes``.  Raises
+    :class:`StorageError` (``diagnosis="unreadable"``) when the file
+    cannot be read and (``diagnosis="corrupted"``) when the content is
+    structurally impossible for a torn write: wrong magic, undecodable
+    payload behind a valid CRC, or a non-consecutive LSN.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read WAL at {path}: {exc}",
+                           diagnosis="unreadable", path=path) from exc
+    if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+        if WAL_MAGIC.startswith(data):
+            # a crash during creation left a partial magic: an empty log
+            return WALReplay(frames=(), valid_bytes=0, torn_bytes=len(data))
+        raise StorageError(
+            f"bad WAL magic in {path}: not a GKS write-ahead log",
+            diagnosis="corrupted", path=path)
+
+    frames: list[WALFrame] = []
+    offset = len(WAL_MAGIC)
+    while True:
+        header = data[offset:offset + _FRAME_HEADER.size]
+        if len(header) < _FRAME_HEADER.size:
+            break  # torn tail: incomplete header
+        length, lsn, crc = _FRAME_HEADER.unpack(header)
+        start = offset + _FRAME_HEADER.size
+        payload = data[start:start + length]
+        if len(payload) < length or _frame_crc(lsn, payload) != crc:
+            break  # torn tail: incomplete payload or garbage header
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            # a valid CRC over an undecodable payload was *written* that
+            # way — corruption at the producer, not a torn write
+            raise StorageError(
+                f"undecodable WAL frame at lsn {lsn} in {path}: {exc}",
+                diagnosis="corrupted", path=path) from exc
+        expected = frames[-1].lsn + 1 if frames else lsn
+        if lsn != expected:
+            raise StorageError(
+                f"non-consecutive WAL lsn in {path}: frame {lsn} follows "
+                f"{frames[-1].lsn}", diagnosis="corrupted", path=path)
+        frames.append(WALFrame(lsn=lsn, record=record))
+        offset = start + length
+    return WALReplay(frames=tuple(frames), valid_bytes=offset,
+                     torn_bytes=len(data) - offset)
+
+
+class WriteAheadLog:
+    """An append-only, fsync-per-record log.
+
+    Use :meth:`create` for a fresh log and :meth:`open` to recover an
+    existing one (the torn tail, if any, is truncated away so new
+    appends continue from the last durable frame).  ``fsync=False``
+    trades durability for speed — test/bench use only.
+    """
+
+    def __init__(self, path: str | Path, *, last_lsn: int = 0,
+                 fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._last_lsn = last_lsn
+        try:
+            self._handle = open(self.path, "ab")
+        except OSError as exc:
+            raise StorageError(f"cannot open WAL at {self.path}: {exc}",
+                               diagnosis="unwritable", path=self.path) from exc
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | Path, *, fsync: bool = True
+               ) -> "WriteAheadLog":
+        """Write a fresh, empty log (magic only) at *path*."""
+        path = Path(path)
+        try:
+            with open(path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StorageError(f"cannot create WAL at {path}: {exc}",
+                               diagnosis="unwritable", path=path) from exc
+        fsync_directory(path.parent)
+        return cls(path, last_lsn=0, fsync=fsync)
+
+    @classmethod
+    def open(cls, path: str | Path, *, fsync: bool = True
+             ) -> tuple["WriteAheadLog", WALReplay]:
+        """Recover the log at *path*; returns the log and its replay.
+
+        A torn tail is truncated in place before the log accepts new
+        appends — appending after garbage bytes would corrupt the next
+        replay.
+        """
+        replay = replay_wal(path)
+        if replay.torn_bytes:
+            try:
+                if replay.valid_bytes >= len(WAL_MAGIC):
+                    os.truncate(str(path), replay.valid_bytes)
+                else:
+                    # partial magic from a crash mid-create: rewrite it
+                    with open(path, "wb") as handle:
+                        handle.write(WAL_MAGIC)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot truncate torn WAL tail at {path}: {exc}",
+                    diagnosis="unwritable", path=path) from exc
+        return cls(path, last_lsn=replay.last_lsn, fsync=fsync), replay
+
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        return self._last_lsn
+
+    def ensure_lsn(self, lsn: int) -> None:
+        """Never re-issue an LSN: raise the counter to at least *lsn*.
+
+        After a checkpoint truncates every frame the log can come back
+        empty; the manifest still remembers the highest flushed LSN and
+        recovery pushes it here so new appends keep counting upward.
+        """
+        self._last_lsn = max(self._last_lsn, lsn)
+
+    def append(self, record: dict) -> int:
+        """Durably append *record*; returns its LSN.
+
+        The write is flushed and fsynced before returning — when this
+        method returns, the record survives a crash.
+        """
+        lsn = self._last_lsn + 1
+        frame = _encode_frame(lsn, record)
+        try:
+            self._handle.write(frame)
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot append to WAL at {self.path}: {exc}",
+                diagnosis="unwritable", path=self.path) from exc
+        self._last_lsn = lsn
+        return lsn
+
+    def truncate_through(self, lsn: int) -> None:
+        """Checkpoint: drop every frame with an LSN <= *lsn*.
+
+        The log is rewritten to a temporary file and renamed into place
+        (atomic), keeping the surviving frames' LSNs — a crash during
+        truncation leaves either the old log or the new one, both valid.
+        """
+        replay = replay_wal(self.path)
+        keep = [frame for frame in replay.frames if frame.lsn > lsn]
+        temp_path = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(temp_path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                for frame in keep:
+                    handle.write(_encode_frame(frame.lsn, frame.record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(temp_path, self.path)
+        except OSError as exc:
+            try:
+                temp_path.unlink()
+            except OSError:
+                pass
+            raise StorageError(
+                f"cannot truncate WAL at {self.path}: {exc}",
+                diagnosis="unwritable", path=self.path) from exc
+        fsync_directory(self.path.parent)
+        self._handle = open(self.path, "ab")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WriteAheadLog {self.path} lsn={self._last_lsn}>"

@@ -7,11 +7,19 @@ The serving subsystem in three parts, each importable from here:
   shedding, per-request deadlines, singleflight coalescing, TTL result
   cache, graceful drain.
 * :func:`serve_http` (:mod:`repro.serve.http`) — the stdlib JSON/HTTP
-  front end (``/search``, ``/healthz``, ``/metrics``) wired up as
+  front end (``/search``, ``/documents``, ``/admin/flush``,
+  ``/admin/compact``, ``/healthz``, ``/metrics``) wired up as
   ``gks serve``.
 * :class:`LoadGenerator` (:mod:`repro.serve.loadgen`) — open/closed-loop
-  load generation with deterministic arrival schedules, driving
+  load generation with deterministic arrival schedules and bounded
+  :class:`RetryPolicy` backoff for 429 sheds, driving
   ``benchmarks/bench_serving.py``.
+
+The broker also fronts the engine's durable mutation path:
+:meth:`ServerCore.add_document` WAL-appends through the engine,
+:meth:`ServerCore.swap_engine` atomically publishes a new engine
+snapshot (in-flight searches finish on the old one), and every observed
+mutation invalidates the TTL cache under a generation fence.
 
 Quickstart::
 
@@ -28,10 +36,10 @@ from repro.serve.core import ServerCore
 from repro.serve.http import ServeHTTPServer, serve_http
 from repro.serve.loadgen import (LoadGenerator, LoadReport, LoadRequest,
                                  OpenLoopSchedule, RequestOutcome,
-                                 percentile)
+                                 RetryPolicy, percentile)
 
 __all__ = [
     "LoadGenerator", "LoadReport", "LoadRequest", "OpenLoopSchedule",
-    "RequestOutcome", "ServeConfig", "ServeHTTPServer", "ServerCore",
-    "percentile", "serve_http",
+    "RequestOutcome", "RetryPolicy", "ServeConfig", "ServeHTTPServer",
+    "ServerCore", "percentile", "serve_http",
 ]

@@ -64,10 +64,11 @@ class _Request:
     """One admitted request travelling from submit to finish."""
 
     __slots__ = ("query", "ranker", "k", "key", "admission", "future",
-                 "arrived_s")
+                 "arrived_s", "generation")
 
     def __init__(self, query: Query, ranker, k: int | None, key: tuple,
-                 admission: SearchBudget | None, arrived_s: float) -> None:
+                 admission: SearchBudget | None, arrived_s: float,
+                 generation: int) -> None:
         self.query = query
         self.ranker = ranker
         self.k = k
@@ -75,6 +76,7 @@ class _Request:
         self.admission = admission
         self.future: Future = Future()
         self.arrived_s = arrived_s
+        self.generation = generation
 
 
 class ServerCore:
@@ -103,7 +105,7 @@ class ServerCore:
     def __init__(self, engine, config: ServeConfig | None = None, *,
                  registry: MetricsRegistry | None = None,
                  clock: Callable[[], float] | None = None) -> None:
-        self.engine = engine
+        self._engine = engine
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else global_registry()
         self._clock = clock if clock is not None else DEFAULT_CLOCK
@@ -117,6 +119,11 @@ class ServerCore:
         self._inflight: dict[tuple, _Request] = {}
         self._ttl_cache: OrderedDict[tuple, tuple[float, GKSResponse]] = \
             OrderedDict()
+        # Serving generation: bumped on every mutation, cache
+        # invalidation or engine swap.  A finishing request whose stamped
+        # generation is stale skips the TTL insert — a response computed
+        # on a pre-mutation snapshot must not outlive the invalidation.
+        self._generation = 0
 
         reg = self.registry
         self._m_requests = reg.counter(
@@ -143,6 +150,21 @@ class ServerCore:
         self._m_latency = reg.histogram(
             "gks_serve_latency_seconds",
             help="Arrival-to-completion latency of accepted requests.")
+        self._m_mutations = reg.counter(
+            "gks_serve_mutations_total",
+            help="Engine mutations observed by the serving layer.")
+        self._m_swaps = reg.counter(
+            "gks_serve_engine_swaps_total",
+            help="Atomic engine hot swaps performed.")
+        self._m_generation = reg.gauge(
+            "gks_serve_generation",
+            help="Current serving-cache generation.")
+
+        # observe engine mutations (durable engines expose the hook;
+        # plain doubles in tests may not)
+        register = getattr(engine, "add_mutation_listener", None)
+        if callable(register):
+            register(self._on_mutation)
 
         self._workers = [
             threading.Thread(target=self._worker_loop,
@@ -223,7 +245,8 @@ class ServerCore:
                 # arm at the arrival stamp already taken: a second clock
                 # read here would skew injected FakeClock timelines
                 admission._started = arrived
-            request = _Request(query, ranker, k, key, admission, arrived)
+            request = _Request(query, ranker, k, key, admission, arrived,
+                               self._generation)
             if deadline_s is None and self.config.coalesce:
                 self._inflight[key] = request
             self._queued += 1
@@ -296,7 +319,8 @@ class ServerCore:
             if error is None:
                 if (request.admission is None
                         and self.config.ttl_s is not None
-                        and not response.degraded):
+                        and not response.degraded
+                        and request.generation == self._generation):
                     self._ttl_put(request.key, response, now=finished)
                 self._m_requests.inc(labels={"outcome": "ok"})
             elif isinstance(error, SearchTimeout):
@@ -308,6 +332,91 @@ class ServerCore:
             request.future.set_result(response)
         else:
             request.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Mutation & hot swap
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The engine currently serving searches (swappable at runtime)."""
+        return self._engine
+
+    @property
+    def generation(self) -> int:
+        """Serving generation; bumped on mutation, swap or invalidation."""
+        with self._lock:
+            return self._generation
+
+    def invalidate_cache(self) -> None:
+        """Drop the TTL cache and fence out in-flight stale inserts.
+
+        Called automatically after every observed engine mutation; also
+        the public hook for callers who mutate the engine behind the
+        broker's back.
+        """
+        with self._lock:
+            self._invalidate_locked()
+
+    def _invalidate_locked(self) -> None:
+        self._ttl_cache.clear()
+        self._generation += 1
+        self._m_generation.set(self._generation)
+
+    def _on_mutation(self, info: dict) -> None:
+        self._m_mutations.inc()
+        self.invalidate_cache()
+
+    def swap_engine(self, engine) -> int:
+        """Atomically publish *engine* as the serving snapshot.
+
+        In-flight requests finish on the engine they dispatched against;
+        everything admitted after this call runs on the new one.  The
+        TTL cache and the coalescing table are invalidated (a follower
+        must not join a leader bound to the retired engine), and the
+        generation fence keeps late responses from the old engine out of
+        the cache.  Returns the new generation.
+        """
+        old = self._engine
+        unregister = getattr(old, "remove_mutation_listener", None)
+        if callable(unregister) and old is not engine:
+            unregister(self._on_mutation)
+        register = getattr(engine, "add_mutation_listener", None)
+        if callable(register):
+            register(self._on_mutation)
+        with self._lock:
+            self._engine = engine
+            self._inflight.clear()
+            self._invalidate_locked()
+            self._m_swaps.inc()
+            return self._generation
+
+    def add_document(self, text: str, name: str | None = None) -> dict:
+        """Append one document through the serving layer.
+
+        Sheds with :class:`~repro.errors.Overloaded` while draining.
+        The engine call runs outside the broker lock (searches keep
+        flowing during the mutation); the engine's mutation hook then
+        invalidates the TTL cache, so a search admitted after this
+        returns can never observe the pre-mutation corpus.
+        """
+        with self._lock:
+            if self._draining or self._closed:
+                self._count_shed("draining")
+                raise Overloaded("server is draining; not accepting "
+                                 "mutations", reason="draining")
+        info = dict(self._engine.add_document(text, name=name))
+        if not hasattr(self._engine, "add_mutation_listener"):
+            self.invalidate_cache()  # engines without the hook
+        info["serve_generation"] = self.generation
+        return info
+
+    def flush(self) -> dict:
+        """Flush the engine's memtable to a durable segment."""
+        return self._engine.flush()
+
+    def compact(self) -> dict:
+        """Compact the engine's multi-run shards."""
+        return self._engine.compact()
 
     # ------------------------------------------------------------------
     # TTL cache (call with the lock held)
@@ -351,6 +460,7 @@ class ServerCore:
                 "running": self._running,
                 "inflight_keys": len(self._inflight),
                 "ttl_entries": len(self._ttl_cache),
+                "generation": self._generation,
                 "draining": self._draining,
                 "workers": self.config.workers,
                 "queue_capacity": self.config.queue_capacity,
@@ -391,6 +501,9 @@ class ServerCore:
             if self._closed:
                 return
             self._closed = True
+        unregister = getattr(self._engine, "remove_mutation_listener", None)
+        if callable(unregister):
+            unregister(self._on_mutation)
         for _ in self._workers:
             self._queue.put(_SENTINEL)
         for worker in self._workers:

@@ -13,6 +13,13 @@ Routes
     fields as a JSON body.  Responds with the
     :func:`repro.core.export.response_to_dict` payload plus a ``serve``
     envelope (degradation report, cache/coalesce provenance).
+``POST /documents``
+    Append one XML document (JSON body ``{"text": "<xml...>",
+    "name"?: ...}``) through the broker; on a durable engine the write
+    is WAL'd and crash-safe before the 200 returns.
+``POST /admin/flush`` / ``POST /admin/compact``
+    Flush the memtable to an immutable segment / compact multi-run
+    shards (durable engines only; 500 ``StorageError`` otherwise).
 ``GET /healthz``
     Liveness + drain state.
 ``GET /metrics``
@@ -33,7 +40,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.export import response_to_dict
 from repro.errors import (GKSError, Overloaded, QueryError, SearchTimeout,
-                          ValidationError)
+                          ValidationError, XMLSyntaxError)
 from repro.serve.core import ServerCore
 
 
@@ -115,6 +122,12 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
         route = urlsplit(self.path).path
         if route == "/search":
             self._search()
+        elif route == "/documents":
+            self._add_document()
+        elif route == "/admin/flush":
+            self._admin("flush")
+        elif route == "/admin/compact":
+            self._admin("compact")
         else:
             self._send_json(404, {"error": f"no route {route!r}",
                                   "type": "NotFound"})
@@ -153,6 +166,41 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
                                    repository=self.core.engine.repository)
         payload["serve"] = _serve_envelope(response)
         self._send_json(200, payload)
+
+    def _add_document(self) -> None:
+        try:
+            params = self._params()
+            text = params.get("text") or params.get("xml")
+            if not text:
+                raise ValidationError("missing required parameter 'text'")
+            name = params.get("name")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, exc)
+            return
+        try:
+            info = self.core.add_document(text, name=name)
+        except Overloaded as exc:
+            headers = {}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            self._send_error_json(429, exc, headers=headers)
+            return
+        except GKSError as exc:
+            # malformed XML is the client's fault; storage failures ours
+            status = 400 if isinstance(
+                exc, (XMLSyntaxError, ValidationError)) else 500
+            self._send_error_json(status, exc)
+            return
+        self._send_json(200, info)
+
+    def _admin(self, action: str) -> None:
+        try:
+            info = (self.core.flush() if action == "flush"
+                    else self.core.compact())
+        except GKSError as exc:
+            self._send_error_json(500, exc)
+            return
+        self._send_json(200, info)
 
 
 def _serve_envelope(response) -> dict:

@@ -48,13 +48,48 @@ class RequestOutcome:
 
     ``outcome`` is ``"ok"``, ``"shed"``, ``"timeout"`` or ``"error"``;
     ``latency_s`` is arrival-to-completion for accepted requests and
-    0.0 for synchronous sheds.
+    0.0 for synchronous sheds.  ``attempts`` counts submissions
+    including retries after 429 sheds (1 = accepted first try).
     """
 
     request: LoadRequest
     outcome: str
     latency_s: float = 0.0
     error: str = ""
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for :class:`Overloaded` sheds.
+
+    A shed request is resubmitted up to ``attempts`` times total.  The
+    wait before attempt *n+1* is the server's ``Retry-After`` hint when
+    ``honor_retry_after`` is set and the shed carried one, otherwise
+    ``backoff_s * multiplier**(n-1)`` (exponential).  Sleeps go through
+    the generator's injectable sleeper, so tests retry in virtual time.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    honor_retry_after: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValidationError(f"attempts must be >= 1: {self.attempts}")
+        if self.backoff_s < 0:
+            raise ValidationError(
+                f"backoff_s must be >= 0: {self.backoff_s}")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1.0: {self.multiplier}")
+
+    def delay_s(self, attempt: int, retry_after_s: float | None) -> float:
+        """Seconds to wait after failed *attempt* (1-based)."""
+        if self.honor_retry_after and retry_after_s is not None:
+            return retry_after_s
+        return self.backoff_s * self.multiplier ** (attempt - 1)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -101,6 +136,11 @@ class LoadReport:
         return sum(1 for o in self.outcomes if o.outcome == "error")
 
     @property
+    def retries(self) -> int:
+        """Resubmissions beyond each request's first attempt."""
+        return sum(o.attempts - 1 for o in self.outcomes)
+
+    @property
     def throughput_rps(self) -> float:
         if self.duration_s <= 0:
             return 0.0
@@ -125,6 +165,7 @@ class LoadReport:
             "shed": self.shed,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "retries": self.retries,
             "throughput_rps": self.throughput_rps,
             "latency_s": self.latency_percentiles(),
         }
@@ -133,7 +174,8 @@ class LoadReport:
         pct = self.latency_percentiles()
         return (f"{self.mode}-loop: {self.completed}/{self.submitted} ok, "
                 f"{self.shed} shed, {self.timeouts} timeout, "
-                f"{self.errors} error | {self.throughput_rps:.1f} rps | "
+                f"{self.errors} error, {self.retries} retries | "
+                f"{self.throughput_rps:.1f} rps | "
                 f"p50 {pct['p50'] * 1000:.1f}ms "
                 f"p95 {pct['p95'] * 1000:.1f}ms "
                 f"p99 {pct['p99'] * 1000:.1f}ms")
@@ -204,7 +246,8 @@ class LoadGenerator:
 
     def __init__(self, core: ServerCore,
                  clock: Callable[[], float] | None = None,
-                 sleeper: Callable[[float], None] | None = None) -> None:
+                 sleeper: Callable[[float], None] | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         self.core = core
         self._clock = clock if clock is not None else DEFAULT_CLOCK
         if sleeper is None:
@@ -212,6 +255,32 @@ class LoadGenerator:
 
             sleeper = time.sleep
         self._sleep = sleeper
+        self._retry = retry
+
+    def _submit_with_retry(self, request: LoadRequest
+                           ) -> tuple[object | None, int, str]:
+        """Submit *request*, retrying sheds per the retry policy.
+
+        Returns ``(future, attempts, "")`` on admission or
+        ``(None, attempts, shed_reason)`` once the attempts are spent.
+        Backoff sleeps run inline through the injected sleeper — an open
+        loop's later arrivals shift accordingly, exactly as a real
+        retrying client would shift them.
+        """
+        max_attempts = self._retry.attempts if self._retry else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                future = self.core.submit(
+                    request.query, request.s, k=request.k,
+                    deadline_s=request.deadline_s)
+            except Overloaded as exc:
+                if attempt >= max_attempts:
+                    return None, attempt, exc.reason
+                self._sleep(self._retry.delay_s(attempt, exc.retry_after_s))
+            else:
+                return future, attempt, ""
 
     # ------------------------------------------------------------------
     def run_open(self, schedule: OpenLoopSchedule) -> LoadReport:
@@ -238,28 +307,26 @@ class LoadGenerator:
             if delay > 0:
                 self._sleep(delay)
             submitted_at = self._clock()
-            try:
-                future = self.core.submit(
-                    request.query, request.s, k=request.k,
-                    deadline_s=request.deadline_s)
-            except Overloaded as exc:
+            future, attempts, shed_reason = self._submit_with_retry(request)
+            if future is None:
                 slots.append(RequestOutcome(
-                    request, "shed", error=exc.reason))
+                    request, "shed", error=shed_reason, attempts=attempts))
             else:
                 future.add_done_callback(stamp)
-                slots.append((request, future, submitted_at))
+                slots.append((request, future, submitted_at, attempts))
         resolved = []
         for slot in slots:
             if isinstance(slot, RequestOutcome):
                 resolved.append(slot)
                 continue
-            request, future, submitted_at = slot
-            outcome = self._gather(request, future)
+            request, future, submitted_at, attempts = slot
+            outcome = self._gather(request, future, attempts=attempts)
             if outcome.outcome == "ok":
                 with stamp_lock:
                     completed_at = completions[id(future)]
                 outcome = RequestOutcome(
-                    request, "ok", latency_s=completed_at - submitted_at)
+                    request, "ok", latency_s=completed_at - submitted_at,
+                    attempts=attempts)
             resolved.append(outcome)
         finished = self._clock()
         return LoadReport(outcomes=tuple(resolved),
@@ -284,16 +351,16 @@ class LoadGenerator:
                 request = LoadRequest(at_s=0.0, query=query,
                                       **request_kwargs)
                 t0 = self._clock()
-                try:
-                    future = self.core.submit(
-                        request.query, request.s, k=request.k,
-                        deadline_s=request.deadline_s)
-                except Overloaded as exc:
+                future, attempts, shed_reason = \
+                    self._submit_with_retry(request)
+                if future is None:
                     per_worker[worker].append(RequestOutcome(
-                        request, "shed", error=exc.reason))
+                        request, "shed", error=shed_reason,
+                        attempts=attempts))
                     continue
                 per_worker[worker].append(
-                    self._gather(request, future, started_s=t0))
+                    self._gather(request, future, started_s=t0,
+                                 attempts=attempts))
 
         started = self._clock()
         threads = [threading.Thread(target=loop, args=(n,), daemon=True)
@@ -309,13 +376,17 @@ class LoadGenerator:
 
     # ------------------------------------------------------------------
     def _gather(self, request: LoadRequest, future,
-                started_s: float | None = None) -> RequestOutcome:
+                started_s: float | None = None,
+                attempts: int = 1) -> RequestOutcome:
         try:
             future.result()
         except SearchTimeout as exc:
-            return RequestOutcome(request, "timeout", error=str(exc))
+            return RequestOutcome(request, "timeout", error=str(exc),
+                                  attempts=attempts)
         except GKSError as exc:
-            return RequestOutcome(request, "error", error=str(exc))
+            return RequestOutcome(request, "error", error=str(exc),
+                                  attempts=attempts)
         latency = (self._clock() - started_s) if started_s is not None \
             else 0.0
-        return RequestOutcome(request, "ok", latency_s=latency)
+        return RequestOutcome(request, "ok", latency_s=latency,
+                              attempts=attempts)

@@ -1,7 +1,8 @@
 """Deterministic fault injection for resilience tests and benchmarks."""
 
-from repro.testing.faults import (BurstyArrivals, FakeClock, SlowEngine,
-                                  TornWriter, XMLCorruptor, corrupt_corpus)
+from repro.testing.faults import (BurstyArrivals, FakeClock, IndexCorruptor,
+                                  SlowEngine, StoreCorruptor, TornWriter,
+                                  XMLCorruptor, corrupt_corpus)
 
-__all__ = ["BurstyArrivals", "FakeClock", "SlowEngine", "TornWriter",
-           "XMLCorruptor", "corrupt_corpus"]
+__all__ = ["BurstyArrivals", "FakeClock", "IndexCorruptor", "SlowEngine",
+           "StoreCorruptor", "TornWriter", "XMLCorruptor", "corrupt_corpus"]

@@ -15,6 +15,9 @@ build on:
 * :class:`IndexCorruptor` — *semantic* corruption of saved index files
   with every CRC recomputed, producing consistent-but-wrong stores only
   the deep invariant audit (``gks check-index --deep``) can detect,
+* :class:`StoreCorruptor` — the same idea aimed at segmented store
+  directories (orphaned segments, regressed manifest generations, WAL
+  damage, resealed bad segments) for the durability audit,
 * :class:`FakeClock` — an injectable time source for
   :class:`repro.core.budget.SearchBudget`, so deadline tests never sleep,
 * :class:`SlowEngine` — a delegating engine wrapper with injectable
@@ -375,6 +378,113 @@ class IndexCorruptor:
             key = self._rng.choice(sorted(table))
             table[key] = -abs(table[key]) - 1
         return self._reseal(envelope, path)
+
+
+class StoreCorruptor:
+    """Fault injection aimed at a segmented store directory.
+
+    Mirrors :class:`IndexCorruptor` for the durable write path: every
+    method damages a ``store_path`` directory in a way that is invisible
+    to a naive reader but caught by
+    :func:`repro.analysis.verify_segmented_store` (``gks check-index
+    --deep`` on the directory, exit 2) — except where noted, where the
+    structural check itself (exit 1) must refuse the store.
+
+    Deferred imports keep :mod:`repro.testing` importable without the
+    index layer loaded.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    @staticmethod
+    def _read_manifest_envelope(directory: Path) -> dict:
+        import gzip
+        import json
+
+        with gzip.open(directory / "MANIFEST", "rb") as handle:
+            return json.loads(handle.read().decode("utf-8"))
+
+    @staticmethod
+    def _write_manifest_envelope(directory: Path, envelope: dict) -> Path:
+        from repro.index.storage import atomic_write_json_gz, payload_crc32
+
+        envelope["crc32"] = payload_crc32(envelope["manifest"])
+        return atomic_write_json_gz(envelope, directory / "MANIFEST")
+
+    def _segment_files(self, directory: Path) -> list[Path]:
+        from repro.index.segments import SEGMENT_PATTERN
+
+        return sorted(path for path in directory.iterdir()
+                      if SEGMENT_PATTERN.match(path.name))
+
+    # -- public API -----------------------------------------------------
+    def orphan_segment(self, directory: str | Path) -> Path:
+        """Plant an unreferenced segment file (``segment-orphan``).
+
+        Copies an existing segment under a generation the manifest never
+        issued — the residue of a crash the store failed to clean, or a
+        manifest that lost a reference.
+        """
+        directory = Path(directory)
+        segments = self._segment_files(directory)
+        if not segments:
+            raise ValidationError(f"{directory} holds no segment to copy")
+        source = self._rng.choice(segments)
+        orphan = directory / "seg-g999999-s0.gksindex"
+        orphan.write_bytes(source.read_bytes())
+        return orphan
+
+    def regress_generation(self, directory: str | Path) -> Path:
+        """Rewind the manifest generation to 0 (``manifest-generation``).
+
+        The manifest CRC is resealed, so only the generation invariant
+        — not a checksum — can notice the regression.
+        """
+        directory = Path(directory)
+        envelope = self._read_manifest_envelope(directory)
+        envelope["manifest"]["generation"] = 0
+        return self._write_manifest_envelope(directory, envelope)
+
+    def corrupt_wal_magic(self, directory: str | Path) -> Path:
+        """Flip the WAL magic (``wal-consistency`` / structural refusal).
+
+        Unlike a torn tail this cannot result from a crash: replay
+        raises ``corrupted`` and the audit reports the log as
+        non-replayable.
+        """
+        directory = Path(directory)
+        path = directory / "wal.log"
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValidationError(f"{path} is empty")
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return path
+
+    def corrupt_segment_postings(self, directory: str | Path) -> Path:
+        """Break a segment's posting order with every CRC resealed.
+
+        Reuses :meth:`IndexCorruptor.corrupt_postings` on one segment,
+        then rewrites the manifest's file CRC for that segment — the
+        structural check passes end to end and only the deep payload
+        audit (``postings-sorted``) can tell the store is wrong.
+        """
+        from repro.index.segments import file_crc32
+
+        directory = Path(directory)
+        segments = self._segment_files(directory)
+        if not segments:
+            raise ValidationError(f"{directory} holds no segment")
+        victim = self._rng.choice(segments)
+        IndexCorruptor(seed=self._rng.randrange(2 ** 31)) \
+            .corrupt_postings(victim)
+        envelope = self._read_manifest_envelope(directory)
+        for record in envelope["manifest"].get("segments", ()):
+            if record.get("file") == victim.name:
+                record["crc32"] = file_crc32(victim)
+        self._write_manifest_envelope(directory, envelope)
+        return victim
 
 
 class TornWriter:
