@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Experiment-harness smoke test: run the bundled two-run smoke table
+# end-to-end (expand, boot, drive, scrape, aggregate), gate it against
+# the committed baseline, then prove the gate actually bites by
+# injecting a regression and requiring a non-zero exit.  Finish with a
+# one-run HTTP-mode table against a real `gks serve` subprocess and
+# assert the request-id correlation artifact came back.
+#
+# Usage:  bash scripts/smoke_exp.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORKDIR="$(mktemp -d)"
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+echo "== run the bundled smoke table (inproc) =="
+python -m repro exp run benchmarks/experiments/smoke.json \
+    -o "$WORKDIR/smoke"
+
+echo "== per-run artifacts present =="
+for run in "$WORKDIR"/smoke/runs/*/; do
+    for artifact in run.json report.json metrics_before.prom \
+                    metrics_after.prom metrics_delta.json sample.json; do
+        [ -f "$run$artifact" ] || {
+            echo "FAIL: missing $artifact in $run" >&2; exit 1; }
+    done
+done
+for table in aggregate.json aggregate.csv aggregate.md; do
+    [ -f "$WORKDIR/smoke/$table" ] || {
+        echo "FAIL: missing $table" >&2; exit 1; }
+done
+
+echo "== compare against the committed baseline (must pass) =="
+python -m repro exp compare "$WORKDIR/smoke" \
+    benchmarks/experiments/smoke_baseline.json
+
+echo "== inject a regression (must fail) =="
+python - "$WORKDIR" <<'EOF'
+import json, sys
+path = sys.argv[1] + "/bad_baseline.json"
+baseline = json.load(open("benchmarks/experiments/smoke_baseline.json"))
+baseline["rows"][0]["completed"] += 1
+json.dump(baseline, open(path, "w"))
+EOF
+if python -m repro exp compare "$WORKDIR/smoke" \
+        "$WORKDIR/bad_baseline.json"; then
+    echo "FAIL: compare passed against a regressed baseline" >&2
+    exit 1
+fi
+echo "gate correctly rejected the injected regression"
+
+echo "== request-id correlation artifact =="
+python - "$WORKDIR" <<'EOF'
+import json, sys
+from pathlib import Path
+runs = sorted(Path(sys.argv[1], "smoke", "runs").iterdir())
+sample = json.loads((runs[0] / "sample.json").read_text())
+rid = sample["request_id"]
+assert rid, "probe sample carries no request id"
+assert sample["stats"]["request_id"] == rid, (
+    "QueryStats id does not match the minted id")
+print(f"probe {sample['query']!r} correlated under {rid}")
+EOF
+
+echo "== one-run HTTP-mode table (real gks serve subprocess) =="
+cat > "$WORKDIR/http_spec.json" <<'EOF'
+{
+  "name": "smoke-http",
+  "mode": "http",
+  "base": {
+    "dataset": {"name": "figure2a"},
+    "engine": {"shards": 1},
+    "serve": {"workers": 2, "queue_capacity": 32},
+    "load": {"mode": "closed", "concurrency": 2, "iterations": 3,
+             "queries": ["XML Author"], "s": 1}
+  }
+}
+EOF
+python -m repro exp run "$WORKDIR/http_spec.json" -o "$WORKDIR/http"
+python - "$WORKDIR" <<'EOF'
+import json, sys
+from pathlib import Path
+runs = sorted(Path(sys.argv[1], "http", "runs").iterdir())
+report = json.loads((runs[0] / "report.json").read_text())
+assert report["completed"] == 6, report
+sample = json.loads((runs[0] / "sample.json").read_text())
+assert sample["serve"]["request_id"] == sample["request_id"], sample
+assert (runs[0] / "server.log").exists(), "no server log captured"
+delta = json.loads((runs[0] / "metrics_delta.json").read_text())
+assert "gks_serve_requests_total" in delta, sorted(delta)
+print(f"http probe correlated under {sample['request_id']}; "
+      f"{report['completed']} completed over live HTTP")
+EOF
+
+echo "SMOKE OK"

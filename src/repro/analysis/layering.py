@@ -24,8 +24,9 @@ documented refinements:
 Packages the original DAG statement does not name are slotted where
 their dependencies put them: ``datasets``/``testing`` with
 ``index``/``schema``; ``analytics``/``analysis``/``serve`` with
-``baselines``/``eval``; the ``__init__``/``__main__`` facades with the
-CLI.
+``baselines``/``eval``; the experiment harness (``exp``, which drives
+``serve`` and ``eval``) and the ``__init__``/``__main__`` facades with
+the CLI.
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ LAYER_OF = {
     "core": 3, "obs": 3,
     "baselines": 4, "eval": 4, "analytics": 4, "analysis": 4,
     "serve": 4,
-    "cli": 5, "shell": 5, "__init__": 5, "__main__": 5,
+    "cli": 5, "shell": 5, "exp": 5, "__init__": 5, "__main__": 5,
 }
 
 #: Packages importable from any layer (no repro dependencies above

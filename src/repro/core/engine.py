@@ -221,7 +221,8 @@ class GKSEngine:
                use_cache: bool = True,
                budget: SearchBudget | None = None,
                strict_deadline: bool = False,
-               tracer: Tracer | NullTracer | None = None) -> GKSResponse:
+               tracer: Tracer | NullTracer | None = None,
+               request_id: str | None = None) -> GKSResponse:
         """Run a keyword query; ``s`` defaults to ``config.s``.
 
         Tuning parameters beyond ``s`` are keyword-only; unset ones fall
@@ -243,6 +244,12 @@ class GKSEngine:
         traced or not, records into the engine's metrics registry and
         slow-query log and returns a response with populated
         :class:`~repro.obs.stats.QueryStats`.
+
+        ``request_id`` is the serving-side correlation id (minted at
+        :class:`~repro.serve.core.ServerCore` admission): when given it
+        is stamped on the response's :class:`QueryStats`, the slow-query
+        log entry and the root span, so one id joins the HTTP envelope,
+        the span tree and the diagnostics for the same query.
         """
         if ranker is None:
             ranker = self.config.ranker
@@ -268,7 +275,11 @@ class GKSEngine:
                 else:
                     self._count_cache("misses")
             if cached is not None:
-                hit = replace(cached, stats=cached.stats.as_cache_hit())
+                # the hit reflects *this* request's correlation id, not
+                # the one that originally populated the cache
+                hit_stats = replace(cached.stats.as_cache_hit(),
+                                    request_id=request_id)
+                hit = replace(cached, stats=hit_stats)
                 self._record_search(hit, tracer=None)
                 return hit
         # One read of the index reference: a concurrent add_document
@@ -284,6 +295,7 @@ class GKSEngine:
         else:
             response = search(index, query, ranker=ranker,
                               budget=budget, tracer=tracer)
+        response = self._stamp_request_id(response, request_id, tracer)
         self._record_search(response, tracer=tracer)
         if (strict_deadline and response.degraded
                 and response.degradation.reason == "deadline"):
@@ -309,7 +321,8 @@ class GKSEngine:
                      s: int | None = None, *,
                      ranker: Ranker | None = None,
                      budget: SearchBudget | None = None,
-                     tracer: Tracer | NullTracer | None = None
+                     tracer: Tracer | NullTracer | None = None,
+                     request_id: str | None = None
                      ) -> GKSResponse:
         """The ``k`` best nodes only, with early-terminated ranking.
 
@@ -336,6 +349,7 @@ class GKSEngine:
         else:
             response = search_top_k(index, query, k, ranker=ranker,
                                     budget=budget, tracer=tracer)
+        response = self._stamp_request_id(response, request_id, tracer)
         self._record_search(response, tracer=tracer)
         return response
 
@@ -352,6 +366,18 @@ class GKSEngine:
         self.metrics_registry.counter(
             f"gks_cache_{event}_total",
             help=f"Engine response-cache {event}.").inc()
+
+    @staticmethod
+    def _stamp_request_id(response: GKSResponse, request_id: str | None,
+                          tracer: Tracer | NullTracer | None
+                          ) -> GKSResponse:
+        """Stamp the serving correlation id on stats and the root span."""
+        if request_id is None:
+            return response
+        if tracer is not None and tracer.enabled and tracer.roots:
+            tracer.roots[-1].set(request_id=request_id)
+        return replace(response,
+                       stats=response.stats.with_request_id(request_id))
 
     def _record_search(self, response: GKSResponse,
                        tracer: Tracer | NullTracer | None) -> None:
@@ -580,25 +606,55 @@ class GKSEngine:
                 f"(open it with config.store_path)", diagnosis="unwritable")
 
     def _flush_locked(self) -> None:
-        """Flush pending docs; caller holds the mutation lock."""
-        merged = self._store.flush(self._pending)
-        for shard_id, (record, unit) in merged.items():
-            self._durable_units.setdefault(shard_id, []).append(
-                (record.doc_ids, unit))
-        self._pending = []
-        self._recompose()
+        """Flush pending docs; caller holds the mutation lock.
+
+        The whole operation is traced (a ``flush`` root span retained in
+        :meth:`recent_traces`) and timed into the
+        ``gks_store_flush_seconds`` histogram, so the durability path is
+        as observable through ``/metrics`` as the query path.
+        """
+        tracer = Tracer()
+        count = len(self._pending)
+        with tracer.span("flush") as span:
+            with tracer.span("segments"):
+                merged = self._store.flush(self._pending)
+            for shard_id, (record, unit) in merged.items():
+                self._durable_units.setdefault(shard_id, []).append(
+                    (record.doc_ids, unit))
+            self._pending = []
+            with tracer.span("recompose"):
+                self._recompose()
+            span.set(documents=count, shards=len(merged),
+                     store_generation=self._store.manifest.generation)
+        self._recent_traces.append(tracer.roots[-1])
+        self.metrics_registry.histogram(
+            "gks_store_flush_seconds",
+            help="Wall time of memtable flushes (segments + recompose)."
+        ).observe(tracer.roots[-1].duration_s)
         if any(len(chain) >= self.config.compact_segments
                for chain in self._durable_units.values()):
             self._compact_locked()
 
     def _compact_locked(self) -> set[int]:
         """Compact multi-run shards; caller holds the mutation lock."""
-        merged = self._store.compact()
+        tracer = Tracer()
+        with tracer.span("compact") as span:
+            with tracer.span("segments"):
+                merged = self._store.compact()
+            if merged:
+                for shard_id, (record, unit) in merged.items():
+                    self._durable_units[shard_id] = [(record.doc_ids, unit)]
+                with tracer.span("recompose"):
+                    self._recompose()
+            span.set(shards=len(merged),
+                     store_generation=self._store.manifest.generation)
         if not merged:
             return set()
-        for shard_id, (record, unit) in merged.items():
-            self._durable_units[shard_id] = [(record.doc_ids, unit)]
-        self._recompose()
+        self._recent_traces.append(tracer.roots[-1])
+        self.metrics_registry.histogram(
+            "gks_store_compaction_seconds",
+            help="Wall time of segment compactions (merge + recompose)."
+        ).observe(tracer.roots[-1].duration_s)
         return set(merged)
 
     def _recompose(self) -> None:
@@ -610,6 +666,14 @@ class GKSEngine:
             self._durable_units, self._pending, self.config,
             names=tuple(document.name for document in self.repository))
         self._generation += 1
+        self.metrics_registry.gauge(
+            "gks_memtable_pending",
+            help="Documents in the memtable awaiting a flush."
+        ).set(len(self._pending))
+        self.metrics_registry.gauge(
+            "gks_engine_generation",
+            help="Serving-snapshot generation of the engine."
+        ).set(self._generation)
         with self._cache_lock:
             self._response_cache.clear()
 

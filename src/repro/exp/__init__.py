@@ -1,0 +1,28 @@
+"""Declarative experiment matrices over the serving stack.
+
+``repro.exp`` turns a frozen run-table spec (factors × levels ×
+repetitions, in JSON or TOML) into a deterministic run list, executes
+each run against a real server (in-process broker or a booted
+``gks serve`` subprocess), scrapes ``/metrics`` before and after,
+persists one artifact directory per run, and gates aggregates against
+committed baselines.  Surfaced as ``gks exp run|aggregate|compare``.
+"""
+
+from repro.exp.aggregate import (aggregate_runs, render_markdown,
+                                 write_aggregate, write_csv)
+from repro.exp.compare import (Violation, compare_aggregates,
+                               compare_files, load_aggregate)
+from repro.exp.httpclient import HTTPSearchClient
+from repro.exp.runner import ExperimentRunner, RunResult, run_experiment
+from repro.exp.scrape import (ParsedMetrics, metrics_delta,
+                              parse_prometheus, scrape_url)
+from repro.exp.spec import ExperimentSpec, RunSpec
+
+__all__ = [
+    "ExperimentRunner", "ExperimentSpec", "HTTPSearchClient",
+    "ParsedMetrics", "RunResult", "RunSpec", "Violation",
+    "aggregate_runs", "compare_aggregates", "compare_files",
+    "load_aggregate", "metrics_delta", "parse_prometheus",
+    "render_markdown", "run_experiment", "scrape_url", "write_aggregate",
+    "write_csv",
+]

@@ -1,0 +1,152 @@
+"""Collect per-run artifacts into one aggregate table (JSON/CSV/MD).
+
+The aggregate is the experiment's *committed* face: one row per run,
+joining the run's factor assignment to its load outcomes and a few
+server-side deltas worth gating on.  ``aggregate.json`` is the machine
+form the :mod:`~repro.exp.compare` gate consumes; ``aggregate.csv`` and
+``aggregate.md`` are the same rows for spreadsheets and review diffs.
+
+Aggregation reads only what the runner persisted — it can re-run over
+an artifact tree long after the processes that produced it are gone.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Row fields in column order (factor columns are inserted after run_id).
+OUTCOME_FIELDS = ("submitted", "completed", "shed", "timeouts", "errors",
+                  "retries", "throughput_rps", "p50_ms", "p95_ms", "p99_ms")
+#: metrics_delta samples lifted into the row when present (unlabelled).
+DELTA_FIELDS = (
+    ("gks_serve_requests_total", "serve_requests"),
+    ("gks_wal_appends_total", "wal_appends"),
+    ("gks_store_flushed_documents_total", "flushed_documents"),
+)
+
+
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read artifact {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"cannot parse artifact {path}: {exc}") from exc
+
+
+def _delta_total(delta: dict, name: str) -> float:
+    """Sum every series of one delta'd sample family."""
+    entry = delta.get(name)
+    if not entry:
+        return 0.0
+    return sum(entry.get("series", {}).values())
+
+
+def row_for_run(run_dir: Path) -> dict:
+    """One aggregate row from one run's artifact directory."""
+    run = _load_json(run_dir / "run.json")
+    report = _load_json(run_dir / "report.json")
+    delta_path = run_dir / "metrics_delta.json"
+    delta = _load_json(delta_path) if delta_path.exists() else {}
+    latency = report.get("latency_s", {})
+    row = {
+        "run_id": run["run_id"],
+        "repetition": run.get("repetition", 0),
+        **{f"factor:{name}": value
+           for name, value in sorted(run.get("factors", {}).items())},
+        "mode": report.get("mode", ""),
+        "submitted": report.get("submitted", 0),
+        "completed": report.get("completed", 0),
+        "shed": report.get("shed", 0),
+        "timeouts": report.get("timeouts", 0),
+        "errors": report.get("errors", 0),
+        "retries": report.get("retries", 0),
+        "throughput_rps": round(report.get("throughput_rps", 0.0), 3),
+        "p50_ms": round(latency.get("p50", 0.0) * 1000.0, 3),
+        "p95_ms": round(latency.get("p95", 0.0) * 1000.0, 3),
+        "p99_ms": round(latency.get("p99", 0.0) * 1000.0, 3),
+    }
+    for sample_name, column in DELTA_FIELDS:
+        row[column] = _delta_total(delta, sample_name)
+    return row
+
+
+def aggregate_runs(out_dir: str | Path) -> dict:
+    """Collect every run under ``<out>/runs`` into the aggregate tree."""
+    out_dir = Path(out_dir)
+    runs_dir = out_dir / "runs"
+    if not runs_dir.is_dir():
+        raise ConfigError(f"no runs directory under {out_dir} — did the "
+                          f"experiment run?")
+    run_dirs = sorted(path for path in runs_dir.iterdir()
+                      if (path / "run.json").exists())
+    if not run_dirs:
+        raise ConfigError(f"no completed runs under {runs_dir}")
+    spec_path = out_dir / "spec.json"
+    spec = _load_json(spec_path) if spec_path.exists() else {}
+    return {
+        "experiment": spec.get("name", out_dir.name),
+        "mode": spec.get("mode", ""),
+        "rows": [row_for_run(run_dir) for run_dir in run_dirs],
+    }
+
+
+def _columns(rows: list[dict]) -> list[str]:
+    """Stable column order: id, factors, then outcome fields."""
+    factor_columns = sorted(
+        {column for row in rows for column in row
+         if column.startswith("factor:")})
+    head = ["run_id", "repetition", *factor_columns, "mode"]
+    tail = [field for field in
+            (*OUTCOME_FIELDS, *(column for _, column in DELTA_FIELDS))
+            if any(field in row for row in rows)]
+    return head + tail
+
+
+def write_csv(aggregate: dict, path: str | Path) -> Path:
+    path = Path(path)
+    rows = aggregate["rows"]
+    columns = _columns(rows)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def render_markdown(aggregate: dict) -> str:
+    """The aggregate as a GitHub-flavoured markdown table."""
+    rows = aggregate["rows"]
+    columns = _columns(rows)
+    lines = [
+        f"# Experiment `{aggregate.get('experiment', '?')}`",
+        "",
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(column, ""))
+                                       for column in columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_aggregate(out_dir: str | Path) -> dict:
+    """Aggregate *out_dir* and persist json + csv + md next to the runs.
+
+    Returns the aggregate tree (also written to ``aggregate.json``).
+    """
+    out_dir = Path(out_dir)
+    aggregate = aggregate_runs(out_dir)
+    (out_dir / "aggregate.json").write_text(
+        json.dumps(aggregate, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    write_csv(aggregate, out_dir / "aggregate.csv")
+    (out_dir / "aggregate.md").write_text(render_markdown(aggregate),
+                                          encoding="utf-8")
+    return aggregate

@@ -1,0 +1,135 @@
+"""The regression gate: diff an aggregate against a committed baseline.
+
+A baseline is simply a previously blessed ``aggregate.json`` (optionally
+with a ``tolerances`` section).  :func:`compare_aggregates` joins rows
+by ``run_id`` and checks two field classes:
+
+* **exact fields** — deterministic outcomes (completed counts, error
+  counts) that must match the baseline precisely; any drift is a
+  correctness regression, not noise;
+* **relative fields** — timing-derived numbers gated only when the
+  baseline declares a tolerance for them (``{"throughput_rps": 0.5}``
+  means ±50%), because wall-clock on shared CI machines is noise by
+  default.
+
+A missing or extra run is always a violation: the run table is frozen,
+so the join must be total.  The CLI exits non-zero when any violation
+survives — the CI contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Outcome fields gated exactly unless the baseline overrides the list.
+DEFAULT_EXACT = ("submitted", "completed", "shed", "timeouts", "errors")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One gate failure: which run, which field, what diverged."""
+
+    run_id: str
+    field: str
+    expected: object
+    actual: object
+    kind: str = "exact"  # "exact" | "relative" | "missing" | "extra"
+
+    def render(self) -> str:
+        if self.kind == "missing":
+            return f"{self.run_id}: run missing from current aggregate"
+        if self.kind == "extra":
+            return f"{self.run_id}: run absent from baseline"
+        detail = (f"expected {self.expected}, got {self.actual}")
+        if self.kind == "relative":
+            detail += " (outside tolerance)"
+        return f"{self.run_id}: {self.field}: {detail}"
+
+
+def load_aggregate(path: str | Path) -> dict:
+    path = Path(path)
+    try:
+        aggregate = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read aggregate {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"cannot parse aggregate {path}: {exc}") from exc
+    if not isinstance(aggregate, dict) or "rows" not in aggregate:
+        raise ConfigError(f"{path} is not an aggregate (no 'rows')")
+    return aggregate
+
+
+def _rows_by_id(aggregate: dict) -> dict[str, dict]:
+    rows = {}
+    for row in aggregate["rows"]:
+        run_id = row.get("run_id")
+        if not run_id:
+            raise ConfigError("aggregate row without a run_id")
+        if run_id in rows:
+            raise ConfigError(f"duplicate run_id {run_id!r} in aggregate")
+        rows[run_id] = row
+    return rows
+
+
+def compare_aggregates(current: dict, baseline: dict,
+                       tolerances: dict | None = None) -> list[Violation]:
+    """Every way *current* diverges from *baseline* beyond tolerance.
+
+    *tolerances* overrides the baseline's own ``tolerances`` section;
+    shape: ``{"exact": [fields...], "relative": {field: rel_frac}}``.
+    """
+    rules = tolerances if tolerances is not None \
+        else baseline.get("tolerances", {})
+    exact_fields = tuple(rules.get("exact", DEFAULT_EXACT))
+    relative = dict(rules.get("relative", {}))
+
+    current_rows = _rows_by_id(current)
+    baseline_rows = _rows_by_id(baseline)
+    violations: list[Violation] = []
+
+    for run_id in baseline_rows:
+        if run_id not in current_rows:
+            violations.append(Violation(run_id, "", None, None,
+                                        kind="missing"))
+    for run_id in current_rows:
+        if run_id not in baseline_rows:
+            violations.append(Violation(run_id, "", None, None,
+                                        kind="extra"))
+
+    for run_id, expected_row in baseline_rows.items():
+        actual_row = current_rows.get(run_id)
+        if actual_row is None:
+            continue
+        for field in exact_fields:
+            if field not in expected_row:
+                continue
+            expected = expected_row[field]
+            actual = actual_row.get(field)
+            if actual != expected:
+                violations.append(Violation(run_id, field, expected,
+                                            actual, kind="exact"))
+        for field, tolerance in relative.items():
+            if field not in expected_row:
+                continue
+            expected = float(expected_row[field])
+            actual = float(actual_row.get(field, 0.0))
+            if tolerance < 0:
+                raise ConfigError(f"relative tolerance for {field!r} "
+                                  f"must be >= 0: {tolerance}")
+            allowed = abs(expected) * float(tolerance)
+            if abs(actual - expected) > allowed:
+                violations.append(Violation(run_id, field, expected,
+                                            actual, kind="relative"))
+    return violations
+
+
+def compare_files(current_path: str | Path, baseline_path: str | Path,
+                  tolerances: dict | None = None) -> list[Violation]:
+    """File-level convenience over :func:`compare_aggregates`."""
+    return compare_aggregates(load_aggregate(current_path),
+                              load_aggregate(baseline_path),
+                              tolerances=tolerances)

@@ -1,0 +1,130 @@
+"""A ServerCore-shaped HTTP client for driving a real ``gks serve``.
+
+:class:`HTTPSearchClient` duck-types the slice of
+:class:`~repro.serve.core.ServerCore` the load generator uses —
+``submit`` returning a future — so the *same*
+:class:`~repro.serve.loadgen.LoadGenerator` schedules drive an
+in-process broker and a live HTTP server.  Server-side rejections come
+back as the same typed exceptions the broker raises (429 →
+:class:`~repro.errors.Overloaded`, 504 →
+:class:`~repro.errors.SearchTimeout`), surfaced through the future; the
+load generator classifies them identically in both modes.
+
+Unlike the in-process broker, rejections here are *asynchronous* —
+the 429 exists only once the server has answered — so the retry policy's
+synchronous-shed path does not fire; an HTTP shed is terminal for its
+scheduled request.  That is exactly what a real remote client observes.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import Future, ThreadPoolExecutor
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+from repro.errors import (GKSError, Overloaded, QueryError, SearchTimeout,
+                          ValidationError)
+
+
+class HTTPSearchClient:
+    """Submit searches to a running ``gks serve`` over JSON/HTTP."""
+
+    def __init__(self, base_url: str, *, pool: int = 8,
+                 timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self._timeout_s = timeout_s
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, pool), thread_name_prefix="gks-exp-http")
+
+    # -- the LoadGenerator-facing surface -------------------------------
+    def submit(self, query: str, s: int | None = None, *,
+               k: int | None = None, ranker=None,
+               deadline_s: float | None = None,
+               request_id: str | None = None) -> Future:
+        """Schedule one ``GET /search``; the future holds the payload.
+
+        The future resolves to the decoded JSON response body, or raises
+        the mapped typed error.  *ranker* is accepted for signature
+        compatibility; the server applies its own configured ranker.
+        """
+        params: dict[str, str] = {"q": query}
+        if s is not None:
+            params["s"] = str(s)
+        if k is not None:
+            params["k"] = str(k)
+        if deadline_s is not None:
+            params["deadline_ms"] = f"{deadline_s * 1000.0:g}"
+        headers = {}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        return self._executor.submit(self._get_search, params, headers)
+
+    def search(self, query: str, s: int | None = None, *,
+               k: int | None = None, ranker=None,
+               deadline_s: float | None = None,
+               request_id: str | None = None) -> dict:
+        """Blocking convenience over :meth:`submit`."""
+        return self.submit(query, s, k=k, ranker=ranker,
+                           deadline_s=deadline_s,
+                           request_id=request_id).result()
+
+    # -- scrape / ops ---------------------------------------------------
+    def metrics_text(self) -> str:
+        """The server's ``/metrics`` exposition, verbatim."""
+        with urlopen(f"{self.base_url}/metrics",
+                     timeout=self._timeout_s) as response:
+            return response.read().decode("utf-8")
+
+    def healthz(self) -> dict:
+        with urlopen(f"{self.base_url}/healthz",
+                     timeout=self._timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "HTTPSearchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire plumbing --------------------------------------------------
+    def _get_search(self, params: dict[str, str],
+                    headers: dict[str, str]) -> dict:
+        url = f"{self.base_url}/search?{urlencode(params)}"
+        request = Request(url, headers=headers)
+        try:
+            with urlopen(request, timeout=self._timeout_s) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                rid = response.headers.get("X-Request-Id")
+        except HTTPError as exc:
+            raise _map_http_error(exc) from None
+        except URLError as exc:
+            raise GKSError(f"cannot reach {url}: {exc.reason}") from exc
+        if rid is not None:
+            payload.setdefault("serve", {}).setdefault("request_id", rid)
+        return payload
+
+
+def _map_http_error(exc: HTTPError) -> GKSError:
+    """Rebuild the server's typed error from its JSON error body."""
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+    except (ValueError, OSError):
+        body = {}
+    message = body.get("error", f"HTTP {exc.code}")
+    if exc.code == 429:
+        retry_after = exc.headers.get("Retry-After")
+        return Overloaded(
+            message, reason=body.get("reason", "queue-full"),
+            retry_after_s=float(retry_after) if retry_after else None)
+    if exc.code == 504:
+        return SearchTimeout(message)
+    if exc.code == 400:
+        if body.get("type") == "ValidationError":
+            return ValidationError(message)
+        return QueryError(message)
+    return GKSError(f"HTTP {exc.code}: {message}")

@@ -1,0 +1,178 @@
+"""Scrape-and-parse for the Prometheus text exposition format.
+
+The experiment runner treats ``/metrics`` as the *only* source of
+server-side truth — the same bytes an operator's Prometheus would
+scrape — so the run artifacts cannot disagree with production
+monitoring.  This module parses that text back into structured samples
+and computes before/after deltas with the right semantics per metric
+kind: counters and histogram series subtract (the run's contribution),
+gauges take the after-value (the run's end state).
+
+The parser is the exact inverse of
+:meth:`repro.obs.metrics.MetricsRegistry.render_prometheus`, including
+label-value unescaping — a label value containing ``"``, ``\\`` or a
+newline must round-trip, which is why the splitter walks characters
+instead of splitting on commas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.obs.metrics import unescape_label_value
+
+#: label series key: canonical sorted ((name, value), ...) tuple
+SeriesKey = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class ParsedMetrics:
+    """Every sample of one exposition, keyed by metric and label set."""
+
+    #: metric family name -> "counter" | "gauge" | "histogram"
+    types: dict[str, str] = field(default_factory=dict)
+    #: metric family name -> HELP text (unescaped not needed for deltas)
+    help: dict[str, str] = field(default_factory=dict)
+    #: sample name (incl. _bucket/_sum/_count) -> {series key: value}
+    samples: dict[str, dict[SeriesKey, float]] = field(
+        default_factory=dict)
+
+    def value(self, name: str, labels: dict[str, str] | None = None,
+              default: float = 0.0) -> float:
+        """One sample's value; *default* when the series is absent."""
+        series = self.samples.get(name)
+        if not series:
+            return default
+        key = tuple(sorted((labels or {}).items()))
+        return series.get(key, default)
+
+    def family_of(self, sample_name: str) -> str:
+        """The family a sample belongs to (strips histogram suffixes)."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                family = sample_name[:-len(suffix)]
+                if self.types.get(family) == "histogram":
+                    return family
+        return sample_name
+
+
+def _parse_labels(body: str, line: str) -> SeriesKey:
+    """Parse the ``name="value",...`` body of a label set.
+
+    Walks characters so escaped quotes inside values (``\\"``) do not
+    terminate the value and commas inside values do not split it.
+    """
+    pairs: list[tuple[str, str]] = []
+    i = 0
+    length = len(body)
+    while i < length:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValidationError(f"malformed label set in line: {line!r}")
+        name = body[i:eq].strip().lstrip(",").strip()
+        if eq + 1 >= length or body[eq + 1] != '"':
+            raise ValidationError(f"unquoted label value in line: {line!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while j < length:
+            ch = body[j]
+            if ch == "\\" and j + 1 < length:
+                raw.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValidationError(
+                f"unterminated label value in line: {line!r}")
+        pairs.append((name, unescape_label_value("".join(raw))))
+        i = j + 1
+        while i < length and body[i] in ", ":
+            i += 1
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(text: str) -> ParsedMetrics:
+    """Parse one text exposition into :class:`ParsedMetrics`.
+
+    Raises :class:`~repro.errors.ValidationError` on a malformed line —
+    a scrape that does not parse must fail the run loudly, not produce a
+    silently empty delta.
+    """
+    parsed = ParsedMetrics()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                parsed.types[parts[2]] = parts[3].strip()
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                parsed.help[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValidationError(f"malformed sample line: {line!r}")
+            name = line[:brace]
+            key = _parse_labels(line[brace + 1:close], line)
+            value_text = line[close + 1:].strip()
+        else:
+            try:
+                name, value_text = line.split(None, 1)
+            except ValueError:
+                raise ValidationError(
+                    f"malformed sample line: {line!r}") from None
+            key = ()
+        try:
+            value = float(value_text.split()[0])
+        except (ValueError, IndexError):
+            raise ValidationError(
+                f"non-numeric sample value in line: {line!r}") from None
+        parsed.samples.setdefault(name, {})[key] = value
+    return parsed
+
+
+def _format_key(key: SeriesKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{name}="{value}"' for name, value in key) + "}"
+
+
+def metrics_delta(before: ParsedMetrics, after: ParsedMetrics) -> dict:
+    """What one run contributed, as a JSON-able tree.
+
+    Counter and histogram samples subtract (``after - before``; a series
+    absent before counts from zero); gauge samples take the after-value
+    — a queue depth is a state, not an accumulation.  Series that did
+    not move are dropped, so the delta reads as "what this run did".
+    """
+    delta: dict[str, dict] = {}
+    for name, series in sorted(after.samples.items()):
+        family = after.family_of(name)
+        kind = after.types.get(family, "counter")
+        moved: dict[str, float] = {}
+        for key, after_value in sorted(series.items()):
+            if kind == "gauge":
+                value = after_value
+            else:
+                value = after_value - before.samples.get(name, {}).get(
+                    key, 0.0)
+            if value != 0.0:
+                moved[_format_key(key)] = value
+        if moved:
+            delta[name] = {"type": kind, "series": moved}
+    return delta
+
+
+def scrape_url(url: str, timeout_s: float = 10.0) -> str:
+    """Fetch a ``/metrics`` endpoint's text over HTTP (stdlib urllib)."""
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8")

@@ -1,0 +1,256 @@
+"""Frozen run-table specs: factors × levels × repetitions → run list.
+
+An experiment is declared once, in a JSON or TOML file, and *expanded*
+deterministically: the cartesian product of every factor's levels, each
+combination repeated ``repetitions`` times, in a stable order (factors
+in declaration order, levels in declaration order, repetitions last).
+Expanding the same spec twice yields byte-identical run ids, so an
+aggregate produced today joins a baseline committed last month row for
+row.
+
+Spec shape (JSON shown; TOML is the same tree)::
+
+    {
+      "name": "smoke",
+      "mode": "inproc",            // or "http": real gks serve subprocess
+      "repetitions": 1,
+      "base": {                    // defaults every run starts from
+        "dataset": {"name": "figure2a", "scale": 1, "seed": 0},
+        "engine": {"shards": 1},
+        "serve": {"workers": 4, "queue_capacity": 64},
+        "load": {"mode": "closed", "concurrency": 4, "iterations": 5,
+                 "queries": ["XML Author"], "s": 1}
+      },
+      "factors": {                 // each factor: list of levels
+        "engine.shards": [1, 2],   // scalar level -> set that dotted path
+        "shape": [                 // dict level -> several overrides at once
+          {"id": "open", "load.mode": "open", "load.rate_rps": 50,
+           "load.count": 100}
+        ]
+      }
+    }
+
+A scalar level assigns the factor's own dotted path; a dict level is a
+bundle of dotted-path overrides labelled by its ``"id"`` key (or its
+position when unlabelled).  Run ids read
+``<index>_<factor>=<label>__...__r<rep>`` and double as artifact
+directory names, so labels are sanitised to filesystem-safe characters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Spec keys accepted at the top level (anything else is a typo).
+_TOP_KEYS = {"name", "description", "mode", "repetitions", "base",
+             "factors", "tolerances"}
+_MODES = ("inproc", "http")
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize(label: str) -> str:
+    """A filesystem- and CSV-safe rendering of a level label."""
+    cleaned = _SAFE.sub("-", str(label)).strip("-")
+    return cleaned or "x"
+
+
+def set_path(tree: dict, dotted: str, value) -> None:
+    """Assign *value* at a dotted path, creating intermediate dicts."""
+    parts = dotted.split(".")
+    node = tree
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {}
+            node[part] = child
+        node = child
+    node[parts[-1]] = value
+
+
+def get_path(tree: dict, dotted: str, default=None):
+    """Read a dotted path out of a nested dict."""
+    node = tree
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return default
+        node = node[part]
+    return node
+
+
+def _deep_copy(tree):
+    """Plain-data deep copy (specs are JSON/TOML trees, nothing else)."""
+    if isinstance(tree, dict):
+        return {key: _deep_copy(value) for key, value in tree.items()}
+    if isinstance(tree, list):
+        return [_deep_copy(item) for item in tree]
+    return tree
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved run of the table.
+
+    ``params`` is the base tree with this run's factor levels applied;
+    ``factors`` records which level of each factor produced it (the
+    aggregate's join columns).
+    """
+
+    run_id: str
+    index: int
+    repetition: int
+    factors: tuple[tuple[str, str], ...]
+    params: dict = field(hash=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "index": self.index,
+            "repetition": self.repetition,
+            "factors": dict(self.factors),
+            "params": self.params,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A validated, immutable experiment declaration."""
+
+    name: str
+    mode: str = "inproc"
+    repetitions: int = 1
+    description: str = ""
+    base: dict = field(default_factory=dict, hash=False)
+    #: (factor name, ((label, {dotted path: value}), ...)) in file order
+    factors: tuple[tuple[str, tuple[tuple[str, dict], ...]], ...] = ()
+    tolerances: dict = field(default_factory=dict, hash=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, raw: dict, source: str = "<dict>"
+                  ) -> "ExperimentSpec":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"{source}: spec must be a mapping, "
+                              f"got {type(raw).__name__}")
+        unknown = set(raw) - _TOP_KEYS
+        if unknown:
+            raise ConfigError(f"{source}: unknown spec keys "
+                              f"{sorted(unknown)}; known: "
+                              f"{sorted(_TOP_KEYS)}")
+        name = raw.get("name")
+        if not name or not isinstance(name, str):
+            raise ConfigError(f"{source}: spec needs a non-empty string "
+                              f"'name'")
+        mode = raw.get("mode", "inproc")
+        if mode not in _MODES:
+            raise ConfigError(f"{source}: mode must be one of {_MODES}, "
+                              f"got {mode!r}")
+        repetitions = raw.get("repetitions", 1)
+        if not isinstance(repetitions, int) or repetitions < 1:
+            raise ConfigError(f"{source}: repetitions must be an int "
+                              f">= 1, got {repetitions!r}")
+        base = raw.get("base", {})
+        if not isinstance(base, dict):
+            raise ConfigError(f"{source}: base must be a mapping")
+        factors = []
+        for factor, levels in (raw.get("factors") or {}).items():
+            if not isinstance(levels, list) or not levels:
+                raise ConfigError(
+                    f"{source}: factor {factor!r} must map to a "
+                    f"non-empty list of levels")
+            resolved = []
+            for position, level in enumerate(levels):
+                if isinstance(level, dict):
+                    overrides = {key: value for key, value in level.items()
+                                 if key != "id"}
+                    if not overrides:
+                        raise ConfigError(
+                            f"{source}: factor {factor!r} level "
+                            f"{position} sets nothing")
+                    label = str(level.get("id", position))
+                else:
+                    overrides = {factor: level}
+                    label = str(level)
+                resolved.append((_sanitize(label), overrides))
+            labels = [label for label, _ in resolved]
+            if len(set(labels)) != len(labels):
+                raise ConfigError(f"{source}: factor {factor!r} has "
+                                  f"duplicate level labels {labels}")
+            factors.append((factor, tuple(resolved)))
+        return cls(name=name, mode=mode, repetitions=repetitions,
+                   description=str(raw.get("description", "")),
+                   base=base, factors=tuple(factors),
+                   tolerances=raw.get("tolerances", {}))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        """Read a spec file; ``.toml`` via tomllib, anything else JSON."""
+        path = Path(path)
+        try:
+            if path.suffix.lower() == ".toml":
+                import tomllib
+
+                raw = tomllib.loads(path.read_text(encoding="utf-8"))
+            else:
+                raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigError(f"cannot read spec {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigError(f"cannot parse spec {path}: {exc}") from exc
+        return cls.from_dict(raw, source=str(path))
+
+    # ------------------------------------------------------------------
+    @property
+    def run_count(self) -> int:
+        total = self.repetitions
+        for _, levels in self.factors:
+            total *= len(levels)
+        return total
+
+    def expand(self) -> list[RunSpec]:
+        """The deterministic run list: factor product × repetitions."""
+        level_axes = [
+            [(factor, label, overrides) for label, overrides in levels]
+            for factor, levels in self.factors
+        ]
+        runs: list[RunSpec] = []
+        index = 0
+        for combination in itertools.product(*level_axes):
+            for repetition in range(self.repetitions):
+                params = _deep_copy(self.base)
+                assignment = []
+                for factor, label, overrides in combination:
+                    for dotted, value in overrides.items():
+                        set_path(params, dotted, value)
+                    assignment.append((factor, label))
+                tag = "__".join(
+                    f"{_sanitize(factor)}={label}"
+                    for factor, label in assignment)
+                run_id = f"{index:03d}" + (f"_{tag}" if tag else "") \
+                    + f"__r{repetition}"
+                runs.append(RunSpec(run_id=run_id, index=index,
+                                    repetition=repetition,
+                                    factors=tuple(assignment),
+                                    params=params))
+                index += 1
+        return runs
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "mode": self.mode,
+            "repetitions": self.repetitions,
+            "base": self.base,
+            "factors": {
+                factor: [{"id": label, **overrides}
+                         for label, overrides in levels]
+                for factor, levels in self.factors
+            },
+            "tolerances": self.tolerances,
+        }

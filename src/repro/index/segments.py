@@ -497,6 +497,23 @@ class SegmentStore:
         self.directory = directory
         self.manifest = manifest
         self.wal = wal
+        self._observe_manifest()
+
+    def _observe_manifest(self) -> None:
+        """Publish the store's shape as gauges (scraped via /metrics)."""
+        registry = global_registry()
+        registry.gauge(
+            "gks_store_generation",
+            help="Generation of the committed store manifest."
+        ).set(self.manifest.generation)
+        registry.gauge(
+            "gks_store_segments",
+            help="Immutable segment files referenced by the manifest."
+        ).set(len(self.manifest.segments))
+        registry.gauge(
+            "gks_store_documents",
+            help="Documents covered by the committed manifest."
+        ).set(len(self.manifest.document_names))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -729,6 +746,11 @@ class SegmentStore:
         global_registry().counter(
             "gks_store_flushes_total",
             help="Memtable flushes committed to the store.").inc()
+        global_registry().counter(
+            "gks_store_flushed_documents_total",
+            help="Documents flushed from the memtable to segments."
+        ).inc(len(pending))
+        self._observe_manifest()
         return merged_units
 
     def compact(self) -> dict[int, tuple[SegmentRecord, GKSIndex]]:
@@ -813,6 +835,7 @@ class SegmentStore:
         global_registry().counter(
             "gks_store_compactions_total",
             help="Segment compactions committed to the store.").inc()
+        self._observe_manifest()
         return merged_units
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.obs.metrics import global_registry
+from repro.obs.trace import DEFAULT_CLOCK
 
 WAL_MAGIC = b"GKSWAL1\n"
 _FRAME_HEADER = struct.Struct("<IQI")  # payload length, lsn, crc32
@@ -238,15 +240,34 @@ class WriteAheadLog:
         """
         lsn = self._last_lsn + 1
         frame = _encode_frame(lsn, record)
+        registry = global_registry()
+        started = DEFAULT_CLOCK()
         try:
             self._handle.write(frame)
             self._handle.flush()
             if self._fsync:
+                fsync_started = DEFAULT_CLOCK()
                 os.fsync(self._handle.fileno())
+                registry.histogram(
+                    "gks_wal_fsync_seconds",
+                    help="Wall time of per-append WAL fsync calls."
+                ).observe(DEFAULT_CLOCK() - fsync_started)
         except OSError as exc:
             raise StorageError(
                 f"cannot append to WAL at {self.path}: {exc}",
                 diagnosis="unwritable", path=self.path) from exc
+        registry.histogram(
+            "gks_wal_append_seconds",
+            help="Wall time of durable WAL appends (write+flush+fsync)."
+        ).observe(DEFAULT_CLOCK() - started)
+        registry.counter(
+            "gks_wal_appends_total",
+            help="Records durably appended to the write-ahead log."
+        ).inc()
+        registry.counter(
+            "gks_wal_appended_bytes_total",
+            help="Framed bytes appended to the write-ahead log."
+        ).inc(len(frame))
         self._last_lsn = lsn
         return lsn
 
@@ -279,6 +300,10 @@ class WriteAheadLog:
                 diagnosis="unwritable", path=self.path) from exc
         fsync_directory(self.path.parent)
         self._handle = open(self.path, "ab")
+        global_registry().counter(
+            "gks_wal_truncations_total",
+            help="Checkpoint truncations rewriting the WAL."
+        ).inc()
 
     def close(self) -> None:
         self._handle.close()

@@ -31,10 +31,53 @@ def _label_key(labels: dict[str, str] | None) -> LabelKey:
                         for key, value in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping (in that order — escaping the escapes
+    first keeps the mapping reversible).
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (scrape parsers need this)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (not double-quote)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in key)
+    body = ",".join(f'{name}="{escape_label_value(value)}"'
+                    for name, value in key)
     return "{" + body + "}"
 
 
@@ -255,7 +298,7 @@ class MetricsRegistry:
 def _header(metric: Metric) -> list[str]:
     lines = []
     if metric.help:
-        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
     lines.append(f"# TYPE {metric.name} {metric.kind}")
     return lines
 

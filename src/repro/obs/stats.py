@@ -39,6 +39,10 @@ class QueryStats:
     trip_stage: str | None = None
     trip_reason: str | None = None
     degraded: bool = False
+    #: Correlation id minted at serving admission (None for direct
+    #: engine calls); joins this record to serve logs, span trees and
+    #: experiment artifacts.
+    request_id: str | None = None
 
     def stage_breakdown(self) -> dict[str, float]:
         return {
@@ -55,6 +59,10 @@ class QueryStats:
         """A copy marking this response as served from the LRU cache."""
         return replace(self, cache_hit=True)
 
+    def with_request_id(self, request_id: str) -> "QueryStats":
+        """A copy stamped with the serving-side correlation id."""
+        return replace(self, request_id=request_id)
+
     def to_dict(self) -> dict:
         return {
             "total_seconds": self.total_seconds,
@@ -68,6 +76,7 @@ class QueryStats:
             "trip_stage": self.trip_stage,
             "trip_reason": self.trip_reason,
             "degraded": self.degraded,
+            "request_id": self.request_id,
         }
 
     def render(self) -> str:
@@ -94,9 +103,15 @@ class SlowQuery:
     stats: QueryStats
     unix_time: float
 
+    @property
+    def request_id(self) -> str | None:
+        """The serving-side correlation id, when the query carried one."""
+        return self.stats.request_id
+
     def render(self) -> str:
+        rid = f"  rid={self.request_id}" if self.request_id else ""
         return (f"{self.stats.total_seconds * 1000:8.2f} ms  "
-                f"s={self.s}  {self.query_text}")
+                f"s={self.s}  {self.query_text}{rid}")
 
 
 class SlowQueryLog:

@@ -43,10 +43,13 @@ read-modify-write races.  The lock is never held across an engine call.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
+import uuid
 from collections import OrderedDict
 from concurrent.futures import Future
+from dataclasses import replace
 from typing import Callable
 
 from repro.core.budget import SearchBudget
@@ -60,15 +63,32 @@ from repro.serve.config import ServeConfig
 _SENTINEL = object()  # wakes one worker for shutdown
 
 
+def _default_id_source() -> Callable[[], str]:
+    """Process-unique request ids: random broker prefix + sequence.
+
+    The prefix distinguishes brokers (and restarts of the same one) in
+    merged logs; the counter makes ids cheap, ordered and collision-free
+    within a broker.  Tests needing deterministic ids inject their own
+    source.
+    """
+    prefix = uuid.uuid4().hex[:8]
+    counter = itertools.count(1)
+
+    def mint() -> str:
+        return f"req-{prefix}-{next(counter):06d}"
+
+    return mint
+
+
 class _Request:
     """One admitted request travelling from submit to finish."""
 
     __slots__ = ("query", "ranker", "k", "key", "admission", "future",
-                 "arrived_s", "generation")
+                 "arrived_s", "generation", "request_id")
 
     def __init__(self, query: Query, ranker, k: int | None, key: tuple,
                  admission: SearchBudget | None, arrived_s: float,
-                 generation: int) -> None:
+                 generation: int, request_id: str) -> None:
         self.query = query
         self.ranker = ranker
         self.k = k
@@ -77,6 +97,7 @@ class _Request:
         self.future: Future = Future()
         self.arrived_s = arrived_s
         self.generation = generation
+        self.request_id = request_id
 
 
 class ServerCore:
@@ -104,11 +125,15 @@ class ServerCore:
 
     def __init__(self, engine, config: ServeConfig | None = None, *,
                  registry: MetricsRegistry | None = None,
-                 clock: Callable[[], float] | None = None) -> None:
+                 clock: Callable[[], float] | None = None,
+                 id_source: Callable[[], str] | None = None) -> None:
         self._engine = engine
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else global_registry()
         self._clock = clock if clock is not None else DEFAULT_CLOCK
+        if id_source is None:
+            id_source = _default_id_source()
+        self._id_source = id_source
 
         self._lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue()
@@ -159,6 +184,9 @@ class ServerCore:
         self._m_generation = reg.gauge(
             "gks_serve_generation",
             help="Current serving-cache generation.")
+        self._m_swap_seconds = reg.histogram(
+            "gks_serve_swap_seconds",
+            help="Wall time of atomic engine hot swaps.")
 
         # observe engine mutations (durable engines expose the hook;
         # plain doubles in tests may not)
@@ -177,10 +205,20 @@ class ServerCore:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    def mint_request_id(self) -> str:
+        """A fresh correlation id from the broker's id source.
+
+        Front ends that want the id *before* admission (to return it on
+        shed/parse-error responses too) mint here and pass it to
+        :meth:`submit`; otherwise :meth:`submit` mints one itself.
+        """
+        return self._id_source()
+
     def submit(self, query: str | Query, s: int | None = None, *,
                k: int | None = None,
                ranker=None,
-               deadline_s: float | None = None) -> Future:
+               deadline_s: float | None = None,
+               request_id: str | None = None) -> Future:
         """Admit one request; returns a future for its response.
 
         Raises :class:`~repro.errors.Overloaded` synchronously when the
@@ -189,6 +227,13 @@ class ServerCore:
         parse errors also raise synchronously.  Engine-side failures
         (including ``SearchTimeout`` for a deadline that expired in the
         queue) surface through the future.
+
+        Every admitted request carries a correlation id (*request_id*,
+        minted from the broker's id source when the caller brings none);
+        the response's :class:`~repro.obs.stats.QueryStats` comes back
+        stamped with it — including TTL hits, which are restamped with
+        *this* request's id.  Coalesced followers are the one exception:
+        they share the leader's future and therefore its id.
         """
         if ranker is None:
             ranker = self.engine.config.ranker
@@ -201,6 +246,8 @@ class ServerCore:
             deadline_s = self.config.deadline_s
         key = (query.keywords, query.effective_s, ranker, k)
         arrived = self._clock()
+        if request_id is None:
+            request_id = self._id_source()
 
         with self._lock:
             if self._draining or self._closed:
@@ -218,7 +265,12 @@ class ServerCore:
                     self._m_ttl_hits.inc()
                     self._m_requests.inc(labels={"outcome": "ttl-hit"})
                     future: Future = Future()
-                    future.set_result(cached)
+                    # restamp the shared cached response with *this*
+                    # request's id (replace copies; the cached entry
+                    # keeps its own stats untouched)
+                    future.set_result(replace(
+                        cached,
+                        stats=cached.stats.with_request_id(request_id)))
                     return future
                 if self.config.coalesce:
                     leader = self._inflight.get(key)
@@ -246,7 +298,7 @@ class ServerCore:
                 # read here would skew injected FakeClock timelines
                 admission._started = arrived
             request = _Request(query, ranker, k, key, admission, arrived,
-                               self._generation)
+                               self._generation, request_id)
             if deadline_s is None and self.config.coalesce:
                 self._inflight[key] = request
             self._queued += 1
@@ -257,10 +309,12 @@ class ServerCore:
     def search(self, query: str | Query, s: int | None = None, *,
                k: int | None = None,
                ranker=None,
-               deadline_s: float | None = None) -> GKSResponse:
+               deadline_s: float | None = None,
+               request_id: str | None = None) -> GKSResponse:
         """Blocking convenience over :meth:`submit`."""
         return self.submit(query, s, k=k, ranker=ranker,
-                           deadline_s=deadline_s).result()
+                           deadline_s=deadline_s,
+                           request_id=request_id).result()
 
     # ------------------------------------------------------------------
     # Worker side
@@ -290,15 +344,22 @@ class ServerCore:
                     f"deadline in the admission queue")
             budget = (admission.subbudget(rebase=True)
                       if admission is not None else None)
+            waited = self._clock() - request.arrived_s
             tracer = Tracer(clock=self._clock) if self.config.trace else None
             if request.k is not None:
                 response = self.engine.search_top_k(
                     request.query, request.k, ranker=request.ranker,
-                    budget=budget, tracer=tracer)
+                    budget=budget, tracer=tracer,
+                    request_id=request.request_id)
             else:
                 response = self.engine.search(
                     request.query, ranker=request.ranker,
-                    budget=budget, tracer=tracer)
+                    budget=budget, tracer=tracer,
+                    request_id=request.request_id)
+            if tracer is not None and tracer.roots:
+                # stamp serve-side context on the search's root span so
+                # the span tree alone answers "how long did it queue?"
+                tracer.roots[-1].set(queue_wait_s=waited)
         except Exception as exc:  # worker threads must never die
             self._finish(request, error=exc)
         else:
@@ -376,6 +437,7 @@ class ServerCore:
         generation fence keeps late responses from the old engine out of
         the cache.  Returns the new generation.
         """
+        started = self._clock()
         old = self._engine
         unregister = getattr(old, "remove_mutation_listener", None)
         if callable(unregister) and old is not engine:
@@ -388,6 +450,7 @@ class ServerCore:
             self._inflight.clear()
             self._invalidate_locked()
             self._m_swaps.inc()
+            self._m_swap_seconds.observe(self._clock() - started)
             return self._generation
 
     def add_document(self, text: str, name: str | None = None) -> dict:

@@ -30,6 +30,12 @@ Error mapping: client errors (bad query, bad parameters) are 400;
 when the broker can suggest one; :class:`~repro.errors.SearchTimeout`
 is 504; any other :class:`~repro.errors.GKSError` is 500.  Bodies are
 always JSON: ``{"error": ..., "type": ..., "reason"?: ...}``.
+
+Correlation: every ``/search`` exchange — success *or* error — answers
+with an ``X-Request-Id`` header (the client's own when it sent one,
+otherwise minted at admission).  The same id is stamped on the
+response's :class:`~repro.obs.stats.QueryStats`, the slow-query log
+entry and the search's span tree, so one grep joins all four.
 """
 
 from __future__ import annotations
@@ -133,6 +139,11 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
                                   "type": "NotFound"})
 
     def _search(self) -> None:
+        # the correlation id is minted (or taken from the client) before
+        # admission so even a shed or parse error answers with one
+        rid = self.headers.get("X-Request-Id") or \
+            self.core.mint_request_id()
+        rid_header = {"X-Request-Id": rid}
         try:
             params = self._params()
             raw = params.get("q") or params.get("query")
@@ -143,29 +154,32 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
             deadline_s = (float(params["deadline_ms"]) / 1000.0
                           if "deadline_ms" in params else None)
         except (ValueError, json.JSONDecodeError) as exc:
-            self._send_error_json(400, exc)
+            self._send_error_json(400, exc, headers=rid_header)
             return
         try:
-            response = self.core.search(raw, s, k=k, deadline_s=deadline_s)
+            response = self.core.search(raw, s, k=k, deadline_s=deadline_s,
+                                        request_id=rid)
         except Overloaded as exc:
-            headers = {}
+            headers = dict(rid_header)
             if exc.retry_after_s is not None:
                 headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
             self._send_error_json(429, exc, headers=headers)
             return
         except SearchTimeout as exc:
-            self._send_error_json(504, exc)
+            self._send_error_json(504, exc, headers=rid_header)
             return
         except GKSError as exc:
             # bad queries are the client's fault; the rest are ours
             status = 400 if isinstance(exc, (QueryError, ValidationError)) \
                 else 500
-            self._send_error_json(status, exc)
+            self._send_error_json(status, exc, headers=rid_header)
             return
         payload = response_to_dict(response,
                                    repository=self.core.engine.repository)
         payload["serve"] = _serve_envelope(response)
-        self._send_json(200, payload)
+        # coalesced followers share the leader's stamped id; the header
+        # still reports the id minted for *this* HTTP exchange
+        self._send_json(200, payload, headers=rid_header)
 
     def _add_document(self) -> None:
         try:
@@ -207,6 +221,7 @@ def _serve_envelope(response) -> dict:
     envelope: dict = {
         "degraded": response.degraded,
         "cache_hit": response.stats.cache_hit,
+        "request_id": response.stats.request_id,
     }
     if response.degradation is not None:
         report = response.degradation

@@ -383,6 +383,11 @@ class LoadGenerator:
         except SearchTimeout as exc:
             return RequestOutcome(request, "timeout", error=str(exc),
                                   attempts=attempts)
+        except Overloaded as exc:
+            # an async shed (e.g. an HTTP client surfacing a 429 through
+            # its future) is still a shed, not a generic error
+            return RequestOutcome(request, "shed", error=exc.reason,
+                                  attempts=attempts)
         except GKSError as exc:
             return RequestOutcome(request, "error", error=str(exc),
                                   attempts=attempts)

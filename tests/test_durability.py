@@ -410,7 +410,9 @@ class TestServeMutation:
                         clock=fake) as core:
             before = core.search("keys")
             cached = core.search("keys")
-            assert cached is before  # TTL hit proves the cache works
+            # TTL hit: no recompute — the hit shares the entry's nodes
+            # (restamped with the new request id, so not the same object)
+            assert cached.nodes is before.nodes
             core.add_document(
                 "<dblp><article><title>new keys paper</title>"
                 "</article></dblp>", name="new.xml")
