@@ -1,0 +1,166 @@
+"""Codec benchmark: on-disk size, cold-open latency, raw equivalence.
+
+Measures the v4 ``varint-dag`` binary format against the ``raw`` gzip
+JSON envelope on the syndicated-mirrors corpus — the workload the DAG
+codec is built for (one shared record pool republished by many sites,
+so structural redundancy grows with the mirror count while distinct
+content stays fixed) — then writes the record to
+``benchmarks/results/BENCH_index_codec.json``.
+
+Three honesty rules shape the record:
+
+* Correctness is asserted unconditionally: every query must answer
+  node-for-node, score-for-score identically from the lazily loaded
+  binary index and the in-memory index it was written from.
+* The compression claim is asserted only where the workload warrants
+  it (mirrors at scale >= 4 must reach the 3x the DAG is sold on);
+  the single-document ``dblp`` corpus has little verbatim subtree
+  sharing and its ~1x ratio is recorded, not hidden.
+* Cold-open latency counts the *first query* separately: the lazy
+  loader defers posting inflation, so open-time alone would overstate
+  the win.  Both numbers land in the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.query import Query
+from repro.core.search import search
+from repro.datasets.registry import load_dataset
+from repro.index.builder import IndexBuilder
+from repro.index.codec import write_binary_index
+from repro.index.storage import load_index, save_index
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_index_codec.json"
+
+MIRROR_SCALES = (2, 4, 8)
+COLD_OPEN_SCALE = 8
+COLD_OPEN_ROUNDS = 5
+QUERIES = [("databases compression", 1), ("rivera indexing", 1),
+           ("storage streams retrieval", 2)]
+
+
+def _signature(response):
+    return [(node.dewey, node.score) for node in response.nodes]
+
+
+def _build(name: str, scale: int):
+    builder = IndexBuilder()
+    builder.add_repository(load_dataset(name, scale=scale))
+    return builder.build()
+
+
+def _persist_all(index, stem: Path) -> dict[str, Path]:
+    """Write the same index under every representation we compare."""
+    paths = {
+        "raw": stem.with_suffix(".raw.gks"),
+        "varint-dag": stem.with_suffix(".dag.gksindex"),
+        "varint-nodag": stem.with_suffix(".nodag.gksindex"),
+    }
+    save_index(index, paths["raw"], codec="raw")
+    save_index(index, paths["varint-dag"], codec="varint-dag")
+    # the DAG ablation: same varint/delta posting blocks, subtree
+    # sharing disabled — isolates how much of the win is structural
+    write_binary_index(index, paths["varint-nodag"], use_dag=False)
+    return paths
+
+
+def _assert_equivalent(index, binary_path: Path, where: str) -> None:
+    loaded = load_index(binary_path)
+    for text, s in QUERIES:
+        query = Query.parse(text, s=s)
+        expected = _signature(search(index, query))
+        actual = _signature(search(loaded, query))
+        assert actual == expected, (
+            f"binary index diverged from in-memory at {where}: {text!r}")
+
+
+def _size_table() -> dict[str, dict]:
+    table: dict[str, dict] = {}
+    for scale in MIRROR_SCALES:
+        index = _build("mirrors", scale)
+        paths = _persist_all(index, _WORKDIR / f"mirrors{scale}")
+        sizes = {name: path.stat().st_size
+                 for name, path in paths.items()}
+        _assert_equivalent(index, paths["varint-dag"],
+                           f"mirrors scale={scale}")
+        table[str(scale)] = {
+            "bytes": sizes,
+            "ratio_dag": sizes["raw"] / max(sizes["varint-dag"], 1),
+            "ratio_nodag": sizes["raw"] / max(sizes["varint-nodag"], 1),
+        }
+    return table
+
+
+def _dblp_record() -> dict:
+    """The honest counter-case: one document, little verbatim reuse."""
+    index = _build("dblp", 4)
+    paths = _persist_all(index, _WORKDIR / "dblp4")
+    sizes = {name: path.stat().st_size for name, path in paths.items()}
+    return {"bytes": sizes,
+            "ratio_dag": sizes["raw"] / max(sizes["varint-dag"], 1)}
+
+
+def _cold_open(raw_path: Path, dag_path: Path) -> dict:
+    query = Query.parse(QUERIES[0][0], s=QUERIES[0][1])
+
+    def rounds(path: Path) -> tuple[float, float]:
+        opens, firsts = [], []
+        for _ in range(COLD_OPEN_ROUNDS):
+            started = time.perf_counter()
+            index = load_index(path)
+            opened = time.perf_counter()
+            search(index, query)
+            done = time.perf_counter()
+            opens.append((opened - started) * 1000.0)
+            firsts.append((done - opened) * 1000.0)
+        return statistics.median(opens), statistics.median(firsts)
+
+    raw_open, raw_first = rounds(raw_path)
+    dag_open, dag_first = rounds(dag_path)
+    return {
+        "raw_open_ms": raw_open,
+        "raw_first_query_ms": raw_first,
+        "dag_open_ms": dag_open,
+        "dag_first_query_ms": dag_first,
+        "open_speedup": raw_open / max(dag_open, 1e-9),
+        "open_plus_query_speedup": (raw_open + raw_first)
+        / max(dag_open + dag_first, 1e-9),
+    }
+
+
+def test_codec_benchmark_report(tmp_path):
+    global _WORKDIR
+    _WORKDIR = tmp_path
+    sizes = _size_table()
+    top = sizes[str(COLD_OPEN_SCALE)]
+    cold = _cold_open(
+        tmp_path / f"mirrors{COLD_OPEN_SCALE}.raw.gks",
+        tmp_path / f"mirrors{COLD_OPEN_SCALE}.dag.gksindex")
+    record = {
+        "corpus": "mirrors (syndicated record pool)",
+        "queries": [text for text, _ in QUERIES],
+        "mirrors_by_scale": sizes,
+        "dblp_scale4": _dblp_record(),
+        "cold_open": cold,
+        "cold_open_scale": COLD_OPEN_SCALE,
+        "cold_open_rounds": COLD_OPEN_ROUNDS,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print()
+    print(f"codec bench -> {RESULTS_PATH}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    # the claims the README repeats, enforced where they are made:
+    # >= 3x on the redundancy-heavy corpus at scale >= 4, and a
+    # clearly faster cold open from the lazy binary loader
+    assert sizes["4"]["ratio_dag"] >= 3.0, sizes["4"]
+    assert top["ratio_dag"] >= 3.0, top
+    assert top["ratio_dag"] > top["ratio_nodag"], (
+        "DAG sharing should beat the posting-codec-only ablation")
+    assert cold["open_speedup"] > 2.0, cold

@@ -10,12 +10,17 @@ Quickstart::
 
     from repro import GKSEngine
 
-    engine = GKSEngine.from_texts([xml_text])
+    engine = GKSEngine.open([xml_text])
     response = engine.search("karen mike data mining", s=2)
     for node in response.top(5):
         print(engine.describe(node))
     for insight in engine.insights(response):
         print(insight.render())
+
+:mod:`repro.api` is the stable import surface (engine, configs,
+response types, errors, codecs); the legacy ``GKSEngine.from_texts`` /
+``from_paths`` shims are deprecated in favour of ``GKSEngine.open``
+(lint rule ``D001``).
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -26,8 +31,9 @@ from repro.baselines import (elca, naive_gks, slca_indexed_lookup_eager,
                              slca_scan)
 from repro.core import (DegradationReport, EngineConfig, GKSEngine,
                         GKSResponse, Insight, InsightReport, Paths, Query,
-                        RankedNode, Refinement, SearchBudget, Texts, search,
-                        search_top_k, sharded_search, sharded_top_k)
+                        RankedNode, Refinement, SearchBudget,
+                        SearchOptions, Texts, search, search_top_k,
+                        sharded_search, sharded_top_k)
 from repro.datasets import load_dataset
 from repro.errors import (ConfigError, GKSError, Overloaded, SearchTimeout,
                           StorageError)
@@ -52,7 +58,7 @@ __all__ = [
     "Insight", "InsightReport", "NodeCategory", "ParallelIndexBuilder",
     "Overloaded", "Paths", "Query", "RankedNode",
     "RecoveryPolicy", "Refinement", "Repository", "SearchBudget",
-    "SearchTimeout", "ServeConfig", "ServerCore",
+    "SearchOptions", "SearchTimeout", "ServeConfig", "ServerCore",
     "ShardedIndex", "StorageError", "Texts",
     "XMLDocument", "XMLNode", "aggregate",
     "append_document", "build_index", "build_schema_index",

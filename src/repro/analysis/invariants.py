@@ -33,14 +33,23 @@ equivalence and ranking potential-flow sound:
     shard owns.
 ``manifest-crc``
     Each manifest entry's stored CRC32 matches its shard payload.
+``codec-block-crc`` / ``codec-block-metadata`` / ``codec-dag-suffix``
+    Binary (v4) indexes only: every posting block's stored bytes match
+    their CRC32, decoded block content agrees with the directory
+    metadata (counts, first keys, frame bounds), and the DAG
+    shared-subtree tables are present, sorted and consistent with
+    their occurrence prefixes.
 
 :func:`verify_index` audits an in-memory index (monolithic or sharded);
 :func:`verify_store` audits a saved file through the **raw** envelope
 (:func:`repro.index.storage.read_envelope`), catching on-disk rot that
 ``load_index`` would silently repair (its ``from_mapping`` re-sorts
-posting lists).  Both return violation lists; empty means sound.
-``gks check-index --deep`` exits 2 when this audit fails — distinct
-from exit 1 for structural/CRC failures.
+posting lists).  Binary v4 files are fully expanded block by block via
+:func:`repro.index.codec.decode_file`, which surfaces the codec-layer
+invariants above on top of the same generic content audit.  Both
+return violation lists; empty means sound.  ``gks check-index --deep``
+exits 2 when this audit fails — distinct from exit 1 for
+structural/CRC failures.
 """
 
 from __future__ import annotations
@@ -270,7 +279,17 @@ def verify_store(path: str | Path) -> list[InvariantViolation]:
     ``load_index`` would — callers distinguish *broken file* (exit 1)
     from *consistent-but-wrong file* (exit 2, the violations returned
     here).
+
+    Binary (v4) files take the codec path: the whole file is expanded
+    block by block, collecting ``codec-block-crc`` /
+    ``codec-block-metadata`` / ``codec-dag-suffix`` violations, then
+    the expanded postings and hash tables get the same content audit
+    as an envelope payload.
     """
+    from repro.index.codec import is_binary_index
+
+    if is_binary_index(path):
+        return _verify_binary_store(path)
     envelope = read_envelope(path)
     report = _Report()
     version = envelope.get("version")
@@ -316,6 +335,16 @@ def _audit_store_payload(payload: dict, documents: int,
               for text, count in payload.get("entity_hash", {}).items()}
     element = {parse_dewey(text): count
                for text, count in payload.get("element_hash", {}).items()}
+    _audit_tables_and_stats(entity, element, payload.get("stats", {}),
+                            len(payload.get("document_names", ())),
+                            documents, owned, report, where)
+
+
+def _audit_tables_and_stats(entity: dict, element: dict, stats: dict,
+                            local_documents: int, documents: int,
+                            owned: set[int] | None, report: _Report,
+                            where: str) -> None:
+    """Hash-table and stats audit shared by the envelope and codec paths."""
     for table_name, table in (("entityHash", entity),
                               ("elementHash", element)):
         for dewey, child_count in table.items():
@@ -337,8 +366,6 @@ def _audit_store_payload(payload: dict, documents: int,
             report.add("hash-cross-consistency",
                        f"dual-role node {format_dewey(dewey)}{where} "
                        f"disagrees on child count between the tables")
-    stats = payload.get("stats", {})
-    local_documents = len(payload.get("document_names", ()))
     if stats.get("documents", local_documents) != local_documents:
         report.add("stats-agreement",
                    f"stats.documents={stats.get('documents')}{where} "
@@ -347,6 +374,46 @@ def _audit_store_payload(payload: dict, documents: int,
         report.add("stats-agreement",
                    f"stats.entity_nodes={stats['entity_nodes']}{where} "
                    f"but entityHash holds {len(entity)} node(s)")
+
+
+# ----------------------------------------------------------------------
+# Binary (v4) on-disk audits
+# ----------------------------------------------------------------------
+
+def _verify_binary_store(path: str | Path) -> list[InvariantViolation]:
+    """Audit a v4 binary file: codec invariants plus the content audit.
+
+    :func:`repro.index.codec.decode_file` expands every posting block
+    and DAG table, reporting ``codec-block-crc`` /
+    ``codec-block-metadata`` / ``codec-dag-suffix`` through the
+    collector instead of raising; the expanded shards then get the same
+    generic audit as an envelope payload.  Header-level failures (bad
+    magic, truncated header, header CRC) still raise ``StorageError``.
+    """
+    from repro.index.codec import decode_file
+
+    report = _Report()
+    decoded = decode_file(path, on_violation=report.add)
+    documents = len(decoded.document_names)
+    sharded = decoded.layout == "sharded"
+    if sharded:
+        _audit_partition(
+            [(shard.shard_id, tuple(shard.doc_ids or ()))
+             for shard in decoded.shards],
+            list(decoded.document_names),
+            decoded.strategy or "round_robin", report)
+    for shard in decoded.shards:
+        owned = (set(shard.doc_ids)
+                 if sharded and shard.doc_ids is not None else None)
+        where = f" [shard {shard.shard_id}]" if sharded else ""
+        for keyword, postings in shard.postings.items():
+            _audit_posting_list(keyword, postings, documents, owned,
+                                report, where)
+        _audit_tables_and_stats(shard.entity, shard.element,
+                                dict(shard.stats),
+                                len(shard.document_names), documents,
+                                owned, report, where)
+    return report.violations
 
 
 # ----------------------------------------------------------------------
@@ -521,4 +588,5 @@ INVARIANT_NAMES = (
     "shard-ownership", "manifest-crc", "manifest-generation",
     "segment-orphan", "segment-missing", "segment-crc",
     "segment-partition", "segment-routing", "wal-consistency",
+    "codec-block-crc", "codec-block-metadata", "codec-dag-suffix",
 )

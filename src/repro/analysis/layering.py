@@ -46,7 +46,8 @@ LAYER_OF = {
     "core": 3, "obs": 3,
     "baselines": 4, "eval": 4, "analytics": 4, "analysis": 4,
     "serve": 4,
-    "cli": 5, "shell": 5, "exp": 5, "__init__": 5, "__main__": 5,
+    "cli": 5, "shell": 5, "exp": 5, "api": 5, "__init__": 5,
+    "__main__": 5,
 }
 
 #: Packages importable from any layer (no repro dependencies above

@@ -56,7 +56,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     index_cmd = commands.add_parser("index", help="build a persistent index")
     index_cmd.add_argument("files", nargs="+", help="XML files to index")
     index_cmd.add_argument("-o", "--output", required=True,
-                           help="index output path (gzip JSON)")
+                           help="index output path")
+    index_cmd.add_argument("--codec", default="raw",
+                           choices=["raw", "varint-dag"],
+                           help="on-disk representation: raw (gzip "
+                                "JSON envelope, default) or varint-dag "
+                                "(v4 binary codec: delta+varint "
+                                "blocks, DAG-shared subtrees, lazy "
+                                "loading)")
     index_cmd.add_argument(
         "--recover", default="strict",
         choices=[policy.value for policy in RecoveryPolicy],
@@ -189,6 +196,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                 "invariants on the raw stored form; a "
                                 "violated invariant exits 2 (structural "
                                 "or checksum failures still exit 1)")
+    check_cmd.add_argument("--json", action="store_true",
+                           help="emit the health summary as one stable "
+                                "machine-readable JSON object instead "
+                                "of text (same exit codes)")
 
     lint_cmd = commands.add_parser(
         "lint", help="run the static-analysis rules over source trees")
@@ -337,71 +348,139 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
       deep data-level invariant is violated (consistent-but-wrong); the
       violated invariant is printed by name.
     """
+    import json as json_module
+
     from repro.index.storage import check_index, load_index
     from repro.index.validate import validate_index
+
+    as_json = getattr(args, "json", False)
+    deep = getattr(args, "deep", False)
+
+    def emit(report: dict) -> int:
+        if as_json:
+            print(json_module.dumps(report, sort_keys=True))
+        return report["exit"]
 
     target = Path(args.index)
     if target.is_dir() or target.name == "MANIFEST":
         directory = target if target.is_dir() else target.parent
-        return _check_segmented_store(directory,
-                                      deep=getattr(args, "deep", False))
+        return _check_segmented_store(directory, deep=deep,
+                                      emit=emit if as_json else None)
     summary = check_index(args.index)
+    report: dict = {"path": summary["path"], "ok": False, "exit": 1,
+                    "format": {key: summary[key]
+                               for key in ("version", "codec", "layout",
+                                           "shards")
+                               if key in summary}}
+    fmt = report["format"]
+    format_line = (f"v{fmt.get('version', '?')} "
+                   f"{fmt.get('codec', '?')} "
+                   f"{fmt.get('layout', '?')}({fmt.get('shards', '?')})"
+                   if fmt else "unknown")
     if not summary["ok"]:
-        print(f"index BAD: {summary['path']}")
-        print(f"  diagnosis: {summary['diagnosis']}")
-        print(f"  error: {summary['error']}")
-        return 1
+        report.update(diagnosis=summary["diagnosis"],
+                      error=summary["error"])
+        if not as_json:
+            print(f"index BAD: {summary['path']}")
+            if fmt:
+                print(f"  format: {format_line}")
+            print(f"  diagnosis: {summary['diagnosis']}")
+            print(f"  error: {summary['error']}")
+        return emit(report)
     # the file loads cleanly; still run the structural self-checks a
     # checksum can't see (a stale checksum over consistent-but-wrong
-    # data, v1 files with no checksum at all)
-    problems = validate_index(load_index(args.index))
+    # data, v1 files with no checksum at all).  Binary (v4) files are
+    # checked bytes-level instead — every region against its CRC —
+    # because materializing the lazy index here would defeat the
+    # format's cold-open story; semantic content checks are --deep.
+    from repro.errors import StorageError
+    from repro.index.codec import is_binary_index, verify_frames
+
+    if is_binary_index(args.index):
+        try:
+            verify_frames(args.index)
+            problems = []
+        except StorageError as exc:
+            problems = [str(exc)]
+    else:
+        problems = validate_index(load_index(args.index))
     if problems:
-        print(f"index BAD: {summary['path']}")
-        print("  diagnosis: invalid")
-        for problem in problems:
-            print(f"  problem: {problem}")
-        return 1
-    if getattr(args, "deep", False):
+        report.update(diagnosis="invalid",
+                      problems=[str(problem) for problem in problems])
+        if not as_json:
+            print(f"index BAD: {summary['path']}")
+            print(f"  format: {format_line}")
+            print("  diagnosis: invalid")
+            for problem in problems:
+                print(f"  problem: {problem}")
+        return emit(report)
+    if deep:
         from repro.analysis import verify_store
 
         violations = verify_store(args.index)
         if violations:
-            print(f"index BAD: {summary['path']}")
-            print("  diagnosis: invariant-violation")
-            for violation in violations:
-                print(f"  invariant violated: {violation.render()}")
-            return 2
-    print(f"index OK: {summary['path']}")
-    for key in ("size_bytes", "documents", "total_nodes",
-                "entity_nodes", "element_nodes", "keywords",
-                "postings"):
-        print(f"  {key:>14}: {summary[key]}")
-    if "shards" in summary:
-        print(f"  {'shards':>14}: {summary['shards']} "
-              f"[{summary['strategy']}]")
-    if getattr(args, "deep", False):
+            report.update(exit=2, diagnosis="invariant-violation",
+                          violations=[violation.render()
+                                      for violation in violations])
+            if not as_json:
+                print(f"index BAD: {summary['path']}")
+                print(f"  format: {format_line}")
+                print("  diagnosis: invariant-violation")
+                for violation in violations:
+                    print(f"  invariant violated: {violation.render()}")
+            return emit(report)
+    counter_keys = ("size_bytes", "documents", "total_nodes",
+                    "entity_nodes", "element_nodes", "keywords",
+                    "postings")
+    report.update(ok=True, exit=0,
+                  summary={key: summary[key] for key in counter_keys})
+    if "strategy" in summary:
+        report["summary"]["strategy"] = summary["strategy"]
+    if deep:
         from repro.analysis import INVARIANT_NAMES
 
-        print(f"  {'deep audit':>14}: {len(INVARIANT_NAMES)} "
-              f"invariants OK")
-    return 0
+        report["deep_invariants"] = len(INVARIANT_NAMES)
+    if not as_json:
+        print(f"index OK: {summary['path']}")
+        print(f"  {'format':>14}: {format_line}")
+        for key in counter_keys:
+            print(f"  {key:>14}: {summary[key]}")
+        if "strategy" in summary:
+            print(f"  {'shards':>14}: {summary['shards']} "
+                  f"[{summary['strategy']}]")
+        if deep:
+            print(f"  {'deep audit':>14}: {len(INVARIANT_NAMES)} "
+                  f"invariants OK")
+    return emit(report)
 
 
-def _check_segmented_store(directory: Path, deep: bool) -> int:
+def _check_segmented_store(directory: Path, deep: bool,
+                           emit=None) -> int:
     """check-index for a segmented store directory (same exit contract).
 
     Structural pass (exit 1 on failure): the manifest reads and
     checksums, every referenced segment/texts file exists with its
     recorded CRC32 and loads, and the WAL replays (a torn tail is legal
     crash residue and is reported, not failed).  ``--deep`` (exit 2)
-    then runs :func:`repro.analysis.verify_segmented_store`.
+    then runs :func:`repro.analysis.verify_segmented_store`.  With
+    *emit* set (``--json``), the report goes through it as one stable
+    JSON object instead of text.
     """
     from repro.errors import StorageError
     from repro.index.segments import file_crc32, read_manifest
-    from repro.index.storage import load_index
+    from repro.index.storage import describe_layout, load_index
     from repro.index.wal import replay_wal
 
+    try:
+        layout = describe_layout(directory)
+    except StorageError:
+        layout = {}
+
     def bad(diagnosis: str, error: str) -> int:
+        if emit is not None:
+            return emit({"path": str(directory), "ok": False, "exit": 1,
+                         "format": layout, "diagnosis": diagnosis,
+                         "error": error})
         print(f"store BAD: {directory}")
         print(f"  diagnosis: {diagnosis}")
         print(f"  error: {error}")
@@ -436,6 +515,12 @@ def _check_segmented_store(directory: Path, deep: bool) -> int:
 
         violations = verify_segmented_store(directory)
         if violations:
+            if emit is not None:
+                return emit({"path": str(directory), "ok": False,
+                             "exit": 2, "format": layout,
+                             "diagnosis": "invariant-violation",
+                             "violations": [violation.render()
+                                            for violation in violations]})
             print(f"store BAD: {directory}")
             print("  diagnosis: invariant-violation")
             for violation in violations:
@@ -443,7 +528,25 @@ def _check_segmented_store(directory: Path, deep: bool) -> int:
             return 2
     tail = [frame for frame in replay.frames
             if frame.lsn > manifest.wal_lsn]
+    if emit is not None:
+        report = {"path": str(directory), "ok": True, "exit": 0,
+                  "format": layout,
+                  "summary": {"generation": manifest.generation,
+                              "documents": len(manifest.document_names),
+                              "wal_tail": len(tail),
+                              "segments": len(manifest.segments),
+                              "shards": manifest.shards,
+                              "strategy": manifest.strategy,
+                              "wal_frames": len(replay.frames),
+                              "wal_torn_bytes": replay.torn_bytes}}
+        if deep:
+            from repro.analysis import INVARIANT_NAMES
+
+            report["deep_invariants"] = len(INVARIANT_NAMES)
+        return emit(report)
     print(f"store OK: {directory}")
+    print(f"  {'format':>14}: v{layout.get('version', '?')} "
+          f"{layout.get('codec', '?')} store({manifest.shards})")
     print(f"  {'generation':>14}: {manifest.generation}")
     print(f"  {'documents':>14}: {len(manifest.document_names)} "
           f"(+{len(tail)} in WAL tail)")
@@ -523,7 +626,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
         builder = IndexBuilder()
         builder.add_repository(repository)
         index = builder.build()
-    path = save_index(index, args.output)
+    path = save_index(index, args.output,
+                      codec=getattr(args, "codec", "raw"))
     stats = index.stats
     layout = (f" across {args.shards} shard(s) [{args.strategy}, "
               f"{args.workers} worker(s)]" if args.shards > 1 else "")

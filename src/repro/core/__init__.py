@@ -2,7 +2,7 @@
 
 from repro.core.budget import DegradationReport, SearchBudget
 from repro.core.chunks import chunk_keep_set, response_chunk
-from repro.core.config import EngineConfig, Paths, Texts
+from repro.core.config import EngineConfig, Paths, SearchOptions, Texts
 from repro.core.engine import GKSEngine
 from repro.core.scatter import sharded_search, sharded_top_k
 from repro.core.explain import RankExplanation, explain_rank
@@ -28,7 +28,8 @@ from repro.core.search import search
 from repro.core.topk import distinct_keyword_count, search_top_k
 
 __all__ = [
-    "DegradationReport", "EngineConfig", "Paths", "SearchBudget", "Texts",
+    "DegradationReport", "EngineConfig", "Paths", "SearchBudget",
+    "SearchOptions", "Texts",
     "sharded_search", "sharded_top_k",
     "ExplorationSession", "GKSEngine", "GKSResponse", "Insight",
     "InsightReport", "LCEInfo", "RankExplanation", "ResultGroup",

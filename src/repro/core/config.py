@@ -55,6 +55,96 @@ def _default_ranker() -> Callable:
 
 
 @dataclass(frozen=True)
+class SearchOptions:
+    """Per-request tuning knobs, one frozen record for every surface.
+
+    ``GKSEngine.search`` / ``search_top_k``, ``ServerCore.submit`` and
+    the HTTP envelope all accept the same record, so a request's tuning
+    travels unchanged from the wire to the engine.  Every field is
+    optional; ``None`` means "use the caller's default" (an explicit
+    keyword argument beats the option, the option beats the engine /
+    broker configuration).
+
+    Attributes
+    ----------
+    s:
+        Search threshold (``RQ(s)``).
+    k:
+        Top-k truncation; ``None`` returns the full result.
+    use_cache:
+        Whether the engine response cache may serve / store this query.
+    strict_deadline:
+        Raise :class:`~repro.errors.SearchTimeout` on a deadline trip
+        instead of returning a degraded partial response.
+    deadline_s:
+        Wall-clock allowance for the request, in seconds.
+    """
+
+    s: int | None = None
+    k: int | None = None
+    use_cache: bool | None = None
+    strict_deadline: bool | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.s is not None and self.s < 1:
+            raise ConfigError(f"s must be >= 1: {self.s}")
+        if self.k is not None and self.k < 1:
+            raise ConfigError(f"k must be >= 1: {self.k}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ConfigError(
+                f"deadline_s must be >= 0: {self.deadline_s}")
+
+    @classmethod
+    def from_mapping(cls, raw: dict) -> "SearchOptions":
+        """Build options from a wire mapping (the HTTP ``options`` object).
+
+        Accepts the dataclass field names plus ``deadline_ms`` (the wire
+        spelling); unknown keys and untyped values raise
+        :class:`~repro.errors.ValidationError` so a typo'd option is a
+        client error, not a silently ignored one.
+        """
+        from repro.errors import ValidationError
+
+        if not isinstance(raw, dict):
+            raise ValidationError("options must be a JSON object")
+        known = {"s", "k", "use_cache", "strict_deadline", "deadline_s",
+                 "deadline_ms"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown search option(s): {sorted(unknown)}")
+        values: dict = {}
+        try:
+            if raw.get("s") is not None:
+                values["s"] = int(raw["s"])
+            if raw.get("k") is not None:
+                values["k"] = int(raw["k"])
+            if raw.get("use_cache") is not None:
+                values["use_cache"] = bool(raw["use_cache"])
+            if raw.get("strict_deadline") is not None:
+                values["strict_deadline"] = bool(raw["strict_deadline"])
+            if raw.get("deadline_ms") is not None:
+                values["deadline_s"] = float(raw["deadline_ms"]) / 1000.0
+            elif raw.get("deadline_s") is not None:
+                values["deadline_s"] = float(raw["deadline_s"])
+            return cls(**values)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"invalid search option: {exc}") from exc
+        except ConfigError as exc:
+            raise ValidationError(str(exc)) from exc
+
+    def replace(self, **overrides) -> "SearchOptions":
+        """A copy with *overrides* applied (re-validated)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown SearchOptions field(s): {sorted(unknown)}")
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Every engine tuning knob in one frozen, validated record.
 
@@ -102,6 +192,13 @@ class EngineConfig:
     compact_segments:
         Auto-compaction threshold — after a flush, any shard whose
         segment chain reaches this length is compacted down to one run.
+    codec:
+        On-disk representation used when persisting through
+        ``index_path``: ``"raw"`` (the JSON envelope formats, eager
+        loading) or ``"varint-dag"`` (the v4 binary codec —
+        delta+varint posting blocks, DAG-shared subtrees, lazy
+        mmap-backed loading).  Either codec opens files written by the
+        other; the codec only selects what *new* saves write.
     """
 
     analyzer: Analyzer = DEFAULT_ANALYZER
@@ -118,6 +215,7 @@ class EngineConfig:
     store_path: str | Path | None = None
     memtable_docs: int = 64
     compact_segments: int = 4
+    codec: str = "raw"
 
     def __post_init__(self) -> None:
         from repro.index.sharding import PARTITION_STRATEGIES
@@ -143,6 +241,12 @@ class EngineConfig:
         if self.compact_segments < 2:
             raise ConfigError(
                 f"compact_segments must be >= 2: {self.compact_segments}")
+        from repro.index.codec import CODEC_NAMES
+
+        if self.codec not in CODEC_NAMES:
+            raise ConfigError(
+                f"unknown codec {self.codec!r}; "
+                f"expected one of {CODEC_NAMES}")
         if self.store_path is not None and self.index_path is not None:
             raise ConfigError(
                 "store_path and index_path are mutually exclusive: the "

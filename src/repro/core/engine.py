@@ -4,7 +4,7 @@ One :class:`GKSEngine` owns the three modules of the architecture diagram —
 Indexing Engine, Search Engine, Search Analysis Engine — behind a small
 API::
 
-    engine = GKSEngine.from_texts([xml_text])
+    engine = GKSEngine.open([xml_text])
     response = engine.search('"Peter Buneman" "Wenfei Fan"', s=1)
     for node in response.top(5):
         print(node.score, engine.snippet(node.dewey))
@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.budget import SearchBudget
-from repro.core.config import EngineConfig, Paths, Texts
+from repro.core.config import EngineConfig, Paths, SearchOptions, Texts
 from repro.core.insights import (InsightReport, discover_insights,
                                  discover_recursive)
 from repro.core.query import Query
@@ -32,7 +32,8 @@ from repro.core.ranking import rank_node
 from repro.core.results import GKSResponse, RankedNode
 from repro.core.search import Ranker, search
 from repro.core.durable import build_unit, compose_serving, open_durable
-from repro.errors import ConfigError, SearchTimeout, StorageError
+from repro.errors import (ConfigError, SearchTimeout, StorageError,
+                          ValidationError)
 from repro.index.builder import GKSIndex, IndexBuilder
 from repro.index.segments import PendingDocument, SegmentStore
 from repro.index.sharding import ParallelIndexBuilder, ShardedIndex, shard_of
@@ -171,18 +172,22 @@ class GKSEngine:
 
         index: GKSIndex | ShardedIndex | None = None
         if config.index_path is not None:
-            from repro.index.storage import load_index, save_index
+            from repro.index.storage import (describe_layout, load_index,
+                                             save_index)
 
             try:
                 loaded = load_index(config.index_path)
+                on_disk_codec = describe_layout(config.index_path)["codec"]
             except StorageError:
                 loaded = None  # unreadable cache: rebuild and rewrite
-            if loaded is not None and _index_compatible(loaded, repository,
-                                                        config):
+            if (loaded is not None
+                    and on_disk_codec == config.codec
+                    and _index_compatible(loaded, repository, config)):
                 index = loaded
         engine = cls(repository, index=index, config=config)
         if config.index_path is not None and index is None:
-            save_index(engine.index, config.index_path)
+            save_index(engine.index, config.index_path,
+                       codec=config.codec)
         return engine
 
     @classmethod
@@ -216,20 +221,51 @@ class GKSEngine:
     def parse_query(self, raw: str, s: int = 1) -> Query:
         return Query.parse(raw, s=s, analyzer=self.analyzer)
 
+    def _resolve_options(self, options: SearchOptions | None, *,
+                         s: int | None, use_cache: bool | None,
+                         strict_deadline: bool | None,
+                         budget: SearchBudget | None):
+        """Fold a :class:`SearchOptions` into explicit keyword args.
+
+        Precedence: explicit keyword argument > ``options`` field >
+        engine config / built-in default.  ``options.deadline_s``
+        becomes a :class:`SearchBudget` only when the caller brought no
+        budget of their own.
+        """
+        if options is not None:
+            if s is None:
+                s = options.s
+            if use_cache is None:
+                use_cache = options.use_cache
+            if strict_deadline is None:
+                strict_deadline = options.strict_deadline
+            if budget is None and options.deadline_s is not None:
+                budget = SearchBudget(deadline_s=options.deadline_s)
+        if use_cache is None:
+            use_cache = True
+        if strict_deadline is None:
+            strict_deadline = False
+        if budget is None:
+            budget = self.config.budget
+        return s, use_cache, strict_deadline, budget
+
     def search(self, query: str | Query, s: int | None = None, *,
                ranker: Ranker | None = None,
-               use_cache: bool = True,
+               use_cache: bool | None = None,
                budget: SearchBudget | None = None,
-               strict_deadline: bool = False,
+               strict_deadline: bool | None = None,
+               options: SearchOptions | None = None,
                tracer: Tracer | NullTracer | None = None,
                request_id: str | None = None) -> GKSResponse:
         """Run a keyword query; ``s`` defaults to ``config.s``.
 
         Tuning parameters beyond ``s`` are keyword-only; unset ones fall
-        back to the engine's :class:`EngineConfig` (``ranker``,
-        ``budget``).  Responses are LRU-cached per (keywords, s,
-        ranker); pass ``use_cache=False`` to force a fresh run (timing
-        harnesses do).
+        back first to *options* (a frozen
+        :class:`~repro.core.config.SearchOptions` — the same record the
+        broker and HTTP surface accept), then to the engine's
+        :class:`EngineConfig` (``ranker``, ``budget``).  Responses are
+        LRU-cached per (keywords, s, ranker); pass ``use_cache=False``
+        to force a fresh run (timing harnesses do).
 
         A :class:`SearchBudget` bounds the query's cost; an exhausted
         budget yields a partial response flagged ``degraded=True``.  With
@@ -251,10 +287,11 @@ class GKSEngine:
         log entry and the root span, so one id joins the HTTP envelope,
         the span tree and the diagnostics for the same query.
         """
+        s, use_cache, strict_deadline, budget = self._resolve_options(
+            options, s=s, use_cache=use_cache,
+            strict_deadline=strict_deadline, budget=budget)
         if ranker is None:
             ranker = self.config.ranker
-        if budget is None:
-            budget = self.config.budget
         if isinstance(query, str):
             query = self.parse_query(query,
                                      s=s if s is not None else self.config.s)
@@ -317,24 +354,35 @@ class GKSEngine:
                 self._response_cache[cache_key] = response
         return response
 
-    def search_top_k(self, query: str | Query, k: int,
+    def search_top_k(self, query: str | Query, k: int | None = None,
                      s: int | None = None, *,
                      ranker: Ranker | None = None,
                      budget: SearchBudget | None = None,
+                     options: SearchOptions | None = None,
                      tracer: Tracer | NullTracer | None = None,
                      request_id: str | None = None
                      ) -> GKSResponse:
         """The ``k`` best nodes only, with early-terminated ranking.
 
         Tuning parameters beyond ``s`` are keyword-only; unset ones fall
-        back to the engine's :class:`EngineConfig`.
+        back first to *options*, then to the engine's
+        :class:`EngineConfig`.  ``k`` may come positionally or from
+        ``options.k``; omitting both is a
+        :class:`~repro.errors.ValidationError`.
         """
         from repro.core.topk import search_top_k
 
+        s, _use_cache, _strict, budget = self._resolve_options(
+            options, s=s, use_cache=None, strict_deadline=None,
+            budget=budget)
+        if k is None and options is not None:
+            k = options.k
+        if k is None:
+            raise ValidationError(
+                "search_top_k needs k — positionally or via "
+                "SearchOptions(k=...)")
         if ranker is None:
             ranker = self.config.ranker
-        if budget is None:
-            budget = self.config.budget
         if isinstance(query, str):
             query = self.parse_query(query,
                                      s=s if s is not None else self.config.s)

@@ -1,0 +1,83 @@
+"""Syndicated-mirror corpus: many sites republishing a shared pool.
+
+The workload the DAG codec is built for (PAPERS.md: Böttcher et al.,
+*Efficient XML Keyword Search based on DAG-Compression*): a federation
+of mirror sites each republishes records drawn from one shared pool —
+think RSS aggregators, package-index mirrors or OAI-PMH harvesters.
+Every occurrence of a record is the *same subtree verbatim* (that is
+what syndication means), so the corpus-level redundancy grows linearly
+with the number of mirrors while the distinct content stays fixed.
+
+Generic stream compressors cannot exploit this: occurrences of one
+record sit megabytes apart, far beyond a 32 KB deflate window.  The
+``varint-dag`` codec stores each distinct record subtree once and each
+occurrence as a single front-coded Dewey prefix, so its size tracks
+the *pool*, not the mirror count.
+
+``scale`` grows both the pool (``40·scale`` records) and the mirror
+count (``4 + 2·scale`` sites); each site syndicates a seeded sample of
+60–90 % of the pool plus a handful of site-local announcements so not
+everything is shared.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthesis import Synth
+from repro.xmltree.node import XMLNode
+from repro.xmltree.repository import Repository
+
+_TOPICS = ("databases", "compression", "retrieval", "networks",
+           "storage", "indexing", "streams", "graphs")
+_LICENSES = ("cc-by", "cc-by-sa", "mit", "public-domain")
+
+
+def _record_blueprint(synth: Synth, number: int) -> dict:
+    """One pool record; every mirror renders it identically."""
+    return {
+        "guid": f"rec-{number:05d}",
+        "title": synth.title(),
+        "summary": synth.sentence(synth.int_between(8, 16)),
+        "author": synth.pick(("rivera", "tanaka", "osei", "lindqvist",
+                              "moreau", "haddad", "novak", "okafor")),
+        "year": synth.year(1998, 2014),
+        "license": synth.pick(_LICENSES),
+        "topics": sorted(synth.sample(_TOPICS,
+                                      synth.int_between(2, 4))),
+    }
+
+
+def _render_record(channel: XMLNode, blueprint: dict) -> None:
+    record = channel.add_child("record")
+    record.add_child("guid", text=blueprint["guid"])
+    record.add_child("title", text=blueprint["title"])
+    record.add_child("summary", text=blueprint["summary"])
+    record.add_child("author", text=blueprint["author"])
+    record.add_child("year", text=blueprint["year"])
+    record.add_child("license", text=blueprint["license"])
+    for topic in blueprint["topics"]:
+        record.add_child("topic", text=topic)
+
+
+def generate_mirrors(scale: int = 1, seed: int = 0) -> Repository:
+    """Build the mirror federation: one document per site."""
+    synth = Synth(seed ^ 0x31AA05)
+    pool = [_record_blueprint(synth, number)
+            for number in range(40 * scale)]
+    repository = Repository()
+    for site in range(4 + 2 * scale):
+        root = XMLNode("site", (0,))
+        root.add_child("name", text=f"mirror-{site:03d}")
+        root.add_child("refreshed", text=synth.year(2010, 2014))
+        channel = root.add_child("channel")
+        keep = max(1, (len(pool) * synth.int_between(60, 90)) // 100)
+        chosen = sorted(synth.sample(range(len(pool)), keep))
+        for number in chosen:
+            _render_record(channel, pool[number])
+        local = root.add_child("local")
+        for _ in range(synth.int_between(2, 5)):
+            note = local.add_child("announcement")
+            note.add_child("title", text=synth.title())
+            note.add_child("body",
+                           text=synth.sentence(synth.int_between(6, 12)))
+        repository.add_root(root, name=f"mirror-{site:03d}")
+    return repository

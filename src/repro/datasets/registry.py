@@ -11,6 +11,7 @@ from typing import Callable
 
 from repro.datasets.dblp import generate_dblp
 from repro.datasets.interpro import generate_interpro
+from repro.datasets.mirrors import generate_mirrors
 from repro.datasets.mondial import generate_mondial
 from repro.datasets.nasa import generate_nasa
 from repro.datasets.plays import generate_plays
@@ -52,6 +53,7 @@ DATASETS: dict[str, Callable[..., Repository]] = {
     "figure2a": _toy(figure2a),
     "sigmod": _single(generate_sigmod),
     "dblp": _single(generate_dblp),
+    "mirrors": generate_mirrors,
     "mondial": _single(generate_mondial),
     "plays": _plays,
     "treebank": _single(generate_treebank),

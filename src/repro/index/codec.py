@@ -1,0 +1,1589 @@
+"""Bytes-level index codec: varint postings + DAG-subtree sharing (v4).
+
+The JSON envelope formats (storage v1-v3) pay twice for scale: dotted
+Dewey strings inflate the on-disk size linearly with repeated XML
+structure, and loading re-parses every posting before the first query
+can run.  This module is the binary alternative — storage format
+version 4, codec name ``varint-dag`` — behind the :class:`Codec`
+protocol that :func:`repro.index.storage.save_index` /
+:func:`~repro.index.storage.load_index` dispatch on.
+
+Three ideas, layered:
+
+* **Postings codec.**  Uncovered ("literal") posting runs are cut into
+  blocks of at most ``BLOCK_POSTINGS`` entries.  Inside a block, Dewey
+  ids are front-coded (shared-prefix length + suffix components, each
+  a varint); each block carries its own CRC32 plus skip metadata
+  (count + first Dewey) in the directory, so a binary search touches
+  O(log n) blocks and corruption is detected at first decode.
+* **DAG-subtree sharing.**  Repeated XML subtrees with identical
+  indexed content (same keywords at the same relative paths, same
+  entity/element hash rows — think syndicated records, mirrored
+  documents, boilerplate) are collapsed, after Böttcher et al.
+  (*Efficient XML Keyword Search based on DAG-Compression*): the
+  subtree's per-keyword suffix lists and hash rows are stored **once**
+  per distinct subtree, and every occurrence costs one front-coded
+  prefix in an occurrence table — *not* one reference per keyword.
+  Posting lists of covered keywords are never materialised on disk;
+  they are reconstructed at query time as an ordered sequence of
+  disjoint segments (literal blocks + occurrence × suffix-list
+  expansions), which is exactly "merge/lcp/lce on the compressed
+  representation": the expansion is lazy, per segment, and provably
+  node-for-node identical to the uncompressed engine.
+* **Frames + lazy loading.**  All chunks (blocks, suffix tables, hash
+  tables) are concatenated into ~64 KiB frames, each deflated as one
+  zlib stream — small chunks share compression context instead of
+  paying per-chunk headers.  :func:`load_binary_index` reads only the
+  gzip JSON header and the per-shard binary directory; frames inflate
+  on first touch (mmap-backed), so cold open never decodes a posting.
+
+File layout::
+
+    MAGIC(8) | header_len(uint32 BE) | gzip JSON header
+            | shard0 directory (zlib) | shard0 frames...
+            | shard1 directory (zlib) | shard1 frames... | ...
+
+    header = {"version": 4, "codec": "varint-dag", "crc32": crc(body),
+              "body": {layout, strategy?, analyzer, document_names,
+                       shards: [{shard_id, doc_ids?, document_names,
+                                 stats, directory: [comp, raw, crc32],
+                                 frames: [[comp, raw, crc32], ...]}]}}
+
+The directory is a front-coded binary table: per keyword its literal
+block metadata (frame/offset/length/count/CRC/first) and the ids of
+the DAG nodes whose subtrees contain it; per DAG node its occurrence
+prefixes and the locations of its suffix/hash tables.  Every region is
+CRC-checked: the header over its canonical body, the directory and
+each frame over their stored bytes, and each literal block over its
+raw payload.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import mmap
+import os
+import struct
+import zlib
+from bisect import bisect_left, bisect_right
+from pathlib import Path
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigError, StorageError
+from repro.index.builder import GKSIndex
+from repro.index.hashtables import NodeHashes
+from repro.index.inverted import InvertedIndex
+from repro.index.sharding import Shard, ShardedIndex
+from repro.index.statistics import IndexStats
+from repro.text.analyzer import Analyzer
+from repro.xmltree.dewey import Dewey, format_dewey, subtree_interval
+
+#: File magic of the binary (v4) index format.
+MAGIC = b"GKSIDX04"
+FORMAT_VERSION_BINARY = 4
+
+#: Literal postings per block — the skip + integrity granularity.
+BLOCK_POSTINGS = 128
+
+#: Uncompressed frame target — the lazy-decode granularity.
+FRAME_RAW_TARGET = 64 * 1024
+
+#: A subtree is DAG-shared once its content repeats this often and
+#: carries at least this many index entries (below that, the occurrence
+#: and table bookkeeping costs more than the literals it replaces).
+SHARED_MIN_OCCURRENCES = 2
+SHARED_MIN_ENTRIES = 4
+
+
+# ----------------------------------------------------------------------
+# Varint / front-coding primitives
+# ----------------------------------------------------------------------
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise StorageError(f"cannot varint-encode negative value {value}",
+                           diagnosis="corrupted")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise StorageError("truncated varint in codec data",
+                               diagnosis="truncated")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Zigzag-coded signed varint (child counts survive round trips)."""
+    write_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def read_svarint(data: bytes, pos: int) -> tuple[int, int]:
+    raw, pos = read_uvarint(data, pos)
+    return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
+
+
+def _write_dewey(out: bytearray, dewey: Dewey, previous: Dewey) -> None:
+    """Front-code *dewey* against the previously written id."""
+    lcp = 0
+    limit = min(len(dewey), len(previous))
+    while lcp < limit and dewey[lcp] == previous[lcp]:
+        lcp += 1
+    write_uvarint(out, lcp)
+    write_uvarint(out, len(dewey) - lcp)
+    for component in dewey[lcp:]:
+        write_uvarint(out, component)
+
+
+def _read_dewey(data: bytes, pos: int,
+                previous: Dewey) -> tuple[Dewey, int]:
+    lcp, pos = read_uvarint(data, pos)
+    suffix_len, pos = read_uvarint(data, pos)
+    if lcp > len(previous):
+        raise StorageError(
+            f"codec data front-codes against a {lcp}-component prefix "
+            f"but only {len(previous)} are available",
+            diagnosis="corrupted")
+    components = list(previous[:lcp])
+    for _ in range(suffix_len):
+        component, pos = read_uvarint(data, pos)
+        components.append(component)
+    return tuple(components), pos
+
+
+def _write_bytes_fc(out: bytearray, data: bytes, previous: bytes) -> None:
+    """Front-code a byte string (keyword) against the previous one."""
+    lcp = 0
+    limit = min(len(data), len(previous))
+    while lcp < limit and data[lcp] == previous[lcp]:
+        lcp += 1
+    write_uvarint(out, lcp)
+    write_uvarint(out, len(data) - lcp)
+    out.extend(data[lcp:])
+
+
+def _read_bytes_fc(data: bytes, pos: int,
+                   previous: bytes) -> tuple[bytes, int]:
+    lcp, pos = read_uvarint(data, pos)
+    suffix_len, pos = read_uvarint(data, pos)
+    if lcp > len(previous) or pos + suffix_len > len(data):
+        raise StorageError("corrupt front-coded string in directory",
+                           diagnosis="corrupted")
+    return previous[:lcp] + data[pos:pos + suffix_len], pos + suffix_len
+
+
+def _crc(stored: bytes) -> int:
+    return zlib.crc32(stored) & 0xFFFFFFFF
+
+# ----------------------------------------------------------------------
+# DAG model: which subtrees repeat with identical indexed content?
+# ----------------------------------------------------------------------
+
+class _DagModel:
+    """Bottom-up signature interning over the indexed node set.
+
+    The node set is every posting Dewey plus every hash-table key,
+    prefix-closed.  Two nodes receive the same DAG id exactly when
+    their subtrees carry identical indexed content: the same keyword
+    ids posted locally, the same entity/element hash row for the node
+    itself, and children with equal DAG ids at equal steps.  By
+    structural induction, equal ids imply identical per-keyword
+    relative suffix sets *and* identical relative hash rows — which is
+    what makes sharing lossless: expanding the stored tables under any
+    occurrence's prefix reproduces the literal data exactly.
+
+    The node's *own* hash row is part of its signature deliberately:
+    categorization can depend on context (a tag repeating under one
+    parent but not another), so two structurally equal subtrees whose
+    roots categorize differently must not share — they get different
+    signatures and simply stay literal.
+    """
+
+    def __init__(self, postings: dict, entity: dict, element: dict) -> None:
+        vocabulary = sorted(postings)
+        keyword_ids = {kw: i for i, kw in enumerate(vocabulary)}
+        local: dict[Dewey, list[int]] = {}
+        nodes: set[Dewey] = set()
+        for keyword, posting_list in postings.items():
+            kid = keyword_ids[keyword]
+            for dewey in posting_list:
+                local.setdefault(dewey, []).append(kid)
+                nodes.add(dewey)
+        nodes.update(entity)
+        nodes.update(element)
+        # prefix-close: every ancestor is a DAG node too
+        for dewey in list(nodes):
+            for depth in range(1, len(dewey)):
+                nodes.add(dewey[:depth])
+        children: dict[Dewey, list[Dewey]] = {}
+        for dewey in nodes:
+            if len(dewey) > 1:
+                children.setdefault(dewey[:-1], []).append(dewey)
+
+        interned: dict[tuple, int] = {}
+        seen: dict[int, int] = {}
+        weight: dict[int, int] = {}
+        self.dag_of: dict[Dewey, int] = {}
+        for dewey in sorted(nodes, key=len, reverse=True):
+            child_sig = tuple(
+                (child[-1], self.dag_of[child])
+                for child in sorted(children.get(dewey, ())))
+            own = (entity.get(dewey, -1), element.get(dewey, -1))
+            signature = (own, tuple(sorted(local.get(dewey, ()))), child_sig)
+            dag_id = interned.get(signature)
+            if dag_id is None:
+                dag_id = len(interned)
+                interned[signature] = dag_id
+                weight[dag_id] = (
+                    len(signature[1])
+                    + (own[0] >= 0) + (own[1] >= 0)
+                    + sum(weight[cid] for _, cid in child_sig))
+            seen[dag_id] = seen.get(dag_id, 0) + 1
+            self.dag_of[dewey] = dag_id
+        shared = {dag_id for dag_id, count in seen.items()
+                  if count >= SHARED_MIN_OCCURRENCES
+                  and weight[dag_id] >= SHARED_MIN_ENTRIES}
+
+        # topmost occurrences only: an occurrence nested inside another
+        # shared subtree is reached through *that* subtree's expansion
+        occurrences: dict[int, list[Dewey]] = {}
+        for dewey, dag_id in self.dag_of.items():
+            if dag_id not in shared:
+                continue
+            if any(self.dag_of.get(dewey[:depth]) in shared
+                   for depth in range(1, len(dewey))):
+                continue
+            occurrences.setdefault(dag_id, []).append(dewey)
+        # a shared node that is never topmost contributes nothing
+        self.occurrences = {dag_id: sorted(prefixes)
+                            for dag_id, prefixes in occurrences.items()}
+        self.shared = set(self.occurrences)
+
+    def topmost_shared(self, dewey: Dewey) -> tuple[Dewey, int] | None:
+        """The shallowest shared ancestor-or-self of *dewey*, if any."""
+        for depth in range(1, len(dewey) + 1):
+            prefix = dewey[:depth]
+            dag_id = self.dag_of.get(prefix)
+            if dag_id is not None and dag_id in self.shared:
+                return prefix, dag_id
+        return None
+
+
+# ----------------------------------------------------------------------
+# Frames: shared compression context, lazy inflation
+# ----------------------------------------------------------------------
+
+class _FrameWriter:
+    """Accumulates chunks into ~FRAME_RAW_TARGET frames.
+
+    A chunk never spans frames, so inflating one frame yields every
+    chunk inside it; ``add`` returns the chunk's (frame, offset,
+    length) address.
+    """
+
+    def __init__(self) -> None:
+        self._frames: list[bytearray] = [bytearray()]
+
+    def add(self, payload: bytes) -> tuple[int, int, int]:
+        current = self._frames[-1]
+        if current and len(current) + len(payload) > FRAME_RAW_TARGET:
+            current = bytearray()
+            self._frames.append(current)
+        offset = len(current)
+        current.extend(payload)
+        return len(self._frames) - 1, offset, len(payload)
+
+    def finish(self) -> tuple[list[bytes], list[list[int]]]:
+        """Deflate all frames: (stored blobs, [[comp, raw, crc], ...])."""
+        blobs: list[bytes] = []
+        table: list[list[int]] = []
+        for frame in self._frames:
+            raw = bytes(frame)
+            stored = zlib.compress(raw, 9)
+            if len(stored) >= len(raw):
+                stored = raw  # incompressible frame: store verbatim
+            blobs.append(stored)
+            table.append([len(stored), len(raw), _crc(stored)])
+        return blobs, table
+
+
+class _FrameReader:
+    """Inflates frames of one shard on first touch, with CRC checks."""
+
+    def __init__(self, buffer, offsets: list[int], table: list,
+                 path: Path) -> None:
+        self._buffer = buffer
+        self._offsets = offsets  # absolute file offset per frame
+        self._table = table
+        self._path = path
+        self._cache: dict[int, bytes] = {}
+
+    def frame(self, number: int) -> bytes:
+        raw = self._cache.get(number)
+        if raw is not None:
+            return raw
+        if not 0 <= number < len(self._table):
+            raise StorageError(
+                f"codec chunk references frame {number} but only "
+                f"{len(self._table)} exist in {self._path}",
+                diagnosis="corrupted", path=self._path)
+        comp_size, raw_size, crc = self._table[number]
+        start = self._offsets[number]
+        stored = bytes(self._buffer[start:start + comp_size])
+        if len(stored) != comp_size:
+            raise StorageError(
+                f"frame {number} in {self._path} is truncated",
+                diagnosis="truncated", path=self._path)
+        if _crc(stored) != crc:
+            raise StorageError(
+                f"frame {number} in {self._path} fails its CRC32 — the "
+                f"file is corrupted", diagnosis="corrupted",
+                path=self._path)
+        if comp_size == raw_size:
+            raw = stored  # stored verbatim
+        else:
+            try:
+                raw = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise StorageError(
+                    f"frame {number} in {self._path} does not inflate: "
+                    f"{exc}", diagnosis="corrupted",
+                    path=self._path) from exc
+        if len(raw) != raw_size:
+            raise StorageError(
+                f"frame {number} in {self._path} inflates to "
+                f"{len(raw)} bytes, header promises {raw_size}",
+                diagnosis="corrupted", path=self._path)
+        self._cache[number] = raw
+        return raw
+
+    def chunk(self, frame: int, offset: int, length: int,
+              what: str) -> bytes:
+        raw = self.frame(frame)
+        if offset + length > len(raw):
+            raise StorageError(
+                f"codec chunk for {what} overruns frame {frame} in "
+                f"{self._path}", diagnosis="corrupted", path=self._path)
+        return raw[offset:offset + length]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _plan_keyword(postings: Sequence[Dewey], keyword_index: int,
+                  dag: _DagModel | None, suffix_tables: dict,
+                  frames: _FrameWriter) -> tuple[list, list[int]]:
+    """One keyword's directory entry: literal blocks + covering dag ids.
+
+    Postings are consumed left to right; whenever the next posting's
+    topmost shared ancestor exists, *all* postings inside that subtree
+    form a contiguous span starting right here (anything earlier in
+    the subtree would have been consumed by the same occurrence), so
+    the whole span is dropped from the literal stream — it will be
+    reconstructed from the occurrence table.  Literal blocks never
+    span a covered gap, which is what keeps the runtime segment order
+    a plain sort by first key.
+    """
+    blocks: list = []
+    dag_ids: set[int] = set()
+    run: list[Dewey] = []
+
+    def flush_run() -> None:
+        for start in range(0, len(run), BLOCK_POSTINGS):
+            chunk_postings = run[start:start + BLOCK_POSTINGS]
+            out = bytearray()
+            previous: Dewey = ()
+            for dewey in chunk_postings:
+                _write_dewey(out, dewey, previous)
+                previous = dewey
+            payload = bytes(out)
+            frame, offset, length = frames.add(payload)
+            blocks.append((frame, offset, length, len(chunk_postings),
+                           _crc(payload), chunk_postings[0]))
+        run.clear()
+
+    i, total = 0, len(postings)
+    while i < total:
+        hit = dag.topmost_shared(postings[i]) if dag is not None else None
+        if hit is None:
+            run.append(postings[i])
+            i += 1
+            continue
+        flush_run()
+        prefix, dag_id = hit
+        _, upper = subtree_interval(prefix)
+        j = bisect_left(postings, upper, lo=i)
+        suffixes = [tuple(postings[k][len(prefix):]) for k in range(i, j)]
+        key = (dag_id, keyword_index)
+        known = suffix_tables.get(key)
+        if known is None:
+            suffix_tables[key] = suffixes
+        elif known != suffixes:
+            raise StorageError(
+                f"DAG node {dag_id} expands to differing suffix sets "
+                f"for keyword index {keyword_index} — the DAG model is "
+                f"inconsistent", diagnosis="corrupted")
+        dag_ids.add(dag_id)
+        i = j
+    flush_run()
+    return blocks, sorted(dag_ids)
+
+
+def _plan_hash_table(table: dict[Dewey, int], dag: _DagModel | None,
+                     which: int, hash_tables: dict) -> dict[Dewey, int]:
+    """Split a hash table into literal rows + shared per-dag row sets."""
+    items = sorted(table.items())
+    keys = [dewey for dewey, _ in items]
+    literal: dict[Dewey, int] = {}
+    i, total = 0, len(items)
+    while i < total:
+        dewey, count = items[i]
+        hit = dag.topmost_shared(dewey) if dag is not None else None
+        if hit is None:
+            literal[dewey] = count
+            i += 1
+            continue
+        prefix, dag_id = hit
+        _, upper = subtree_interval(prefix)
+        j = bisect_left(keys, upper, lo=i)
+        rows = [(keys[k][len(prefix):], items[k][1]) for k in range(i, j)]
+        key = (dag_id, which)
+        known = hash_tables.get(key)
+        if known is None:
+            hash_tables[key] = rows
+        elif known != rows:
+            raise StorageError(
+                f"DAG node {dag_id} expands to differing hash rows — "
+                f"the DAG model is inconsistent", diagnosis="corrupted")
+        i = j
+    return literal
+
+
+def _suffix_chunk(suffixes: list[Dewey]) -> bytes:
+    out = bytearray()
+    previous: Dewey = ()
+    for suffix in suffixes:
+        _write_dewey(out, suffix, previous)
+        previous = suffix
+    return bytes(out)
+
+
+def _hash_chunk(rows: list[tuple[Dewey, int]]) -> bytes:
+    out = bytearray()
+    previous: Dewey = ()
+    for suffix, count in rows:
+        _write_dewey(out, suffix, previous)
+        write_svarint(out, count)
+        previous = suffix
+    return bytes(out)
+
+
+def _write_loc(out: bytearray, loc: tuple[int, int, int]) -> None:
+    write_uvarint(out, loc[0])
+    write_uvarint(out, loc[1])
+    write_uvarint(out, loc[2])
+
+
+def _encode_shard_data(postings: dict[str, list[Dewey]],
+                       entity: dict[Dewey, int],
+                       element: dict[Dewey, int], *,
+                       use_dag: bool = True) -> tuple[bytes, list, int]:
+    """Encode one shard: (directory bytes, frame blobs+table, n_frames).
+
+    Returns the *uncompressed* directory payload, the finished frame
+    regions (list of stored blobs) and the frame table.
+    """
+    dag = (_DagModel(postings, entity, element) if use_dag else None)
+    vocabulary = sorted(postings)
+    keyword_ids = {kw: i for i, kw in enumerate(vocabulary)}
+    frames = _FrameWriter()
+
+    suffix_tables: dict[tuple[int, int], list[Dewey]] = {}
+    keyword_plans = []
+    for keyword in vocabulary:
+        blocks, dag_ids = _plan_keyword(postings[keyword],
+                                        keyword_ids[keyword], dag,
+                                        suffix_tables, frames)
+        keyword_plans.append((keyword, blocks, dag_ids))
+
+    hash_tables: dict[tuple[int, int], list] = {}
+    literal_entity = _plan_hash_table(entity, dag, 0, hash_tables)
+    literal_element = _plan_hash_table(element, dag, 1, hash_tables)
+
+    # dense file ids for the dag nodes actually used
+    used = sorted(dag.occurrences) if dag is not None else []
+    remap = {original: dense for dense, original in enumerate(used)}
+
+    # suffix + hash chunks per dag node
+    dag_suffix_locs: dict[tuple[int, int], tuple] = {}
+    for (dag_id, keyword_index), suffixes in sorted(suffix_tables.items()):
+        payload = _suffix_chunk(suffixes)
+        loc = frames.add(payload)
+        dag_suffix_locs[(remap[dag_id], keyword_index)] = (
+            loc, len(suffixes), _crc(payload))
+    dag_hash_locs: dict[tuple[int, int], tuple] = {}
+    for (dag_id, which), rows in sorted(hash_tables.items()):
+        payload = _hash_chunk(rows)
+        loc = frames.add(payload)
+        dag_hash_locs[(remap[dag_id], which)] = (
+            loc, len(rows), _crc(payload))
+
+    entity_payload = _hash_chunk(sorted(literal_entity.items()))
+    entity_loc = frames.add(entity_payload)
+    element_payload = _hash_chunk(sorted(literal_element.items()))
+    element_loc = frames.add(element_payload)
+
+    # ---- directory ---------------------------------------------------
+    out = bytearray()
+    write_uvarint(out, len(keyword_plans))
+    previous_kw = b""
+    for keyword, blocks, dag_ids in keyword_plans:
+        data = keyword.encode("utf-8")
+        _write_bytes_fc(out, data, previous_kw)
+        previous_kw = data
+        write_uvarint(out, len(blocks))
+        previous_first: Dewey = ()
+        for frame, offset, length, count, crc, first in blocks:
+            write_uvarint(out, frame)
+            write_uvarint(out, offset)
+            write_uvarint(out, length)
+            write_uvarint(out, count)
+            write_uvarint(out, crc)
+            _write_dewey(out, first, previous_first)
+            previous_first = first
+        write_uvarint(out, len(dag_ids))
+        previous_id = 0
+        for dag_id in dag_ids:
+            dense = remap[dag_id]
+            write_uvarint(out, dense - previous_id)
+            previous_id = dense
+    write_uvarint(out, len(used))
+    for dense, original in enumerate(used):
+        prefixes = dag.occurrences[original]
+        write_uvarint(out, len(prefixes))
+        previous_prefix: Dewey = ()
+        for prefix in prefixes:
+            _write_dewey(out, prefix, previous_prefix)
+            previous_prefix = prefix
+        tables = [(keyword_index, entry)
+                  for (node, keyword_index), entry
+                  in dag_suffix_locs.items() if node == dense]
+        write_uvarint(out, len(tables))
+        previous_kw_index = 0
+        for keyword_index, (loc, count, crc) in sorted(tables):
+            write_uvarint(out, keyword_index - previous_kw_index)
+            previous_kw_index = keyword_index
+            _write_loc(out, loc)
+            write_uvarint(out, count)
+            write_uvarint(out, crc)
+        for which in (0, 1):
+            entry = dag_hash_locs.get((dense, which))
+            if entry is None:
+                write_uvarint(out, 0)
+                continue
+            loc, count, crc = entry
+            write_uvarint(out, count)
+            _write_loc(out, loc)
+            write_uvarint(out, crc)
+    for loc, payload, table in ((entity_loc, entity_payload,
+                                 literal_entity),
+                                (element_loc, element_payload,
+                                 literal_element)):
+        write_uvarint(out, len(table))
+        _write_loc(out, loc)
+        write_uvarint(out, _crc(payload))
+
+    blobs, frame_table = frames.finish()
+    return bytes(out), [blobs, frame_table], len(blobs)
+
+
+def _analyzer_flags(analyzer: Analyzer) -> dict:
+    return {"use_stopwords": analyzer.use_stopwords,
+            "use_stemming": analyzer.use_stemming}
+
+
+def _canonical_crc(body: dict) -> int:
+    canonical = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _shard_regions(postings: dict, entity: dict, element: dict,
+                   stats: dict, document_names: list[str], *,
+                   use_dag: bool) -> tuple[dict, list[bytes]]:
+    """One shard's header section + its on-disk regions (dir + frames)."""
+    directory, (blobs, frame_table), _ = _encode_shard_data(
+        postings, entity, element, use_dag=use_dag)
+    directory_z = zlib.compress(directory, 9)
+    section = {
+        "document_names": document_names,
+        "stats": stats,
+        "directory": [len(directory_z), len(directory),
+                      _crc(directory_z)],
+        "frames": frame_table,
+    }
+    return section, [directory_z, *blobs]
+
+
+def _index_shard_data(index: GKSIndex) -> tuple[dict, dict, dict]:
+    postings = {keyword: list(posting_list)
+                for keyword, posting_list in index.inverted.items()}
+    return postings, index.hashes.entity_table, index.hashes.element_table
+
+
+def write_binary_index(index: GKSIndex | ShardedIndex,
+                       path: str | Path, *,
+                       use_dag: bool = True) -> Path:
+    """Persist *index* in the v4 binary format, atomically."""
+    sections: list[dict] = []
+    regions: list[bytes] = []
+    if isinstance(index, ShardedIndex):
+        body: dict = {
+            "layout": "sharded",
+            "strategy": index.strategy,
+            "analyzer": _analyzer_flags(index.analyzer),
+            "document_names": list(index.document_names),
+        }
+        for shard in index.shards:
+            postings, entity, element = _index_shard_data(shard.index)
+            section, shard_regions = _shard_regions(
+                postings, entity, element, shard.index.stats.to_dict(),
+                list(shard.index.document_names), use_dag=use_dag)
+            section["shard_id"] = shard.shard_id
+            section["doc_ids"] = list(shard.doc_ids)
+            sections.append(section)
+            regions.extend(shard_regions)
+    else:
+        body = {
+            "layout": "monolithic",
+            "analyzer": _analyzer_flags(index.analyzer),
+            "document_names": list(index.document_names),
+        }
+        postings, entity, element = _index_shard_data(index)
+        section, shard_regions = _shard_regions(
+            postings, entity, element, index.stats.to_dict(),
+            list(index.document_names), use_dag=use_dag)
+        section["shard_id"] = 0
+        sections.append(section)
+        regions.extend(shard_regions)
+    body["shards"] = sections
+    return _write_file(body, regions, path)
+
+
+def _write_file(body: dict, regions: list[bytes],
+                path: str | Path) -> Path:
+    path = Path(path)
+    header = {"version": FORMAT_VERSION_BINARY, "codec": "varint-dag",
+              "crc32": _canonical_crc(body), "body": body}
+    header_gz = gzip.compress(
+        json.dumps(header, separators=(",", ":")).encode("utf-8"),
+        mtime=0)
+    temp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(temp_path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(struct.pack(">I", len(header_gz)))
+            handle.write(header_gz)
+            for region in regions:
+                handle.write(region)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except OSError as exc:
+        try:
+            temp_path.unlink()
+        except OSError:
+            pass
+        raise StorageError(f"cannot write {path}: {exc}",
+                           diagnosis="unwritable", path=path) from exc
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reading: header, directory, lazy structures
+# ----------------------------------------------------------------------
+
+def is_binary_index(path: str | Path) -> bool:
+    """True when *path* starts with the v4 magic (cheap sniff)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def read_binary_header(path: str | Path) -> dict:
+    """Verify magic/version/CRC and return the parsed header dict.
+
+    The returned mapping carries one extra key, ``blob_offset`` — the
+    absolute file offset where the first shard's regions begin.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise StorageError(
+                    f"{path} is not a binary GKS index (bad magic)",
+                    diagnosis="version-mismatch", path=path)
+            raw_len = handle.read(4)
+            if len(raw_len) != 4:
+                raise StorageError(
+                    f"cannot read index from {path}: file is truncated",
+                    diagnosis="truncated", path=path)
+            header_len = struct.unpack(">I", raw_len)[0]
+            header_gz = handle.read(header_len)
+    except OSError as exc:
+        raise StorageError(f"cannot read index from {path}: {exc}",
+                           diagnosis="unreadable", path=path) from exc
+    if len(header_gz) != header_len:
+        raise StorageError(
+            f"cannot read index from {path}: header is truncated",
+            diagnosis="truncated", path=path)
+    try:
+        header = json.loads(gzip.decompress(header_gz).decode("utf-8"))
+    except (OSError, EOFError, zlib.error, json.JSONDecodeError,
+            UnicodeDecodeError) as exc:
+        raise StorageError(
+            f"cannot read index from {path}: header is corrupted "
+            f"({exc})", diagnosis="corrupted", path=path) from exc
+    if not isinstance(header, dict) or \
+            header.get("version") != FORMAT_VERSION_BINARY:
+        version = header.get("version") if isinstance(header, dict) \
+            else None
+        raise StorageError(
+            f"unsupported binary index version {version!r} in {path}",
+            diagnosis="version-mismatch", path=path)
+    body = header.get("body")
+    if not isinstance(body, dict) or not body.get("shards"):
+        raise StorageError(
+            f"cannot read index from {path}: header has no shard "
+            f"sections", diagnosis="corrupted", path=path)
+    if header.get("crc32") != _canonical_crc(body):
+        raise StorageError(
+            f"header checksum mismatch in {path} — the file is "
+            f"corrupted", diagnosis="corrupted", path=path)
+    header["blob_offset"] = len(MAGIC) + 4 + header_len
+    return header
+
+
+def _map_blob(path: Path):
+    """mmap the file read-only; fall back to an in-memory bytes copy."""
+    try:
+        with open(path, "rb") as handle:
+            try:
+                return mmap.mmap(handle.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                handle.seek(0)
+                return handle.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read index from {path}: {exc}",
+                           diagnosis="unreadable", path=path) from exc
+
+
+class _Directory:
+    """The parsed binary directory of one shard."""
+
+    __slots__ = ("keywords", "keyword_ids", "blocks", "keyword_dags",
+                 "occurrences", "suffix_locs", "hash_locs",
+                 "entity_literal", "element_literal")
+
+    def __init__(self, payload: bytes, path: Path) -> None:
+        try:
+            self._parse(payload)
+        except StorageError:
+            raise
+        except (IndexError, ValueError, OverflowError) as exc:
+            raise StorageError(
+                f"cannot parse codec directory in {path}: {exc}",
+                diagnosis="corrupted", path=path) from exc
+
+    def _parse(self, payload: bytes) -> None:
+        pos = 0
+        n_keywords, pos = read_uvarint(payload, pos)
+        self.keywords: list[str] = []
+        self.blocks: dict[str, list] = {}
+        self.keyword_dags: dict[str, list[int]] = {}
+        previous_kw = b""
+        for _ in range(n_keywords):
+            raw, pos = _read_bytes_fc(payload, pos, previous_kw)
+            previous_kw = raw
+            keyword = raw.decode("utf-8")
+            self.keywords.append(keyword)
+            n_blocks, pos = read_uvarint(payload, pos)
+            blocks = []
+            previous_first: Dewey = ()
+            for _ in range(n_blocks):
+                frame, pos = read_uvarint(payload, pos)
+                offset, pos = read_uvarint(payload, pos)
+                length, pos = read_uvarint(payload, pos)
+                count, pos = read_uvarint(payload, pos)
+                crc, pos = read_uvarint(payload, pos)
+                first, pos = _read_dewey(payload, pos, previous_first)
+                previous_first = first
+                blocks.append((frame, offset, length, count, crc, first))
+            self.blocks[keyword] = blocks
+            n_dags, pos = read_uvarint(payload, pos)
+            dag_ids = []
+            current = 0
+            for position in range(n_dags):
+                delta, pos = read_uvarint(payload, pos)
+                current += delta
+                dag_ids.append(current)
+            self.keyword_dags[keyword] = dag_ids
+        self.keyword_ids = {keyword: i
+                            for i, keyword in enumerate(self.keywords)}
+        n_dag_nodes, pos = read_uvarint(payload, pos)
+        self.occurrences: list[list[Dewey]] = []
+        self.suffix_locs: dict[tuple[int, int], tuple] = {}
+        self.hash_locs: dict[tuple[int, int], tuple] = {}
+        for dag_id in range(n_dag_nodes):
+            n_occ, pos = read_uvarint(payload, pos)
+            prefixes = []
+            previous_prefix: Dewey = ()
+            for _ in range(n_occ):
+                prefix, pos = _read_dewey(payload, pos, previous_prefix)
+                previous_prefix = prefix
+                prefixes.append(prefix)
+            self.occurrences.append(prefixes)
+            n_tables, pos = read_uvarint(payload, pos)
+            keyword_index = 0
+            for position in range(n_tables):
+                delta, pos = read_uvarint(payload, pos)
+                keyword_index += delta
+                frame, pos = read_uvarint(payload, pos)
+                offset, pos = read_uvarint(payload, pos)
+                length, pos = read_uvarint(payload, pos)
+                count, pos = read_uvarint(payload, pos)
+                crc, pos = read_uvarint(payload, pos)
+                self.suffix_locs[(dag_id, keyword_index)] = (
+                    (frame, offset, length), count, crc)
+            for which in (0, 1):
+                count, pos = read_uvarint(payload, pos)
+                if not count:
+                    continue
+                frame, pos = read_uvarint(payload, pos)
+                offset, pos = read_uvarint(payload, pos)
+                length, pos = read_uvarint(payload, pos)
+                crc, pos = read_uvarint(payload, pos)
+                self.hash_locs[(dag_id, which)] = (
+                    (frame, offset, length), count, crc)
+        literals = []
+        for _ in range(2):
+            count, pos = read_uvarint(payload, pos)
+            frame, pos = read_uvarint(payload, pos)
+            offset, pos = read_uvarint(payload, pos)
+            length, pos = read_uvarint(payload, pos)
+            crc, pos = read_uvarint(payload, pos)
+            literals.append(((frame, offset, length), count, crc))
+        self.entity_literal, self.element_literal = literals
+        if pos != len(payload):
+            raise StorageError(
+                "codec directory has trailing bytes",
+                diagnosis="corrupted")
+
+
+class _ShardReader:
+    """Lazy access to one shard's frames, tables and caches."""
+
+    def __init__(self, frames: _FrameReader, directory: _Directory,
+                 path: Path) -> None:
+        self.frames = frames
+        self.directory = directory
+        self.path = path
+        self._suffix_cache: dict[tuple[int, int], list[Dewey]] = {}
+        self._hash_cache: dict[tuple[int, int], list] = {}
+
+    def _table_chunk(self, entry: tuple, what: str) -> bytes:
+        (frame, offset, length), _count, crc = entry
+        payload = self.frames.chunk(frame, offset, length, what)
+        if _crc(payload) != crc:
+            raise StorageError(
+                f"codec chunk for {what} in {self.path} fails its "
+                f"CRC32 — the data is corrupted",
+                diagnosis="corrupted", path=self.path)
+        return payload
+
+    def block_postings(self, block: tuple, what: str) -> list[Dewey]:
+        frame, offset, length, count, crc, _first = block
+        payload = self.frames.chunk(frame, offset, length, what)
+        if _crc(payload) != crc:
+            raise StorageError(
+                f"posting block for {what} in {self.path} fails its "
+                f"CRC32 — the block is corrupted",
+                diagnosis="corrupted", path=self.path)
+        postings: list[Dewey] = []
+        pos = 0
+        previous: Dewey = ()
+        for _ in range(count):
+            dewey, pos = _read_dewey(payload, pos, previous)
+            postings.append(dewey)
+            previous = dewey
+        if pos != len(payload):
+            raise StorageError(
+                f"posting block for {what} in {self.path} has trailing "
+                f"bytes", diagnosis="corrupted", path=self.path)
+        return postings
+
+    def suffixes(self, dag_id: int, keyword_index: int) -> list[Dewey]:
+        key = (dag_id, keyword_index)
+        cached = self._suffix_cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self.directory.suffix_locs.get(key)
+        if entry is None:
+            raise StorageError(
+                f"keyword references DAG node {dag_id} but no suffix "
+                f"table exists for it in {self.path}",
+                diagnosis="corrupted", path=self.path)
+        payload = self._table_chunk(entry, f"dag suffixes {dag_id}")
+        suffixes: list[Dewey] = []
+        pos = 0
+        previous: Dewey = ()
+        for _ in range(entry[1]):
+            suffix, pos = _read_dewey(payload, pos, previous)
+            suffixes.append(suffix)
+            previous = suffix
+        self._suffix_cache[key] = suffixes
+        return suffixes
+
+    def hash_rows(self, dag_id: int, which: int) -> list:
+        key = (dag_id, which)
+        cached = self._hash_cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self.directory.hash_locs.get(key)
+        if entry is None:
+            self._hash_cache[key] = []
+            return []
+        rows = self._decode_hash(entry, f"dag hash rows {dag_id}")
+        self._hash_cache[key] = rows
+        return rows
+
+    def _decode_hash(self, entry: tuple, what: str) -> list:
+        payload = self._table_chunk(entry, what)
+        rows: list[tuple[Dewey, int]] = []
+        pos = 0
+        previous: Dewey = ()
+        for _ in range(entry[1]):
+            suffix, pos = _read_dewey(payload, pos, previous)
+            count, pos = read_svarint(payload, pos)
+            rows.append((suffix, count))
+            previous = suffix
+        return rows
+
+    def hash_table(self, which: int) -> dict:
+        """Materialise one full hash table (0 = entity, 1 = element)."""
+        directory = self.directory
+        entry = (directory.entity_literal if which == 0
+                 else directory.element_literal)
+        what = "literal entity table" if which == 0 \
+            else "literal element table"
+        table: dict[Dewey, int] = {}
+        for suffix, count in self._decode_hash(entry, what):
+            table[suffix] = count
+        for dag_id, prefixes in enumerate(directory.occurrences):
+            rows = self.hash_rows(dag_id, which)
+            if not rows:
+                continue
+            for prefix in prefixes:
+                for suffix, count in rows:
+                    table[prefix + suffix] = count
+        return table
+
+
+# ----------------------------------------------------------------------
+# Lazy runtime structures
+# ----------------------------------------------------------------------
+
+class LazyPostingList(Sequence):
+    """One keyword's posting list, decoded segment-by-segment on touch.
+
+    The list is the ordered concatenation of disjoint *segments*:
+    literal blocks (keyed by their first posting, from the directory)
+    and (dag node, occurrence) expansions (keyed by the occurrence
+    prefix — every expanded posting lies inside that prefix's subtree
+    interval, and literal blocks never span a covered gap, so sorting
+    segments by key reproduces exact document order).  Lengths come
+    from directory metadata alone, so ``len`` and bisection never
+    decode anything they don't have to.
+    """
+
+    __slots__ = ("_reader", "_keyword", "_segments", "_starts",
+                 "_total", "_decoded")
+
+    def __init__(self, reader: _ShardReader, keyword: str) -> None:
+        self._reader = reader
+        self._keyword = keyword
+        directory = reader.directory
+        keyword_index = directory.keyword_ids[keyword]
+        segments: list[tuple] = []
+        for block in directory.blocks[keyword]:
+            segments.append((block[5], block[3], 0, block))
+        for dag_id in directory.keyword_dags[keyword]:
+            entry = directory.suffix_locs.get((dag_id, keyword_index))
+            if entry is None:
+                raise StorageError(
+                    f"keyword {keyword!r} references DAG node {dag_id} "
+                    f"with no suffix table in {reader.path}",
+                    diagnosis="corrupted", path=reader.path)
+            for prefix in directory.occurrences[dag_id]:
+                segments.append((prefix, entry[1], 1,
+                                 (dag_id, keyword_index, prefix)))
+        segments.sort(key=lambda segment: segment[0])
+        self._segments = segments
+        starts = []
+        total = 0
+        for segment in segments:
+            starts.append(total)
+            total += segment[1]
+        self._starts = starts
+        self._total = total
+        self._decoded: dict[int, list[Dewey]] = {}
+
+    def _segment(self, number: int) -> list[Dewey]:
+        decoded = self._decoded.get(number)
+        if decoded is not None:
+            return decoded
+        key, count, kind, data = self._segments[number]
+        if kind == 0:
+            decoded = self._reader.block_postings(
+                data, f"keyword {self._keyword!r}")
+            if len(decoded) != count or (decoded and decoded[0] != key):
+                raise StorageError(
+                    f"posting block for keyword {self._keyword!r} in "
+                    f"{self._reader.path} disagrees with its directory "
+                    f"metadata", diagnosis="corrupted",
+                    path=self._reader.path)
+        else:
+            dag_id, keyword_index, prefix = data
+            decoded = [prefix + suffix for suffix
+                       in self._reader.suffixes(dag_id, keyword_index)]
+        self._decoded[number] = decoded
+        return decoded
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._total))]
+        if index < 0:
+            index += self._total
+        if not 0 <= index < self._total:
+            raise IndexError("posting index out of range")
+        segment = bisect_right(self._starts, index) - 1
+        return self._segment(segment)[index - self._starts[segment]]
+
+    def __iter__(self) -> Iterator[Dewey]:
+        for number in range(len(self._segments)):
+            yield from self._segment(number)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, LazyPostingList)):
+            return (len(self) == len(other)
+                    and all(a == b for a, b in zip(self, other)))
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (f"LazyPostingList({self._keyword!r}, n={self._total}, "
+                f"segments={len(self._segments)})")
+
+
+class LazyInvertedIndex(InvertedIndex):
+    """An :class:`InvertedIndex` view over a codec shard.
+
+    Reads never materialise more than the touched segments; the first
+    *mutation* (anything reaching the ``_postings`` dict, e.g.
+    ``add``) materialises every list once so the inherited in-place
+    update logic keeps working.
+    """
+
+    def __init__(self, reader: _ShardReader) -> None:
+        # deliberately no super().__init__ — ``_postings`` is lazy here
+        self._reader = reader
+        self._lists: dict[str, LazyPostingList] = {}
+        self._materialized: dict[str, list[Dewey]] | None = None
+
+    @property
+    def _postings(self) -> dict[str, list]:
+        if self._materialized is None:
+            self._materialized = {
+                keyword: list(self.postings(keyword))
+                for keyword in self._reader.directory.keywords}
+        return self._materialized
+
+    @_postings.setter
+    def _postings(self, value: dict) -> None:
+        self._materialized = value
+
+    def postings(self, keyword: str):
+        if self._materialized is not None:
+            return self._materialized.get(keyword, [])
+        posting_list = self._lists.get(keyword)
+        if posting_list is None:
+            if keyword not in self._reader.directory.keyword_ids:
+                return []
+            posting_list = LazyPostingList(self._reader, keyword)
+            self._lists[keyword] = posting_list
+        return posting_list
+
+    def __contains__(self, keyword: str) -> bool:
+        if self._materialized is not None:
+            return keyword in self._materialized
+        return keyword in self._reader.directory.keyword_ids
+
+    def __len__(self) -> int:
+        if self._materialized is not None:
+            return len(self._materialized)
+        return len(self._reader.directory.keywords)
+
+    @property
+    def vocabulary(self) -> list[str]:
+        if self._materialized is not None:
+            return sorted(self._materialized)
+        return list(self._reader.directory.keywords)
+
+    def document_frequency(self, keyword: str) -> int:
+        return len(self.postings(keyword))
+
+    @property
+    def total_postings(self) -> int:
+        return sum(len(self.postings(keyword))
+                   for keyword in self.vocabulary)
+
+    def items(self):
+        for keyword in self.vocabulary:
+            yield keyword, self.postings(keyword)
+
+
+class LazyNodeHashes(NodeHashes):
+    """A :class:`NodeHashes` whose tables decode on first touch."""
+
+    def __init__(self, reader: _ShardReader) -> None:
+        # deliberately no super().__init__ — tables are lazy here
+        self._reader = reader
+        self._entity_table: dict[Dewey, int] | None = None
+        self._element_table: dict[Dewey, int] | None = None
+
+    @property
+    def _entity(self) -> dict[Dewey, int]:
+        if self._entity_table is None:
+            self._entity_table = self._reader.hash_table(0)
+        return self._entity_table
+
+    @_entity.setter
+    def _entity(self, value: dict) -> None:
+        self._entity_table = value
+
+    @property
+    def _element(self) -> dict[Dewey, int]:
+        if self._element_table is None:
+            self._element_table = self._reader.hash_table(1)
+        return self._element_table
+
+    @_element.setter
+    def _element(self, value: dict) -> None:
+        self._element_table = value
+
+
+def _section_reader(section: dict, buffer, cursor: int,
+                    path: Path) -> tuple[_ShardReader, int]:
+    """Build one shard's reader; returns it plus the next region offset."""
+    try:
+        dir_comp, dir_raw, dir_crc = section["directory"]
+        frame_table = section["frames"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(
+            f"shard section in {path} is missing its region table",
+            diagnosis="corrupted", path=path) from exc
+    stored = bytes(buffer[cursor:cursor + dir_comp])
+    if len(stored) != dir_comp:
+        raise StorageError(
+            f"codec directory in {path} is truncated",
+            diagnosis="truncated", path=path)
+    if _crc(stored) != dir_crc:
+        raise StorageError(
+            f"codec directory in {path} fails its CRC32 — the file is "
+            f"corrupted", diagnosis="corrupted", path=path)
+    try:
+        payload = zlib.decompress(stored)
+    except zlib.error as exc:
+        raise StorageError(
+            f"codec directory in {path} does not inflate: {exc}",
+            diagnosis="corrupted", path=path) from exc
+    if len(payload) != dir_raw:
+        raise StorageError(
+            f"codec directory in {path} inflates to {len(payload)} "
+            f"bytes, header promises {dir_raw}",
+            diagnosis="corrupted", path=path)
+    cursor += dir_comp
+    offsets = []
+    for comp_size, _raw_size, _crc32 in frame_table:
+        offsets.append(cursor)
+        cursor += comp_size
+    frames = _FrameReader(buffer, offsets, frame_table, path)
+    directory = _Directory(payload, path)
+    return _ShardReader(frames, directory, path), cursor
+
+
+def _shard_index(section: dict, reader: _ShardReader,
+                 analyzer: Analyzer) -> GKSIndex:
+    return GKSIndex(
+        inverted=LazyInvertedIndex(reader),
+        hashes=LazyNodeHashes(reader),
+        stats=IndexStats.from_dict(section.get("stats", {})),
+        analyzer=analyzer,
+        document_names=tuple(section.get("document_names", ())))
+
+
+def load_binary_index(path: str | Path) -> "GKSIndex | ShardedIndex":
+    """Open a v4 binary index with lazy, mmap-backed posting lists.
+
+    Only the header and the per-shard directories are parsed up front;
+    posting blocks, DAG suffix tables and hash tables inflate on first
+    touch.
+    """
+    path = Path(path)
+    header = read_binary_header(path)
+    body = header["body"]
+    analyzer_config = body.get("analyzer", {})
+    analyzer = Analyzer(
+        use_stopwords=bool(analyzer_config.get("use_stopwords", True)),
+        use_stemming=bool(analyzer_config.get("use_stemming", True)))
+    buffer = _map_blob(path)
+    cursor = header["blob_offset"]
+    sections = body.get("shards")
+    if not isinstance(sections, list) or not sections:
+        raise StorageError(
+            f"binary index {path} carries no shard sections",
+            diagnosis="corrupted", path=path)
+    layout = body.get("layout", "monolithic")
+    if layout == "monolithic":
+        if len(sections) != 1:
+            raise StorageError(
+                f"monolithic binary index {path} carries "
+                f"{len(sections)} shard sections",
+                diagnosis="corrupted", path=path)
+        reader, _cursor = _section_reader(sections[0], buffer, cursor,
+                                          path)
+        return _shard_index(sections[0], reader, analyzer)
+    if layout != "sharded":
+        raise StorageError(
+            f"binary index {path} declares unknown layout {layout!r}",
+            diagnosis="version-mismatch", path=path)
+    shards = []
+    for section in sections:
+        reader, cursor = _section_reader(section, buffer, cursor, path)
+        index = _shard_index(section, reader, analyzer)
+        shards.append(Shard(shard_id=int(section.get("shard_id", 0)),
+                            doc_ids=tuple(section.get("doc_ids", ())),
+                            index=index))
+    try:
+        return ShardedIndex(shards, body.get("strategy", "round_robin"),
+                            tuple(body.get("document_names", ())),
+                            analyzer=analyzer)
+    except StorageError:
+        raise
+    except Exception as exc:
+        raise StorageError(
+            f"cannot assemble sharded index from {path}: {exc}",
+            diagnosis="corrupted", path=path) from exc
+
+
+def verify_frames(path: str | Path) -> int:
+    """Bytes-level structural audit of every stored region.
+
+    Checks each shard's directory and frame regions against the
+    header's ``(comp, raw, crc32)`` records — sizes, checksums,
+    inflatability and the absence of trailing bytes — without
+    semantically decoding a single posting.  This is the structural
+    complement of :func:`decode_file`: byte rot and truncation fail
+    here (``check-index`` exit 1), while *resealed* semantic corruption
+    (fresh CRCs over wrong content) passes and is left for the deep
+    invariant audit (exit 2).
+
+    Returns the number of regions verified; raises
+    :class:`StorageError` on the first structural problem.
+    """
+    path = Path(path)
+    header = read_binary_header(path)
+    buffer = _map_blob(path)
+    cursor = header["blob_offset"]
+    checked = 0
+    for position, section in enumerate(header["body"].get("shards", [])):
+        try:
+            regions = [tuple(section["directory"])]
+            regions.extend(tuple(row) for row in section["frames"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(
+                f"shard section {position} in {path} is missing its "
+                f"region table", diagnosis="corrupted",
+                path=path) from exc
+        for comp_size, raw_size, crc32 in regions:
+            stored = bytes(buffer[cursor:cursor + comp_size])
+            if len(stored) != comp_size:
+                raise StorageError(
+                    f"region at offset {cursor} in {path} is truncated "
+                    f"({len(stored)} of {comp_size} byte(s))",
+                    diagnosis="truncated", path=path)
+            if _crc(stored) != crc32:
+                raise StorageError(
+                    f"region at offset {cursor} in {path} fails its "
+                    f"CRC32 — the file is corrupted",
+                    diagnosis="corrupted", path=path)
+            if comp_size != raw_size:
+                try:
+                    payload = zlib.decompress(stored)
+                except zlib.error as exc:
+                    raise StorageError(
+                        f"region at offset {cursor} in {path} does not "
+                        f"inflate: {exc}", diagnosis="corrupted",
+                        path=path) from exc
+                if len(payload) != raw_size:
+                    raise StorageError(
+                        f"region at offset {cursor} in {path} inflates "
+                        f"to {len(payload)} byte(s), header promises "
+                        f"{raw_size}", diagnosis="corrupted", path=path)
+            cursor += comp_size
+            checked += 1
+    if cursor != len(buffer):
+        raise StorageError(
+            f"{len(buffer) - cursor} trailing byte(s) after the last "
+            f"region in {path}", diagnosis="corrupted", path=path)
+    return checked
+
+
+# ----------------------------------------------------------------------
+# Deep decode: eager expansion for audits and fault injection
+# ----------------------------------------------------------------------
+
+class DecodedShard:
+    """One shard of a binary index, fully expanded (audit/corruptor)."""
+
+    __slots__ = ("shard_id", "doc_ids", "document_names", "stats",
+                 "postings", "entity", "element")
+
+    def __init__(self, shard_id: int, doc_ids, document_names,
+                 stats: dict, postings: dict, entity: dict,
+                 element: dict) -> None:
+        self.shard_id = shard_id
+        self.doc_ids = doc_ids
+        self.document_names = document_names
+        self.stats = stats
+        self.postings = postings
+        self.entity = entity
+        self.element = element
+
+
+class DecodedIndex:
+    """A fully expanded binary index (all shards, eager postings)."""
+
+    __slots__ = ("layout", "strategy", "analyzer", "document_names",
+                 "shards")
+
+    def __init__(self, layout: str, strategy, analyzer: dict,
+                 document_names, shards: list) -> None:
+        self.layout = layout
+        self.strategy = strategy
+        self.analyzer = analyzer
+        self.document_names = document_names
+        self.shards = shards
+
+
+def _classify_codec_error(error: StorageError) -> str:
+    message = str(error)
+    if "CRC32" in message:
+        return "codec-block-crc"
+    if "suffix" in message or "DAG" in message:
+        return "codec-dag-suffix"
+    return "codec-block-metadata"
+
+
+def decode_file(path: str | Path, on_violation=None) -> DecodedIndex:
+    """Fully expand a binary index, verifying every codec invariant.
+
+    Without *on_violation* the first problem raises
+    :class:`StorageError`.  With a collector ``on_violation(name,
+    detail)`` the decode keeps going, reporting ``codec-block-crc``
+    (stored bytes fail their checksum), ``codec-block-metadata``
+    (decoded content disagrees with directory metadata) and
+    ``codec-dag-suffix`` (shared-subtree tables missing, unsorted or
+    inconsistent) — the three codec invariants `check-index --deep`
+    audits on top of the generic content checks.
+    """
+    path = Path(path)
+
+    def report(error: StorageError) -> None:
+        if on_violation is None:
+            raise error
+        on_violation(_classify_codec_error(error), str(error))
+
+    header = read_binary_header(path)
+    body = header["body"]
+    buffer = _map_blob(path)
+    cursor = header["blob_offset"]
+    shards = []
+    for section in body.get("shards", []):
+        reader, cursor = _section_reader(section, buffer, cursor, path)
+        directory = reader.directory
+        postings: dict[str, list[Dewey]] = {}
+        for keyword in directory.keywords:
+            try:
+                postings[keyword] = list(
+                    LazyPostingList(reader, keyword))
+            except StorageError as exc:
+                report(exc)
+                postings[keyword] = []
+        for key in sorted(directory.suffix_locs):
+            try:
+                suffixes = reader.suffixes(*key)
+            except StorageError as exc:
+                report(exc)
+                continue
+            if any(suffixes[i] >= suffixes[i + 1]
+                   for i in range(len(suffixes) - 1)):
+                report(StorageError(
+                    f"DAG node {key[0]} suffix table for keyword index "
+                    f"{key[1]} in {path} is not strictly sorted",
+                    diagnosis="corrupted", path=path))
+        for dag_id, prefixes in enumerate(directory.occurrences):
+            if any(prefixes[i] >= prefixes[i + 1]
+                   for i in range(len(prefixes) - 1)):
+                report(StorageError(
+                    f"DAG node {dag_id} occurrence list in {path} is "
+                    f"not strictly sorted", diagnosis="corrupted",
+                    path=path))
+        tables = []
+        for which in (0, 1):
+            try:
+                tables.append(reader.hash_table(which))
+            except StorageError as exc:
+                report(exc)
+                tables.append({})
+        shards.append(DecodedShard(
+            shard_id=int(section.get("shard_id", 0)),
+            doc_ids=(tuple(section["doc_ids"])
+                     if "doc_ids" in section else None),
+            document_names=tuple(section.get("document_names", ())),
+            stats=dict(section.get("stats", {})),
+            postings=postings, entity=tables[0], element=tables[1]))
+    return DecodedIndex(
+        layout=body.get("layout", "monolithic"),
+        strategy=body.get("strategy"),
+        analyzer=dict(body.get("analyzer", {})),
+        document_names=tuple(body.get("document_names", ())),
+        shards=shards)
+
+
+def encode_decoded(decoded: DecodedIndex, path: str | Path) -> Path:
+    """Re-encode a :class:`DecodedIndex` verbatim (all-literal, fresh
+    CRCs) — the fault injector's reseal step: content mutations survive,
+    every checksum is valid again, so only the deep audit notices."""
+    body: dict = {
+        "layout": decoded.layout,
+        "analyzer": dict(decoded.analyzer),
+        "document_names": list(decoded.document_names),
+    }
+    if decoded.layout == "sharded":
+        body["strategy"] = decoded.strategy
+    sections: list[dict] = []
+    regions: list[bytes] = []
+    for shard in decoded.shards:
+        section, shard_regions = _shard_regions(
+            shard.postings, shard.entity, shard.element,
+            dict(shard.stats), list(shard.document_names),
+            use_dag=False)
+        section["shard_id"] = shard.shard_id
+        if shard.doc_ids is not None:
+            section["doc_ids"] = list(shard.doc_ids)
+        sections.append(section)
+        regions.extend(shard_regions)
+    body["shards"] = sections
+    return _write_file(body, regions, path)
+
+
+# ----------------------------------------------------------------------
+# The codec registry
+# ----------------------------------------------------------------------
+
+@runtime_checkable
+class Codec(Protocol):
+    """Storage codec: one on-disk representation of a GKS index.
+
+    ``save`` persists, ``load`` reopens (possibly lazily), ``sniff``
+    answers whether a file on disk is this codec's format.  Codecs are
+    stateless singletons registered in :data:`CODECS`; user-facing
+    selection goes through ``EngineConfig.codec`` and
+    :func:`resolve_codec`.
+    """
+
+    name: str
+
+    def save(self, index, path): ...
+
+    def load(self, path): ...
+
+    def sniff(self, path) -> bool: ...
+
+
+class RawCodec:
+    """The JSON envelope formats (storage v1–v3), eager-loading."""
+
+    name = "raw"
+
+    def save(self, index, path):
+        from repro.index.storage import save_index
+        return save_index(index, path, codec="raw")
+
+    def load(self, path):
+        from repro.index.storage import load_index
+        return load_index(path)
+
+    def sniff(self, path) -> bool:
+        return not is_binary_index(path)
+
+
+class VarintDagCodec:
+    """The v4 binary format: varint/delta blocks + DAG sharing, lazy."""
+
+    name = "varint-dag"
+
+    def save(self, index, path):
+        return write_binary_index(index, path, use_dag=True)
+
+    def load(self, path):
+        return load_binary_index(path)
+
+    def sniff(self, path) -> bool:
+        return is_binary_index(path)
+
+
+CODECS: dict[str, Codec] = {"raw": RawCodec(),
+                            "varint-dag": VarintDagCodec()}
+CODEC_NAMES: tuple[str, ...] = tuple(sorted(CODECS))
+
+
+def resolve_codec(name: str) -> Codec:
+    """Look up a codec by name; unknown names raise ConfigError."""
+    codec = CODECS.get(name)
+    if codec is None:
+        raise ConfigError(
+            f"unknown codec {name!r}; expected one of {CODEC_NAMES}")
+    return codec

@@ -148,26 +148,36 @@ def _sharded_envelope(index: ShardedIndex) -> dict:
     }
 
 
-def save_index(index: GKSIndex | ShardedIndex, path: str | Path) -> Path:
+def save_index(index: GKSIndex | ShardedIndex, path: str | Path,
+               codec: str = "raw") -> Path:
     """Write *index* to *path* atomically (temp file + fsync + rename).
 
-    The envelope embeds a CRC32 of the payload so :func:`load_index` can
-    distinguish a clean file from silent corruption.  A
-    :class:`ShardedIndex` is written in the v3 sharded format (shard
-    manifest + per-shard CRCs); a plain :class:`GKSIndex` in v2.
-    Returns the path written.
+    ``codec`` picks the on-disk representation: ``"raw"`` (default)
+    writes the JSON envelope formats — v2 for a plain
+    :class:`GKSIndex`, v3 (shard manifest + per-shard CRCs) for a
+    :class:`ShardedIndex` — while ``"varint-dag"`` writes the v4
+    binary format (:mod:`repro.index.codec`: delta+varint posting
+    blocks, DAG-shared subtrees, lazy loading).  Every format embeds
+    CRC32 checksums so :func:`load_index` can distinguish a clean file
+    from silent corruption.  Unknown codec names raise
+    :class:`~repro.errors.ConfigError`.  Returns the path written.
     """
     path = Path(path)
-    if isinstance(index, ShardedIndex):
-        envelope = _sharded_envelope(index)
+    if codec == "raw":
+        if isinstance(index, ShardedIndex):
+            envelope = _sharded_envelope(index)
+        else:
+            payload = _payload_dict(index)
+            envelope = {
+                "version": FORMAT_VERSION,
+                "crc32": _crc(payload),
+                "payload": payload,
+            }
+        atomic_write_json_gz(envelope, path)
     else:
-        payload = _payload_dict(index)
-        envelope = {
-            "version": FORMAT_VERSION,
-            "crc32": _crc(payload),
-            "payload": payload,
-        }
-    atomic_write_json_gz(envelope, path)
+        from repro.index.codec import resolve_codec
+
+        resolve_codec(codec).save(index, path)
     registry = global_registry()
     registry.counter("gks_index_saves_total",
                      help="Indexes persisted to disk.").inc()
@@ -265,6 +275,10 @@ def write_envelope(envelope: dict, path: str | Path) -> Path:
 
 def _load_index(path: str | Path) -> GKSIndex | ShardedIndex:
     path = Path(path)
+    from repro.index.codec import is_binary_index, load_binary_index
+
+    if is_binary_index(path):
+        return load_binary_index(path)
     envelope = read_envelope(path)
     version = envelope.get("version")
 
@@ -368,6 +382,49 @@ def _sharded_from_envelope(envelope: dict, path: Path) -> ShardedIndex:
             f"({exc})", diagnosis="corrupted", path=path) from exc
 
 
+def describe_layout(path: str | Path) -> dict:
+    """Describe how an index is persisted: version / codec / layout.
+
+    Accepts every form ``check-index`` does — JSON envelopes (v1–v3),
+    v4 binary codec files, and segmented store directories (given the
+    directory or its ``MANIFEST``).  Returns a mapping with stable
+    keys: ``version`` (storage format version), ``codec`` (``"raw"``
+    for the JSON envelopes, the header's codec name for binary files),
+    ``layout`` (``"monolithic"`` / ``"sharded"`` / ``"store"``) and
+    ``shards``.  Store directories additionally report ``segments``
+    and ``generation``.  Raises :class:`StorageError` when the target
+    cannot be read or parsed.
+    """
+    path = Path(path)
+    if path.is_dir() or path.name == "MANIFEST":
+        from repro.index.segments import MANIFEST_VERSION, read_manifest
+
+        directory = path if path.is_dir() else path.parent
+        manifest = read_manifest(directory)
+        return {"version": MANIFEST_VERSION, "codec": "raw",
+                "layout": "store", "shards": manifest.shards,
+                "segments": len(manifest.segments),
+                "generation": manifest.generation}
+    from repro.index.codec import is_binary_index, read_binary_header
+
+    if is_binary_index(path):
+        header = read_binary_header(path)
+        body = header.get("body", {})
+        return {"version": header.get("version"),
+                "codec": header.get("codec"),
+                "layout": body.get("layout", "monolithic"),
+                "shards": len(body.get("shards", []))}
+    envelope = read_envelope(path)
+    version = envelope.get("version")
+    if version == FORMAT_VERSION_SHARDED:
+        shards = len(envelope.get("shards") or [])
+        layout = "sharded"
+    else:
+        shards, layout = 1, "monolithic"
+    return {"version": version, "codec": "raw", "layout": layout,
+            "shards": shards}
+
+
 def check_index(path: str | Path) -> dict:
     """Health summary of a persisted index file (``--check-index``).
 
@@ -382,20 +439,27 @@ def check_index(path: str | Path) -> dict:
         summary.update(diagnosis="unreadable", error=str(exc))
         return summary
     try:
+        summary.update(describe_layout(path))
+    except StorageError:
+        pass  # the load below reports the failure with its diagnosis
+    # the whole summary stays inside the guard: a lazily loaded v4
+    # index can surface a truncated or corrupt region only when its
+    # tables are first touched, not at load time
+    try:
         index = load_index(path)
+        summary.update(
+            ok=True,
+            documents=len(index.document_names),
+            keywords=len(dict(index.inverted.items())),
+            postings=sum(len(posting_list)
+                         for _, posting_list in index.inverted.items()),
+            entity_nodes=len(index.hashes.entity_table),
+            element_nodes=len(index.hashes.element_table),
+            total_nodes=index.stats.total_nodes)
     except StorageError as exc:
-        summary.update(diagnosis=exc.diagnosis or "corrupted",
+        summary.update(ok=False, diagnosis=exc.diagnosis or "corrupted",
                        error=str(exc))
         return summary
-    summary.update(
-        ok=True,
-        documents=len(index.document_names),
-        keywords=len(dict(index.inverted.items())),
-        postings=sum(len(posting_list)
-                     for _, posting_list in index.inverted.items()),
-        entity_nodes=len(index.hashes.entity_table),
-        element_nodes=len(index.hashes.element_table),
-        total_nodes=index.stats.total_nodes)
     if isinstance(index, ShardedIndex):
         summary.update(shards=index.num_shards, strategy=index.strategy)
     return summary

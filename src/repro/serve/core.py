@@ -84,11 +84,12 @@ class _Request:
     """One admitted request travelling from submit to finish."""
 
     __slots__ = ("query", "ranker", "k", "key", "admission", "future",
-                 "arrived_s", "generation", "request_id")
+                 "arrived_s", "generation", "request_id", "options")
 
     def __init__(self, query: Query, ranker, k: int | None, key: tuple,
                  admission: SearchBudget | None, arrived_s: float,
-                 generation: int, request_id: str) -> None:
+                 generation: int, request_id: str,
+                 options: "SearchOptions | None" = None) -> None:
         self.query = query
         self.ranker = ranker
         self.k = k
@@ -98,6 +99,7 @@ class _Request:
         self.arrived_s = arrived_s
         self.generation = generation
         self.request_id = request_id
+        self.options = options
 
 
 class ServerCore:
@@ -218,6 +220,7 @@ class ServerCore:
                k: int | None = None,
                ranker=None,
                deadline_s: float | None = None,
+               options: "SearchOptions | None" = None,
                request_id: str | None = None) -> Future:
         """Admit one request; returns a future for its response.
 
@@ -228,6 +231,15 @@ class ServerCore:
         (including ``SearchTimeout`` for a deadline that expired in the
         queue) surface through the future.
 
+        *options* is the shared frozen
+        :class:`~repro.core.config.SearchOptions` record; its ``s`` /
+        ``k`` / ``deadline_s`` fields fill in whichever of the explicit
+        parameters are unset, and its engine-side knobs (``use_cache``,
+        ``strict_deadline``) travel with the request to the engine
+        call.  Requests carrying engine-side knobs are excluded from
+        the TTL cache and coalescing, exactly like budgeted requests —
+        their responses are request-specific.
+
         Every admitted request carries a correlation id (*request_id*,
         minted from the broker's id source when the caller brings none);
         the response's :class:`~repro.obs.stats.QueryStats` comes back
@@ -235,6 +247,21 @@ class ServerCore:
         *this* request's id.  Coalesced followers are the one exception:
         they share the leader's future and therefore its id.
         """
+        engine_options = None
+        if options is not None:
+            if s is None:
+                s = options.s
+            if k is None:
+                k = options.k
+            if deadline_s is None:
+                deadline_s = options.deadline_s
+            if (options.use_cache is not None
+                    or options.strict_deadline is not None):
+                from repro.core.config import SearchOptions
+
+                engine_options = SearchOptions(
+                    use_cache=options.use_cache,
+                    strict_deadline=options.strict_deadline)
         if ranker is None:
             ranker = self.engine.config.ranker
         if isinstance(query, str):
@@ -259,7 +286,7 @@ class ServerCore:
                 raise Overloaded(
                     f"request arrived with no deadline budget left "
                     f"({deadline_s}s)", reason="deadline")
-            if deadline_s is None:
+            if deadline_s is None and engine_options is None:
                 cached = self._ttl_get(key, now=arrived)
                 if cached is not None:
                     self._m_ttl_hits.inc()
@@ -298,8 +325,10 @@ class ServerCore:
                 # read here would skew injected FakeClock timelines
                 admission._started = arrived
             request = _Request(query, ranker, k, key, admission, arrived,
-                               self._generation, request_id)
-            if deadline_s is None and self.config.coalesce:
+                               self._generation, request_id,
+                               options=engine_options)
+            if (deadline_s is None and engine_options is None
+                    and self.config.coalesce):
                 self._inflight[key] = request
             self._queued += 1
             self._m_queue_depth.set(self._queued)
@@ -310,10 +339,11 @@ class ServerCore:
                k: int | None = None,
                ranker=None,
                deadline_s: float | None = None,
+               options: "SearchOptions | None" = None,
                request_id: str | None = None) -> GKSResponse:
         """Blocking convenience over :meth:`submit`."""
         return self.submit(query, s, k=k, ranker=ranker,
-                           deadline_s=deadline_s,
+                           deadline_s=deadline_s, options=options,
                            request_id=request_id).result()
 
     # ------------------------------------------------------------------
@@ -349,13 +379,13 @@ class ServerCore:
             if request.k is not None:
                 response = self.engine.search_top_k(
                     request.query, request.k, ranker=request.ranker,
-                    budget=budget, tracer=tracer,
-                    request_id=request.request_id)
+                    budget=budget, options=request.options,
+                    tracer=tracer, request_id=request.request_id)
             else:
                 response = self.engine.search(
                     request.query, ranker=request.ranker,
-                    budget=budget, tracer=tracer,
-                    request_id=request.request_id)
+                    budget=budget, options=request.options,
+                    tracer=tracer, request_id=request.request_id)
             if tracer is not None and tracer.roots:
                 # stamp serve-side context on the search's root span so
                 # the span tree alone answers "how long did it queue?"
@@ -379,6 +409,7 @@ class ServerCore:
             self._m_latency.observe(finished - request.arrived_s)
             if error is None:
                 if (request.admission is None
+                        and request.options is None
                         and self.config.ttl_s is not None
                         and not response.degraded
                         and request.generation == self._generation):

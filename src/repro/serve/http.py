@@ -10,7 +10,11 @@ Routes
 ------
 ``GET /search?q=...&s=...&k=...&deadline_ms=...``
     Run a keyword query; also accepts ``POST /search`` with the same
-    fields as a JSON body.  Responds with the
+    fields as a JSON body.  A JSON body may also carry an ``options``
+    object — the wire form of
+    :class:`~repro.core.config.SearchOptions` (``s``, ``k``,
+    ``use_cache``, ``strict_deadline``, ``deadline_ms``); explicit
+    top-level parameters win over its fields.  Responds with the
     :func:`repro.core.export.response_to_dict` payload plus a ``serve``
     envelope (degradation report, cache/coalesce provenance).
 ``POST /documents``
@@ -44,6 +48,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.config import SearchOptions
 from repro.core.export import response_to_dict
 from repro.errors import (GKSError, Overloaded, QueryError, SearchTimeout,
                           ValidationError, XMLSyntaxError)
@@ -153,12 +158,21 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
             k = int(params["k"]) if "k" in params else None
             deadline_s = (float(params["deadline_ms"]) / 1000.0
                           if "deadline_ms" in params else None)
+            # the shared tuning record: ``{"options": {...}}`` in the
+            # body (or a JSON object in the query string); explicit
+            # top-level parameters win over its fields
+            options = None
+            if "options" in params:
+                raw_options = params["options"]
+                if isinstance(raw_options, str):
+                    raw_options = json.loads(raw_options)
+                options = SearchOptions.from_mapping(raw_options)
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_error_json(400, exc, headers=rid_header)
             return
         try:
             response = self.core.search(raw, s, k=k, deadline_s=deadline_s,
-                                        request_id=rid)
+                                        options=options, request_id=rid)
         except Overloaded as exc:
             headers = dict(rid_header)
             if exc.retry_after_s is not None:

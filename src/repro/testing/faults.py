@@ -326,6 +326,46 @@ class IndexCorruptor:
             postings[keyword].append(postings[keyword][0])
         return self._reseal(envelope, path)
 
+    def corrupt_codec_block(self, path: str | Path) -> Path:
+        """Break posting order inside a binary (v4) index, CRCs resealed.
+
+        The codec's block checksums make byte-level tampering a
+        *structural* failure (exit 1) — so this injector goes through
+        the codec itself: :func:`repro.index.codec.decode_file` expands
+        the file, one posting list is reordered or given a duplicate
+        entry, and :func:`repro.index.codec.encode_decoded` reseals it
+        with fresh block CRCs.  The result loads cleanly and passes
+        ``gks check-index``; only the deep audit (exit 2,
+        ``postings-sorted``) can tell it from a healthy index.
+        """
+        from repro.index.codec import (decode_file, encode_decoded,
+                                       is_binary_index)
+        path = Path(path)
+        if not is_binary_index(path):
+            raise ValidationError(f"{path} is not a binary (v4) index file")
+        decoded = decode_file(path)
+        shards = [shard for shard in decoded.shards if shard.postings]
+        if not shards:
+            raise ValidationError(
+                f"{path} has no non-empty postings to corrupt")
+        shard = self._rng.choice(shards)
+        postings = shard.postings
+        plural = [keyword for keyword, entries in sorted(postings.items())
+                  if len(entries) >= 2]
+        if plural:
+            keyword = self._rng.choice(plural)
+            entries = postings[keyword]
+            if self._rng.random() < 0.5:
+                entries[0], entries[-1] = entries[-1], entries[0]
+                if entries == sorted(entries):   # palindromic swap: force
+                    entries.insert(0, entries[-1])
+            else:
+                entries.append(entries[self._rng.randrange(len(entries))])
+        else:
+            keyword = self._rng.choice(sorted(postings))
+            postings[keyword].append(postings[keyword][0])
+        return encode_decoded(decoded, path)
+
     def drop_manifest_document(self, path: str | Path) -> Path:
         """Unassign one document from the v3 shard manifest (CRCs resealed).
 

@@ -13,51 +13,51 @@ from repro.xmltree.repository import Repository
 
 class TestUnusualDocuments:
     def test_single_element_document(self):
-        engine = GKSEngine.from_texts(["<only>word</only>"])
+        engine = GKSEngine.open(["<only>word</only>"])
         response = engine.search("word")
         assert response.deweys == [(0,)]
 
     def test_empty_elements_everywhere(self):
-        engine = GKSEngine.from_texts(["<r><a/><b/><c><d/></c></r>"])
+        engine = GKSEngine.open(["<r><a/><b/><c><d/></c></r>"])
         # no text, but tags are searchable
         assert len(engine.search("d")) == 1
 
     def test_whitespace_only_text(self):
-        engine = GKSEngine.from_texts(["<r><a>   \n\t  </a></r>"])
+        engine = GKSEngine.open(["<r><a>   \n\t  </a></r>"])
         assert engine.index.stats.text_keywords == 0
 
     def test_unicode_content_and_query(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><name>Bergström Ñandú</name></r>"])
         assert len(engine.search("bergström")) == 1
         assert len(engine.search("ñandú")) == 1
 
     def test_numeric_and_mixed_tokens(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><id>P53-variant 2001</id></r>"])
         assert len(engine.search("p53")) == 1
         assert len(engine.search("2001")) == 1
 
     def test_cdata_content_is_indexed(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><code><![CDATA[if karen < mike]]></code></r>"])
         assert len(engine.search("karen mike", s=2)) == 1
 
     def test_entity_references_in_values(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><t>tom &amp; jerry</t></r>"])
         assert len(engine.search("tom jerry", s=2)) == 1
 
     def test_very_wide_fanout(self):
         children = "".join(f"<c>word{i}</c>" for i in range(2000))
-        engine = GKSEngine.from_texts([f"<r>{children}</r>"])
+        engine = GKSEngine.open([f"<r>{children}</r>"])
         response = engine.search("word1999")
         assert len(response) == 1
         # potential flow divides by 2000 children
         assert response[0].score <= 1.0
 
     def test_repeated_keyword_in_one_element(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><a>spam spam spam spam</a></r>"])
         # deduplicated posting; rank counts it once
         response = engine.search("spam")
@@ -65,7 +65,7 @@ class TestUnusualDocuments:
         assert response[0].distinct_keywords == 1
 
     def test_same_keyword_as_tag_and_text(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><year>year</year><other>x</other></r>"])
         response = engine.search("year")
         assert len(response) >= 1
@@ -91,7 +91,7 @@ class TestUnusualQueries:
         assert len(query.keywords) == 2
 
     def test_stemming_unifies_query_and_data(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><t>publications</t></r>"])
         assert len(engine.search("publication")) == 1
         assert len(engine.search("publications")) == 1

@@ -11,13 +11,13 @@ from repro.xmltree.serialize import serialize_node
 
 class TestConstruction:
     def test_from_texts(self):
-        engine = GKSEngine.from_texts(["<r><a>karen</a></r>"])
+        engine = GKSEngine.from_texts(["<r><a>karen</a></r>"])  # gks: ignore[D001]
         assert len(engine.search("karen")) == 1
 
     def test_from_paths(self, tmp_path):
         path = tmp_path / "doc.xml"
         path.write_text("<r><a>karen</a></r>")
-        engine = GKSEngine.from_paths([path])
+        engine = GKSEngine.from_paths([path])  # gks: ignore[D001]
         assert len(engine.search("karen")) == 1
 
     def test_prebuilt_index_is_reused(self, figure2a_repo):

@@ -273,13 +273,13 @@ class TestSearchBudget:
 
 class TestEngineBudget:
     def test_engine_search_degrades(self):
-        engine = GKSEngine.from_texts(make_corpus(30))
+        engine = GKSEngine.open(make_corpus(30))
         budget = SearchBudget(max_sl=4)
         response = engine.search("karen", budget=budget)
         assert response.degraded is True
 
     def test_strict_deadline_raises_timeout(self):
-        engine = GKSEngine.from_texts(make_corpus(30))
+        engine = GKSEngine.open(make_corpus(30))
         clock = FakeClock(auto_advance=1.0)
         budget = SearchBudget(deadline_s=0.5, clock=clock)
         with pytest.raises(SearchTimeout) as excinfo:
@@ -288,13 +288,13 @@ class TestEngineBudget:
         assert excinfo.value.report.reason == "deadline"
 
     def test_strict_deadline_tolerates_resource_caps(self):
-        engine = GKSEngine.from_texts(make_corpus(30))
+        engine = GKSEngine.open(make_corpus(30))
         response = engine.search("karen", budget=SearchBudget(max_sl=4),
                                  strict_deadline=True)
         assert response.degraded is True  # max_sl degrades, never raises
 
     def test_degraded_responses_bypass_cache(self):
-        engine = GKSEngine.from_texts(make_corpus(30))
+        engine = GKSEngine.open(make_corpus(30))
         degraded = engine.search("karen", budget=SearchBudget(max_sl=4))
         full = engine.search("karen")
         assert degraded.degraded and not full.degraded
@@ -303,7 +303,7 @@ class TestEngineBudget:
 
 class TestEngineCacheLRU:
     def test_hit_refreshes_recency(self):
-        engine = GKSEngine.from_texts(make_corpus(10))
+        engine = GKSEngine.open(make_corpus(10))
         engine._cache_size = 2
         first = engine.search("entry1")
         engine.search("entry2")
@@ -317,7 +317,7 @@ class TestEngineCacheLRU:
     def test_distinct_rankers_cached_separately(self):
         from repro.core.ranking import rank_by_keyword_count, rank_node
 
-        engine = GKSEngine.from_texts(make_corpus(5))
+        engine = GKSEngine.open(make_corpus(5))
         by_flow = engine.search("karen", ranker=rank_node)
         by_count = engine.search("karen", ranker=rank_by_keyword_count)
         assert engine.search("karen", ranker=rank_node).nodes \
@@ -460,7 +460,7 @@ class TestEngineIndexCache:
     def test_cold_cache_written(self, tmp_path):
         paths = self._write_corpus(tmp_path)
         cache = tmp_path / "corpus.idx.gz"
-        engine = GKSEngine.from_paths(paths, index_path=cache)
+        engine = GKSEngine.open(paths, index_path=cache)
         assert cache.exists()
         assert check_index(cache)["ok"]
         assert engine.search("karen").nodes
@@ -468,19 +468,19 @@ class TestEngineIndexCache:
     def test_warm_cache_used(self, tmp_path):
         paths = self._write_corpus(tmp_path)
         cache = tmp_path / "corpus.idx.gz"
-        GKSEngine.from_paths(paths, index_path=cache)
+        GKSEngine.open(paths, index_path=cache)
         stamp = cache.stat().st_mtime_ns
-        engine = GKSEngine.from_paths(paths, index_path=cache)
+        engine = GKSEngine.open(paths, index_path=cache)
         assert cache.stat().st_mtime_ns == stamp  # not rewritten
         assert engine.search("entry2").nodes
 
     def test_torn_cache_rebuilt_and_rewritten(self, tmp_path):
         paths = self._write_corpus(tmp_path)
         cache = tmp_path / "corpus.idx.gz"
-        reference = GKSEngine.from_paths(paths, index_path=cache)
+        reference = GKSEngine.open(paths, index_path=cache)
         TornWriter(seed=9).tear(cache, fraction=0.5)
         assert check_index(cache)["ok"] is False
-        engine = GKSEngine.from_paths(paths, index_path=cache)
+        engine = GKSEngine.open(paths, index_path=cache)
         assert check_index(cache)["ok"] is True  # rewritten atomically
         assert engine.search("karen").deweys == \
             reference.search("karen").deweys

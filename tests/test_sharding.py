@@ -339,14 +339,14 @@ class TestEngineConfig:
             GKSEngine.open(["<a/>", str(path)])
 
     def test_shims_equal_open(self):
-        via_shim = GKSEngine.from_texts(CORPUS)
+        via_shim = GKSEngine.from_texts(CORPUS)  # gks: ignore[D001]
         via_open = GKSEngine.open(Texts(CORPUS))
         query = "keyword search"
         assert _signature(via_shim.search(query)) == \
             _signature(via_open.search(query))
 
     def test_search_tuning_params_are_keyword_only(self):
-        engine = GKSEngine.from_texts(CORPUS)
+        engine = GKSEngine.open(CORPUS)
         with pytest.raises(TypeError):
             engine.search("keyword", 1, None)
         with pytest.raises(TypeError):
@@ -399,7 +399,7 @@ class TestAddDocument:
 
     @pytest.mark.parametrize("shards", (2, 4))
     def test_sharded_append_equals_monolithic(self, shards):
-        mono = GKSEngine.from_texts(CORPUS)
+        mono = GKSEngine.open(CORPUS)
         sharded = GKSEngine.open(Texts(CORPUS), shards=shards)
         mono.add_document(self.NEW_DOC)
         sharded.add_document(self.NEW_DOC)
@@ -419,7 +419,7 @@ class TestAddDocument:
                    for before, after in zip(untouched, survivors))
 
     def test_cache_cleared_even_when_indexing_fails(self, monkeypatch):
-        engine = GKSEngine.from_texts(CORPUS)
+        engine = GKSEngine.open(CORPUS)
         engine.search("keyword")
         assert engine.cache_info()["size"] == 1
 
@@ -449,6 +449,6 @@ class TestErrors:
             SearchBudget(max_sl=0)
 
     def test_top_k_validation_uses_config_error(self):
-        engine = GKSEngine.from_texts(CORPUS)
+        engine = GKSEngine.open(CORPUS)
         with pytest.raises(ConfigError):
             engine.search_top_k("keyword", 0)

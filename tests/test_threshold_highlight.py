@@ -104,7 +104,7 @@ class TestHighlightSnippet:
         assert "<Course>" in text
 
     def test_xml_escaping_applies(self):
-        engine = GKSEngine.from_texts(
+        engine = GKSEngine.open(
             ["<r><a>karen &amp; mike</a></r>"])
         query = engine.parse_query("karen")
         response = engine.search(query)
