@@ -1,0 +1,116 @@
+"""Runtime sanitizer overhead: monitored locks must be ~free to carry.
+
+The lock monitor is only deployable against live traffic if wrapping
+every ``new_lock`` in an :class:`~repro.obs.locks.InstrumentedLock`
+does not materially slow the serving path.  This bench drives the same
+closed-loop workload through a :class:`~repro.serve.ServerCore` twice —
+uninstrumented (the zero-cost raw-lock default) and with a
+:class:`~repro.obs.locks.LockMonitor` installed — and writes the
+comparison to ``benchmarks/results/BENCH_sanitizer.json``.  The
+acceptance bar is monitored overhead below 10% of the uninstrumented
+median.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+from repro.obs.locks import LockMonitor, install_monitor, uninstall_monitor
+from repro.serve import LoadGenerator, ServeConfig, ServerCore
+
+pytestmark = pytest.mark.concurrency
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sanitizer.json"
+
+QUERIES = ["karen mike", "karen mining students", "databases courses name"]
+ROUNDS = 40
+CONCURRENCY = 4
+ITERATIONS = 12
+
+
+def _core() -> ServerCore:
+    engine = GKSEngine(load_dataset("figure2a"))
+    return ServerCore(engine, ServeConfig(workers=CONCURRENCY,
+                                          queue_capacity=256))
+
+
+def _run_round(core: ServerCore) -> float:
+    """Wall seconds for one closed-loop pass over the query mix."""
+    generator = LoadGenerator(core)
+    started = time.perf_counter()
+    generator.run_closed(QUERIES, concurrency=CONCURRENCY,
+                         iterations=ITERATIONS)
+    return time.perf_counter() - started
+
+
+def _paired_rounds() -> tuple[list[float], list[float]]:
+    """Per-round ms for (uninstrumented, monitored), paired in time.
+
+    Both variants run back-to-back within each round — one broker each,
+    built under the matching monitor state — so each pair shares
+    whatever machine phase (CPU frequency, scheduler placement, GC) the
+    round landed in.  The overhead statistic is the *median of
+    per-round ratios*: a paired comparison that cancels process-global
+    noise an unpaired min-vs-min or median-vs-median cannot.
+    """
+    plain_core = _core()
+    monitor = LockMonitor()
+    install_monitor(monitor)
+    try:
+        monitored_core = _core()
+    finally:
+        uninstall_monitor()
+    plain, monitored = [], []
+    with plain_core, monitored_core:
+        _run_round(plain_core)       # warm-up: caches, thread pools
+        _run_round(monitored_core)
+        for _ in range(ROUNDS):
+            plain.append(_run_round(plain_core) * 1000.0)
+            monitored.append(_run_round(monitored_core) * 1000.0)
+    return plain, monitored
+
+
+def test_sanitizer_overhead_report():
+    plain, monitored = _paired_rounds()
+    plain_ms = statistics.median(plain)
+    monitored_ms = statistics.median(monitored)
+    ratios = [m / p for p, m in zip(plain, monitored)]
+    overhead_pct = (statistics.median(ratios) - 1.0) * 100.0
+    report = {
+        "dataset": "figure2a",
+        "queries": QUERIES,
+        "rounds": ROUNDS,
+        "closed_loop": {"concurrency": CONCURRENCY,
+                        "iterations": ITERATIONS},
+        "uninstrumented_ms_per_round": round(plain_ms, 4),
+        "monitored_ms_per_round": round(monitored_ms, 4),
+        "monitored_overhead_pct": round(overhead_pct, 2),
+        "statistic": "median of per-round paired ratios",
+        "acceptance": "monitored overhead < 10% of uninstrumented",
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                            encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # generous in-test guard (the JSON carries the precise number; CI
+    # machines are noisy enough that a hard 10% assert would flake)
+    assert overhead_pct < 50.0, report
+
+
+def test_uninstrumented_serving_uses_raw_locks():
+    """The default build must pay literally zero wrapper cost."""
+    from repro.obs.locks import InstrumentedLock
+
+    core = _core()
+    with core:
+        assert not isinstance(core._lock, InstrumentedLock)
+        assert not isinstance(core.engine._cache_lock, InstrumentedLock)

@@ -20,6 +20,29 @@ echo "== lint gate over src/tests/benchmarks =="
 python -m repro lint src tests benchmarks
 echo "lint clean"
 
+echo "== machine-readable lint report =="
+python -m repro lint --json src tests benchmarks | python -m json.tool >/dev/null
+echo "lint --json parses"
+
+echo "== lock inventory =="
+LOCKS="$(python -m repro lint --locks src 2>/dev/null)"
+for name in serve.core engine.cache engine.mutation sharding.cache index.wal; do
+    grep -q "$name" <<<"$LOCKS" || {
+        echo "FAIL: lock inventory is missing $name" >&2; exit 1; }
+done
+echo "inventory names all serving/durability locks"
+
+echo "== runtime race detection (gks race, all scenarios) =="
+python -m repro dataset figure2a -o "$WORKDIR"
+RACE="$(python -m repro race "$WORKDIR"/figure2a_0.xml --scenario all --json)"
+grep -q '"ok": true' <<<"$RACE" || {
+    echo "FAIL: gks race reported findings on the clean serving path" >&2
+    echo "$RACE" >&2; exit 1; }
+grep -q 'engine.mutation -> index.wal' <<<"$RACE" || {
+    echo "FAIL: race run never observed the mutation->wal ordering" >&2
+    echo "$RACE" >&2; exit 1; }
+echo "race harness clean; expected lock orderings observed"
+
 echo "== build a sharded index =="
 python -m repro dataset figure1 -o "$WORKDIR"
 python -m repro dataset figure2a -o "$WORKDIR"

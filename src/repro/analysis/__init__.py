@@ -12,6 +12,7 @@ Two complementary halves:
 CLI entry points: ``gks lint`` and ``gks check-index --deep``.
 """
 
+from repro.analysis.concurrency import LockSite, collect_locks
 from repro.analysis.findings import Finding, render_findings
 from repro.analysis.invariants import (INVARIANT_NAMES, InvariantViolation,
                                        verify_index, verify_segmented_store,
@@ -24,6 +25,7 @@ __all__ = [
     "Finding", "render_findings",
     "ModuleInfo", "Rule", "register", "default_rules", "rule_catalog",
     "lint_modules", "lint_paths",
+    "LockSite", "collect_locks",
     "InvariantViolation", "verify_index", "verify_segmented_store",
     "verify_store", "INVARIANT_NAMES",
 ]

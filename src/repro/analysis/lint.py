@@ -158,7 +158,7 @@ def default_rules() -> list[Rule]:
     """One instance of every registered rule (registration on import)."""
     # deferred so the registry is populated exactly once, without an
     # import cycle between the engine and the rule modules
-    from repro.analysis import layering, rules  # noqa: F401
+    from repro.analysis import concurrency, layering, rules  # noqa: F401
 
     return [rule_class() for rule_class in _REGISTRY.values()]
 

@@ -16,7 +16,13 @@ Subcommands mirror the system's three engines (Fig. 3):
 * ``gks check-index INDEX [--deep]``   index health; ``--deep`` audits
   data-level invariants (exit 2 on violation vs 1 for structural)
 * ``gks lint [PATH...]``               static-analysis rules over the
-  source trees (exit 1 on findings; ``--list-rules`` for the catalog)
+  source trees (exit 1 on findings; ``--list-rules`` for the catalog,
+  ``--locks`` for the lock inventory, ``--json`` for machine output)
+* ``gks race FILE...``                 scripted concurrent workloads
+  under the runtime concurrency sanitizer: instrumented locks record
+  the lock-order graph (potential deadlocks reported with both witness
+  stacks) while a schedule-perturbing harness shakes out atomicity
+  violations (exit 1 on findings)
 * ``gks serve FILE... --port N``       JSON-over-HTTP query serving
   (``/search``, ``/healthz``, ``/metrics``) with bounded admission and
   request coalescing; SIGTERM drains gracefully
@@ -209,6 +215,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                "src tests benchmarks)")
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="print the rule catalog and exit")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit findings (or the lock inventory "
+                               "with --locks) as one stable "
+                               "machine-readable JSON object instead of "
+                               "text (same exit codes)")
+    lint_cmd.add_argument("--locks", action="store_true",
+                          help="report the lock inventory instead of "
+                               "findings: every Lock/RLock construction "
+                               "site, its declared `# guards:` fields "
+                               "and how many `with` blocks take it")
+
+    race_cmd = commands.add_parser(
+        "race", help="drive scripted concurrent workloads under the "
+                     "runtime concurrency sanitizer (instrumented "
+                     "locks + schedule perturbation)")
+    race_cmd.add_argument("files", nargs="+", help="XML files to load")
+    race_cmd.add_argument("--scenario", default="all",
+                          choices=["all", "cache", "swap", "durable"],
+                          help="workload: engine LRU probe/store under "
+                               "contention, hot engine swap under "
+                               "traffic, or concurrent durable "
+                               "add/flush/search (default: all)")
+    race_cmd.add_argument("--threads", type=int, default=4,
+                          help="concurrent drivers per round (default 4)")
+    race_cmd.add_argument("--rounds", type=int, default=3,
+                          help="independent perturbed rounds (default 3)")
+    race_cmd.add_argument("--iterations", type=int, default=25,
+                          help="operations per thread per round "
+                               "(default 25)")
+    race_cmd.add_argument("--seed", type=int, default=0,
+                          help="base seed for per-thread operation "
+                               "choice (default 0)")
+    race_cmd.add_argument("--json", action="store_true",
+                          help="emit the sanitizer report as one stable "
+                               "JSON object (same exit codes)")
 
     stats_cmd = commands.add_parser(
         "stats", help="observability report over a corpus")
@@ -297,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "check-index": _cmd_check_index,
         "lint": _cmd_lint,
+        "race": _cmd_race,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
         "exp": _cmd_exp,
@@ -564,19 +606,122 @@ def _check_segmented_store(directory: Path, deep: bool,
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static-analysis rules; exit 1 when any finding survives."""
-    from repro.analysis import lint_paths, rule_catalog
+    import json as json_module
+
+    from repro.analysis import collect_locks, lint_paths, rule_catalog
+    from repro.analysis.lint import ModuleInfo, iter_python_files
+
+    def emit(report: dict) -> int:
+        # one sorted-keys object on stdout (same contract as
+        # ``check-index --json``): scripts parse it without scraping
+        print(json_module.dumps(report, sort_keys=True))
+        return report["exit"]
 
     if args.list_rules:
         for rule in rule_catalog():
             print(f"{rule.rule_id}  {rule.title}")
         return 0
+    if args.locks:
+        modules = [ModuleInfo.from_path(path)
+                   for path in iter_python_files(args.paths)]
+        sites = collect_locks(modules)
+        if args.json:
+            return emit({"exit": 0, "ok": True, "count": len(sites),
+                         "locks": [site.to_dict() for site in sites]})
+        for site in sites:
+            print(site.render())
+        print(f"gks lint: {len(sites)} lock site(s)", file=sys.stderr)
+        return 0
     findings = lint_paths(args.paths)
+    if args.json:
+        return emit({"exit": 1 if findings else 0, "ok": not findings,
+                     "count": len(findings),
+                     "findings": [{"path": finding.path,
+                                   "line": finding.line,
+                                   "rule": finding.rule_id,
+                                   "severity": finding.severity,
+                                   "message": finding.message}
+                                  for finding in findings]})
     for finding in findings:
         print(finding.render())
     if findings:
         print(f"gks lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    """Run scripted workloads under the runtime sanitizer; exit 1 on
+    findings (invariant violations, exceptions or potential deadlocks)."""
+    import json as json_module
+    import tempfile
+
+    from repro.core.config import EngineConfig
+    from repro.obs.locks import monitoring
+    from repro.testing.race import (RaceHarness, drive_cache_workload,
+                                    drive_durable_workload,
+                                    drive_swap_workload)
+
+    def queries_of(engine) -> list[str]:
+        vocabulary = engine.index.inverted.vocabulary
+        return vocabulary[:8] if vocabulary else ["xml"]
+
+    harness = RaceHarness(threads=args.threads, rounds=args.rounds,
+                          iterations=args.iterations, seed=args.seed)
+    scenarios = (["cache", "swap", "durable"] if args.scenario == "all"
+                 else [args.scenario])
+    reports: dict[str, object] = {}
+    with monitoring() as monitor:
+        if "cache" in scenarios:
+            engine = _engine(args.files)
+            reports["cache"] = drive_cache_workload(
+                engine, queries_of(engine), harness)
+        if "swap" in scenarios:
+            engine = _engine(args.files)
+            spare = _engine(args.files)
+            with engine.serve(workers=max(2, args.threads)) as core:
+                reports["swap"] = drive_swap_workload(
+                    core, [engine, spare], harness, queries_of(engine))
+        if "durable" in scenarios:
+            with tempfile.TemporaryDirectory() as store_dir:
+                config = EngineConfig(store_path=store_dir,
+                                      memtable_docs=8)
+                engine = GKSEngine.open(_load_repository(args.files),
+                                        config=config)
+                try:
+                    reports["durable"] = drive_durable_workload(
+                        engine, harness, queries_of(engine))
+                finally:
+                    engine.close()
+    deadlocks = monitor.potential_deadlocks()
+    violations = sum(len(report.violations) + len(report.exceptions)
+                     for report in reports.values())
+    ok = not deadlocks and violations == 0
+    if args.json:
+        print(json_module.dumps({
+            "exit": 0 if ok else 1, "ok": ok,
+            "scenarios": {name: {"rounds": report.rounds,
+                                 "operations": report.operations,
+                                 "violations": list(report.violations),
+                                 "exceptions": [list(entry) for entry
+                                                in report.exceptions]}
+                          for name, report in reports.items()},
+            "lock_order": monitor.report(),
+        }, sort_keys=True))
+        return 0 if ok else 1
+    for name, report in reports.items():
+        print(f"[{name}] {report.render()}")
+    print(f"lock-order edges: "
+          + (", ".join(f"{edge.held} -> {edge.acquired}"
+                       for edge in monitor.edges()) or "(none)"))
+    for report in deadlocks:
+        print(report.render())
+    if ok:
+        print("gks race: no findings", file=sys.stderr)
+        return 0
+    print(f"gks race: {violations} workload finding(s), "
+          f"{len(deadlocks)} potential deadlock(s)", file=sys.stderr)
+    return 1
 
 
 def _load_repository(files: list[str]) -> Repository:

@@ -16,7 +16,6 @@ API::
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import replace
 from pathlib import Path
@@ -37,6 +36,7 @@ from repro.errors import (ConfigError, SearchTimeout, StorageError,
 from repro.index.builder import GKSIndex, IndexBuilder
 from repro.index.segments import PendingDocument, SegmentStore
 from repro.index.sharding import ParallelIndexBuilder, ShardedIndex, shard_of
+from repro.obs.locks import new_lock, new_rlock
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.stats import SlowQuery, SlowQueryLog
 from repro.obs.trace import NullTracer, Span, Tracer
@@ -94,14 +94,15 @@ class GKSEngine:
         # the same oldest key would otherwise race into a KeyError.
         self._cache_size = max(0, config.cache_size)
         self._response_cache: dict = {}
-        self._cache_lock = threading.Lock()
+        self._cache_lock = new_lock("engine.cache")  # guards: _response_cache
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
         # Durable write path (attached by open() when config.store_path
         # is set).  The RLock serializes mutations — an add_document that
         # crosses the memtable threshold flushes inside the same hold.
-        self._mutation_lock = threading.RLock()
+        # guards: index, _generation, _pending, _durable_units
+        self._mutation_lock = new_rlock("engine.mutation")
         self._mutation_listeners: list = []
         self._generation = 0
         self._store: SegmentStore | None = None
@@ -563,7 +564,7 @@ class GKSEngine:
         self._notify_mutation(info)
         return info
 
-    def _add_legacy(self, text: str, name: str | None) -> dict:
+    def _add_legacy(self, text: str, name: str | None) -> dict:  # holds: _mutation_lock
         from repro.index.incremental import append_document
 
         document = self.repository.parse(text, name=name)
@@ -580,7 +581,7 @@ class GKSEngine:
         return {"doc_id": document.doc_id, "name": document.name,
                 "generation": self._generation, "durable": False}
 
-    def _add_durable(self, text: str, name: str | None) -> dict:
+    def _add_durable(self, text: str, name: str | None) -> dict:  # holds: _mutation_lock
         doc_id = len(self.repository)
         # Parse *before* the WAL append: a malformed document must fail
         # the caller, never poison the log that recovery replays.
@@ -705,7 +706,7 @@ class GKSEngine:
         ).observe(tracer.roots[-1].duration_s)
         return set(merged)
 
-    def _recompose(self) -> None:
+    def _recompose(self) -> None:  # holds: _mutation_lock
         """Publish a fresh immutable serving snapshot (caller holds the
         mutation lock).  In-flight searches finish on the snapshot they
         captured; the generation bump keeps their responses out of the

@@ -39,6 +39,7 @@ from repro.index.builder import GKSIndex, IndexBuilder
 from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
 from repro.index.statistics import IndexStats
+from repro.obs.locks import new_lock
 from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.repository import Repository
@@ -200,6 +201,11 @@ class ShardedIndex:
         self._postings_cache: dict[str, list[Dewey]] = {}
         self._merged_inverted: InvertedIndex | None = None
         self._merged_stats: IndexStats | None = None
+        # The lazily merged views are probed from the scatter-gather
+        # worker pool; without the lock two threads could interleave a
+        # check-then-merge and publish half-built state.
+        # guards: _postings_cache, _merged_inverted, _merged_stats
+        self._cache_lock = new_lock("sharding.cache")
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -228,49 +234,55 @@ class ShardedIndex:
         hence in one shard, so the per-shard intersection union equals
         the global intersection.
         """
-        cached = self._postings_cache.get(keyword)
+        with self._cache_lock:
+            cached = self._postings_cache.get(keyword)
         if cached is None:
-            cached = list(heap_merge(
+            merged = list(heap_merge(
                 *(shard.index.postings(keyword) for shard in self.shards)))
-            self._postings_cache[keyword] = cached
+            with self._cache_lock:
+                # setdefault publishes exactly one list per keyword even
+                # when two threads merged it concurrently
+                cached = self._postings_cache.setdefault(keyword, merged)
         return cached
 
     @property
     def inverted(self) -> InvertedIndex:
         """Merged inverted index (lazy; for validation and persistence)."""
-        if self._merged_inverted is None:
-            merged: dict[str, list[Dewey]] = {}
-            for shard in self.shards:
-                for keyword, postings in shard.index.inverted.items():
-                    merged.setdefault(keyword, []).append(postings)
-            index = InvertedIndex()
-            index._postings = {
-                keyword: list(heap_merge(*lists))
-                for keyword, lists in merged.items()}
-            self._merged_inverted = index
-        return self._merged_inverted
+        with self._cache_lock:
+            if self._merged_inverted is None:
+                merged: dict[str, list[Dewey]] = {}
+                for shard in self.shards:
+                    for keyword, postings in shard.index.inverted.items():
+                        merged.setdefault(keyword, []).append(postings)
+                index = InvertedIndex()
+                index._postings = {
+                    keyword: list(heap_merge(*lists))
+                    for keyword, lists in merged.items()}
+                self._merged_inverted = index
+            return self._merged_inverted
 
     @property
     def stats(self) -> IndexStats:
         """Aggregated corpus statistics over all shards."""
-        if self._merged_stats is None:
-            total = IndexStats()
-            for shard in self.shards:
-                stats = shard.index.stats
-                total.documents += stats.documents
-                total.total_nodes += stats.total_nodes
-                total.attribute_nodes += stats.attribute_nodes
-                total.entity_nodes += stats.entity_nodes
-                total.repeating_nodes += stats.repeating_nodes
-                total.connecting_nodes += stats.connecting_nodes
-                total.text_keywords += stats.text_keywords
-                total.tag_keywords += stats.tag_keywords
-                total.max_depth = max(total.max_depth, stats.max_depth)
-                total.build_seconds += stats.build_seconds
-                for tag, category in stats.category_by_tag.items():
-                    total.category_by_tag.setdefault(tag, category)
-            self._merged_stats = total
-        return self._merged_stats
+        with self._cache_lock:
+            if self._merged_stats is None:
+                total = IndexStats()
+                for shard in self.shards:
+                    stats = shard.index.stats
+                    total.documents += stats.documents
+                    total.total_nodes += stats.total_nodes
+                    total.attribute_nodes += stats.attribute_nodes
+                    total.entity_nodes += stats.entity_nodes
+                    total.repeating_nodes += stats.repeating_nodes
+                    total.connecting_nodes += stats.connecting_nodes
+                    total.text_keywords += stats.text_keywords
+                    total.tag_keywords += stats.tag_keywords
+                    total.max_depth = max(total.max_depth, stats.max_depth)
+                    total.build_seconds += stats.build_seconds
+                    for tag, category in stats.category_by_tag.items():
+                        total.category_by_tag.setdefault(tag, category)
+                self._merged_stats = total
+            return self._merged_stats
 
     # ------------------------------------------------------------------
     # Maintenance

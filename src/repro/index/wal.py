@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.obs.locks import new_lock
 from repro.obs.metrics import global_registry
 from repro.obs.trace import DEFAULT_CLOCK
 
@@ -169,6 +170,11 @@ class WriteAheadLog:
         self.path = Path(path)
         self._fsync = fsync
         self._last_lsn = last_lsn
+        # The engine's mutation lock serializes the durable path today,
+        # but the log's own invariants (consecutive LSNs, handle swap
+        # during truncation) must not depend on the caller's discipline.
+        # guards: _last_lsn, _handle
+        self._lock = new_lock("index.wal")
         try:
             self._handle = open(self.path, "ab")
         except OSError as exc:
@@ -230,7 +236,8 @@ class WriteAheadLog:
         empty; the manifest still remembers the highest flushed LSN and
         recovery pushes it here so new appends keep counting upward.
         """
-        self._last_lsn = max(self._last_lsn, lsn)
+        with self._lock:
+            self._last_lsn = max(self._last_lsn, lsn)
 
     def append(self, record: dict) -> int:
         """Durably append *record*; returns its LSN.
@@ -238,24 +245,26 @@ class WriteAheadLog:
         The write is flushed and fsynced before returning — when this
         method returns, the record survives a crash.
         """
-        lsn = self._last_lsn + 1
-        frame = _encode_frame(lsn, record)
         registry = global_registry()
         started = DEFAULT_CLOCK()
-        try:
-            self._handle.write(frame)
-            self._handle.flush()
-            if self._fsync:
-                fsync_started = DEFAULT_CLOCK()
-                os.fsync(self._handle.fileno())
-                registry.histogram(
-                    "gks_wal_fsync_seconds",
-                    help="Wall time of per-append WAL fsync calls."
-                ).observe(DEFAULT_CLOCK() - fsync_started)
-        except OSError as exc:
-            raise StorageError(
-                f"cannot append to WAL at {self.path}: {exc}",
-                diagnosis="unwritable", path=self.path) from exc
+        with self._lock:
+            lsn = self._last_lsn + 1
+            frame = _encode_frame(lsn, record)
+            try:
+                self._handle.write(frame)
+                self._handle.flush()
+                if self._fsync:
+                    fsync_started = DEFAULT_CLOCK()
+                    os.fsync(self._handle.fileno())
+                    registry.histogram(
+                        "gks_wal_fsync_seconds",
+                        help="Wall time of per-append WAL fsync calls."
+                    ).observe(DEFAULT_CLOCK() - fsync_started)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot append to WAL at {self.path}: {exc}",
+                    diagnosis="unwritable", path=self.path) from exc
+            self._last_lsn = lsn
         registry.histogram(
             "gks_wal_append_seconds",
             help="Wall time of durable WAL appends (write+flush+fsync)."
@@ -268,7 +277,6 @@ class WriteAheadLog:
             "gks_wal_appended_bytes_total",
             help="Framed bytes appended to the write-ahead log."
         ).inc(len(frame))
-        self._last_lsn = lsn
         return lsn
 
     def truncate_through(self, lsn: int) -> None:
@@ -278,35 +286,37 @@ class WriteAheadLog:
         (atomic), keeping the surviving frames' LSNs — a crash during
         truncation leaves either the old log or the new one, both valid.
         """
-        replay = replay_wal(self.path)
-        keep = [frame for frame in replay.frames if frame.lsn > lsn]
-        temp_path = self.path.with_name(self.path.name + ".tmp")
-        try:
-            with open(temp_path, "wb") as handle:
-                handle.write(WAL_MAGIC)
-                for frame in keep:
-                    handle.write(_encode_frame(frame.lsn, frame.record))
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._handle.close()
-            os.replace(temp_path, self.path)
-        except OSError as exc:
+        with self._lock:
+            replay = replay_wal(self.path)
+            keep = [frame for frame in replay.frames if frame.lsn > lsn]
+            temp_path = self.path.with_name(self.path.name + ".tmp")
             try:
-                temp_path.unlink()
-            except OSError:
-                pass
-            raise StorageError(
-                f"cannot truncate WAL at {self.path}: {exc}",
-                diagnosis="unwritable", path=self.path) from exc
-        fsync_directory(self.path.parent)
-        self._handle = open(self.path, "ab")
+                with open(temp_path, "wb") as handle:
+                    handle.write(WAL_MAGIC)
+                    for frame in keep:
+                        handle.write(_encode_frame(frame.lsn, frame.record))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._handle.close()
+                os.replace(temp_path, self.path)
+            except OSError as exc:
+                try:
+                    temp_path.unlink()
+                except OSError:
+                    pass
+                raise StorageError(
+                    f"cannot truncate WAL at {self.path}: {exc}",
+                    diagnosis="unwritable", path=self.path) from exc
+            fsync_directory(self.path.parent)
+            self._handle = open(self.path, "ab")
         global_registry().counter(
             "gks_wal_truncations_total",
             help="Checkpoint truncations rewriting the WAL."
         ).inc()
 
     def close(self) -> None:
-        self._handle.close()
+        with self._lock:
+            self._handle.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<WriteAheadLog {self.path} lsn={self._last_lsn}>"

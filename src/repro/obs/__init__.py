@@ -1,6 +1,6 @@
 """``repro.obs`` — the zero-dependency observability subsystem.
 
-Three instruments, one package:
+Four instruments, one package:
 
 * :mod:`repro.obs.trace` — nested wall-time spans with counters and
   attributes (:class:`Tracer`), plus a shared no-op tracer
@@ -10,13 +10,21 @@ Three instruments, one package:
   exposition;
 * :mod:`repro.obs.stats` — the per-query :class:`QueryStats` record
   attached to every :class:`~repro.core.results.GKSResponse`, and the
-  :class:`SlowQueryLog` ring buffer behind ``gks stats``.
+  :class:`SlowQueryLog` ring buffer behind ``gks stats``;
+* :mod:`repro.obs.locks` — injectable instrumented locks
+  (:func:`new_lock`/:func:`new_rlock` + :class:`LockMonitor`) recording
+  per-thread acquisition stacks into a lock-order graph with
+  potential-deadlock cycle detection; raw stdlib locks (zero cost)
+  when no monitor is installed.
 
 Every clock in the package is injectable (compose with
 :class:`repro.testing.faults.FakeClock`), so duration assertions are
 deterministic and never sleep.
 """
 
+from repro.obs.locks import (DeadlockReport, InstrumentedLock, LockMonitor,
+                             OrderEdge, install_monitor, monitoring,
+                             new_lock, new_rlock, uninstall_monitor)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                global_registry)
 from repro.obs.stats import QueryStats, SlowQuery, SlowQueryLog
@@ -35,4 +43,13 @@ __all__ = [
     "Span",
     "Tracer",
     "render_span_tree",
+    "DeadlockReport",
+    "InstrumentedLock",
+    "LockMonitor",
+    "OrderEdge",
+    "install_monitor",
+    "uninstall_monitor",
+    "monitoring",
+    "new_lock",
+    "new_rlock",
 ]

@@ -1,0 +1,365 @@
+"""Instrumented locks: a lock-order graph with deadlock witnesses.
+
+The serving and durability paths construct their locks through
+:func:`new_lock` / :func:`new_rlock` instead of ``threading.Lock()``
+directly.  With no monitor installed (the default, and the production
+configuration) these return the *raw* stdlib lock — zero wrapper, zero
+overhead, the same pattern as :data:`repro.obs.trace.NOOP_TRACER`.  When
+a :class:`LockMonitor` is installed (``gks race``, the ``concurrency``
+test suite, the sanitizer benchmark), every lock built afterwards is an
+:class:`InstrumentedLock` that reports each acquisition to the monitor
+together with a cheap stack capture.
+
+The monitor keeps, per thread, the stack of locks currently held; when a
+thread acquires ``B`` while holding ``A`` it records the ordering edge
+``A -> B`` with *both* acquisition stacks (where ``A`` was taken, and
+where ``B`` was taken while holding it).  :meth:`LockMonitor.
+potential_deadlocks` then searches the accumulated edge graph for
+cycles: ``A -> B`` observed on one code path and ``B -> A`` on another
+is a potential deadlock even if the run never actually hung, and the
+report shows the witness stacks for every edge of the cycle.
+
+Lock *names* are stable, human-chosen identifiers ("serve.core",
+"engine.cache", ...), not object ids — two ServerCore instances share
+the name, which is what makes ordering violations between instances of
+the same class visible.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Frames of context materialized per witness stack.  Deliberately
+#: shallow: the witness only needs to say *which call chain* took the
+#: lock.
+STACK_DEPTH = 12
+
+
+def _materialize_stack(site: tuple) -> tuple[tuple[str, int, str], ...]:
+    """(filename, line, function) frames for an acquisition site.
+
+    Valid while the acquiring call chain is still on its thread's stack
+    (always true when recording an edge: the held lock's frame is an
+    ancestor of the acquiring one, suspended at the call that led here,
+    so its ancestors' ``f_lineno`` still point at the acquisition path).
+    """
+    frame, lineno = site
+    frames = []
+    while frame is not None and len(frames) < STACK_DEPTH:
+        code = frame.f_code
+        frames.append((code.co_filename, lineno, code.co_name))
+        frame = frame.f_back
+        lineno = frame.f_lineno if frame is not None else 0
+    return tuple(frames)
+
+
+def render_stack(stack: tuple[tuple[str, int, str], ...]) -> str:
+    """One indented line per captured frame, innermost first."""
+    return "\n".join(f"    {filename}:{line} in {function}"
+                     for filename, line, function in stack)
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """One observed ordering: *held* was held while *acquired* was taken.
+
+    ``held_stack`` is where the thread took *held*; ``acquired_stack``
+    is where it then took *acquired* — together the two witness stacks
+    a deadlock report needs.
+    """
+
+    held: str
+    acquired: str
+    thread: str
+    held_stack: tuple[tuple[str, int, str], ...]
+    acquired_stack: tuple[tuple[str, int, str], ...]
+
+    def render(self) -> str:
+        return (f"{self.held} -> {self.acquired}  [thread {self.thread}]\n"
+                f"  {self.held} acquired at:\n"
+                f"{render_stack(self.held_stack)}\n"
+                f"  {self.acquired} acquired (while holding "
+                f"{self.held}) at:\n"
+                f"{render_stack(self.acquired_stack)}")
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """A cycle in the lock-order graph, with one witness edge per hop."""
+
+    cycle: tuple[str, ...]
+    edges: tuple[OrderEdge, ...]
+
+    def render(self) -> str:
+        chain = " -> ".join([*self.cycle, self.cycle[0]])
+        body = "\n".join(edge.render() for edge in self.edges)
+        return f"potential deadlock: {chain}\n{body}"
+
+
+class LockMonitor:
+    """Collects acquisition counts and the lock-order graph.
+
+    Thread-safe; the monitor's own bookkeeping lock is a raw
+    ``threading.Lock`` (instrumenting it would recurse) and is *off* the
+    per-acquisition path: held-lock stacks and acquisition counts live
+    in per-thread state (counts dicts are registered once per thread and
+    merged on read, which the GIL makes safe), so the monitor lock is
+    only taken to register a thread, record a first-witness edge, or
+    report.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: _count_slabs, _edges
+        self._local = threading.local()
+        self._count_slabs: list[dict[str, int]] = []
+        self._edges: dict[tuple[str, str], OrderEdge] = {}
+
+    # -- recording (called by InstrumentedLock) -------------------------
+    def _state(self) -> tuple[list, dict[str, int]]:
+        """This thread's (held-lock stack, acquisition-count slab)."""
+        try:
+            return self._local.state
+        except AttributeError:
+            state = ([], {})
+            self._local.state = state
+            with self._lock:
+                self._count_slabs.append(state[1])
+            return state
+
+    def acquired(self, name: str) -> None:
+        held, counts = self._state()
+        counts[name] = counts.get(name, 0) + 1
+        # Cheap per-acquisition record: the caller frame (first one
+        # outside this module — those die as soon as acquire returns)
+        # plus a snapshot of its live line number.  The expensive
+        # (filename, line, function) extraction is deferred to
+        # _materialize_stack and paid only for a *new* ordering edge,
+        # so steady-state acquisitions cost two pointer hops here.
+        # Exactly one InstrumentedLock frame sits between the caller
+        # and this method on both entry paths (__enter__ and acquire),
+        # so depth 2 is normally the caller already and the walk guard
+        # never iterates.
+        frame = sys._getframe(2)
+        while frame is not None and frame.f_code.co_filename == __file__:
+            frame = frame.f_back
+        held.append((name, frame,
+                     frame.f_lineno if frame is not None else 0))
+        if len(held) > 1:
+            self._note_edge(held, name)
+
+    def _note_edge(self, held: list, name: str) -> None:
+        """Record the first witness for the ordering held[-2] -> name."""
+        for entry in held[:-1]:
+            if entry[0] == name:
+                # reentrant RLock acquire — reentrancy cannot deadlock
+                # against itself, so no edge
+                return
+        top_name = held[-2][0]
+        key = (top_name, name)
+        # unlocked membership probe is a benign race: a miss is
+        # re-checked under the lock before writing
+        if key not in self._edges:
+            with self._lock:
+                if key not in self._edges:
+                    self._edges[key] = OrderEdge(
+                        held=top_name, acquired=name,
+                        thread=threading.current_thread().name,
+                        held_stack=_materialize_stack(held[-2][1:]),
+                        acquired_stack=_materialize_stack(held[-1][1:]))
+
+    def released(self, name: str) -> None:
+        held = self._state()[0]
+        if held and held[-1][0] == name:  # the common, LIFO case
+            del held[-1]
+            return
+        for position in range(len(held) - 1, -1, -1):
+            if held[position][0] == name:
+                del held[position]
+                return
+
+    # -- reporting ------------------------------------------------------
+    def acquisitions(self) -> dict[str, int]:
+        with self._lock:
+            slabs = list(self._count_slabs)
+        merged: dict[str, int] = {}
+        for counts in slabs:
+            for name, count in counts.items():
+                merged[name] = merged.get(name, 0) + count
+        return merged
+
+    def edges(self) -> list[OrderEdge]:
+        with self._lock:
+            return sorted(self._edges.values(),
+                          key=lambda edge: (edge.held, edge.acquired))
+
+    def potential_deadlocks(self) -> list[DeadlockReport]:
+        """Every elementary cycle in the observed lock-order graph."""
+        with self._lock:
+            adjacency: dict[str, list[str]] = {}
+            for held, acquired in self._edges:
+                adjacency.setdefault(held, []).append(acquired)
+            edge_map = dict(self._edges)
+        reports: list[DeadlockReport] = []
+        seen: set[tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            for cycle in self._cycles_from(start, adjacency):
+                canonical = self._canonical(cycle)
+                if canonical in seen:
+                    continue
+                seen.add(canonical)
+                hops = list(zip(cycle, [*cycle[1:], cycle[0]]))
+                reports.append(DeadlockReport(
+                    cycle=tuple(cycle),
+                    edges=tuple(edge_map[hop] for hop in hops)))
+        return reports
+
+    @staticmethod
+    def _cycles_from(start: str, adjacency: dict[str, list[str]]
+                     ) -> Iterator[list[str]]:
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for target in sorted(adjacency.get(node, ())):
+                if target == start:
+                    yield path
+                elif target not in path:
+                    stack.append((target, [*path, target]))
+
+    @staticmethod
+    def _canonical(cycle: list[str]) -> tuple[str, ...]:
+        pivot = cycle.index(min(cycle))
+        return tuple(cycle[pivot:] + cycle[:pivot])
+
+    def report(self) -> dict:
+        """JSON-able summary: counts, edges, potential deadlocks."""
+        return {
+            "acquisitions": self.acquisitions(),
+            "edges": [f"{edge.held} -> {edge.acquired}"
+                      for edge in self.edges()],
+            "potential_deadlocks": [
+                {"cycle": list(report.cycle),
+                 "witnesses": [edge.render() for edge in report.edges]}
+                for report in self.potential_deadlocks()],
+        }
+
+
+class InstrumentedLock:
+    """A monitored wrapper over a stdlib lock (context-manager API).
+
+    Duck-types ``threading.Lock``/``RLock``: ``acquire``/``release``,
+    ``with``-statement use, and ``locked()`` all delegate to the wrapped
+    lock; successful acquisitions and releases report to the monitor.
+    """
+
+    __slots__ = ("name", "_inner", "_monitor")
+
+    def __init__(self, inner, name: str, monitor: LockMonitor) -> None:
+        self.name = name
+        self._inner = inner
+        self._monitor = monitor
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.released(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # The with form is the serving hot path: entry/exit inline the
+    # monitor's fast-path bookkeeping (thread state, count, acquire
+    # site, LIFO pop) instead of calling monitor.acquired/released —
+    # each skipped Python call is measurable in the sanitizer-overhead
+    # benchmark.  The logic must mirror LockMonitor.acquired/released,
+    # which stay the single source of truth for the slow paths.
+    def __enter__(self) -> bool:
+        # bookkeeping happens *before* taking the inner lock so that
+        # the monitor extends each critical section by only a list
+        # append — under worker contention, time spent holding the
+        # lock is amplified, not just added
+        monitor = self._monitor
+        try:
+            held, counts = monitor._local.state
+        except AttributeError:
+            held, counts = monitor._state()
+        name = self.name
+        counts[name] = counts.get(name, 0) + 1
+        frame = sys._getframe(1)  # __enter__'s caller: the with site
+        entry = (name, frame, frame.f_lineno)
+        self._inner.acquire()
+        held.append(entry)
+        if len(held) > 1:
+            monitor._note_edge(held, name)
+        return True
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._inner.release()
+        held = self._monitor._local.state[0]
+        if held and held[-1][0] == self.name:  # the common, LIFO case
+            del held[-1]
+        else:
+            self._monitor.released(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InstrumentedLock {self.name!r}>"
+
+
+#: The active monitor; ``None`` (the default) means locks built by
+#: new_lock()/new_rlock() are raw stdlib locks with zero overhead.
+_ACTIVE_MONITOR: LockMonitor | None = None
+
+
+def install_monitor(monitor: LockMonitor) -> LockMonitor:
+    """Make *monitor* observe every lock built after this call."""
+    global _ACTIVE_MONITOR
+    _ACTIVE_MONITOR = monitor
+    return monitor
+
+
+def uninstall_monitor() -> None:
+    global _ACTIVE_MONITOR
+    _ACTIVE_MONITOR = None
+
+
+class monitoring:
+    """``with monitoring() as monitor:`` — scoped install/uninstall."""
+
+    def __init__(self, monitor: LockMonitor | None = None) -> None:
+        self.monitor = monitor if monitor is not None else LockMonitor()
+
+    def __enter__(self) -> LockMonitor:
+        return install_monitor(self.monitor)
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall_monitor()
+
+
+def new_lock(name: str, monitor: LockMonitor | None = None):
+    """A ``threading.Lock`` — instrumented iff a monitor is in effect.
+
+    An explicit *monitor* wins over the installed one.  Locks are bound
+    to the monitor active at *construction* time: build the engine /
+    broker inside the ``monitoring()`` scope to observe its locks.
+    """
+    inner = threading.Lock()
+    monitor = monitor if monitor is not None else _ACTIVE_MONITOR
+    if monitor is None:
+        return inner
+    return InstrumentedLock(inner, name=name, monitor=monitor)
+
+
+def new_rlock(name: str, monitor: LockMonitor | None = None):
+    """A ``threading.RLock`` — instrumented iff a monitor is in effect."""
+    inner = threading.RLock()
+    monitor = monitor if monitor is not None else _ACTIVE_MONITOR
+    if monitor is None:
+        return inner
+    return InstrumentedLock(inner, name=name, monitor=monitor)

@@ -38,7 +38,11 @@ every budget-degraded path of the engine's own ``config.budget``.
 Thread-safety: one lock guards the queue accounting, the in-flight
 table, the TTL cache and every exact-count metric increment, so
 ``gks_serve_shed_total`` accounts for *every* rejection with no
-read-modify-write races.  The lock is never held across an engine call.
+read-modify-write races.  The lock is never held across an engine call
+(checked statically by lint rule ``C001``), its protected fields are
+declared with the ``# guards:`` annotation rule ``C002`` enforces, and
+it is built with :func:`repro.obs.locks.new_lock` so an installed
+:class:`~repro.obs.locks.LockMonitor` sees every acquisition.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ from repro.core.budget import SearchBudget
 from repro.core.query import Query
 from repro.core.results import GKSResponse
 from repro.errors import Overloaded, SearchTimeout
+from repro.obs.locks import new_lock
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.trace import DEFAULT_CLOCK, Tracer
 from repro.serve.config import ServeConfig
@@ -137,7 +142,9 @@ class ServerCore:
             id_source = _default_id_source()
         self._id_source = id_source
 
-        self._lock = threading.Lock()
+        # guards: _queued, _running, _draining, _closed, _inflight,
+        # guards: _ttl_cache, _generation
+        self._lock = new_lock("serve.core")
         self._queue: queue.Queue = queue.Queue()
         self._queued = 0          # waiting for a worker (capacity bound)
         self._running = 0         # dequeued, executing in the engine
@@ -287,7 +294,7 @@ class ServerCore:
                     f"request arrived with no deadline budget left "
                     f"({deadline_s}s)", reason="deadline")
             if deadline_s is None and engine_options is None:
-                cached = self._ttl_get(key, now=arrived)
+                cached = self._ttl_get_locked(key, now=arrived)
                 if cached is not None:
                     self._m_ttl_hits.inc()
                     self._m_requests.inc(labels={"outcome": "ttl-hit"})
@@ -413,7 +420,7 @@ class ServerCore:
                         and self.config.ttl_s is not None
                         and not response.degraded
                         and request.generation == self._generation):
-                    self._ttl_put(request.key, response, now=finished)
+                    self._ttl_put_locked(request.key, response, now=finished)
                 self._m_requests.inc(labels={"outcome": "ok"})
             elif isinstance(error, SearchTimeout):
                 self._m_timeouts.inc()
@@ -513,9 +520,10 @@ class ServerCore:
         return self._engine.compact()
 
     # ------------------------------------------------------------------
-    # TTL cache (call with the lock held)
+    # TTL cache (the `_locked` suffix is the C002 convention: the
+    # caller holds self._lock)
     # ------------------------------------------------------------------
-    def _ttl_get(self, key: tuple, now: float) -> GKSResponse | None:
+    def _ttl_get_locked(self, key: tuple, now: float) -> GKSResponse | None:
         if self.config.ttl_s is None:
             return None
         entry = self._ttl_cache.get(key)
@@ -527,8 +535,8 @@ class ServerCore:
             return None
         return response
 
-    def _ttl_put(self, key: tuple, response: GKSResponse,
-                 now: float) -> None:
+    def _ttl_put_locked(self, key: tuple, response: GKSResponse,
+                        now: float) -> None:
         if key in self._ttl_cache:
             del self._ttl_cache[key]
         elif len(self._ttl_cache) >= self.config.ttl_capacity:

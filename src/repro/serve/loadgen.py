@@ -27,6 +27,7 @@ from typing import Callable, Sequence
 
 from repro.errors import GKSError, Overloaded, SearchTimeout, \
     ValidationError
+from repro.obs.locks import new_lock
 from repro.obs.trace import DEFAULT_CLOCK
 from repro.serve.core import ServerCore
 
@@ -293,7 +294,7 @@ class LoadGenerator:
         """
         started = self._clock()
         completions: dict[int, float] = {}
-        stamp_lock = threading.Lock()
+        stamp_lock = new_lock("loadgen.stamp")  # guards: completions
 
         def stamp(future) -> None:
             now = self._clock()

@@ -1,8 +1,16 @@
-"""Deterministic fault injection for resilience tests and benchmarks."""
+"""Deterministic fault injection and race harnessing for tests/benches."""
 
 from repro.testing.faults import (BurstyArrivals, FakeClock, IndexCorruptor,
                                   SlowEngine, StoreCorruptor, TornWriter,
                                   XMLCorruptor, corrupt_corpus)
+from repro.testing.race import (LockOrderInversion, PreemptingEngine,
+                                RaceHarness, RaceReport, RacyCache,
+                                drive_cache_workload, drive_durable_workload,
+                                drive_swap_workload, preemption_gap)
 
 __all__ = ["BurstyArrivals", "FakeClock", "IndexCorruptor", "SlowEngine",
-           "StoreCorruptor", "TornWriter", "XMLCorruptor", "corrupt_corpus"]
+           "StoreCorruptor", "TornWriter", "XMLCorruptor", "corrupt_corpus",
+           "LockOrderInversion", "PreemptingEngine", "RaceHarness",
+           "RaceReport", "RacyCache", "drive_cache_workload",
+           "drive_durable_workload", "drive_swap_workload",
+           "preemption_gap"]

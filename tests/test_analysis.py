@@ -66,7 +66,7 @@ class TestEngine:
         ids = [rule.rule_id for rule in rule_catalog()]
         assert len(ids) == len(set(ids))  # unique
         for expected in ("L001", "L002", "T001", "E001", "E002",
-                         "M001", "M002", "F001"):
+                         "M001", "M002", "F001", "C001", "C002", "C003"):
             assert expected in ids
 
     def test_module_roles(self, tmp_path):
@@ -472,7 +472,8 @@ class TestCli:
     def test_lint_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("L001", "T001", "E002", "F001"):
+        for rule_id in ("L001", "T001", "E002", "F001", "C001", "C002",
+                        "C003"):
             assert rule_id in out
 
     def test_check_index_deep_exit_codes(self, tmp_path, capsys):
