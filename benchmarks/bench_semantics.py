@@ -1,0 +1,98 @@
+"""Query-modes benchmark: probabilistic overhead and relaxation latency.
+
+Two claims of the semantics subsystem are measured and gated, and the
+record lands in ``benchmarks/results/BENCH_semantics.json``:
+
+* **Probabilistic mode is pay-for-what-you-use.**  On a corpus with no
+  ``p:`` annotations the compiled tables are empty and the
+  subset-distribution DP is skipped, so a probabilistic engine must
+  answer within 2x the strict engine's median latency on the same
+  query mix (the gate is deliberately loose: the remaining overhead is
+  the per-result existence lookup and the mode dispatch).
+* **Relaxation pays only when it fires.**  The no-but-semantic-match
+  sweep runs one strict sub-search per single-edit rewrite, so its
+  latency is recorded alongside the candidate count it actually
+  evaluated — a trigger on an empty strict answer, not a tax on every
+  query.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import GKSEngine
+from repro.datasets.registry import load_dataset
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_semantics.json"
+
+ROUNDS = 30
+OVERHEAD_GATE = 2.0
+QUERIES = [("databases compression", 1), ("rivera indexing", 1),
+           ("storage streams retrieval", 2)]
+RELAXED_QUERY = ("zyzzyva compression", 2)  # empty strict answer
+
+
+def _median_seconds(engine: GKSEngine, **kwargs) -> float:
+    samples = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for text, s in QUERIES:
+            engine.search(text, s=s, use_cache=False, **kwargs)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def test_semantics_benchmark_report():
+    repository = load_dataset("mirrors", scale=2)
+    strict_engine = GKSEngine(repository)
+    prob_engine = GKSEngine(repository,
+                            config=EngineConfig(mode="probabilistic"))
+
+    strict_s = _median_seconds(strict_engine)
+    prob_s = _median_seconds(prob_engine)
+    ratio = prob_s / strict_s if strict_s else float("inf")
+
+    # relaxation trigger: empty strict answer -> single-edit sweep
+    text, s = RELAXED_QUERY
+    strict = strict_engine.search(text, s=s, use_cache=False)
+    assert not strict.nodes, "relaxation query must miss strictly"
+    samples = []
+    response = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        response = strict_engine.search(text, s=s, mode="relaxed",
+                                        use_cache=False)
+        samples.append(time.perf_counter() - started)
+    relaxed_s = statistics.median(samples)
+    candidates = response.stats.semantics_candidates
+
+    record = {
+        "corpus": {"dataset": "mirrors", "scale": 2,
+                   "documents": len(repository),
+                   "nodes": strict_engine.index.stats.total_nodes},
+        "queries_per_round": len(QUERIES),
+        "rounds": ROUNDS,
+        "strict_median_s": strict_s,
+        "probabilistic_median_s": prob_s,
+        "probabilistic_over_strict": ratio,
+        "overhead_gate": OVERHEAD_GATE,
+        "relaxation": {"query": text, "s": s,
+                       "candidates": candidates,
+                       "median_trigger_s": relaxed_s,
+                       "results": len(response.nodes)},
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print(f"semantics bench -> {RESULTS_PATH}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    # the gate: empty tables must not make probabilistic mode pay for
+    # the DP it never runs
+    assert ratio < OVERHEAD_GATE, (
+        f"probabilistic mode is {ratio:.2f}x strict on a "
+        f"non-probabilistic corpus (gate {OVERHEAD_GATE}x)")

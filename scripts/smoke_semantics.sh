@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Query-modes smoke test: exercise the semantics subsystem end-to-end
+# through the CLI — probabilistic search over a p-document (tables
+# compiled at index time, thresholded results, both codecs), the
+# relaxed no-but-semantic-match fallback with provenance, the typed
+# mode-compatibility error, and strict-mode byte-identity of the
+# persisted payload.
+#
+# Usage:  bash scripts/smoke_semantics.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/pdoc.xml" <<'XML'
+<inventory>
+  <item p:type="IND">
+    <name p:p="0.5">apple crate</name>
+    <name>banana crate</name>
+  </item>
+  <item p:type="MUX">
+    <name p:p="0.6">fig basket</name>
+    <name p:p="0.9">durian basket</name>
+  </item>
+</inventory>
+XML
+cat > "$WORKDIR/plain.xml" <<'XML'
+<library><book><title>apple pie</title><author>banana bob</author></book></library>
+XML
+
+echo "== probabilistic search scores by path probability =="
+OUT="$(python -m repro search "$WORKDIR/pdoc.xml" -q apple \
+       --mode probabilistic --trace)"
+echo "$OUT"
+grep -q "p=0.5000" <<<"$OUT" || {
+    echo "FAIL: probabilistic result missing p=0.5" >&2; exit 1; }
+grep -q "mode=probabilistic" <<<"$OUT" || {
+    echo "FAIL: --trace did not reflect the mode" >&2; exit 1; }
+
+echo "== threshold drops sub-threshold results =="
+OUT="$(python -m repro search "$WORKDIR/pdoc.xml" -q apple \
+       --mode probabilistic --threshold 0.7)"
+echo "$OUT"
+grep -q "^0 node(s)" <<<"$OUT" || {
+    echo "FAIL: threshold 0.7 did not drop the p=0.5 results" >&2
+    exit 1; }
+
+echo "== MUX weights normalise (0.6/0.9 -> 0.4/0.6) =="
+OUT="$(python -m repro search "$WORKDIR/pdoc.xml" -q durian \
+       --mode probabilistic)"
+echo "$OUT"
+grep -q "p=0.6000" <<<"$OUT" || {
+    echo "FAIL: MUX weight did not normalise to 0.6" >&2; exit 1; }
+
+echo "== relaxed mode rescues an empty strict answer =="
+OUT="$(python -m repro search "$WORKDIR/plain.xml" -q "papaya pie" -s 2 \
+       --mode relaxed --trace)"
+echo "$OUT"
+grep -q "dropped 'papaya'" <<<"$OUT" || {
+    echo "FAIL: relaxed result lacks drop provenance" >&2; exit 1; }
+grep -q "mode=relaxed" <<<"$OUT" || {
+    echo "FAIL: --trace did not reflect relaxed mode" >&2; exit 1; }
+
+echo "== persisted probabilistic index reports its mode (both codecs) =="
+python - "$WORKDIR" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import GKSEngine
+from repro.index.storage import save_index
+from repro.xmltree.repository import Repository
+
+workdir = Path(sys.argv[1])
+repository = Repository()
+repository.parse((workdir / "pdoc.xml").read_text(), name="pdoc.xml")
+engine = GKSEngine(repository, config=EngineConfig(mode="probabilistic"))
+save_index(engine.index, workdir / "prob.gks")
+save_index(engine.index, workdir / "prob.gksindex", codec="varint-dag")
+EOF
+for INDEX in "$WORKDIR/prob.gks" "$WORKDIR/prob.gksindex"; do
+    OUT="$(python -m repro check-index "$INDEX" --json)"
+    echo "$OUT"
+    grep -q '"mode": "probabilistic"' <<<"$OUT" || {
+        echo "FAIL: check-index --json lacks the probabilistic mode" \
+             "for $INDEX" >&2; exit 1; }
+done
+
+echo "== strict open of a table-carrying index is a typed error =="
+python - "$WORKDIR" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import GKSEngine
+from repro.errors import ConfigError
+from repro.xmltree.repository import Repository
+
+workdir = Path(sys.argv[1])
+repository = Repository()
+repository.parse((workdir / "pdoc.xml").read_text(), name="pdoc.xml")
+try:
+    GKSEngine.open(repository,
+                   config=EngineConfig(index_path=workdir / "prob.gks"))
+except ConfigError as error:
+    print(f"typed refusal: {error}")
+else:
+    sys.exit("FAIL: strict engine accepted a probabilistic index")
+EOF
+
+echo "== strict index payload carries no probability tables =="
+OUT="$(python -m repro index "$WORKDIR/plain.xml" -o "$WORKDIR/strict.gks")"
+OUT="$(python -m repro check-index "$WORKDIR/strict.gks" --json)"
+echo "$OUT"
+grep -q '"mode": "strict"' <<<"$OUT" || {
+    echo "FAIL: strict index did not report mode strict" >&2; exit 1; }
+
+echo "smoke_semantics OK"

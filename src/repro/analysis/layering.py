@@ -23,10 +23,12 @@ documented refinements:
 
 Packages the original DAG statement does not name are slotted where
 their dependencies put them: ``datasets``/``testing`` with
-``index``/``schema``; ``analytics``/``analysis``/``serve`` with
-``baselines``/``eval``; the experiment harness (``exp``, which drives
-``serve`` and ``eval``) and the ``__init__``/``__main__`` facades with
-the CLI.
+``index``/``schema``; ``semantics`` (the query-modes subsystem: it
+imports ``index`` and ``core.config``, and ``core.engine`` calls it
+through deferred imports) with ``core``/``obs``;
+``analytics``/``analysis``/``serve`` with ``baselines``/``eval``; the
+experiment harness (``exp``, which drives ``serve`` and ``eval``) and
+the ``__init__``/``__main__`` facades with the CLI.
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ LAYER_OF = {
     "errors": 0,
     "text": 1, "xmltree": 1,
     "index": 2, "schema": 2, "datasets": 2, "testing": 2,
-    "core": 3, "obs": 3,
+    "core": 3, "obs": 3, "semantics": 3,
     "baselines": 4, "eval": 4, "analytics": 4, "analysis": 4,
     "serve": 4,
     "cli": 5, "shell": 5, "exp": 5, "api": 5, "__init__": 5,

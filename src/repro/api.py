@@ -19,6 +19,14 @@ Quickstart::
     for node in response.top(5):
         print(engine.describe(node))
 
+Query semantics are part of the surface too: ``EngineConfig.mode`` /
+``SearchOptions.mode`` select one of :data:`MODES` (``strict`` |
+``probabilistic`` | ``relaxed``), probabilistic results carry
+``RankedNode.probability`` and relaxed results a
+:class:`RelaxationStep` in ``RankedNode.relaxation``; non-strict
+responses describe themselves in ``GKSResponse.semantics``
+(:class:`SemanticsInfo`).
+
 ``GKSEngine.open`` is the one blessed constructor — it sniffs raw XML
 texts, corpus paths and :class:`~repro.xmltree.repository.Repository`
 objects (wrap iterables in :class:`Texts` / :class:`Paths` to skip the
@@ -31,9 +39,11 @@ deprecated (lint rule ``D001`` flags them).
 from __future__ import annotations
 
 from repro.core.budget import SearchBudget
-from repro.core.config import EngineConfig, Paths, SearchOptions, Texts
+from repro.core.config import (MODES, EngineConfig, Paths,
+                               SearchOptions, Texts)
 from repro.core.engine import GKSEngine
-from repro.core.results import GKSResponse, RankedNode
+from repro.core.results import (GKSResponse, RankedNode,
+                                RelaxationStep, SemanticsInfo)
 from repro.errors import (ConfigError, GKSError, Overloaded, QueryError,
                           SearchTimeout, StorageError, ValidationError,
                           XMLSyntaxError)
@@ -41,8 +51,8 @@ from repro.index.codec import CODEC_NAMES, Codec, resolve_codec
 
 __all__ = [
     "CODEC_NAMES", "Codec", "ConfigError", "EngineConfig", "GKSEngine",
-    "GKSError", "GKSResponse", "Overloaded", "Paths", "QueryError",
-    "RankedNode", "SearchBudget", "SearchOptions", "SearchTimeout",
-    "StorageError", "Texts", "ValidationError", "XMLSyntaxError",
-    "resolve_codec",
+    "GKSError", "GKSResponse", "MODES", "Overloaded", "Paths",
+    "QueryError", "RankedNode", "RelaxationStep", "SearchBudget",
+    "SearchOptions", "SearchTimeout", "SemanticsInfo", "StorageError",
+    "Texts", "ValidationError", "XMLSyntaxError", "resolve_codec",
 ]

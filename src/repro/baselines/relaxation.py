@@ -1,0 +1,122 @@
+"""Exhaustive-relaxation oracle for the no-but-semantic-match mode.
+
+Re-derives the single-edit relaxation model of
+:mod:`repro.semantics.relax` *independently* and applies it literally:
+the vocabulary comes from a definition-literal pairwise walk over the
+materialised trees (not the counting trick the production pipeline
+uses), every candidate rewrite is evaluated with the plain monolithic
+search pipeline, and the documented merge/rank rules — dedup per node
+keeping the cheapest edit, order by ``(penalty, -score, dewey)`` — are
+applied by hand.  Tests cross-validate the engine's relaxed mode
+(which runs sharded and over both codecs) against this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bruteforce import node_keywords
+from repro.core.query import Query
+from repro.core.search import search
+from repro.index.builder import build_index
+from repro.semantics.relax import PENALTIES
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.repository import Repository
+
+
+@dataclass(frozen=True)
+class RelaxedHit:
+    """One oracle result node with its winning edit's provenance."""
+
+    dewey: Dewey
+    score: float
+    penalty: float
+    op: str
+    source: str
+    replacement: str | None
+
+
+def _pairwise_vocabulary(repository: Repository, analyzer: Analyzer
+                         ) -> tuple[dict[str, set[str]],
+                                    dict[str, set[str]]]:
+    """(tag_parents, siblings) by the literal pairwise definitions."""
+    tag_parents: dict[str, set[str]] = {}
+    siblings: dict[str, set[str]] = {}
+    for document in repository:
+        queue = [document.root]
+        while queue:
+            parent = queue.pop()
+            queue.extend(parent.children)
+            parent_tags = set(analyzer.analyze_tag(parent.tag))
+            for child in parent.children:
+                for keyword in analyzer.analyze_tag(child.tag):
+                    for tag in parent_tags:
+                        if tag != keyword:
+                            tag_parents.setdefault(keyword,
+                                                   set()).add(tag)
+            for a in parent.children:
+                for b in parent.children:
+                    if a is b:
+                        continue
+                    for k in node_keywords(a, analyzer):
+                        for t in node_keywords(b, analyzer):
+                            if t != k:
+                                siblings.setdefault(k, set()).add(t)
+    return tag_parents, siblings
+
+
+def _candidate_edits(query: Query, tag_parents: dict[str, set[str]],
+                     siblings: dict[str, set[str]]
+                     ) -> list[tuple[float, str, str, str | None,
+                                     tuple[str, ...]]]:
+    """All single edits as (penalty, op, source, replacement, keywords)."""
+    keywords = query.keywords
+    edits = []
+    for keyword in keywords:
+        for parent in tag_parents.get(keyword, ()):
+            if parent not in keywords:
+                edits.append((PENALTIES["generalize"], "generalize",
+                              keyword, parent,
+                              tuple(parent if k == keyword else k
+                                    for k in keywords)))
+        for term in siblings.get(keyword, ()):
+            if term not in keywords:
+                edits.append((PENALTIES["substitute"], "substitute",
+                              keyword, term,
+                              tuple(term if k == keyword else k
+                                    for k in keywords)))
+        if len(keywords) > 1:
+            edits.append((PENALTIES["drop"], "drop", keyword, None,
+                          tuple(k for k in keywords if k != keyword)))
+    edits.sort(key=lambda edit: (edit[0], edit[1], edit[2], edit[3] or ""))
+    deduped: dict[tuple[str, ...], tuple] = {}
+    for edit in edits:
+        deduped.setdefault(edit[4], edit)
+    return sorted(deduped.values(),
+                  key=lambda edit: (edit[0], edit[1], edit[2],
+                                    edit[3] or ""))
+
+
+def exhaustive_relaxation(repository: Repository, query: Query,
+                          analyzer: Analyzer = DEFAULT_ANALYZER
+                          ) -> list[RelaxedHit]:
+    """Evaluate every single-edit rewrite and merge by the book.
+
+    The caller is responsible for only asking about queries whose
+    strict result is empty (the oracle does not re-check); the answer
+    is what a relaxed-mode engine must return, in order.
+    """
+    tag_parents, siblings = _pairwise_vocabulary(repository, analyzer)
+    index = build_index(repository, analyzer=analyzer)
+    merged: dict[Dewey, RelaxedHit] = {}
+    for penalty, op, source, replacement, keywords in _candidate_edits(
+            query, tag_parents, siblings):
+        response = search(index, Query.of(keywords, s=query.s))
+        for node in response.nodes:
+            if node.dewey not in merged:
+                merged[node.dewey] = RelaxedHit(
+                    dewey=node.dewey, score=node.score, penalty=penalty,
+                    op=op, source=source, replacement=replacement)
+    return sorted(merged.values(),
+                  key=lambda hit: (hit.penalty, -hit.score, hit.dewey))

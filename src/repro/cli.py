@@ -102,6 +102,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             help="per-query deadline in milliseconds; an "
                                  "exhausted deadline degrades the "
                                  "response rather than failing it")
+    search_cmd.add_argument("--mode", default="strict",
+                            choices=["strict", "probabilistic", "relaxed"],
+                            help="query semantics: exact matching "
+                                 "(strict, default), p-document "
+                                 "probability scoring (probabilistic; "
+                                 "compiles probability tables at index "
+                                 "time), or no-but-semantic-match "
+                                 "rewrites when the strict answer is "
+                                 "empty (relaxed)")
+    search_cmd.add_argument("--threshold", type=float, default=0.0,
+                            help="probabilistic mode: drop results with "
+                                 "probability below this (default 0.0)")
     _add_sharding_flags(search_cmd)
 
     serve_cmd = commands.add_parser(
@@ -127,6 +139,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-coalesce", action="store_true",
                            help="disable singleflight coalescing of "
                                 "identical in-flight requests")
+    serve_cmd.add_argument("--mode", default="strict",
+                           choices=["strict", "probabilistic", "relaxed"],
+                           help="default query semantics for served "
+                                "requests (per-request ?mode= still "
+                                "wins); probabilistic compiles "
+                                "probability tables at boot")
+    serve_cmd.add_argument("--threshold", type=float, default=0.0,
+                           help="probabilistic mode: default probability "
+                                "floor for served results (default 0.0)")
     serve_cmd.add_argument("--slow-ms", type=float, default=0.0,
                            help="testing hook: delay every engine "
                                 "search by this many milliseconds "
@@ -183,6 +204,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     shell_cmd = commands.add_parser(
         "shell", help="interactive exploration REPL")
     shell_cmd.add_argument("files", nargs="+")
+    shell_cmd.add_argument("--mode", default="strict",
+                           choices=["strict", "probabilistic", "relaxed"],
+                           help="initial query semantics (switch at the "
+                                "prompt with :mode); probabilistic "
+                                "compiles p-document tables at startup")
+    shell_cmd.add_argument("--threshold", type=float, default=0.0,
+                           help="initial probability threshold "
+                                "(default 0.0)")
 
     validate_cmd = commands.add_parser(
         "validate", help="check a persisted index's integrity")
@@ -353,7 +382,7 @@ def main(argv: list[str] | None = None) -> int:
 def _cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
-    engine = _engine(args.files)
+    engine = _engine(args.files, args)
     run_shell(engine, sys.stdin, print)
     return 0
 
@@ -412,12 +441,13 @@ def _cmd_check_index(args: argparse.Namespace) -> int:
     report: dict = {"path": summary["path"], "ok": False, "exit": 1,
                     "format": {key: summary[key]
                                for key in ("version", "codec", "layout",
-                                           "shards")
+                                           "shards", "mode")
                                if key in summary}}
     fmt = report["format"]
     format_line = (f"v{fmt.get('version', '?')} "
                    f"{fmt.get('codec', '?')} "
-                   f"{fmt.get('layout', '?')}({fmt.get('shards', '?')})"
+                   f"{fmt.get('layout', '?')}({fmt.get('shards', '?')}) "
+                   f"{fmt.get('mode', 'strict')}"
                    if fmt else "unknown")
     if not summary["ok"]:
         report.update(diagnosis=summary["diagnosis"],
@@ -751,7 +781,9 @@ def _engine(files: list[str],
                           store_path=getattr(args, "store", None),
                           memtable_docs=getattr(args, "memtable_docs", 64),
                           compact_segments=getattr(args, "compact_segments",
-                                                   4))
+                                                   4),
+                          mode=getattr(args, "mode", "strict") or "strict",
+                          threshold=getattr(args, "threshold", 0.0))
     if config.store_path is not None:
         # the durable open path: initialise or recover the store
         return GKSEngine.open(_load_repository(files), config=config,
@@ -801,11 +833,24 @@ def _cmd_search(args: argparse.Namespace) -> int:
               file=sys.stderr)
     profile = response.profile
     layout = (f", {args.shards} shard(s)" if args.shards > 1 else "")
+    semantics = ""
+    if response.semantics is not None:
+        semantics = f", mode={response.semantics.mode}"
+        if response.semantics.mode == "probabilistic":
+            semantics += f" >= {args.threshold:g}"
+        elif not response.semantics.relaxed:
+            semantics += " (strict answer non-empty; no rewrites)"
     print(f"{len(response)} node(s) for {response.query}  "
           f"[|SL|={profile.merged_list_size}, "
-          f"{profile.seconds * 1000:.1f} ms{layout}]")
+          f"{profile.seconds * 1000:.1f} ms{layout}{semantics}]")
     for node in response.top(args.top):
-        print(" ", engine.describe(node))
+        line = engine.describe(node)
+        if node.probability is not None:
+            line += f"  p={node.probability:.4f}"
+        if node.relaxation is not None:
+            line += (f"  [{node.relaxation.describe()}, "
+                     f"penalty={node.relaxation.penalty:g}]")
+        print(" ", line)
         if args.snippets:
             print(engine.snippet(node))
         if args.explain:

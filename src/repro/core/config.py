@@ -54,6 +54,24 @@ def _default_ranker() -> Callable:
     return rank_node
 
 
+#: Query semantics modes (the ``repro.semantics`` subsystem): strict
+#: ``min(s,|Q|)`` containment, probabilistic p-document evaluation, or
+#: no-but-semantic-match relaxation of empty strict results.
+MODES = ("strict", "probabilistic", "relaxed")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in MODES:
+        raise ConfigError(
+            f"unknown query mode {mode!r}; expected one of {MODES}")
+
+
+def _check_threshold(threshold: float) -> None:
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigError(
+            f"probability threshold must be in [0, 1]: {threshold}")
+
+
 @dataclass(frozen=True)
 class SearchOptions:
     """Per-request tuning knobs, one frozen record for every surface.
@@ -78,6 +96,15 @@ class SearchOptions:
         instead of returning a degraded partial response.
     deadline_s:
         Wall-clock allowance for the request, in seconds.
+    mode:
+        Query semantics for this request: ``"strict"``,
+        ``"probabilistic"`` or ``"relaxed"``; ``None`` uses the
+        engine's ``EngineConfig.mode``.  Probabilistic requests need an
+        engine opened in probabilistic mode (the index must carry the
+        compiled probability tables).
+    threshold:
+        Probabilistic-mode result filter: only nodes whose
+        possible-worlds probability is ≥ this value are returned.
     """
 
     s: int | None = None
@@ -85,6 +112,8 @@ class SearchOptions:
     use_cache: bool | None = None
     strict_deadline: bool | None = None
     deadline_s: float | None = None
+    mode: str | None = None
+    threshold: float | None = None
 
     def __post_init__(self) -> None:
         if self.s is not None and self.s < 1:
@@ -94,6 +123,10 @@ class SearchOptions:
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ConfigError(
                 f"deadline_s must be >= 0: {self.deadline_s}")
+        if self.mode is not None:
+            _check_mode(self.mode)
+        if self.threshold is not None:
+            _check_threshold(self.threshold)
 
     @classmethod
     def from_mapping(cls, raw: dict) -> "SearchOptions":
@@ -109,7 +142,7 @@ class SearchOptions:
         if not isinstance(raw, dict):
             raise ValidationError("options must be a JSON object")
         known = {"s", "k", "use_cache", "strict_deadline", "deadline_s",
-                 "deadline_ms"}
+                 "deadline_ms", "mode", "threshold"}
         unknown = set(raw) - known
         if unknown:
             raise ValidationError(
@@ -128,6 +161,10 @@ class SearchOptions:
                 values["deadline_s"] = float(raw["deadline_ms"]) / 1000.0
             elif raw.get("deadline_s") is not None:
                 values["deadline_s"] = float(raw["deadline_s"])
+            if raw.get("mode") is not None:
+                values["mode"] = str(raw["mode"])
+            if raw.get("threshold") is not None:
+                values["threshold"] = float(raw["threshold"])
             return cls(**values)
         except (TypeError, ValueError) as exc:
             raise ValidationError(f"invalid search option: {exc}") from exc
@@ -199,6 +236,16 @@ class EngineConfig:
         delta+varint posting blocks, DAG-shared subtrees, lazy
         mmap-backed loading).  Either codec opens files written by the
         other; the codec only selects what *new* saves write.
+    mode:
+        Default query semantics (``repro.semantics``): ``"strict"``
+        (the classic pipeline), ``"probabilistic"`` (p-document
+        evaluation — the ``p:`` annotations are compiled into
+        probability tables at index time) or ``"relaxed"``
+        (no-but-semantic-match rescue of empty strict results).
+        Per-request ``SearchOptions.mode`` overrides it; only an engine
+        opened in probabilistic mode can serve probabilistic requests.
+    threshold:
+        Default probabilistic-mode probability filter in [0, 1].
     """
 
     analyzer: Analyzer = DEFAULT_ANALYZER
@@ -216,6 +263,8 @@ class EngineConfig:
     memtable_docs: int = 64
     compact_segments: int = 4
     codec: str = "raw"
+    mode: str = "strict"
+    threshold: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.index.sharding import PARTITION_STRATEGIES
@@ -251,6 +300,12 @@ class EngineConfig:
             raise ConfigError(
                 "store_path and index_path are mutually exclusive: the "
                 "segmented store owns persistence")
+        _check_mode(self.mode)
+        _check_threshold(self.threshold)
+        if self.mode == "probabilistic" and self.store_path is not None:
+            raise ConfigError(
+                "probabilistic mode is incompatible with store_path: the "
+                "durable write path serves strict/relaxed queries only")
         # normalise early so a typo'd policy fails at config time, not
         # at first ingest
         object.__setattr__(self, "recovery",

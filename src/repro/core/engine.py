@@ -28,7 +28,7 @@ from repro.core.insights import (InsightReport, discover_insights,
 from repro.core.query import Query
 from repro.core.refinement import Refinement, suggest
 from repro.core.ranking import rank_node
-from repro.core.results import GKSResponse, RankedNode
+from repro.core.results import GKSResponse, RankedNode, SemanticsInfo
 from repro.core.search import Ranker, search
 from repro.core.durable import build_unit, compose_serving, open_durable
 from repro.errors import (ConfigError, SearchTimeout, StorageError,
@@ -108,19 +108,29 @@ class GKSEngine:
         self._store: SegmentStore | None = None
         self._durable_units: dict = {}
         self._pending: list[PendingDocument] = []
+        # Relaxed-mode rewrite vocabulary, cached per serving generation
+        # (the corpus walk is linear; redoing it per query would dominate
+        # the rescue path).
+        self._relax_vocab: tuple | None = None
 
     @staticmethod
     def _build_index(repository: Repository,
                      config: EngineConfig) -> GKSIndex | ShardedIndex:
         if config.shards > 1:
-            return ParallelIndexBuilder(
+            index = ParallelIndexBuilder(
                 analyzer=config.analyzer, index_tags=config.index_tags,
                 shards=config.shards, workers=config.workers,
                 strategy=config.shard_strategy).build(repository)
-        builder = IndexBuilder(analyzer=config.analyzer,
-                               index_tags=config.index_tags)
-        builder.add_repository(repository)
-        return builder.build()
+        else:
+            builder = IndexBuilder(analyzer=config.analyzer,
+                                   index_tags=config.index_tags)
+            builder.add_repository(repository)
+            index = builder.build()
+        if config.mode == "probabilistic":
+            from repro.semantics import attach_tables
+
+            index = attach_tables(index, repository)
+        return index
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -181,6 +191,20 @@ class GKSEngine:
                 on_disk_codec = describe_layout(config.index_path)["codec"]
             except StorageError:
                 loaded = None  # unreadable cache: rebuild and rewrite
+            if loaded is not None:
+                from repro.semantics import has_prob_tables
+
+                if (has_prob_tables(loaded)
+                        and config.mode != "probabilistic"):
+                    # A typed error, not a rebuild: the caller persisted
+                    # probabilistic tables on purpose, and silently
+                    # serving them strict would change query semantics.
+                    raise ConfigError(
+                        f"index at {config.index_path} carries "
+                        "probabilistic tables but the engine mode is "
+                        f"{config.mode!r}; open it with "
+                        "EngineConfig(mode='probabilistic') or rebuild "
+                        "the index cache")
             if (loaded is not None
                     and on_disk_codec == config.codec
                     and _index_compatible(loaded, repository, config)):
@@ -225,7 +249,9 @@ class GKSEngine:
     def _resolve_options(self, options: SearchOptions | None, *,
                          s: int | None, use_cache: bool | None,
                          strict_deadline: bool | None,
-                         budget: SearchBudget | None):
+                         budget: SearchBudget | None,
+                         mode: str | None = None,
+                         threshold: float | None = None):
         """Fold a :class:`SearchOptions` into explicit keyword args.
 
         Precedence: explicit keyword argument > ``options`` field >
@@ -242,13 +268,21 @@ class GKSEngine:
                 strict_deadline = options.strict_deadline
             if budget is None and options.deadline_s is not None:
                 budget = SearchBudget(deadline_s=options.deadline_s)
+            if mode is None:
+                mode = options.mode
+            if threshold is None:
+                threshold = options.threshold
         if use_cache is None:
             use_cache = True
         if strict_deadline is None:
             strict_deadline = False
         if budget is None:
             budget = self.config.budget
-        return s, use_cache, strict_deadline, budget
+        if mode is None:
+            mode = self.config.mode
+        if threshold is None:
+            threshold = self.config.threshold
+        return s, use_cache, strict_deadline, budget, mode, threshold
 
     def search(self, query: str | Query, s: int | None = None, *,
                ranker: Ranker | None = None,
@@ -256,6 +290,8 @@ class GKSEngine:
                budget: SearchBudget | None = None,
                strict_deadline: bool | None = None,
                options: SearchOptions | None = None,
+               mode: str | None = None,
+               threshold: float | None = None,
                tracer: Tracer | NullTracer | None = None,
                request_id: str | None = None) -> GKSResponse:
         """Run a keyword query; ``s`` defaults to ``config.s``.
@@ -287,10 +323,20 @@ class GKSEngine:
         is stamped on the response's :class:`QueryStats`, the slow-query
         log entry and the root span, so one id joins the HTTP envelope,
         the span tree and the diagnostics for the same query.
+
+        ``mode`` selects the query semantics (``repro.semantics``):
+        ``"strict"`` is the classic pipeline, ``"probabilistic"``
+        evaluates p-document probabilities (filtered by ``threshold``),
+        ``"relaxed"`` rescues an empty strict result with penalty-ranked
+        single-edit rewrites.  Unset, both fall back to *options* then
+        ``EngineConfig``.  Non-strict responses never touch the LRU
+        cache, so strict output stays byte-identical.
         """
-        s, use_cache, strict_deadline, budget = self._resolve_options(
-            options, s=s, use_cache=use_cache,
-            strict_deadline=strict_deadline, budget=budget)
+        s, use_cache, strict_deadline, budget, mode, threshold = (
+            self._resolve_options(
+                options, s=s, use_cache=use_cache,
+                strict_deadline=strict_deadline, budget=budget,
+                mode=mode, threshold=threshold))
         if ranker is None:
             ranker = self.config.ranker
         if isinstance(query, str):
@@ -298,6 +344,11 @@ class GKSEngine:
                                      s=s if s is not None else self.config.s)
         elif s is not None:
             query = query.with_s(s)
+        if mode != "strict":
+            return self._semantic_search(
+                query, mode=mode, threshold=threshold, ranker=ranker,
+                budget=budget, strict_deadline=strict_deadline,
+                tracer=tracer, request_id=request_id)
 
         use_cache = use_cache and budget is None
         # Keyed on the ranker object itself (not id(): ids are recycled
@@ -355,11 +406,87 @@ class GKSEngine:
                 self._response_cache[cache_key] = response
         return response
 
+    def _relaxation_vocabulary(self):
+        """The relaxed-mode rewrite vocabulary for the current corpus."""
+        from repro.semantics import relaxation_vocabulary
+
+        cached = self._relax_vocab
+        generation = self._generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        vocabulary = relaxation_vocabulary(self.repository, self.analyzer)
+        self._relax_vocab = (generation, vocabulary)
+        return vocabulary
+
+    def _semantic_search(self, query: Query, *, mode: str,
+                         threshold: float, ranker: Ranker,
+                         budget: SearchBudget | None,
+                         strict_deadline: bool,
+                         tracer: Tracer | NullTracer | None,
+                         request_id: str | None) -> GKSResponse:
+        """Dispatch a non-strict query through ``repro.semantics``.
+
+        Deferred import: semantics sits beside core in the layer DAG but
+        this facade must not pay for it on the strict path.  Non-strict
+        responses bypass the LRU cache entirely (in both directions).
+        Note the relaxed flow runs strict sub-searches through
+        :meth:`search`, so ``gks_searches_total`` counts them too —
+        documented in DESIGN.md §5.10.
+        """
+        if mode == "probabilistic":
+            if self.config.mode != "probabilistic":
+                raise ConfigError(
+                    "probabilistic query on a non-probabilistic engine: "
+                    "open it with EngineConfig(mode='probabilistic') so "
+                    "the index carries compiled probability tables")
+            from repro.semantics import probabilistic_search
+
+            response = probabilistic_search(
+                self.index, query, threshold=threshold, budget=budget,
+                tracer=tracer, registry=self.metrics_registry)
+        else:  # relaxed
+            strict = self.search(query, mode="strict", use_cache=False,
+                                 ranker=ranker, budget=budget,
+                                 tracer=tracer)
+            if strict.nodes:
+                # Strict answered: same nodes, provenance says "relaxed
+                # mode, no relaxation needed".  The inner search already
+                # recorded itself; don't double-count.
+                response = replace(
+                    strict, stats=replace(strict.stats, mode="relaxed"),
+                    semantics=SemanticsInfo(mode="relaxed", relaxed=False))
+                return self._stamp_request_id(response, request_id, tracer)
+            from repro.semantics import relax_search
+
+            vocabulary = self._relaxation_vocabulary()
+
+            def search_fn(rewritten: Query) -> GKSResponse:
+                sub = (budget.subbudget(rebase=True)
+                       if budget is not None else None)
+                return self.search(rewritten, mode="strict",
+                                   use_cache=False, ranker=ranker,
+                                   budget=sub)
+
+            response = relax_search(query, vocabulary, search_fn,
+                                    budget=budget, tracer=tracer,
+                                    registry=self.metrics_registry)
+        response = self._stamp_request_id(response, request_id, tracer)
+        self._record_search(response, tracer=tracer)
+        if (strict_deadline and response.degraded
+                and response.degradation.reason == "deadline"):
+            raise SearchTimeout(
+                f"query {query} exceeded its deadline: "
+                f"{response.degradation.render()}",
+                report=response.degradation)
+        return response
+
     def search_top_k(self, query: str | Query, k: int | None = None,
                      s: int | None = None, *,
                      ranker: Ranker | None = None,
                      budget: SearchBudget | None = None,
                      options: SearchOptions | None = None,
+                     mode: str | None = None,
+                     threshold: float | None = None,
                      tracer: Tracer | NullTracer | None = None,
                      request_id: str | None = None
                      ) -> GKSResponse:
@@ -369,13 +496,17 @@ class GKSEngine:
         back first to *options*, then to the engine's
         :class:`EngineConfig`.  ``k`` may come positionally or from
         ``options.k``; omitting both is a
-        :class:`~repro.errors.ValidationError`.
+        :class:`~repro.errors.ValidationError`.  Non-strict modes run
+        the full semantic pipeline, then truncate (the semantic ranks —
+        probability, penalty — are global properties early termination
+        cannot preserve).
         """
         from repro.core.topk import search_top_k
 
-        s, _use_cache, _strict, budget = self._resolve_options(
-            options, s=s, use_cache=None, strict_deadline=None,
-            budget=budget)
+        s, _use_cache, _strict, budget, mode, threshold = (
+            self._resolve_options(
+                options, s=s, use_cache=None, strict_deadline=None,
+                budget=budget, mode=mode, threshold=threshold))
         if k is None and options is not None:
             k = options.k
         if k is None:
@@ -389,6 +520,12 @@ class GKSEngine:
                                      s=s if s is not None else self.config.s)
         elif s is not None:
             query = query.with_s(s)
+        if mode != "strict":
+            response = self._semantic_search(
+                query, mode=mode, threshold=threshold, ranker=ranker,
+                budget=budget, strict_deadline=False, tracer=tracer,
+                request_id=request_id)
+            return replace(response, nodes=response.nodes[:k])
         index = self.index  # one read: run wholly on one snapshot
         if isinstance(index, ShardedIndex):
             from repro.core.scatter import sharded_top_k
@@ -574,6 +711,10 @@ class GKSEngine:
                     document, index_tags=self.index_tags)
             else:
                 self.index = append_document(self.index, document)
+            if self.config.mode == "probabilistic":
+                from repro.semantics import attach_tables
+
+                self.index = attach_tables(self.index, self.repository)
             self._generation += 1
         finally:
             with self._cache_lock:
@@ -890,6 +1031,13 @@ def _index_compatible(index: GKSIndex | ShardedIndex,
     if tuple(index.document_names) != tuple(
             document.name for document in repository):
         return False
+    if config.mode == "probabilistic":
+        from repro.semantics import compile_tables, tables_of
+
+        # The persisted tables must match what this corpus compiles to —
+        # stale or absent tables mean stale probabilities, so rebuild.
+        if tables_of(index) != compile_tables(repository):
+            return False
     # storage persists only the analyzer flags, so compare just those
     return (index.analyzer.use_stopwords == config.analyzer.use_stopwords
             and index.analyzer.use_stemming == config.analyzer.use_stemming)

@@ -28,6 +28,11 @@ def node_to_dict(node: RankedNode,
         "is_lce": node.is_lce,
         "estimated_keywords": node.estimated_keywords,
     }
+    # conditional keys: strict payloads stay byte-identical
+    if node.probability is not None:
+        payload["probability"] = node.probability
+    if node.relaxation is not None:
+        payload["relaxation"] = node.relaxation.to_dict()
     if repository is not None:
         element = repository.node_at(node.dewey)
         if element is not None:
@@ -40,7 +45,7 @@ def response_to_dict(response: GKSResponse,
                      repository: Repository | None = None
                      ) -> dict[str, Any]:
     profile = response.profile
-    return {
+    payload: dict[str, Any] = {
         "query": {
             "keywords": list(response.query.keywords),
             "s": response.query.s,
@@ -55,6 +60,9 @@ def response_to_dict(response: GKSResponse,
         },
         "nodes": [node_to_dict(node, repository) for node in response],
     }
+    if response.semantics is not None:
+        payload["semantics"] = response.semantics.to_dict()
+    return payload
 
 
 def insights_to_dict(report: InsightReport) -> dict[str, Any]:

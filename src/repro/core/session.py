@@ -58,9 +58,11 @@ class ExplorationSession:
 
     # ------------------------------------------------------------------
     def run(self, query: str | Query, s: int | None = None,
-            note: str = "") -> SessionStep:
+            note: str = "", mode: str | None = None,
+            threshold: float | None = None) -> SessionStep:
         """Execute a query and push the step onto the history."""
-        response = self.engine.search(query, s=s)
+        response = self.engine.search(query, s=s, mode=mode,
+                                      threshold=threshold)
         insights = self.engine.insights(response, top=self.insight_top)
         refinements = tuple(self.engine.refine(
             response, insights, top=self.refinement_top))

@@ -48,6 +48,11 @@ class GKSIndex:
     stats: IndexStats
     analyzer: Analyzer = field(default=DEFAULT_ANALYZER)
     document_names: tuple[str, ...] = ()
+    #: p-document probability tables (None/empty for deterministic corpora;
+    #: compiled by ``repro.semantics`` when the engine runs in
+    #: probabilistic mode and persisted by both codecs).
+    probabilities: "object | None" = field(default=None, repr=False,
+                                           compare=False)
     _phrase_cache: dict = field(default_factory=dict, repr=False,
                                 compare=False)
 

@@ -644,6 +644,20 @@ def _index_shard_data(index: GKSIndex) -> tuple[dict, dict, dict]:
     return postings, index.hashes.entity_table, index.hashes.element_table
 
 
+def _attach_probabilities(section: dict, index: GKSIndex) -> None:
+    """Carry the shard's probability tables in its header section.
+
+    Conditional key: strict indexes write byte-identical files to the
+    pre-probabilistic format, and the header CRC covers the tables with
+    no extra machinery.  The tables are tiny (one entry per ``p:``
+    annotation) next to the posting regions, so the JSON header is the
+    right place for them.
+    """
+    tables = index.probabilities
+    if tables is not None and tables:
+        section["probabilities"] = tables.to_dict()
+
+
 def write_binary_index(index: GKSIndex | ShardedIndex,
                        path: str | Path, *,
                        use_dag: bool = True) -> Path:
@@ -664,6 +678,7 @@ def write_binary_index(index: GKSIndex | ShardedIndex,
                 list(shard.index.document_names), use_dag=use_dag)
             section["shard_id"] = shard.shard_id
             section["doc_ids"] = list(shard.doc_ids)
+            _attach_probabilities(section, shard.index)
             sections.append(section)
             regions.extend(shard_regions)
     else:
@@ -677,6 +692,7 @@ def write_binary_index(index: GKSIndex | ShardedIndex,
             postings, entity, element, index.stats.to_dict(),
             list(index.document_names), use_dag=use_dag)
         section["shard_id"] = 0
+        _attach_probabilities(section, index)
         sections.append(section)
         regions.extend(shard_regions)
     body["shards"] = sections
@@ -1250,7 +1266,22 @@ def _shard_index(section: dict, reader: _ShardReader,
         hashes=LazyNodeHashes(reader),
         stats=IndexStats.from_dict(section.get("stats", {})),
         analyzer=analyzer,
-        document_names=tuple(section.get("document_names", ())))
+        document_names=tuple(section.get("document_names", ())),
+        probabilities=_section_probabilities(section, reader.path))
+
+
+def _section_probabilities(section: dict, path: Path):
+    raw_tables = section.get("probabilities")
+    if raw_tables is None:
+        return None
+    from repro.index.probtables import ProbTables
+
+    try:
+        return ProbTables.from_dict(raw_tables)
+    except Exception as exc:
+        raise StorageError(
+            f"malformed probability tables in {path}: {exc}",
+            diagnosis="corrupted", path=path) from exc
 
 
 def load_binary_index(path: str | Path) -> "GKSIndex | ShardedIndex":
@@ -1378,11 +1409,11 @@ class DecodedShard:
     """One shard of a binary index, fully expanded (audit/corruptor)."""
 
     __slots__ = ("shard_id", "doc_ids", "document_names", "stats",
-                 "postings", "entity", "element")
+                 "postings", "entity", "element", "probabilities")
 
     def __init__(self, shard_id: int, doc_ids, document_names,
                  stats: dict, postings: dict, entity: dict,
-                 element: dict) -> None:
+                 element: dict, probabilities: dict | None = None) -> None:
         self.shard_id = shard_id
         self.doc_ids = doc_ids
         self.document_names = document_names
@@ -1390,6 +1421,7 @@ class DecodedShard:
         self.postings = postings
         self.entity = entity
         self.element = element
+        self.probabilities = probabilities
 
 
 class DecodedIndex:
@@ -1483,7 +1515,9 @@ def decode_file(path: str | Path, on_violation=None) -> DecodedIndex:
                      if "doc_ids" in section else None),
             document_names=tuple(section.get("document_names", ())),
             stats=dict(section.get("stats", {})),
-            postings=postings, entity=tables[0], element=tables[1]))
+            postings=postings, entity=tables[0], element=tables[1],
+            probabilities=(dict(section["probabilities"])
+                           if "probabilities" in section else None)))
     return DecodedIndex(
         layout=body.get("layout", "monolithic"),
         strategy=body.get("strategy"),
@@ -1513,6 +1547,8 @@ def encode_decoded(decoded: DecodedIndex, path: str | Path) -> Path:
         section["shard_id"] = shard.shard_id
         if shard.doc_ids is not None:
             section["doc_ids"] = list(shard.doc_ids)
+        if shard.probabilities:
+            section["probabilities"] = dict(shard.probabilities)
         sections.append(section)
         regions.extend(shard_regions)
     body["shards"] = sections

@@ -45,6 +45,7 @@ from repro.index.builder import GKSIndex
 from repro.obs.metrics import global_registry
 from repro.index.hashtables import NodeHashes
 from repro.index.inverted import InvertedIndex
+from repro.index.probtables import ProbTables
 from repro.index.sharding import Shard, ShardedIndex
 from repro.index.statistics import IndexStats
 from repro.text.analyzer import Analyzer
@@ -56,7 +57,7 @@ _SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _payload_dict(index: GKSIndex) -> dict:
-    return {
+    payload = {
         "analyzer": {
             "use_stopwords": index.analyzer.use_stopwords,
             "use_stemming": index.analyzer.use_stemming,
@@ -71,6 +72,11 @@ def _payload_dict(index: GKSIndex) -> dict:
         "postings": {keyword: [format_dewey(dewey) for dewey in posting_list]
                      for keyword, posting_list in index.inverted.items()},
     }
+    # Conditional key: a strict index's payload (and its CRC32) stays
+    # byte-identical to the pre-probabilistic format.
+    if isinstance(index.probabilities, ProbTables) and index.probabilities:
+        payload["probabilities"] = index.probabilities.to_dict()
+    return payload
 
 
 def _canonical(payload: dict) -> str:
@@ -329,11 +335,23 @@ def _index_from_payload(payload: dict, path: Path) -> GKSIndex:
         use_stopwords=analyzer_config.get("use_stopwords", True),
         use_stemming=analyzer_config.get("use_stemming", True))
 
+    probabilities = None
+    raw_tables = payload.get("probabilities")
+    if raw_tables is not None:
+        try:
+            probabilities = ProbTables.from_dict(raw_tables)
+        except Exception as exc:
+            raise StorageError(
+                f"cannot read index from {path}: malformed probability "
+                f"tables ({exc})", diagnosis="corrupted",
+                path=path) from exc
+
     return GKSIndex(
         inverted=inverted, hashes=hashes,
         stats=IndexStats.from_dict(payload.get("stats", {})),
         analyzer=analyzer,
-        document_names=tuple(payload.get("document_names", ())))
+        document_names=tuple(payload.get("document_names", ())),
+        probabilities=probabilities)
 
 
 def _sharded_from_envelope(envelope: dict, path: Path) -> ShardedIndex:
@@ -404,25 +422,38 @@ def describe_layout(path: str | Path) -> dict:
         return {"version": MANIFEST_VERSION, "codec": "raw",
                 "layout": "store", "shards": manifest.shards,
                 "segments": len(manifest.segments),
-                "generation": manifest.generation}
+                "generation": manifest.generation,
+                "mode": "strict"}
     from repro.index.codec import is_binary_index, read_binary_header
 
     if is_binary_index(path):
         header = read_binary_header(path)
         body = header.get("body", {})
+        probabilistic = bool(body.get("probabilities")) or any(
+            shard.get("probabilities")
+            for shard in body.get("shards", []))
         return {"version": header.get("version"),
                 "codec": header.get("codec"),
                 "layout": body.get("layout", "monolithic"),
-                "shards": len(body.get("shards", []))}
+                "shards": len(body.get("shards", [])),
+                "mode": "probabilistic" if probabilistic else "strict"}
     envelope = read_envelope(path)
     version = envelope.get("version")
     if version == FORMAT_VERSION_SHARDED:
-        shards = len(envelope.get("shards") or [])
+        payloads = envelope.get("shards") or []
+        shards = len(payloads)
         layout = "sharded"
+        probabilistic = any(isinstance(payload, dict)
+                            and payload.get("probabilities")
+                            for payload in payloads)
     else:
         shards, layout = 1, "monolithic"
+        payload = envelope.get("payload", envelope)
+        probabilistic = bool(isinstance(payload, dict)
+                             and payload.get("probabilities"))
     return {"version": version, "codec": "raw", "layout": layout,
-            "shards": shards}
+            "shards": shards,
+            "mode": "probabilistic" if probabilistic else "strict"}
 
 
 def check_index(path: str | Path) -> dict:

@@ -43,6 +43,15 @@ class QueryStats:
     #: engine calls); joins this record to serve logs, span trees and
     #: experiment artifacts.
     request_id: str | None = None
+    #: Query semantics mode ("strict" | "probabilistic" | "relaxed").
+    #: Non-strict values surface in to_dict()/render(); the strict
+    #: default is omitted so pre-semantics wire shapes are unchanged.
+    mode: str = "strict"
+    #: Candidates the semantics subsystem evaluated (probabilistic
+    #: candidate nodes, or relaxation rewrites).
+    semantics_candidates: int = 0
+    #: True when an empty strict result was rescued by relaxation.
+    relaxed: bool = False
 
     def stage_breakdown(self) -> dict[str, float]:
         return {
@@ -64,7 +73,7 @@ class QueryStats:
         return replace(self, request_id=request_id)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "total_seconds": self.total_seconds,
             "stages": self.stage_breakdown(),
             "postings_scanned": self.postings_scanned,
@@ -78,12 +87,24 @@ class QueryStats:
             "degraded": self.degraded,
             "request_id": self.request_id,
         }
+        # Non-strict keys appear only when set: strict-mode payloads
+        # stay byte-identical to their pre-semantics shape.
+        if self.mode != "strict":
+            payload["mode"] = self.mode
+            payload["semantics_candidates"] = self.semantics_candidates
+        if self.relaxed:
+            payload["relaxed"] = True
+        return payload
 
     def render(self) -> str:
         stages = "  ".join(
             f"{name}={seconds * 1000:.2f}ms"
             for name, seconds in self.stage_breakdown().items())
         flags = []
+        if self.mode != "strict":
+            flags.append(f"mode={self.mode}")
+        if self.relaxed:
+            flags.append("relaxed")
         if self.cache_hit:
             flags.append("cache-hit")
         if self.degraded:

@@ -242,8 +242,9 @@ class ServerCore:
         :class:`~repro.core.config.SearchOptions` record; its ``s`` /
         ``k`` / ``deadline_s`` fields fill in whichever of the explicit
         parameters are unset, and its engine-side knobs (``use_cache``,
-        ``strict_deadline``) travel with the request to the engine
-        call.  Requests carrying engine-side knobs are excluded from
+        ``strict_deadline``, ``mode``, ``threshold``) travel with the
+        request to the engine call.  Requests carrying engine-side
+        knobs are excluded from
         the TTL cache and coalescing, exactly like budgeted requests —
         their responses are request-specific.
 
@@ -263,12 +264,16 @@ class ServerCore:
             if deadline_s is None:
                 deadline_s = options.deadline_s
             if (options.use_cache is not None
-                    or options.strict_deadline is not None):
+                    or options.strict_deadline is not None
+                    or options.mode is not None
+                    or options.threshold is not None):
                 from repro.core.config import SearchOptions
 
                 engine_options = SearchOptions(
                     use_cache=options.use_cache,
-                    strict_deadline=options.strict_deadline)
+                    strict_deadline=options.strict_deadline,
+                    mode=options.mode,
+                    threshold=options.threshold)
         if ranker is None:
             ranker = self.engine.config.ranker
         if isinstance(query, str):

@@ -29,7 +29,8 @@ Routes
 ``GET /metrics``
     The metrics registry in Prometheus text exposition format.
 
-Error mapping: client errors (bad query, bad parameters) are 400;
+Error mapping: client errors (bad query, bad parameters, a query mode
+the serving engine was not configured for) are 400;
 :class:`~repro.errors.Overloaded` is 429 with a ``Retry-After`` header
 when the broker can suggest one; :class:`~repro.errors.SearchTimeout`
 is 504; any other :class:`~repro.errors.GKSError` is 500.  Bodies are
@@ -50,8 +51,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.config import SearchOptions
 from repro.core.export import response_to_dict
-from repro.errors import (GKSError, Overloaded, QueryError, SearchTimeout,
-                          ValidationError, XMLSyntaxError)
+from repro.errors import (ConfigError, GKSError, Overloaded, QueryError,
+                          SearchTimeout, ValidationError, XMLSyntaxError)
 from repro.serve.core import ServerCore
 
 
@@ -162,10 +163,17 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
             # body (or a JSON object in the query string); explicit
             # top-level parameters win over its fields
             options = None
+            raw_options = None
             if "options" in params:
                 raw_options = params["options"]
                 if isinstance(raw_options, str):
                     raw_options = json.loads(raw_options)
+            # top-level mode/threshold are shorthand for options fields
+            extra = {key: params[key] for key in ("mode", "threshold")
+                     if key in params}
+            if extra:
+                raw_options = {**(raw_options or {}), **extra}
+            if raw_options is not None:
                 options = SearchOptions.from_mapping(raw_options)
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_error_json(400, exc, headers=rid_header)
@@ -183,9 +191,11 @@ class GKSRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(504, exc, headers=rid_header)
             return
         except GKSError as exc:
-            # bad queries are the client's fault; the rest are ours
-            status = 400 if isinstance(exc, (QueryError, ValidationError)) \
-                else 500
+            # bad queries and mode-capability mismatches (asking a
+            # strict server for probabilistic results) are the
+            # client's fault; the rest are ours
+            status = 400 if isinstance(
+                exc, (QueryError, ValidationError, ConfigError)) else 500
             self._send_error_json(status, exc, headers=rid_header)
             return
         payload = response_to_dict(response,

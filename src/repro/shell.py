@@ -8,6 +8,8 @@ keywords to search, colon-commands to steer.
     > karen mike john
     3 node(s) ...
     > :s 2                 set the threshold for subsequent queries
+    > :mode relaxed        switch query semantics (strict |
+                           probabilistic [P] | relaxed)
     > :di                  show the current step's insights
     > :refine 1            apply refinement #1
     > :drill               re-query with the top DI keywords
@@ -36,6 +38,8 @@ class Shell:
         self.out = out
         self.s = 1
         self.limit = 8
+        self.mode = engine.config.mode
+        self.threshold = engine.config.threshold
         self.running = True
 
     # ------------------------------------------------------------------
@@ -50,7 +54,8 @@ class Shell:
 
     def _query(self, text: str) -> None:
         try:
-            step = self.session.run(text, s=self.s)
+            step = self.session.run(text, s=self.s, mode=self.mode,
+                                    threshold=self.threshold)
         except GKSError as error:
             self.out(f"error: {error}")
             return
@@ -58,10 +63,17 @@ class Shell:
 
     def _show_results(self, step) -> None:
         response = step.response
+        semantics = (f", mode={response.semantics.mode}"
+                     if response.semantics is not None else "")
         self.out(f"{len(response)} node(s) for {response.query}  "
-                 f"[{response.profile.seconds * 1000:.1f} ms]")
+                 f"[{response.profile.seconds * 1000:.1f} ms{semantics}]")
         for position, node in enumerate(response.top(self.limit)):
-            self.out(f"  [{position}] {self.engine.describe(node)}")
+            line = self.engine.describe(node)
+            if node.probability is not None:
+                line += f"  p={node.probability:.4f}"
+            if node.relaxation is not None:
+                line += f"  [{node.relaxation.describe()}]"
+            self.out(f"  [{position}] {line}")
         if len(response) > self.limit:
             self.out(f"  ... {len(response) - self.limit} more")
 
@@ -81,12 +93,41 @@ class Shell:
             self.out(f"error: {error}")
 
     def _cmd_help(self, arguments) -> None:
-        self.out("commands: :s N  :di  :refine N  :drill  :explain N  "
-                 ":snippet N  :back  :history  :stats  :quit")
+        self.out("commands: :s N  :mode M [P]  :di  :refine N  :drill  "
+                 ":explain N  :snippet N  :back  :history  :stats  :quit")
 
     def _cmd_s(self, arguments) -> None:
         self.s = max(1, int(arguments[0]))
         self.out(f"s = {self.s}")
+
+    def _cmd_mode(self, arguments) -> None:
+        """``:mode strict | probabilistic [P] | relaxed`` — switch the
+        query semantics for subsequent queries."""
+        from repro.core.config import MODES
+
+        if not arguments:
+            threshold = (f" >= {self.threshold:g}"
+                         if self.mode == "probabilistic" else "")
+            self.out(f"mode = {self.mode}{threshold}")
+            return
+        from repro.errors import ConfigError
+
+        mode = arguments[0]
+        if mode not in MODES:
+            raise ConfigError(f"unknown mode {mode!r} "
+                              f"(one of {', '.join(sorted(MODES))})")
+        self.mode = mode
+        if len(arguments) > 1:
+            self.threshold = float(arguments[1])
+        if mode == "probabilistic" \
+                and self.engine.config.mode != "probabilistic":
+            self.out("note: this engine was opened without "
+                     "mode='probabilistic'; probabilistic queries will "
+                     "be rejected until it is reopened with compiled "
+                     "probability tables")
+        threshold = (f" >= {self.threshold:g}"
+                     if mode == "probabilistic" else "")
+        self.out(f"mode = {self.mode}{threshold}")
 
     def _cmd_di(self, arguments) -> None:
         step = self.session.current

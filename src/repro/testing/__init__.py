@@ -3,6 +3,8 @@
 from repro.testing.faults import (BurstyArrivals, FakeClock, IndexCorruptor,
                                   SlowEngine, StoreCorruptor, TornWriter,
                                   XMLCorruptor, corrupt_corpus)
+from repro.testing.pdocs import (KEYWORD_POOL, PROB_POOL, TAG_POOL,
+                                 pdoc_corpus, pdoc_documents)
 from repro.testing.race import (LockOrderInversion, PreemptingEngine,
                                 RaceHarness, RaceReport, RacyCache,
                                 drive_cache_workload, drive_durable_workload,
@@ -10,6 +12,8 @@ from repro.testing.race import (LockOrderInversion, PreemptingEngine,
 
 __all__ = ["BurstyArrivals", "FakeClock", "IndexCorruptor", "SlowEngine",
            "StoreCorruptor", "TornWriter", "XMLCorruptor", "corrupt_corpus",
+           "KEYWORD_POOL", "PROB_POOL", "TAG_POOL", "pdoc_corpus",
+           "pdoc_documents",
            "LockOrderInversion", "PreemptingEngine", "RaceHarness",
            "RaceReport", "RacyCache", "drive_cache_workload",
            "drive_durable_workload", "drive_swap_workload",

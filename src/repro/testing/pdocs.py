@@ -1,0 +1,72 @@
+"""Hypothesis strategies generating random p-documents.
+
+Emits raw XML *strings* using the ``p:`` attribute convention
+(``p:type="IND"|"MUX"`` on a distributional element, ``p:p`` weights on
+its uncertain children, MUX weights drawn so normalisation paths get
+exercised) — strings only, so this module stays at the testing layer
+with no upward imports.  The number of uncertain edges per document is
+bounded (default 6) to keep the possible-worlds oracle's enumeration
+small; keyword text is drawn from a fixed pool disjoint from the
+``p:`` marker tokens so queries never collide with the convention's
+own indexed attribute-children.
+
+Hypothesis is imported lazily: production imports of ``repro.testing``
+must not require it.
+"""
+
+from __future__ import annotations
+
+#: Default keyword pool; analyzer-stable words (no stemming collisions).
+KEYWORD_POOL = ("apple", "banana", "cherry", "durian", "fig")
+
+#: Element tag pool, equally analyzer-stable and marker-disjoint.
+TAG_POOL = ("item", "rec", "entry", "grp", "leaf")
+
+#: Edge probabilities / MUX weights; includes 1.0 and sums > 1 so both
+#: the certain-edge and weight-normalisation paths are generated.
+PROB_POOL = (0.25, 0.5, 0.75, 1.0)
+
+
+def pdoc_documents(max_depth: int = 3, max_breadth: int = 3,
+                   max_uncertain: int = 6,
+                   keywords: tuple[str, ...] = KEYWORD_POOL):
+    """Strategy producing one random p-document as an XML string."""
+    from hypothesis import strategies as st
+
+    @st.composite
+    def _document(draw) -> str:
+        budget = [draw(st.integers(min_value=0,
+                                   max_value=max_uncertain))]
+
+        def element(depth: int, extra: str = "") -> str:
+            tag = draw(st.sampled_from(TAG_POOL))
+            text = " ".join(draw(st.lists(st.sampled_from(keywords),
+                                          min_size=0, max_size=2)))
+            if depth >= max_depth:
+                return f"<{tag}{extra}>{text}</{tag}>"
+            width = draw(st.integers(min_value=0, max_value=max_breadth))
+            attrs = ""
+            child_extras = [""] * width
+            if width and budget[0] > 0 and draw(st.booleans()):
+                kind = draw(st.sampled_from(("IND", "MUX")))
+                attrs = f' p:type="{kind}"'
+                for position in range(width):
+                    if budget[0] > 0 and draw(st.booleans()):
+                        budget[0] -= 1
+                        prob = draw(st.sampled_from(PROB_POOL))
+                        child_extras[position] = f' p:p="{prob}"'
+            children = [element(depth + 1, child_extras[position])
+                        for position in range(width)]
+            body = text + "".join(children)
+            return f"<{tag}{attrs}{extra}>{body}</{tag}>"
+
+        return f"<root>{element(0)}</root>"
+
+    return _document()
+
+
+def pdoc_corpus(max_documents: int = 2, **kwargs):
+    """Strategy producing a small list of p-document XML strings."""
+    from hypothesis import strategies as st
+    return st.lists(pdoc_documents(**kwargs), min_size=1,
+                    max_size=max_documents)

@@ -1,0 +1,354 @@
+"""Query-modes subsystem: p-document probabilistic evaluation and
+no-but-semantic-match relaxation, proven against brute-force oracles.
+
+The probabilistic engine is checked against possible-worlds enumeration
+(``repro.baselines.pworlds``) and the relaxation pipeline against the
+exhaustive single-edit oracle (``repro.baselines.relaxation``), on
+hypothesis-generated p-documents, across shard counts and both on-disk
+codecs.  Strict mode must stay byte-identical to its pre-semantics
+behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (exhaustive_relaxation,
+                             possible_worlds_probabilities)
+from repro.core.config import EngineConfig, SearchOptions
+from repro.core.engine import GKSEngine
+from repro.core.export import node_to_dict, response_to_dict
+from repro.core.query import Query
+from repro.errors import ConfigError, ValidationError
+from repro.index.storage import (check_index, describe_layout, load_index,
+                                 save_index)
+from repro.semantics import (compile_tables, extract_pdoc,
+                             probabilistic_search, tables_of)
+from repro.testing import KEYWORD_POOL, pdoc_corpus
+from repro.xmltree.repository import Repository
+
+pytestmark = pytest.mark.semantics
+
+TOLERANCE = 1e-9
+
+
+def _repository(documents: list[str]) -> Repository:
+    repository = Repository()
+    for number, text in enumerate(documents):
+        repository.parse(text, name=f"pdoc{number}.xml")
+    return repository
+
+
+def _engine(documents: list[str], shards: int = 1,
+            threshold: float = 0.0) -> GKSEngine:
+    return GKSEngine(_repository(documents),
+                     config=EngineConfig(mode="probabilistic",
+                                         threshold=threshold,
+                                         shards=shards))
+
+
+def _probability_map(response) -> dict:
+    return {node.dewey: node.probability for node in response.nodes}
+
+
+def _query(draw) -> Query:
+    count = draw(st.integers(min_value=1, max_value=2))
+    keywords = draw(st.lists(st.sampled_from(KEYWORD_POOL),
+                             min_size=count, max_size=count, unique=True))
+    s = draw(st.integers(min_value=1, max_value=count))
+    return Query.of(keywords, s=s)
+
+
+@st.composite
+def corpus_and_query(draw):
+    documents = draw(pdoc_corpus(max_documents=2, max_uncertain=5))
+    return documents, _query(draw)
+
+
+# ---------------------------------------------------------------------
+# probabilistic mode vs the possible-worlds oracle
+# ---------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(corpus_and_query(), st.sampled_from([1, 2, 4]))
+def test_probabilistic_matches_possible_worlds(case, shards):
+    documents, query = case
+    engine = _engine(documents, shards=shards)
+    oracle = possible_worlds_probabilities(engine.repository, query)
+    response = engine.search(query)
+    assert response.semantics is not None
+    assert response.semantics.mode == "probabilistic"
+    produced = _probability_map(response)
+    for dewey, probability in produced.items():
+        assert probability == pytest.approx(oracle.get(dewey, 0.0),
+                                            abs=TOLERANCE)
+    for dewey, probability in oracle.items():
+        if probability > TOLERANCE:
+            assert dewey in produced, (dewey, probability)
+
+
+@settings(max_examples=15, deadline=None)
+@given(corpus_and_query(), st.floats(min_value=0.1, max_value=0.9))
+def test_threshold_filters_consistently(case, threshold):
+    documents, query = case
+    engine = _engine(documents)
+    full = _probability_map(engine.search(query))
+    cut = _probability_map(engine.search(query, threshold=threshold))
+    assert cut == {dewey: probability
+                   for dewey, probability in full.items()
+                   if probability >= threshold}
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=corpus_and_query(),
+       codec=st.sampled_from(["raw", "varint-dag"]),
+       shards=st.sampled_from([1, 2]))
+def test_probabilistic_survives_persistence(case, codec, shards):
+    import tempfile
+    from pathlib import Path
+
+    documents, query = case
+    engine = _engine(documents, shards=shards)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"index-{codec}-{shards}.idx"
+        save_index(engine.index, path, codec=codec)
+        loaded = load_index(path)
+        assert tables_of(loaded) == tables_of(engine.index)
+        direct = probabilistic_search(engine.index, query)
+        reloaded = probabilistic_search(loaded, query)
+        assert _probability_map(direct) == _probability_map(reloaded)
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpus_and_query())
+def test_sharded_equals_monolithic(case):
+    documents, query = case
+    flat = _probability_map(_engine(documents, shards=1).search(query))
+    sharded = _probability_map(_engine(documents, shards=4).search(query))
+    assert set(flat) == set(sharded)
+    for dewey, probability in flat.items():
+        assert sharded[dewey] == pytest.approx(probability, abs=TOLERANCE)
+
+
+def test_probabilistic_budget_degrades_to_subset():
+    from repro.core.budget import SearchBudget
+
+    documents = ['<root><item p:type="IND">'
+                 '<name p:p="0.5">apple</name><name>banana</name>'
+                 '</item></root>'] * 3
+    engine = _engine(documents)
+    full = engine.search("apple")
+    tight = engine.search("apple",
+                          budget=SearchBudget(max_nodes=1))
+    assert tight.degraded
+    produced = _probability_map(tight)
+    reference = _probability_map(full)
+    assert set(produced) <= set(reference)
+    for dewey, probability in produced.items():
+        assert probability == pytest.approx(reference[dewey],
+                                            abs=TOLERANCE)
+
+
+# ---------------------------------------------------------------------
+# relaxed mode vs the exhaustive single-edit oracle
+# ---------------------------------------------------------------------
+@st.composite
+def relaxation_case(draw):
+    documents = draw(pdoc_corpus(max_documents=2, max_uncertain=0,
+                                 keywords=KEYWORD_POOL[:3]))
+    count = draw(st.integers(min_value=1, max_value=2))
+    keywords = draw(st.lists(
+        st.sampled_from(KEYWORD_POOL + ("papaya", "quince")),
+        min_size=count, max_size=count, unique=True))
+    s = draw(st.integers(min_value=1, max_value=count))
+    return documents, Query.of(keywords, s=s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relaxation_case(), st.sampled_from([1, 2]))
+def test_relaxed_matches_exhaustive_oracle(case, shards):
+    documents, query = case
+    engine = GKSEngine(_repository(documents),
+                       config=EngineConfig(shards=shards))
+    strict = engine.search(query)
+    relaxed = engine.search(query, mode="relaxed")
+    assert relaxed.semantics is not None
+    assert relaxed.semantics.mode == "relaxed"
+    if strict.nodes:
+        # non-empty strict answer passes through unrewritten
+        assert not relaxed.semantics.relaxed
+        assert relaxed.nodes == strict.nodes
+        return
+    assert relaxed.semantics.relaxed
+    oracle = exhaustive_relaxation(engine.repository, query)
+    produced = [(node.dewey, node.relaxation.op, node.relaxation.source,
+                 node.relaxation.replacement, node.relaxation.penalty,
+                 node.score) for node in relaxed.nodes]
+    expected = [(hit.dewey, hit.op, hit.source, hit.replacement,
+                 hit.penalty, hit.score) for hit in oracle]
+    assert produced == expected
+
+
+def test_relaxed_budget_degrades_to_prefix():
+    from repro.core.budget import SearchBudget
+    from repro.testing import FakeClock
+
+    documents = ["<root><a>apple</a><b>banana</b><c>cherry</c></root>"]
+    engine = GKSEngine(_repository(documents))
+    full = engine.search("papaya durian", s=2, mode="relaxed")
+    # the fake clock exhausts the deadline partway through the sweep;
+    # the relaxed answer must degrade to a prefix of the full merge
+    tight = engine.search(
+        "papaya durian", s=2, mode="relaxed",
+        budget=SearchBudget(deadline_s=0.001,
+                            clock=FakeClock(auto_advance=0.0004)))
+    assert tight.degraded
+    assert tight.degradation.reason == "deadline"
+    full_keys = {(node.dewey, node.relaxation.op) for node in full.nodes}
+    tight_keys = {(node.dewey, node.relaxation.op) for node in tight.nodes}
+    assert tight_keys <= full_keys
+
+
+# ---------------------------------------------------------------------
+# strict mode stays byte-identical
+# ---------------------------------------------------------------------
+def test_strict_response_carries_no_semantics_keys(figure1_engine):
+    response = figure1_engine.search("karen mike", s=2)
+    assert response.semantics is None
+    payload = response_to_dict(response,
+                               repository=figure1_engine.repository)
+    assert "semantics" not in payload
+    for node, node_payload in zip(response.nodes, payload["nodes"]):
+        assert node.probability is None
+        assert node.relaxation is None
+        assert "probability" not in node_payload
+        assert "relaxation" not in node_payload
+    stats = response.stats.to_dict()
+    assert "mode" not in stats
+    assert "relaxed" not in stats
+    assert "semantics_candidates" not in stats
+
+
+def test_strict_index_payload_has_no_tables(tmp_path, figure1_repo):
+    strict = GKSEngine(figure1_repo)
+    path = tmp_path / "strict.idx"
+    save_index(strict.index, path)
+    layout = describe_layout(path)
+    assert layout["mode"] == "strict"
+    assert check_index(path)["mode"] == "strict"
+
+
+# ---------------------------------------------------------------------
+# mode capability and typed errors
+# ---------------------------------------------------------------------
+def test_probabilistic_query_on_strict_engine_is_config_error(
+        figure1_engine):
+    with pytest.raises(ConfigError):
+        figure1_engine.search("karen", mode="probabilistic")
+
+
+def test_table_carrying_index_needs_probabilistic_config(tmp_path):
+    documents = ['<root><item p:type="IND">'
+                 '<name p:p="0.5">apple</name></item></root>']
+    path = tmp_path / "prob.idx"
+    engine = GKSEngine.open(_repository(documents),
+                            config=EngineConfig(mode="probabilistic",
+                                                index_path=path))
+    engine.search("apple")
+    assert path.exists()
+    with pytest.raises(ConfigError):
+        GKSEngine.open(_repository(documents),
+                       config=EngineConfig(index_path=path))
+    reopened = GKSEngine.open(
+        _repository(documents),
+        config=EngineConfig(mode="probabilistic", index_path=path))
+    assert tables_of(reopened.index) == tables_of(engine.index)
+
+
+def test_engine_config_rejects_probabilistic_store():
+    with pytest.raises(ConfigError):
+        EngineConfig(mode="probabilistic", store_path="/tmp/nope")
+
+
+def test_search_options_validate_mode_and_threshold():
+    with pytest.raises(ConfigError):
+        SearchOptions(mode="fuzzy")
+    with pytest.raises(ConfigError):
+        SearchOptions(threshold=1.5)
+    options = SearchOptions.from_mapping(
+        {"mode": "probabilistic", "threshold": "0.25"})
+    assert options.mode == "probabilistic"
+    assert options.threshold == 0.25
+
+
+# ---------------------------------------------------------------------
+# p-document extraction
+# ---------------------------------------------------------------------
+def test_extract_ind_and_mux_normalisation():
+    repository = _repository([
+        '<root>'
+        '<a p:type="IND"><x p:p="0.5">apple</x><y>banana</y></a>'
+        '<b p:type="MUX"><x p:p="0.6">fig</x><y p:p="0.9">durian</y></b>'
+        '</root>'])
+    tables = compile_tables(repository)
+    kinds = {dewey: kind for dewey, kind in tables.kinds.items()}
+    assert sorted(kinds.values()) == ["IND", "MUX"]
+    mux_parent = next(d for d, kind in kinds.items() if kind == "MUX")
+    weights = sorted(tables.edge_p[m]
+                     for m in tables.mux_siblings(mux_parent))
+    # 0.6 + 0.9 > 1 normalises to 0.4 / 0.6
+    assert weights == [pytest.approx(0.4), pytest.approx(0.6)]
+
+
+def test_extract_rejects_malformed_probability():
+    repository = _repository(
+        ['<root><a p:type="IND"><x p:p="nope">apple</x></a></root>'])
+    with pytest.raises(ValidationError):
+        extract_pdoc(repository.documents[0].root)
+
+
+def test_plain_document_has_empty_tables(figure1_repo):
+    assert not compile_tables(figure1_repo)
+
+
+# ---------------------------------------------------------------------
+# serve-layer plumbing and metrics
+# ---------------------------------------------------------------------
+def test_serve_core_threads_mode_options():
+    documents = ['<root><item p:type="IND">'
+                 '<name p:p="0.5">apple</name></item></root>']
+    engine = _engine(documents)
+    with engine.serve(workers=2) as core:
+        response = core.search(
+            "apple", None,
+            options=SearchOptions(mode="probabilistic", threshold=0.4))
+        assert response.semantics is not None
+        assert {node.probability for node in response.nodes} == {0.5}
+        strict = core.search("apple", None,
+                             options=SearchOptions(mode="strict"))
+        assert strict.semantics is None
+
+
+def test_semantics_metrics_emitted():
+    documents = ['<root><item p:type="IND">'
+                 '<name p:p="0.5">apple</name></item></root>']
+    engine = _engine(documents)
+    engine.search("apple")
+    engine.search("papaya", mode="relaxed")
+    snapshot = engine.metrics()
+    names = {name.split("{")[0] for name in snapshot}
+    assert "gks_semantics_searches_total" in names
+    assert "gks_semantics_seconds" in names
+
+
+def test_relaxation_provenance_renders():
+    documents = ["<root><a>apple</a></root>"]
+    engine = GKSEngine(_repository(documents))
+    response = engine.search("papaya apple", s=2, mode="relaxed")
+    assert response.nodes
+    node = response.nodes[0]
+    assert node.relaxation is not None
+    assert "papaya" in node.relaxation.describe()
+    payload = node_to_dict(node)
+    assert payload["relaxation"]["op"] == node.relaxation.op
